@@ -1,0 +1,32 @@
+//! # gosh-baselines
+//!
+//! Reimplementations of the three comparators the paper evaluates against
+//! (§4.3). Each mirrors the *algorithmic cost structure* that drives the
+//! paper's comparisons:
+//!
+//! * [`verse`] — multi-core CPU VERSE: every epoch on the original graph,
+//!   PPR positive sampling (α = 0.85), Hogwild threads.
+//! * [`mile`] — MILE: sequential matching-based coarsening, base embedding
+//!   trained only on the coarsest graph, then projection + smoothing
+//!   refinement up the hierarchy (standing in for MILE's GCN refiner).
+//! * [`graphvite`] — GraphVite: GPU training of the full matrix without
+//!   multilevel coarsening; *fails* when the matrix does not fit on the
+//!   device, exactly the Table 7 behaviour the paper reports.
+
+pub mod graphvite;
+pub mod mile;
+pub mod verse;
+
+pub use graphvite::{graphvite_embed, GraphviteParams};
+pub use mile::{mile_embed, MileParams};
+pub use verse::{verse_embed, VerseParams};
+
+/// An embedding plus the wall-clock seconds it took — the two columns
+/// every baseline contributes to Tables 6 and 7.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The trained embedding of the input graph.
+    pub embedding: gosh_core::model::Embedding,
+    /// End-to-end wall-clock seconds.
+    pub seconds: f64,
+}

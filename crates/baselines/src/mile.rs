@@ -1,0 +1,182 @@
+//! MILE (Liang et al., 2018) — the multilevel CPU baseline.
+//!
+//! MILE coarsens by SEM + NHEM matching (sequential — at most 2x shrink
+//! per level), trains a base embedding *only on the coarsest graph*, and
+//! refines it back up with a graph-convolutional model. Here the base
+//! embedding uses the Hogwild CPU trainer (standing in for DeepWalk) and
+//! the GCN refiner is replaced with the closed-form part of a GCN layer:
+//! repeated neighbourhood averaging with self-loops followed by row
+//! normalization. That preserves the pipeline's cost structure — slow
+//! matching levels, one training pass, cheap refinement — which is what
+//! Tables 5 and 6 compare.
+
+use std::time::Instant;
+
+use gosh_coarsen::mile::mile_coarsen;
+use gosh_core::expand::expand_embedding;
+use gosh_core::model::Embedding;
+use gosh_core::train_cpu::{train_cpu, CpuTrainParams, Similarity};
+use gosh_graph::csr::Csr;
+
+use crate::BaselineResult;
+
+/// MILE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MileParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Coarsening levels (the paper's comparison uses 8).
+    pub levels: usize,
+    /// Epochs for the base embedding on the coarsest graph.
+    pub base_epochs: u32,
+    /// Learning rate for the base embedding (paper: 0.001).
+    pub lr: f32,
+    /// Negative samples.
+    pub negative_samples: usize,
+    /// Neighbourhood-averaging passes per refinement level.
+    pub refine_passes: usize,
+    /// Worker threads for the base embedding only (MILE itself is
+    /// sequential; the base embedder is the one parallel component).
+    pub threads: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MileParams {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            levels: 8,
+            base_epochs: 200,
+            lr: 0.025,
+            negative_samples: 3,
+            refine_passes: 2,
+            threads: 1,
+            seed: 0x417E,
+        }
+    }
+}
+
+/// One smoothing-refinement pass: `M[v] ← normalize(M[v] + Σ_{u∈Γ(v)} M[u] / deg)`.
+fn refine_pass(g: &Csr, m: &Embedding) -> Embedding {
+    let d = m.dim();
+    let mut out = Embedding::zeros(m.num_vertices(), d);
+    for v in 0..g.num_vertices() as u32 {
+        let row = out.row_mut(v);
+        row.copy_from_slice(m.row(v));
+        let deg = g.degree(v);
+        if deg > 0 {
+            let w = 1.0 / deg as f32;
+            for &u in g.neighbors(v) {
+                for (o, &x) in row.iter_mut().zip(m.row(u)) {
+                    *o += w * x;
+                }
+            }
+        }
+        let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            row.iter_mut().for_each(|x| *x /= norm);
+        }
+    }
+    out
+}
+
+/// Run the MILE pipeline on `g`.
+pub fn mile_embed(g: &Csr, params: &MileParams) -> BaselineResult {
+    let start = Instant::now();
+    let coarsening = mile_coarsen(g.clone(), params.levels);
+    let coarsest = coarsening.levels.last().expect("at least the input level");
+
+    let mut m = Embedding::random(coarsest.num_vertices(), params.dim, params.seed);
+    train_cpu(
+        coarsest,
+        &mut m,
+        &CpuTrainParams {
+            negative_samples: params.negative_samples,
+            lr: params.lr,
+            epochs: params.base_epochs,
+            threads: params.threads,
+            similarity: Similarity::Adjacency,
+            seed: params.seed,
+        },
+    );
+
+    // Refinement: project down one level, then smooth — no re-training.
+    for i in (0..coarsening.maps.len()).rev() {
+        m = expand_embedding(&m, &coarsening.maps[i]);
+        let level_graph = &coarsening.levels[i];
+        for _ in 0..params.refine_passes {
+            m = refine_pass(level_graph, &m);
+        }
+    }
+
+    BaselineResult {
+        embedding: m,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_eval::{evaluate_link_prediction, EvalConfig};
+    use gosh_graph::gen::{community_graph, CommunityConfig};
+    use gosh_graph::split::{train_test_split, SplitConfig};
+
+    fn small_params() -> MileParams {
+        MileParams {
+            dim: 16,
+            levels: 4,
+            base_epochs: 150,
+            lr: 0.05,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mile_output_covers_original_graph() {
+        let g = community_graph(&CommunityConfig::new(300, 6), 3);
+        let res = mile_embed(&g, &small_params());
+        assert_eq!(res.embedding.num_vertices(), 300);
+        assert!(res.embedding.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mile_beats_chance_on_link_prediction() {
+        let g = community_graph(&CommunityConfig::new(512, 8), 4);
+        let split = train_test_split(&g, &SplitConfig::default());
+        let res = mile_embed(&split.train, &small_params());
+        let auc = evaluate_link_prediction(
+            &res.embedding,
+            &split.train,
+            &split.test_edges,
+            &EvalConfig::default(),
+        );
+        assert!(auc > 0.65, "auc = {auc}");
+    }
+
+    #[test]
+    fn refine_pass_normalizes_rows() {
+        let g = community_graph(&CommunityConfig::new(200, 6), 5);
+        let m = Embedding::random(200, 8, 1);
+        let refined = refine_pass(&g, &m);
+        for v in 0..200u32 {
+            let norm: f32 = refined.row(v).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "row {v} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn refinement_pulls_neighbors_together() {
+        let g = community_graph(&CommunityConfig::new(200, 6), 6);
+        let m = Embedding::random(200, 8, 2);
+        let refined = refine_pass(&g, &m);
+        // Average cosine over edges must increase after smoothing.
+        let mean_cos = |m: &Embedding| {
+            let edges: Vec<_> = g.undirected_edges().take(500).collect();
+            edges.iter().map(|&(u, v)| m.cosine(u, v)).sum::<f32>() / edges.len() as f32
+        };
+        assert!(mean_cos(&refined) > mean_cos(&m));
+    }
+}

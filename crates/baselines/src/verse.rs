@@ -1,0 +1,109 @@
+//! VERSE (Tsitsulin et al., WWW'18) — the multi-core CPU baseline.
+//!
+//! All epochs are spent on the original graph; positives come from the
+//! personalized-PageRank similarity with α = 0.85, the setting the paper
+//! uses for its VERSE runs (§4.3). This is the tool whose execution time
+//! anchors every speedup column in Table 6.
+
+use std::time::Instant;
+
+use gosh_core::model::Embedding;
+use gosh_core::train_cpu::{train_cpu, CpuTrainParams, Similarity};
+use gosh_graph::csr::Csr;
+
+use crate::BaselineResult;
+
+/// VERSE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VerseParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Negative samples per source.
+    pub negative_samples: usize,
+    /// Learning rate (paper: 0.0025; larger rates produce worse results).
+    pub lr: f32,
+    /// Epochs (paper sweeps 600 / 1000 / 1400 and reports the best).
+    pub epochs: u32,
+    /// PPR continuation probability α.
+    pub alpha: f32,
+    /// Worker threads (τ = 16 in the paper).
+    pub threads: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for VerseParams {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            negative_samples: 3,
+            lr: 0.0025,
+            epochs: 1000,
+            alpha: 0.85,
+            threads: 16,
+            seed: 0x7E25E,
+        }
+    }
+}
+
+/// Run VERSE on `g`.
+pub fn verse_embed(g: &Csr, params: &VerseParams) -> BaselineResult {
+    let start = Instant::now();
+    let mut m = Embedding::random(g.num_vertices(), params.dim, params.seed);
+    train_cpu(
+        g,
+        &mut m,
+        &CpuTrainParams {
+            negative_samples: params.negative_samples,
+            lr: params.lr,
+            epochs: params.epochs,
+            threads: params.threads,
+            similarity: Similarity::Ppr { alpha: params.alpha },
+            seed: params.seed,
+        },
+    );
+    BaselineResult {
+        embedding: m,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_eval::{evaluate_link_prediction, EvalConfig};
+    use gosh_graph::gen::{community_graph, CommunityConfig};
+    use gosh_graph::split::{train_test_split, SplitConfig};
+
+    #[test]
+    fn verse_learns_link_prediction() {
+        let g = community_graph(&CommunityConfig::new(512, 8), 1);
+        let split = train_test_split(&g, &SplitConfig::default());
+        let params = VerseParams {
+            dim: 16,
+            epochs: 120,
+            lr: 0.025, // scaled up for the short test budget
+            threads: 4,
+            ..Default::default()
+        };
+        let res = verse_embed(&split.train, &params);
+        let auc = evaluate_link_prediction(
+            &res.embedding,
+            &split.train,
+            &split.test_edges,
+            &EvalConfig::default(),
+        );
+        assert!(auc > 0.75, "auc = {auc}");
+        assert!(res.seconds > 0.0);
+    }
+
+    #[test]
+    fn more_epochs_take_longer() {
+        let g = community_graph(&CommunityConfig::new(256, 6), 2);
+        let p_short = VerseParams { dim: 8, epochs: 5, threads: 2, ..Default::default() };
+        let p_long = VerseParams { dim: 8, epochs: 50, threads: 2, ..Default::default() };
+        let a = verse_embed(&g, &p_short);
+        let b = verse_embed(&g, &p_long);
+        assert!(b.seconds > a.seconds);
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the hot paths behind every table:
+//! the Algorithm 1 update, one coarsening step (sequential and parallel),
+//! coarse-graph construction, positive sampling, AUCROC, and CSR builds.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gosh_coarsen::build::build_coarse_sequential;
+use gosh_coarsen::parallel::map_parallel;
+use gosh_coarsen::sequential::map_sequential;
+use gosh_core::update::update_embedding;
+use gosh_eval::auc_roc;
+use gosh_graph::builder::csr_from_edges;
+use gosh_graph::gen::{community_graph, CommunityConfig};
+use gosh_graph::rng::Xorshift128Plus;
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_embedding");
+    for d in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let mut rng = Xorshift128Plus::new(1);
+            let mut src: Vec<f32> = (0..d).map(|_| rng.next_f32() - 0.5).collect();
+            let mut sam: Vec<f32> = (0..d).map(|_| rng.next_f32() - 0.5).collect();
+            b.iter(|| {
+                update_embedding(black_box(&mut src), black_box(&mut sam), 1.0, 0.01);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coarsening(c: &mut Criterion) {
+    let g = community_graph(&CommunityConfig::new(16_384, 8), 7);
+    let mut group = c.benchmark_group("coarsen_map");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| map_sequential(black_box(&g)));
+    });
+    group.bench_function("parallel_8t", |b| {
+        b.iter(|| map_parallel(black_box(&g), 8));
+    });
+    group.finish();
+
+    let mapping = map_sequential(&g);
+    let mut group = c.benchmark_group("coarsen_build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| build_coarse_sequential(black_box(&g), black_box(&mapping)));
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = community_graph(&CommunityConfig::new(4096, 8), 9);
+    let mut rng = Xorshift128Plus::new(3);
+    c.bench_function("positive_sample_adjacency", |b| {
+        b.iter(|| {
+            let v = rng.below(4096);
+            black_box(gosh_core::train_cpu::positive_sample(
+                &g,
+                v,
+                gosh_core::train_cpu::Similarity::Adjacency,
+                &mut rng,
+            ))
+        });
+    });
+    c.bench_function("positive_sample_ppr", |b| {
+        b.iter(|| {
+            let v = rng.below(4096);
+            black_box(gosh_core::train_cpu::positive_sample(
+                &g,
+                v,
+                gosh_core::train_cpu::Similarity::Ppr { alpha: 0.85 },
+                &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut rng = Xorshift128Plus::new(5);
+    let n = 100_000;
+    let scores: Vec<f32> = (0..n).map(|_| rng.next_f32()).collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.5).collect();
+    let mut group = c.benchmark_group("auc_roc");
+    group.sample_size(20);
+    group.bench_function("100k", |b| {
+        b.iter(|| auc_roc(black_box(&scores), black_box(&labels)));
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut rng = Xorshift128Plus::new(11);
+    let n = 10_000usize;
+    let edges: Vec<(u32, u32)> = (0..50_000)
+        .map(|_| (rng.below(n as u32), rng.below(n as u32)))
+        .collect();
+    let mut group = c.benchmark_group("csr_build");
+    group.sample_size(20);
+    group.bench_function("50k_edges", |b| {
+        b.iter(|| csr_from_edges(n, black_box(&edges)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_update,
+    bench_coarsening,
+    bench_sampling,
+    bench_auc,
+    bench_csr_build
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation — the smoothing ratio `p` (§3).
+//!
+//! `p` splits the epoch budget between a uniform share and a geometric
+//! share that favours coarse levels. The paper exposes it as *the* user
+//! knob trading speed for accuracy (Table 3's presets differ mainly in
+//! `p`). This sweep shows the trade-off directly: small `p` concentrates
+//! work on cheap coarse graphs (fast), large `p` spreads epochs toward
+//! the expensive fine levels (slower, typically a little more accurate).
+
+use gosh_bench::{auc_percent, datasets_from_args, fmt_s, header, scaled_epochs_with, split, tau, DIM};
+use gosh_core::config::{GoshConfig, Preset};
+use gosh_core::pipeline::embed;
+use gosh_gpu::{Device, DeviceConfig};
+
+fn main() {
+    let datasets = datasets_from_args(&["youtube-like"]);
+    let epochs = scaled_epochs_with(1000, 0.3);
+
+    println!("# Ablation: smoothing ratio p sweep (lr = 0.035, epochs = {epochs})");
+    header(&["graph", "p", "time_s", "train_s_level0", "aucroc_%"]);
+
+    for d in datasets {
+        let g = d.generate(42);
+        let s = split(&g);
+        for p in [0.0, 0.1, 0.3, 0.5, 0.7, 1.0] {
+            let device = Device::new(DeviceConfig::titan_x());
+            let mut cfg = GoshConfig::preset(Preset::Normal, false)
+                .with_dim(DIM)
+                .with_epochs(epochs)
+                .with_threads(tau());
+            cfg.smoothing = Some(p);
+            let (m, report) = embed(&s.train, &cfg, &device);
+            let level0 = report.levels.last().map(|l| l.seconds).unwrap_or(0.0);
+            println!(
+                "{}\t{p}\t{}\t{}\t{:.2}",
+                d.name,
+                fmt_s(report.total_seconds),
+                fmt_s(level0),
+                auc_percent(&m, &s)
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 3 — large-graph embedding vs the sample batch size B.
+//!
+//! Runs `LargeGraphGPU` (Algorithm 5) on a hyperlink-like graph with a
+//! deliberately small simulated device, sweeping B. Two series come out,
+//! matching the figure's two panels: execution time (top) and AUCROC
+//! (bottom). Larger B ⇒ fewer rotations ⇒ less data movement ⇒ faster,
+//! but more consecutive isolated updates within a part pair ⇒ lower
+//! quality.
+//!
+//! The graph is generated at a reduced scale (2^16 vertices at
+//! hyperlink2012's density) so that even the largest B still performs
+//! ≥ 2 rotations — otherwise the rotation count floors at 1 and large-B
+//! runs would silently train more than their epoch budget, inverting the
+//! quality trend the figure demonstrates.
+
+use gosh_bench::{auc_percent, fmt_s, header, scaled_epochs, split, tau, DIM};
+use gosh_core::large::{train_large, LargeParams};
+use gosh_core::model::Embedding;
+use gosh_gpu::{Device, DeviceConfig};
+use gosh_graph::gen::{community_graph, CommunityConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let density = 16; // hyperlink2012's rounded density
+    let g = community_graph(&CommunityConfig::new(1usize << scale, density), 0x3_1);
+    let s = split(&g);
+    // Device sized to ~1/6 of the matrix: partitioning is forced.
+    let matrix_bytes = s.train.num_vertices() * DIM * 4;
+    let device_mem = (matrix_bytes / 6).max(1 << 20);
+    let epochs = scaled_epochs(1000);
+
+    println!(
+        "# Figure 3: batch size sweep on hyperlink-like@{scale} (|V|={}, |E|={}, device = {:.1} MB, epochs = {})",
+        s.train.num_vertices(),
+        s.train.num_undirected_edges(),
+        device_mem as f64 / (1 << 20) as f64,
+        epochs
+    );
+    header(&["B", "time_s", "aucroc_%", "rotations", "K", "loads"]);
+
+    for b in [1usize, 2, 3, 4, 5, 6, 8, 10] {
+        let device = Device::new(DeviceConfig::tiny(device_mem));
+        let mut m = Embedding::random(s.train.num_vertices(), DIM, 0x905E);
+        let report = train_large(
+            &device,
+            &s.train,
+            &mut m,
+            &LargeParams {
+                dim: DIM,
+                negative_samples: 3,
+                lr: 0.035,
+                epochs,
+                p_gpu: 3,
+                s_gpu: 4,
+                batch_b: b,
+                threads: tau(),
+                seed: 0x905E,
+            },
+        )
+        .expect("large-graph training failed");
+        println!(
+            "{}\t{}\t{:.2}\t{}\t{}\t{}",
+            b,
+            fmt_s(report.seconds),
+            auc_percent(&m, &s),
+            report.rotations,
+            report.num_parts,
+            report.loads
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 2 — dataset properties.
+//!
+//! Prints |V|, |E| and density for every synthetic stand-in next to the
+//! paper's original numbers. Pass dataset names to restrict the set; pass
+//! `--medium` to skip the large suite (which takes a minute to generate).
+
+use gosh_bench::header;
+use gosh_graph::gen::{sampled_clustering, LARGE_SUITE, MEDIUM_SUITE};
+use gosh_graph::stats::GraphStats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let medium_only = args.iter().any(|a| a == "--medium");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    println!("# Table 2: normal and large graphs used in the experiments");
+    println!("# (synthetic stand-ins; paper columns shown for reference)");
+    header(&[
+        "graph", "mimics", "|V|", "|E|", "density", "clustering", "max_deg",
+        "paper_|V|", "paper_|E|", "paper_density",
+    ]);
+
+    let suites: Vec<_> = if medium_only {
+        MEDIUM_SUITE.iter().collect()
+    } else {
+        MEDIUM_SUITE.iter().chain(LARGE_SUITE.iter()).collect()
+    };
+    for d in suites {
+        if !filter.is_empty() && !filter.iter().any(|f| *f == d.name) {
+            continue;
+        }
+        let g = d.generate(42);
+        let s = GraphStats::compute(&g);
+        let clustering = sampled_clustering(&g, 4000, 7);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{:.3}\t{}\t{}\t{}\t{:.2}",
+            d.name,
+            d.mimics,
+            s.num_vertices,
+            s.num_edges,
+            s.density,
+            clustering,
+            s.max_degree,
+            d.paper_vertices,
+            d.paper_edges,
+            d.paper_edges as f64 / d.paper_vertices as f64,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 5 — MILE vs GOSH coarsening, level by level, on com-orkut.
+//!
+//! MILE has no stopping criterion, so both coarseners run the same number
+//! of levels; the columns are per-level time and |V_i|, plus totals.
+
+use gosh_bench::{datasets_from_args, fmt_s, header};
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh_coarsen::mile::mile_coarsen;
+
+fn main() {
+    let datasets = datasets_from_args(&["orkut-like"]);
+    let levels = 8usize;
+    let tau = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(16);
+
+    for d in datasets {
+        let g = d.generate(42);
+        println!("# Table 5: Mile vs Gosh coarsening on {} (|V|={})", d.name, g.num_vertices());
+        println!("# Gosh uses parallel coarsening with tau = {tau} threads");
+        header(&["i", "mile_time_s", "mile_|Vi|", "gosh_time_s", "gosh_|Vi|"]);
+
+        let mile = mile_coarsen(g.clone(), levels);
+        let cfg = CoarsenConfig {
+            threshold: 1,
+            threads: tau,
+            max_levels: levels + 1,
+            ..Default::default()
+        };
+        let gosh = coarsen_hierarchy(g, &cfg);
+
+        println!("0\t-\t{}\t-\t{}", mile.levels[0].num_vertices(), gosh.graphs[0].num_vertices());
+        for i in 1..=levels {
+            let (mt, mv) = mile
+                .stats
+                .get(i - 1)
+                .map(|s| (fmt_s(s.seconds), s.vertices.to_string()))
+                .unwrap_or(("-".into(), "-".into()));
+            let (gt, gv) = gosh
+                .stats
+                .get(i - 1)
+                .map(|s| (fmt_s(s.seconds), s.vertices.to_string()))
+                .unwrap_or(("-".into(), "-".into()));
+            println!("{i}\t{mt}\t{mv}\t{gt}\t{gv}");
+        }
+        let mile_total: f64 = mile.stats.iter().map(|s| s.seconds).sum();
+        println!(
+            "total\t{}\t-\t{}\t-",
+            fmt_s(mile_total),
+            fmt_s(gosh.total_seconds())
+        );
+        println!(
+            "# coarsening speedup (Gosh over Mile): {:.1}x",
+            mile_total / gosh.total_seconds().max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 6 — link prediction on the medium-scale graphs.
+//!
+//! Every tool runs on every dataset: VERSE (CPU), MILE, GraphVite
+//! fast/slow (device), and the four GOSH configurations of Table 3.
+//! Columns mirror the paper: time, speedup over VERSE, AUCROC. Device
+//! tools additionally report modeled device seconds (the cost-model
+//! clock; see DESIGN.md).
+
+use gosh_bench::{
+    datasets_from_args, fmt_s, header, run_gosh, run_graphvite, run_mile, run_verse, split,
+    ToolRow,
+};
+use gosh_core::config::Preset;
+
+/// Default epoch scale for the quality table.
+const SCALE: f64 = 0.3;
+
+fn print_row(graph: &str, r: &ToolRow, verse_wall: f64) {
+    let speedup = if r.tool == "Verse" {
+        "1.00x".to_string()
+    } else {
+        format!("{:.2}x", verse_wall / r.wall_seconds)
+    };
+    let modeled = r.modeled_seconds.map(fmt_s).unwrap_or("-".into());
+    println!(
+        "{graph}\t{}\t{}\t{speedup}\t{modeled}\t{:.2}",
+        r.tool,
+        fmt_s(r.wall_seconds),
+        r.aucroc
+    );
+}
+
+fn main() {
+    let datasets = datasets_from_args(&[
+        "dblp-like",
+        "amazon-like",
+        "youtube-like",
+        "pokec-like",
+        "lj-like",
+    ]);
+
+    println!("# Table 6: link prediction on medium-scale graphs");
+    println!("# Table 3 configurations: fast(p=0.1,lr=0.050,e=600) normal(0.3,0.035,1000) slow(0.5,0.025,1400), epochs scaled by GOSH_EPOCH_SCALE");
+    header(&["graph", "algorithm", "time_s", "speedup", "modeled_dev_s", "aucroc_%"]);
+
+    for d in datasets {
+        let g = d.generate(42);
+        let s = split(&g);
+
+        let verse = run_verse(&s, 1000, SCALE);
+        print_row(d.name, &verse, verse.wall_seconds);
+
+        let mile = run_mile(&s, SCALE);
+        print_row(d.name, &mile, verse.wall_seconds);
+
+        for fast in [true, false] {
+            match run_graphvite(&s, fast, None, SCALE) {
+                Some(r) => print_row(d.name, &r, verse.wall_seconds),
+                None => println!("{}\tGraphvite\tOOM\t-\t-\t-", d.name),
+            }
+        }
+
+        for preset in [Preset::Fast, Preset::Normal, Preset::Slow, Preset::NoCoarsening] {
+            let (r, _) = run_gosh(&s, preset, false, None, SCALE);
+            print_row(d.name, &r, verse.wall_seconds);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 8 — the small-dimension kernel (§3.1.1), SM on/off, d ∈ {8,16,32}.
+//!
+//! Reports *modeled device seconds* from the cost model: the packed
+//! kernel's benefit is an architectural effect (lane utilization and
+//! overlapped access latency inside a warp), which the host simulation's
+//! wall-clock cannot express — the simulator does the same host FLOPs
+//! either way. Wall seconds are printed alongside for transparency.
+
+use std::time::Instant;
+
+use gosh_bench::{datasets_from_args, fmt_s, header, scaled_epochs, split};
+use gosh_core::model::Embedding;
+use gosh_core::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use gosh_gpu::{CostModel, Device, DeviceConfig};
+
+fn main() {
+    let datasets = datasets_from_args(&["orkut-like", "livejournal-like"]);
+    let epochs = scaled_epochs(100);
+
+    println!("# Table 8: small-dimension kernel on/off (epochs = {epochs})");
+    header(&["graph", "SM", "d", "modeled_dev_s", "wall_s"]);
+
+    for d in datasets {
+        let g = d.generate(42);
+        let s = split(&g);
+        for sm in [false, true] {
+            for dim in [8usize, 16, 32] {
+                let device = Device::new(DeviceConfig::titan_x());
+                let mut m = Embedding::random(s.train.num_vertices(), dim, 1);
+                let variant = if sm { KernelVariant::Auto } else { KernelVariant::Optimized };
+                let t0 = Instant::now();
+                train_level_on_device(
+                    &device,
+                    &s.train,
+                    &mut m,
+                    &TrainParams::adjacency(dim, 3, 0.035, epochs),
+                    variant,
+                )
+                .expect("training failed");
+                let wall = t0.elapsed().as_secs_f64();
+                let modeled = CostModel::new(*device.config()).kernel_seconds(&device.snapshot());
+                println!(
+                    "{}\t{}\t{}\t{}\t{}",
+                    d.name,
+                    if sm { "Yes" } else { "No" },
+                    dim,
+                    fmt_s(modeled),
+                    fmt_s(wall)
+                );
+            }
+        }
+    }
+}

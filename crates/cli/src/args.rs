@@ -1,0 +1,88 @@
+//! Minimal flag parsing (positional args + `--key value` flags).
+
+use std::collections::HashMap;
+
+/// Parsed command-line tail: positionals in order, flags by name.
+pub struct Parsed {
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Split `args` into positionals and `--key value` flags.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} expects a value"))?;
+            flags.insert(key.to_string(), value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Parsed { positional, flags })
+}
+
+impl Parsed {
+    /// Required positional argument `i`, with a name for error messages.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// Optional flag parsed into `T`.
+    pub fn flag<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value `{raw}` for --{key}")),
+        }
+    }
+
+    /// Optional string flag.
+    pub fn flag_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_positionals_and_flags() {
+        let p = parse(&strs(&["a.txt", "--dim", "32", "out.emb", "--preset", "fast"])).unwrap();
+        assert_eq!(p.positional, vec!["a.txt", "out.emb"]);
+        assert_eq!(p.flag::<usize>("dim").unwrap(), Some(32));
+        assert_eq!(p.flag_str("preset"), Some("fast"));
+        assert_eq!(p.flag::<u32>("epochs").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_flag_value_errors() {
+        assert!(parse(&strs(&["--dim"])).is_err());
+    }
+
+    #[test]
+    fn bad_flag_type_errors() {
+        let p = parse(&strs(&["--dim", "banana"])).unwrap();
+        assert!(p.flag::<usize>("dim").is_err());
+    }
+
+    #[test]
+    fn missing_positional_errors() {
+        let p = parse(&strs(&[])).unwrap();
+        assert!(p.positional(0, "graph").is_err());
+    }
+}

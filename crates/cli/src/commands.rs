@@ -1,0 +1,195 @@
+//! The five CLI commands.
+
+use std::io::Write;
+use std::time::Instant;
+
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh_core::config::{GoshConfig, Preset};
+use gosh_core::model::Embedding;
+use gosh_core::pipeline::embed as gosh_embed;
+use gosh_eval::{evaluate_link_prediction, EvalConfig};
+use gosh_gpu::{Device, DeviceConfig};
+use gosh_graph::components::connected_components;
+use gosh_graph::csr::Csr;
+use gosh_graph::gen::{community_graph, sampled_clustering, CommunityConfig};
+use gosh_graph::io;
+use gosh_graph::split::{train_test_split, SplitConfig};
+use gosh_graph::stats::GraphStats;
+
+use crate::args::{parse, Parsed};
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(16)
+}
+
+/// Load a graph: `.csr` binary or edge-list text.
+fn load_graph(path: &str) -> Result<Csr, String> {
+    if path.ends_with(".csr") {
+        io::load_binary(path).map_err(|e| format!("loading {path}: {e}"))
+    } else {
+        io::load_edge_list(path)
+            .map(|l| l.graph)
+            .map_err(|e| format!("loading {path}: {e}"))
+    }
+}
+
+/// Save a graph: `.csr` binary or edge-list text.
+fn save_graph(path: &str, g: &Csr) -> Result<(), String> {
+    let result = if path.ends_with(".csr") {
+        io::write_binary(path, g)
+    } else {
+        io::write_edge_list(path, g)
+    };
+    result.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn parse_preset(p: &Parsed) -> Result<Preset, String> {
+    match p.flag_str("preset").unwrap_or("normal") {
+        "fast" => Ok(Preset::Fast),
+        "normal" => Ok(Preset::Normal),
+        "slow" => Ok(Preset::Slow),
+        "nocoarse" => Ok(Preset::NoCoarsening),
+        other => Err(format!("unknown preset `{other}` (fast|normal|slow|nocoarse)")),
+    }
+}
+
+fn build_config(p: &Parsed) -> Result<(GoshConfig, Device), String> {
+    let preset = parse_preset(p)?;
+    let mut cfg = GoshConfig::preset(preset, false)
+        .with_dim(p.flag::<usize>("dim")?.unwrap_or(32))
+        .with_threads(p.flag::<usize>("threads")?.unwrap_or_else(default_threads));
+    if let Some(e) = p.flag::<u32>("epochs")? {
+        cfg = cfg.with_epochs(e);
+    }
+    let device_mb = p.flag::<usize>("device-mb")?.unwrap_or(12 * 1024);
+    let device = Device::new(DeviceConfig::tiny(device_mb << 20));
+    Ok((cfg, device))
+}
+
+/// `gosh generate <dataset|N:K> <out>`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let spec = p.positional(0, "dataset|N:K")?;
+    let out = p.positional(1, "output file")?;
+    let seed = p.flag::<u64>("seed")?.unwrap_or(42);
+
+    let g = if let Some(d) = gosh_graph::gen::dataset(spec) {
+        d.generate(seed)
+    } else if let Some((n, k)) = spec.split_once(':') {
+        let n: usize = n.parse().map_err(|_| format!("bad vertex count `{n}`"))?;
+        let k: usize = k.parse().map_err(|_| format!("bad degree `{k}`"))?;
+        community_graph(&CommunityConfig::new(n, k), seed)
+    } else {
+        return Err(format!(
+            "`{spec}` is neither a suite dataset nor N:K (try `gosh generate 10000:8 g.txt`)"
+        ));
+    };
+    save_graph(out, &g)?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        out,
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+    Ok(())
+}
+
+/// `gosh stats <graph>`.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let g = load_graph(p.positional(0, "graph")?)?;
+    let s = GraphStats::compute(&g);
+    let comps = connected_components(&g);
+    println!("vertices        {}", s.num_vertices);
+    println!("edges           {}", s.num_edges);
+    println!("density |E|/|V| {:.3}", s.density);
+    println!("max degree      {}", s.max_degree);
+    println!("isolated        {}", s.isolated);
+    println!("hub mass (top1%) {:.3}", s.hub_mass);
+    println!("clustering est. {:.3}", sampled_clustering(&g, 4000, 7));
+    println!("components      {}", comps.count);
+    println!(
+        "giant component {:.1}%",
+        100.0 * comps.giant_fraction(s.num_vertices)
+    );
+    Ok(())
+}
+
+/// `gosh coarsen <graph> [--threads N] [--threshold T]`.
+pub fn coarsen(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let g = load_graph(p.positional(0, "graph")?)?;
+    let cfg = CoarsenConfig {
+        threads: p.flag::<usize>("threads")?.unwrap_or_else(default_threads),
+        threshold: p.flag::<usize>("threshold")?.unwrap_or(100),
+        ..Default::default()
+    };
+    let n0 = g.num_vertices();
+    let h = coarsen_hierarchy(g, &cfg);
+    println!("level 0: {} vertices", n0);
+    for s in &h.stats {
+        println!(
+            "level {}: {} vertices, {} arcs, {:.4}s",
+            s.level, s.vertices, s.edges, s.seconds
+        );
+    }
+    println!(
+        "D = {}, total {:.4}s (tau = {})",
+        h.depth(),
+        h.total_seconds(),
+        cfg.threads
+    );
+    Ok(())
+}
+
+/// Shared by `embed` and `eval`: run GOSH on `g`.
+fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
+    let (cfg, device) = build_config(p)?;
+    let t0 = Instant::now();
+    let (m, report) = gosh_embed(g, &cfg, &device);
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "embedded: D = {} levels, {:.2}s total ({:.2}s coarsening), {} partitioned levels",
+        report.depth,
+        secs,
+        report.coarsening_seconds,
+        report.levels.iter().filter(|l| l.used_large_path).count()
+    );
+    Ok((m, secs))
+}
+
+/// `gosh embed <graph> <out.emb> [...]`.
+pub fn embed(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let g = load_graph(p.positional(0, "graph")?)?;
+    let out = p.positional(1, "output file")?;
+    let (m, _) = run_gosh(&g, &p)?;
+
+    let file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "{} {}", m.num_vertices(), m.dim()).map_err(|e| e.to_string())?;
+    for v in 0..m.num_vertices() as u32 {
+        let row: Vec<String> = m.row(v).iter().map(|x| format!("{x:.6}")).collect();
+        writeln!(w, "{v} {}", row.join(" ")).map_err(|e| e.to_string())?;
+    }
+    w.flush().map_err(|e| e.to_string())?;
+    println!("wrote {} ({} x {})", out, m.num_vertices(), m.dim());
+    Ok(())
+}
+
+/// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
+pub fn eval(args: &[String]) -> Result<(), String> {
+    let p = parse(args)?;
+    let g = load_graph(p.positional(0, "graph")?)?;
+    let split = train_test_split(&g, &SplitConfig::default());
+    println!(
+        "split: train |V| = {}, |E| = {}; test edges = {}",
+        split.train.num_vertices(),
+        split.train.num_undirected_edges(),
+        split.test_edges.len()
+    );
+    let (m, secs) = run_gosh(&split.train, &p)?;
+    let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+    println!("link-prediction AUCROC: {:.2}% ({:.2}s embedding)", 100.0 * auc, secs);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! `gosh` — command-line interface to the GOSH reproduction.
+//!
+//! ```text
+//! gosh generate <dataset|N:K> <out.{txt,csr}>    synthesize a graph
+//! gosh stats <graph>                             structural statistics
+//! gosh coarsen <graph> [--threads N] [--threshold T]
+//! gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
+//!                              [--device-mb M] [--threads N]
+//! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
+//! ```
+//!
+//! Graphs load from SNAP-style edge lists (`.txt`, any extension) or the
+//! binary CSR format (`.csr`). `eval` runs the paper's full §4.1
+//! link-prediction pipeline: 80/20 split, embed the train graph, report
+//! AUCROC on the held-out edges.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(|s| s.as_str()) {
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("coarsen") => commands::coarsen(&argv[1..]),
+        Some("embed") => commands::embed(&argv[1..]),
+        Some("eval") => commands::eval(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gosh — GOSH graph embedding (ICPP 2020 reproduction)
+
+USAGE:
+  gosh generate <dataset|N:K> <out.{txt,csr}>   synthesize a graph
+  gosh stats <graph>                            structural statistics
+  gosh coarsen <graph> [--threads N] [--threshold T]
+  gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
+                               [--device-mb M] [--threads N]
+  gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
+
+  <dataset> is a suite name (dblp-like, orkut-like, ...; see
+  `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
+  <graph> is an edge-list file, or binary CSR if it ends in .csr.
+  P is one of fast | normal | slow | nocoarse (Table 3).
+  --device-mb simulates a device with that much memory (default: 12288,
+  the paper's Titan X); small values force the partitioned Algorithm 5.
+";

@@ -1,0 +1,86 @@
+//! End-to-end CLI flows exercised through the command functions.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gosh_bin() -> PathBuf {
+    // Cargo puts integration-test binaries in target/<profile>/deps; the
+    // CLI binary sits one directory up.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.join("gosh")
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(gosh_bin())
+        .args(args)
+        .output()
+        .expect("failed to run gosh binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn generate_stats_coarsen_eval_flow() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.csr");
+    let graph_s = graph.to_str().unwrap();
+
+    let (ok, text) = run(&["generate", "3000:6", graph_s]);
+    assert!(ok, "{text}");
+    assert!(text.contains("3000 vertices"));
+
+    let (ok, text) = run(&["stats", graph_s]);
+    assert!(ok, "{text}");
+    assert!(text.contains("giant component"));
+
+    let (ok, text) = run(&["coarsen", graph_s, "--threads", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("level 1:"));
+
+    let emb = dir.join("g.emb");
+    let (ok, text) = run(&["embed", graph_s, emb.to_str().unwrap(), "--dim", "8", "--epochs", "20"]);
+    assert!(ok, "{text}");
+    let first_line = std::fs::read_to_string(&emb).unwrap();
+    assert!(first_line.starts_with("3000 8"));
+
+    let (ok, text) = run(&["eval", graph_s, "--dim", "8", "--epochs", "40", "--preset", "fast"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("AUCROC"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, text) = run(&["bogus-command"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"));
+
+    let (ok, text) = run(&["generate", "not-a-spec", "/tmp/never.csr"]);
+    assert!(!ok);
+    assert!(text.contains("neither a suite dataset"));
+
+    let (ok, text) = run(&["stats", "/definitely/missing/file.txt"]);
+    assert!(!ok);
+    assert!(text.contains("loading"));
+
+    let (ok, text) = run(&["embed", "--dim"]);
+    assert!(!ok);
+    assert!(text.contains("expects a value"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, text) = run(&["--help"]);
+    assert!(ok);
+    assert!(text.contains("USAGE"));
+}

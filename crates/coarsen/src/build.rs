@@ -1,0 +1,198 @@
+//! Coarse-graph construction — `Coarsen(G_i, map_i)` of Algorithm 4.
+//!
+//! Given a mapping, builds `G_{i+1}`: a vertex per cluster, an edge between
+//! clusters `c != c'` iff some fine edge crosses them (multi-edges
+//! collapsed, self-loops dropped — the "MultiEdgeCollapse" in the name).
+//!
+//! The parallel version follows §3.2.2: threads take dynamic batches of
+//! clusters, write edge lists into private regions, and the regions are
+//! stitched together with a prefix scan. Because batches are contiguous
+//! cluster ranges, the merged CSR is identical no matter which thread
+//! processed which batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::mapping::Mapping;
+use gosh_graph::csr::{Csr, VertexId};
+
+/// Clusters per dynamic batch in the parallel builder.
+const BATCH: usize = 64;
+
+/// Sequential coarse-graph construction.
+pub fn build_coarse_sequential(g: &Csr, mapping: &Mapping) -> Csr {
+    let k = mapping.num_clusters();
+    let (offsets, members) = mapping.members();
+    let mut xadj = Vec::with_capacity(k + 1);
+    xadj.push(0usize);
+    let mut adj: Vec<VertexId> = Vec::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+
+    for c in 0..k {
+        scratch.clear();
+        for &v in &members[offsets[c]..offsets[c + 1]] {
+            for &u in g.neighbors(v) {
+                let cu = mapping.cluster_of(u);
+                if cu as usize != c {
+                    scratch.push(cu);
+                }
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        adj.extend_from_slice(&scratch);
+        xadj.push(adj.len());
+    }
+    Csr::from_raw(xadj, adj)
+}
+
+/// Parallel coarse-graph construction with thread-private edge regions.
+pub fn build_coarse_parallel(g: &Csr, mapping: &Mapping, threads: usize) -> Csr {
+    assert!(threads >= 1);
+    let k = mapping.num_clusters();
+    if k == 0 {
+        return Csr::empty(0);
+    }
+    let (offsets, members) = mapping.members();
+    let num_batches = k.div_ceil(BATCH);
+    let cursor = AtomicUsize::new(0);
+    // Private region per processed batch: (batch_idx, per-cluster degrees,
+    // edge list). Collected under a mutex; order restored afterwards.
+    type Region = (usize, Vec<usize>, Vec<u32>);
+    let regions: Mutex<Vec<Region>> =
+        Mutex::new(Vec::with_capacity(num_batches));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut scratch: Vec<VertexId> = Vec::new();
+                loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_batches {
+                        break;
+                    }
+                    let c_start = b * BATCH;
+                    let c_end = ((b + 1) * BATCH).min(k);
+                    let mut degrees = Vec::with_capacity(c_end - c_start);
+                    let mut edges: Vec<VertexId> = Vec::new();
+                    for c in c_start..c_end {
+                        scratch.clear();
+                        for &v in &members[offsets[c]..offsets[c + 1]] {
+                            for &u in g.neighbors(v) {
+                                let cu = mapping.cluster_of(u);
+                                if cu as usize != c {
+                                    scratch.push(cu);
+                                }
+                            }
+                        }
+                        scratch.sort_unstable();
+                        scratch.dedup();
+                        degrees.push(scratch.len());
+                        edges.extend_from_slice(&scratch);
+                    }
+                    regions.lock().push((b, degrees, edges));
+                }
+            });
+        }
+    });
+
+    let mut regions = regions.into_inner();
+    regions.sort_unstable_by_key(|(b, _, _)| *b);
+
+    // Sequential scan to find each region's place, then copy (the paper's
+    // "first a sequential scan operation is performed to find the region in
+    // E_{i+1} for each thread; then the private information is copied").
+    let total_edges: usize = regions.iter().map(|(_, _, e)| e.len()).sum();
+    let mut xadj = Vec::with_capacity(k + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::with_capacity(total_edges);
+    for (_, degrees, edges) in &regions {
+        for &d in degrees {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        adj.extend_from_slice(edges);
+    }
+    Csr::from_raw(xadj, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::map_sequential;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    fn check_coarse_invariants(fine: &Csr, mapping: &Mapping, coarse: &Csr) {
+        assert_eq!(coarse.num_vertices(), mapping.num_clusters());
+        assert!(coarse.is_symmetric());
+        assert!(coarse.has_no_self_loops());
+        // Every fine cross-cluster edge appears coarse; every coarse edge is
+        // witnessed by some fine edge.
+        for (u, v) in fine.edges() {
+            let (cu, cv) = (mapping.cluster_of(u), mapping.cluster_of(v));
+            if cu != cv {
+                assert!(coarse.has_edge(cu, cv), "lost edge {cu}-{cv}");
+            }
+        }
+        for (cu, cv) in coarse.edges() {
+            let witnessed = fine.edges().any(|(u, v)| {
+                mapping.cluster_of(u) == cu && mapping.cluster_of(v) == cv
+            });
+            assert!(witnessed, "invented coarse edge {cu}-{cv}");
+        }
+    }
+
+    #[test]
+    fn sequential_build_small() {
+        let g = csr_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let m = map_sequential(&g);
+        let c = build_coarse_sequential(&g, &m);
+        check_coarse_invariants(&g, &m, &c);
+    }
+
+    #[test]
+    fn sequential_build_random() {
+        let g = erdos_renyi(400, 1600, 11);
+        let m = map_sequential(&g);
+        let c = build_coarse_sequential(&g, &m);
+        check_coarse_invariants(&g, &m, &c);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let g = rmat(&RmatConfig::graph500(11, 6.0), 13);
+        let m = map_sequential(&g);
+        let seq = build_coarse_sequential(&g, &m);
+        for threads in [1, 2, 4, 8] {
+            let par = build_coarse_parallel(&g, &m, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_invariants() {
+        let g = erdos_renyi(1000, 8000, 17);
+        let m = crate::parallel::map_parallel(&g, 4);
+        let c = build_coarse_parallel(&g, &m, 4);
+        check_coarse_invariants(&g, &m, &c);
+    }
+
+    #[test]
+    fn single_cluster_collapses_to_isolated_vertex() {
+        let g = csr_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let m = map_sequential(&g);
+        assert_eq!(m.num_clusters(), 1);
+        let c = build_coarse_sequential(&g, &m);
+        assert_eq!(c.num_vertices(), 1);
+        assert_eq!(c.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_mapping_gives_empty_graph() {
+        let g = Csr::empty(0);
+        let m = map_sequential(&g);
+        let c = build_coarse_parallel(&g, &m, 2);
+        assert_eq!(c.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The full multilevel loop — Algorithm 4's outer `while`, producing the
+//! set `G = {G_0, ..., G_{D-1}}` and the mappings `M`.
+
+use std::time::Instant;
+
+use crate::build::{build_coarse_parallel, build_coarse_sequential};
+use crate::mapping::Mapping;
+use crate::parallel::map_parallel;
+use crate::sequential::map_sequential;
+use gosh_graph::csr::Csr;
+
+/// Configuration for [`coarsen_hierarchy`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoarsenConfig {
+    /// Stop once a level has fewer vertices than this (paper default: 100).
+    pub threshold: usize,
+    /// Worker threads; 1 selects the exact sequential Algorithm 4.
+    pub threads: usize,
+    /// Hard cap on the number of levels (D), a safety net for graphs that
+    /// stop shrinking (e.g. perfect matchings of hubs).
+    pub max_levels: usize,
+    /// Abort a step if it shrinks the vertex count by less than this
+    /// fraction — prevents infinite loops on pathological inputs.
+    pub min_shrink: f64,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 100,
+            threads: 1,
+            max_levels: 32,
+            min_shrink: 0.005,
+        }
+    }
+}
+
+impl CoarsenConfig {
+    /// Paper defaults with the given thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// Timing and size of one produced level.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelStats {
+    /// Index of the produced level (1 = first coarse graph).
+    pub level: usize,
+    /// Seconds spent producing this level (mapping + construction).
+    pub seconds: f64,
+    /// Vertices in the produced graph.
+    pub vertices: usize,
+    /// Directed arcs in the produced graph.
+    pub edges: usize,
+}
+
+/// A coarsening hierarchy: `graphs[0]` is the input `G_0`; `maps[i]` sends
+/// vertices of `graphs[i]` to vertices of `graphs[i+1]`.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// The coarsened graph set `G`, finest first.
+    pub graphs: Vec<Csr>,
+    /// The mapping set `M`; `maps.len() == graphs.len() - 1`.
+    pub maps: Vec<Mapping>,
+    /// Per-level timings for the experiment harness (Tables 4 and 5).
+    pub stats: Vec<LevelStats>,
+}
+
+impl Hierarchy {
+    /// Number of levels D (including `G_0`).
+    pub fn depth(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// The coarsest graph `G_{D-1}`.
+    pub fn coarsest(&self) -> &Csr {
+        self.graphs.last().expect("hierarchy is never empty")
+    }
+
+    /// Total coarsening time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.stats.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Project a coarse vertex of level `level` down to the set of level-0
+    /// vertices it represents (test/debug helper; O(|V_0| * level)).
+    pub fn fine_vertices_of(&self, level: usize, coarse: u32) -> Vec<u32> {
+        let mut current = vec![coarse];
+        for l in (0..level).rev() {
+            let map = &self.maps[l];
+            let mut next = Vec::new();
+            for v in 0..map.num_fine() as u32 {
+                if current.contains(&map.cluster_of(v)) {
+                    next.push(v);
+                }
+            }
+            current = next;
+        }
+        current
+    }
+}
+
+/// Run `MultiEdgeCollapse` to completion (Algorithm 4).
+pub fn coarsen_hierarchy(g0: Csr, cfg: &CoarsenConfig) -> Hierarchy {
+    assert!(cfg.threads >= 1, "need at least one thread");
+    let mut graphs = vec![g0];
+    let mut maps = Vec::new();
+    let mut stats = Vec::new();
+
+    let mut level = 0usize;
+    while graphs[level].num_vertices() > cfg.threshold && graphs.len() < cfg.max_levels {
+        let start = Instant::now();
+        let g = &graphs[level];
+        let mapping = if cfg.threads == 1 {
+            map_sequential(g)
+        } else {
+            map_parallel(g, cfg.threads)
+        };
+        let shrink = 1.0 - mapping.num_clusters() as f64 / g.num_vertices().max(1) as f64;
+        if shrink < cfg.min_shrink {
+            break; // not making progress; stop with what we have
+        }
+        let coarse = if cfg.threads == 1 {
+            build_coarse_sequential(g, &mapping)
+        } else {
+            build_coarse_parallel(g, &mapping, cfg.threads)
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        stats.push(LevelStats {
+            level: level + 1,
+            seconds,
+            vertices: coarse.num_vertices(),
+            edges: coarse.num_edges(),
+        });
+        maps.push(mapping);
+        graphs.push(coarse);
+        level += 1;
+    }
+
+    Hierarchy { graphs, maps, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn reaches_threshold() {
+        let g = gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 8.0), 21)).graph;
+        let h = coarsen_hierarchy(g, &CoarsenConfig::default());
+        assert!(h.coarsest().num_vertices() <= 100 * 2); // allow slight overshoot on stall
+        assert!(h.depth() >= 2);
+        assert_eq!(h.maps.len(), h.depth() - 1);
+        assert_eq!(h.stats.len(), h.depth() - 1);
+    }
+
+    #[test]
+    fn sizes_strictly_decrease() {
+        let g = rmat(&RmatConfig::graph500(11, 6.0), 23);
+        let h = coarsen_hierarchy(g, &CoarsenConfig::default());
+        for w in h.graphs.windows(2) {
+            assert!(w[1].num_vertices() < w[0].num_vertices());
+        }
+    }
+
+    #[test]
+    fn mappings_connect_adjacent_levels() {
+        let g = erdos_renyi(2000, 10_000, 31);
+        let h = coarsen_hierarchy(g, &CoarsenConfig::with_threads(4));
+        for i in 0..h.maps.len() {
+            assert_eq!(h.maps[i].num_fine(), h.graphs[i].num_vertices());
+            assert_eq!(h.maps[i].num_clusters(), h.graphs[i + 1].num_vertices());
+        }
+    }
+
+    #[test]
+    fn small_graph_is_left_alone() {
+        let g = csr_from_edges(5, &[(0, 1), (1, 2)]);
+        let h = coarsen_hierarchy(g.clone(), &CoarsenConfig::default());
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.graphs[0], g);
+        assert_eq!(h.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn parallel_hierarchy_similar_depth() {
+        let g = rmat(&RmatConfig::graph500(12, 8.0), 25);
+        let seq = coarsen_hierarchy(g.clone(), &CoarsenConfig::default());
+        let par = coarsen_hierarchy(g, &CoarsenConfig::with_threads(8));
+        // §4.4: parallel coarsening reaches a similar number of levels.
+        let (a, b) = (seq.depth() as i64, par.depth() as i64);
+        assert!((a - b).abs() <= 2, "seq depth {a}, par depth {b}");
+    }
+
+    #[test]
+    fn fine_vertices_round_trip() {
+        let g = rmat(&RmatConfig::graph500(8, 4.0), 27);
+        let n0 = g.num_vertices();
+        let h = coarsen_hierarchy(g, &CoarsenConfig::default());
+        let top = h.depth() - 1;
+        // The union of fine vertex sets over all coarsest vertices is V_0.
+        let mut seen = vec![false; n0];
+        for c in 0..h.coarsest().num_vertices() as u32 {
+            for v in h.fine_vertices_of(top, c) {
+                assert!(!seen[v as usize], "vertex {v} appears twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn respects_max_levels() {
+        let g = rmat(&RmatConfig::graph500(12, 8.0), 29);
+        let cfg = CoarsenConfig { max_levels: 3, ..Default::default() };
+        let h = coarsen_hierarchy(g, &cfg);
+        assert!(h.depth() <= 3);
+    }
+}

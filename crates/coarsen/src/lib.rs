@@ -1,0 +1,21 @@
+//! # gosh-coarsen
+//!
+//! The multilevel coarsening engine from GOSH (§3.2): `MultiEdgeCollapse`
+//! agglomerates neighbourhoods around hub vertices into super-vertices,
+//! subject to the density rule that forbids merging two hubs, processing
+//! vertices in decreasing-degree order. Both the sequential algorithm
+//! (Algorithm 4) and the parallel variant (§3.2.2: per-entry locks via CAS,
+//! hub-id cluster labels, thread-private edge regions, dynamic batch
+//! scheduling) are implemented, plus a MILE-style matching coarsener used
+//! as the baseline in Table 5.
+
+pub mod build;
+pub mod hierarchy;
+pub mod mapping;
+pub mod mile;
+pub mod order;
+pub mod parallel;
+pub mod sequential;
+
+pub use hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy, LevelStats};
+pub use mapping::{Mapping, UNMAPPED};

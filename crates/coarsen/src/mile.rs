@@ -1,0 +1,280 @@
+//! MILE-style matching coarsener — the baseline of Table 5.
+//!
+//! MILE (Liang et al., 2018) coarsens by *matching*: Structural Equivalence
+//! Matching (SEM) pairs vertices with identical neighbourhoods, then
+//! Normalized Heavy Edge Matching (NHEM) pairs each remaining vertex with
+//! the unmatched neighbour maximizing `w(u,v) / sqrt(D(u) D(v))` over the
+//! weighted graph. At most two vertices merge per level, so each level
+//! shrinks by at most 2x — the contrast with `MultiEdgeCollapse`'s
+//! unbounded clusters is exactly what the paper's Table 5 shows (12 062 vs
+//! 275 vertices after 8 levels).
+//!
+//! This is a sequential algorithm, as MILE is (§1: "they do not have a
+//! parallel implementation").
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::hierarchy::LevelStats;
+use crate::mapping::{Mapping, UNMAPPED};
+use gosh_graph::csr::{Csr, VertexId};
+
+/// A weighted CSR used internally across MILE levels (level-0 weights = 1).
+#[derive(Clone, Debug)]
+struct WeightedCsr {
+    xadj: Vec<usize>,
+    adj: Vec<VertexId>,
+    weights: Vec<f32>,
+}
+
+impl WeightedCsr {
+    fn from_unweighted(g: &Csr) -> Self {
+        Self {
+            xadj: g.xadj().to_vec(),
+            adj: g.adj().to_vec(),
+            weights: vec![1.0; g.num_edges()],
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    fn neighbors(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        let v = v as usize;
+        let r = self.xadj[v]..self.xadj[v + 1];
+        (&self.adj[r.clone()], &self.weights[r])
+    }
+
+    fn weighted_degree(&self, v: VertexId) -> f64 {
+        let v = v as usize;
+        self.weights[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .map(|&w| w as f64)
+            .sum()
+    }
+
+    fn to_unweighted(&self) -> Csr {
+        Csr::from_raw(self.xadj.clone(), self.adj.clone())
+    }
+}
+
+/// Result of running the MILE coarsener.
+#[derive(Clone, Debug)]
+pub struct MileCoarsening {
+    /// `levels[0]` is the input graph (unweighted views at each level).
+    pub levels: Vec<Csr>,
+    /// `maps[i]` sends level `i` vertices to level `i+1` vertices.
+    pub maps: Vec<Mapping>,
+    /// Per-level timings, comparable with [`crate::hierarchy::LevelStats`].
+    pub stats: Vec<LevelStats>,
+}
+
+/// Run `num_levels` rounds of SEM + NHEM coarsening (MILE has no stopping
+/// criterion of its own — the paper fixes the level count when comparing).
+pub fn mile_coarsen(g0: Csr, num_levels: usize) -> MileCoarsening {
+    let mut levels = vec![g0.clone()];
+    let mut maps = Vec::new();
+    let mut stats = Vec::new();
+    let mut current = WeightedCsr::from_unweighted(&g0);
+
+    for level in 0..num_levels {
+        let start = Instant::now();
+        let mapping = match_level(&current);
+        if mapping.num_clusters() == current.num_vertices() {
+            break; // nothing matched; graph cannot shrink further
+        }
+        let coarse = contract(&current, &mapping);
+        let seconds = start.elapsed().as_secs_f64();
+        stats.push(LevelStats {
+            level: level + 1,
+            seconds,
+            vertices: coarse.num_vertices(),
+            edges: coarse.adj.len(),
+        });
+        levels.push(coarse.to_unweighted());
+        maps.push(mapping);
+        current = coarse;
+    }
+
+    MileCoarsening { levels, maps, stats }
+}
+
+/// One round of SEM followed by NHEM; returns the pair mapping.
+fn match_level(g: &WeightedCsr) -> Mapping {
+    let n = g.num_vertices();
+    let mut label = vec![UNMAPPED; n];
+
+    // --- SEM: group vertices by an exact hash of their neighbour list and
+    // pair structurally equivalent vertices within each group.
+    let mut groups: HashMap<u64, Vec<VertexId>> = HashMap::new();
+    for v in 0..n as VertexId {
+        let (nbrs, _) = g.neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &u in nbrs {
+            h ^= u as u64 + 1;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        groups.entry(h).or_default().push(v);
+    }
+    for group in groups.values() {
+        let unmatched: Vec<VertexId> = group
+            .iter()
+            .copied()
+            .filter(|&v| label[v as usize] == UNMAPPED)
+            .collect();
+        for pair in unmatched.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            // Verify equality (hash collisions must not corrupt the match).
+            if g.neighbors(a).0 == g.neighbors(b).0 {
+                label[a as usize] = a;
+                label[b as usize] = a;
+            }
+        }
+    }
+
+    // --- NHEM: visit remaining vertices in id order; match with the
+    // unmatched neighbour of maximal normalized weight.
+    for v in 0..n as VertexId {
+        if label[v as usize] != UNMAPPED {
+            continue;
+        }
+        let (nbrs, ws) = g.neighbors(v);
+        let dv = g.weighted_degree(v);
+        let mut best: Option<(f64, VertexId)> = None;
+        for (&u, &w) in nbrs.iter().zip(ws) {
+            if u == v || label[u as usize] != UNMAPPED {
+                continue;
+            }
+            let norm = w as f64 / (dv * g.weighted_degree(u)).sqrt().max(1e-12);
+            if best.is_none_or(|(bw, bu)| norm > bw || (norm == bw && u < bu)) {
+                best = Some((norm, u));
+            }
+        }
+        label[v as usize] = v;
+        if let Some((_, u)) = best {
+            label[u as usize] = v;
+        }
+    }
+
+    Mapping::from_hub_labels(&label)
+}
+
+/// Contract matched pairs into a weighted coarse graph, accumulating
+/// parallel edge weights and dropping intra-pair self-loops.
+fn contract(g: &WeightedCsr, mapping: &Mapping) -> WeightedCsr {
+    let k = mapping.num_clusters();
+    let (offsets, members) = mapping.members();
+    let mut xadj = Vec::with_capacity(k + 1);
+    xadj.push(0usize);
+    let mut adj: Vec<VertexId> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut acc: Vec<(VertexId, f32)> = Vec::new();
+
+    for c in 0..k {
+        acc.clear();
+        for &v in &members[offsets[c]..offsets[c + 1]] {
+            let (nbrs, ws) = g.neighbors(v);
+            for (&u, &w) in nbrs.iter().zip(ws) {
+                let cu = mapping.cluster_of(u);
+                if cu as usize != c {
+                    acc.push((cu, w));
+                }
+            }
+        }
+        acc.sort_unstable_by_key(|&(u, _)| u);
+        let mut i = 0;
+        while i < acc.len() {
+            let (u, mut w) = acc[i];
+            let mut j = i + 1;
+            while j < acc.len() && acc[j].0 == u {
+                w += acc[j].1;
+                j += 1;
+            }
+            adj.push(u);
+            weights.push(w);
+            i = j;
+        }
+        xadj.push(adj.len());
+    }
+    WeightedCsr { xadj, adj, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn shrinks_by_at_most_half_per_level() {
+        let g = erdos_renyi(1000, 5000, 1);
+        let m = mile_coarsen(g, 4);
+        for w in m.levels.windows(2) {
+            let (a, b) = (w[0].num_vertices(), w[1].num_vertices());
+            assert!(b * 2 >= a, "level shrank more than 2x: {a} -> {b}");
+            assert!(b < a, "level did not shrink: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn gosh_outshrinks_mile_at_equal_levels() {
+        // The Table 5 comparison in miniature.
+        let g = gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 10.0), 3)).graph;
+        let levels = 5;
+        let mile = mile_coarsen(g.clone(), levels);
+        let cfg = crate::hierarchy::CoarsenConfig {
+            threshold: 1,
+            max_levels: levels + 1,
+            ..Default::default()
+        };
+        let gosh = crate::hierarchy::coarsen_hierarchy(g, &cfg);
+        let mile_last = mile.levels.last().unwrap().num_vertices();
+        let gosh_last = gosh.coarsest().num_vertices();
+        assert!(
+            gosh_last * 4 < mile_last,
+            "gosh {gosh_last} vs mile {mile_last}"
+        );
+    }
+
+    #[test]
+    fn pairs_only() {
+        let g = erdos_renyi(300, 900, 5);
+        let m = mile_coarsen(g, 1);
+        let (offsets, _) = m.maps[0].members();
+        for c in 0..m.maps[0].num_clusters() {
+            let size = offsets[c + 1] - offsets[c];
+            assert!(size <= 2, "cluster {c} has {size} members");
+        }
+    }
+
+    #[test]
+    fn sem_pairs_twins() {
+        // 1 and 2 have identical neighbourhoods {0, 3}: SEM must pair them.
+        let g = csr_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let m = mile_coarsen(g, 1);
+        assert_eq!(m.maps[0].cluster_of(1), m.maps[0].cluster_of(2));
+    }
+
+    #[test]
+    fn handles_graph_with_isolated_vertices() {
+        let g = csr_from_edges(5, &[(0, 1)]);
+        let m = mile_coarsen(g, 2);
+        let last = m.levels.last().unwrap();
+        assert!(last.num_vertices() >= 3); // isolated vertices never merge
+    }
+
+    #[test]
+    fn stats_align_with_levels() {
+        let g = erdos_renyi(500, 2500, 7);
+        let m = mile_coarsen(g, 3);
+        assert_eq!(m.stats.len(), m.levels.len() - 1);
+        assert_eq!(m.maps.len(), m.levels.len() - 1);
+        for (i, s) in m.stats.iter().enumerate() {
+            assert_eq!(s.vertices, m.levels[i + 1].num_vertices());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Parallel `MultiEdgeCollapse` mapping phase (§3.2.2).
+//!
+//! Each map entry acts as its own lock: claiming a vertex is a single
+//! compare-and-swap from `UNMAPPED`, so a thread that loses the race simply
+//! skips the candidate — the paper's "if the lock is obtained, the process
+//! continues; otherwise the thread skips". Clusters are labelled with their
+//! hub-vertex id (no shared `cluster` counter), and the labels are
+//! compacted to dense ids afterwards in O(|V|). Work is handed out in small
+//! dynamic batches to ride out the skewed degree distribution.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crate::mapping::{Mapping, UNMAPPED};
+use crate::order::sort_by_degree_desc;
+use gosh_graph::csr::{Csr, VertexId};
+
+/// Batch size for dynamic scheduling. Small enough to balance hub-heavy
+/// prefixes of the order, large enough to keep counter traffic negligible.
+const BATCH: usize = 256;
+
+/// Compute the cluster mapping for one coarsening step with `threads`
+/// worker threads. `threads == 1` still goes through the atomic path (use
+/// [`crate::sequential::map_sequential`] for the exact Algorithm 4).
+pub fn map_parallel(g: &Csr, threads: usize) -> Mapping {
+    assert!(threads >= 1, "need at least one thread");
+    let n = g.num_vertices();
+    if n == 0 {
+        return Mapping::new(Vec::new(), 0);
+    }
+    let order = sort_by_degree_desc(g);
+    let delta = g.density();
+
+    let map: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMAPPED)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                loop {
+                    let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + BATCH).min(n);
+                    for &v in &order[start..end] {
+                        // Try to claim v as a hub of a new cluster.
+                        if map[v as usize]
+                            .compare_exchange(UNMAPPED, v, Ordering::AcqRel, Ordering::Acquire)
+                            .is_err()
+                        {
+                            continue; // already a member elsewhere: skip
+                        }
+                        let v_small = (g.degree(v) as f64) <= delta;
+                        for &u in g.neighbors(v) {
+                            if v_small || (g.degree(u) as f64) <= delta {
+                                // Best-effort claim; losing the race means u
+                                // belongs to another cluster — that is fine.
+                                let _ = map[u as usize].compare_exchange(
+                                    UNMAPPED,
+                                    v,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let labels: Vec<VertexId> = map.into_iter().map(|a| a.into_inner()).collect();
+    Mapping::from_hub_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::map_sequential;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn single_thread_matches_star() {
+        let g = csr_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let m = map_parallel(&g, 1);
+        assert_eq!(m.num_clusters(), 1);
+    }
+
+    #[test]
+    fn all_vertices_mapped_multithreaded() {
+        let g = rmat(&RmatConfig::graph500(12, 8.0), 3);
+        for threads in [2, 4, 8] {
+            let m = map_parallel(&g, threads);
+            assert_eq!(m.num_fine(), g.num_vertices());
+            assert!(m.as_slice().iter().all(|&c| (c as usize) < m.num_clusters()));
+        }
+    }
+
+    #[test]
+    fn cluster_members_are_connected_to_hub() {
+        // Every cluster of size > 1 must be a star around its hub: members
+        // were claimed through an edge of the hub.
+        let g = rmat(&RmatConfig::graph500(10, 6.0), 5);
+        let m = map_parallel(&g, 4);
+        let (offsets, members) = m.members();
+        for c in 0..m.num_clusters() {
+            let mem = &members[offsets[c]..offsets[c + 1]];
+            if mem.len() <= 1 {
+                continue;
+            }
+            // Find a member adjacent to all other members (the hub).
+            let hub_exists = mem.iter().any(|&h| {
+                mem.iter()
+                    .filter(|&&x| x != h)
+                    .all(|&x| g.neighbors(h).contains(&x))
+            });
+            assert!(hub_exists, "cluster {c} is not hub-centered: {mem:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_comparable_to_sequential() {
+        let g = rmat(&RmatConfig::graph500(12, 8.0), 7);
+        let seq = map_sequential(&g).num_clusters() as f64;
+        let par = map_parallel(&g, 8).num_clusters() as f64;
+        // §4.4: "a negligible difference regarding the quality of graphs
+        // generated by the two algorithms".
+        assert!(
+            (par / seq - 1.0).abs() < 0.35,
+            "parallel clusters {par} vs sequential {seq}"
+        );
+    }
+
+    #[test]
+    fn hub_hub_merges_still_forbidden() {
+        let mut edges = vec![];
+        for leaf in 2..16u32 {
+            edges.push((0, leaf));
+        }
+        for leaf in 16..30u32 {
+            edges.push((1, leaf));
+        }
+        edges.push((0, 1));
+        let g = csr_from_edges(30, &edges);
+        for _ in 0..8 {
+            let m = map_parallel(&g, 4);
+            assert_ne!(m.cluster_of(0), m.cluster_of(1));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        assert_eq!(map_parallel(&g, 4).num_clusters(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = Csr::empty(7);
+        let m = map_parallel(&g, 3);
+        assert_eq!(m.num_clusters(), 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: coarsening invariants over randomized graphs.
+
+use gosh_coarsen::build::{build_coarse_parallel, build_coarse_sequential};
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh_coarsen::mapping::UNMAPPED;
+use gosh_coarsen::parallel::map_parallel;
+use gosh_coarsen::sequential::map_sequential;
+use gosh_graph::builder::csr_from_edges;
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..80).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..400);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_mapping_is_total_and_compact((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        let m = map_sequential(&g);
+        prop_assert_eq!(m.num_fine(), n);
+        // Total: every vertex mapped; compact: every cluster id < k and
+        // every id in 0..k used.
+        let k = m.num_clusters();
+        let mut used = vec![false; k];
+        for v in 0..n as u32 {
+            let c = m.cluster_of(v);
+            prop_assert!(c != UNMAPPED);
+            prop_assert!((c as usize) < k);
+            used[c as usize] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn parallel_mapping_is_total_and_compact((n, edges) in edge_list(), threads in 1usize..5) {
+        let g = csr_from_edges(n, &edges);
+        let m = map_parallel(&g, threads);
+        prop_assert_eq!(m.num_fine(), n);
+        let k = m.num_clusters();
+        let mut used = vec![false; k];
+        for v in 0..n as u32 {
+            let c = m.cluster_of(v);
+            prop_assert!((c as usize) < k);
+            used[c as usize] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u));
+    }
+
+    #[test]
+    fn clusters_never_merge_two_hubs((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        let delta = g.density();
+        let m = map_sequential(&g);
+        let (offsets, members) = m.members();
+        for c in 0..m.num_clusters() {
+            let mem = &members[offsets[c]..offsets[c + 1]];
+            let hubs = mem.iter().filter(|&&v| g.degree(v) as f64 > delta).count();
+            // The hub that founded the cluster may be big; everyone pulled
+            // in must satisfy the rule, so a second hub can only appear if
+            // the founder was small. Two *big* vertices both above δ can
+            // coexist only if one was the small-side founder; three cannot.
+            prop_assert!(hubs <= 2, "cluster {c} holds {hubs} hubs");
+        }
+    }
+
+    #[test]
+    fn coarse_builders_agree((n, edges) in edge_list(), threads in 1usize..5) {
+        let g = csr_from_edges(n, &edges);
+        let m = map_sequential(&g);
+        let seq = build_coarse_sequential(&g, &m);
+        let par = build_coarse_parallel(&g, &m, threads);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn hierarchy_vertex_counts_telescope((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        let h = coarsen_hierarchy(g, &CoarsenConfig { threshold: 2, ..Default::default() });
+        for i in 0..h.maps.len() {
+            prop_assert_eq!(h.maps[i].num_fine(), h.graphs[i].num_vertices());
+            prop_assert_eq!(h.maps[i].num_clusters(), h.graphs[i + 1].num_vertices());
+            prop_assert!(h.graphs[i + 1].num_vertices() <= h.graphs[i].num_vertices());
+        }
+    }
+
+    #[test]
+    fn coarse_graphs_stay_clean((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        let h = coarsen_hierarchy(g, &CoarsenConfig::default());
+        for cg in &h.graphs {
+            prop_assert!(cg.is_symmetric());
+            prop_assert!(cg.has_no_self_loops());
+        }
+    }
+}

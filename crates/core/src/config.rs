@@ -1,0 +1,157 @@
+//! GOSH configuration and the Table 3 presets.
+
+use gosh_gpu::DeviceConfig;
+
+/// The named configurations of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// p = 0.1, lr = 0.050, e = 600 (medium) / 100 (large).
+    Fast,
+    /// p = 0.3, lr = 0.035, e = 1000 / 200.
+    Normal,
+    /// p = 0.5, lr = 0.025, e = 1400 / 300.
+    Slow,
+    /// No coarsening; lr = 0.045, e = 1000 / 200.
+    NoCoarsening,
+}
+
+/// Full configuration for [`crate::pipeline::embed`].
+#[derive(Clone, Copy, Debug)]
+pub struct GoshConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Negative samples per positive (`ns`).
+    pub negative_samples: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Total epoch budget `e` (one epoch = |E| positive samples, §4.3).
+    pub epochs: u32,
+    /// Smoothing ratio `p`; `None` disables coarsening entirely.
+    pub smoothing: Option<f64>,
+    /// Coarsening stops below this many vertices (paper default 100).
+    pub coarsen_threshold: usize,
+    /// CPU threads for coarsening and sampling (the paper's τ).
+    pub threads: usize,
+    /// Use the packed small-dimension kernel when `d ≤ 16` (§3.1.1).
+    pub small_dim_kernel: bool,
+    /// Embedding sub-matrices kept on the GPU in the large path (P_GPU).
+    pub p_gpu: usize,
+    /// Sample pools kept on the GPU in the large path (S_GPU).
+    pub s_gpu: usize,
+    /// Positive samples per vertex per pool in the large path (B).
+    pub batch_b: usize,
+    /// RNG seed for initialization.
+    pub seed: u64,
+}
+
+impl Default for GoshConfig {
+    fn default() -> Self {
+        Self::preset(Preset::Normal, false)
+    }
+}
+
+impl GoshConfig {
+    /// A Table 3 preset; `large` selects the large-graph epoch budget.
+    pub fn preset(preset: Preset, large: bool) -> Self {
+        let (p, lr, e_normal, e_large) = match preset {
+            Preset::Fast => (Some(0.1), 0.050, 600, 100),
+            Preset::Normal => (Some(0.3), 0.035, 1000, 200),
+            Preset::Slow => (Some(0.5), 0.025, 1400, 300),
+            Preset::NoCoarsening => (None, 0.045, 1000, 200),
+        };
+        Self {
+            dim: 128,
+            negative_samples: 3,
+            lr,
+            epochs: if large { e_large } else { e_normal },
+            smoothing: p,
+            coarsen_threshold: 100,
+            threads: 16,
+            small_dim_kernel: true,
+            p_gpu: 3,
+            s_gpu: 4,
+            batch_b: 5,
+            seed: 0x905E,
+        }
+    }
+
+    /// Override the epoch budget (used by the benches to scale runs down;
+    /// documented in EXPERIMENTS.md).
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Override the embedding dimension.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Override the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bytes needed to train graph+matrix resident on the device
+    /// (Algorithm 2, line 5): the matrix, xadj, adj, and the arc-source
+    /// schedule used by the edge-frequency epoch definition.
+    pub fn device_bytes_needed(&self, num_vertices: usize, num_arcs: usize) -> usize {
+        let matrix = num_vertices * self.dim * 4;
+        let xadj = (num_vertices + 1) * 8;
+        let adj = num_arcs * 4;
+        let arc_src = num_arcs * 4;
+        matrix + xadj + adj + arc_src
+    }
+}
+
+/// Convenience: the device the paper used.
+pub fn paper_device() -> DeviceConfig {
+    DeviceConfig::titan_x()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let fast = GoshConfig::preset(Preset::Fast, false);
+        assert_eq!(fast.epochs, 600);
+        assert_eq!(fast.lr, 0.050);
+        assert_eq!(fast.smoothing, Some(0.1));
+
+        let slow_large = GoshConfig::preset(Preset::Slow, true);
+        assert_eq!(slow_large.epochs, 300);
+        assert_eq!(slow_large.smoothing, Some(0.5));
+
+        let nc = GoshConfig::preset(Preset::NoCoarsening, false);
+        assert_eq!(nc.smoothing, None);
+        assert_eq!(nc.lr, 0.045);
+    }
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = GoshConfig::default();
+        assert_eq!(c.coarsen_threshold, 100);
+        assert_eq!(c.p_gpu, 3);
+        assert_eq!(c.s_gpu, 4);
+        assert_eq!(c.batch_b, 5);
+    }
+
+    #[test]
+    fn device_bytes_formula() {
+        let c = GoshConfig::default().with_dim(8);
+        // 10 vertices, 20 arcs: 10*8*4 + 11*8 + 20*4 + 20*4 = 320+88+160 = 568.
+        assert_eq!(c.device_bytes_needed(10, 20), 568);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = GoshConfig::default().with_epochs(5).with_dim(16).with_threads(2);
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.dim, 16);
+        assert_eq!(c.threads, 2);
+    }
+}

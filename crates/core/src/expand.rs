@@ -1,0 +1,60 @@
+//! Embedding projection between levels — `ExpandEmbedding` (Algorithm 2,
+//! line 11): every fine vertex starts from its super-vertex's trained row,
+//! `M_{i-1}[v] = M_i[map_{i-1}[v]]`.
+
+use gosh_coarsen::mapping::Mapping;
+
+use crate::model::Embedding;
+
+/// Project a coarse matrix down one level through `mapping`.
+pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
+    assert_eq!(
+        coarse.num_vertices(),
+        mapping.num_clusters(),
+        "matrix rows must match cluster count"
+    );
+    let d = coarse.dim();
+    let n = mapping.num_fine();
+    let mut fine = Embedding::zeros(n, d);
+    for v in 0..n as u32 {
+        let c = mapping.cluster_of(v);
+        fine.row_mut(v).copy_from_slice(coarse.row(c));
+    }
+    fine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_super_vertex_rows() {
+        let mut coarse = Embedding::zeros(2, 3);
+        coarse.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        coarse.row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        let mapping = Mapping::new(vec![0, 1, 0, 1, 1], 2);
+        let fine = expand_embedding(&coarse, &mapping);
+        assert_eq!(fine.num_vertices(), 5);
+        assert_eq!(fine.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(fine.row(2), &[1.0, 2.0, 3.0]);
+        assert_eq!(fine.row(4), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn siblings_start_identical() {
+        let coarse = Embedding::random(3, 8, 7);
+        let mapping = Mapping::new(vec![2, 0, 2, 1, 2], 3);
+        let fine = expand_embedding(&coarse, &mapping);
+        assert_eq!(fine.row(0), fine.row(2));
+        assert_eq!(fine.row(0), fine.row(4));
+        assert_ne!(fine.row(0), fine.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must match")]
+    fn shape_mismatch_panics() {
+        let coarse = Embedding::zeros(2, 3);
+        let mapping = Mapping::new(vec![0, 1, 2], 3);
+        expand_embedding(&coarse, &mapping);
+    }
+}

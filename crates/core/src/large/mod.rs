@@ -1,0 +1,18 @@
+//! The large-graph path — Algorithm 5 (`LargeGraphGPU`).
+//!
+//! When `G_i` plus `M_i` exceed device memory, the embedding matrix is
+//! partitioned into `K_i` sub-matrices; `P_GPU` of them are resident on
+//! the device at a time, processed in the inside-out pair rotation of
+//! §3.3.1. Positive samples are drawn **on the host** into pools (the
+//! graph never goes to the device), with up to `S_GPU` pools in flight;
+//! negatives are drawn on the device from the counterpart sub-matrix.
+
+pub mod partition;
+pub mod pools;
+pub mod rotation;
+pub mod run;
+
+pub use partition::{choose_num_parts, Partition};
+pub use pools::{generate_pool, SamplePool};
+pub use rotation::inside_out_pairs;
+pub use run::{train_large, LargeParams, LargeReport};

@@ -1,0 +1,93 @@
+//! The inside-out pair order (§3.3.1).
+//!
+//! Every unordered pair of parts must meet once per rotation so all
+//! `V_i × V_i` negative pairs are reachable. The inside-out order visits
+//! pairs so that consecutive kernels share one sub-matrix, minimizing
+//! sub-matrix switches:
+//!
+//! `(0,0), (1,0), (1,1), (2,0), (2,1), (2,2), (3,0), …`
+
+/// The sequence of part pairs for one rotation over `k` parts, following
+/// the paper's recurrence: after `(a, b)` comes `(a, b+1)` while `a > b`,
+/// and `(a+1, 0)` once `a == b`.
+pub fn inside_out_pairs(k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 1);
+    let mut pairs = Vec::with_capacity(k * (k + 1) / 2);
+    let (mut a, mut b) = (0usize, 0usize);
+    loop {
+        pairs.push((a, b));
+        if a == b {
+            a += 1;
+            b = 0;
+            if a == k {
+                break;
+            }
+        } else {
+            b += 1;
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_prefix() {
+        assert_eq!(
+            inside_out_pairs(4),
+            vec![
+                (0, 0),
+                (1, 0),
+                (1, 1),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (3, 0),
+                (3, 1),
+                (3, 2),
+                (3, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn counts_all_unordered_pairs() {
+        for k in 1..10 {
+            let pairs = inside_out_pairs(k);
+            assert_eq!(pairs.len(), k * (k + 1) / 2);
+            // Each unordered pair appears exactly once with a >= b.
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in pairs {
+                assert!(a >= b);
+                assert!(a < k);
+                assert!(seen.insert((a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn most_consecutive_pairs_share_a_part() {
+        // The property the order exists for: consecutive kernels almost
+        // always share a sub-matrix. The only exceptions are the diagonal
+        // crossings (a,a) → (a+1, 0) for a ≥ 1 — that is k−2 transitions
+        // out of k(k+1)/2 − 1.
+        let k = 6;
+        let pairs = inside_out_pairs(k);
+        let mut no_share = 0;
+        for w in pairs.windows(2) {
+            let (a1, b1) = w[0];
+            let (a2, b2) = w[1];
+            if ![a2, b2].iter().any(|&x| x == a1 || x == b1) {
+                no_share += 1;
+            }
+        }
+        assert_eq!(no_share, k - 2);
+    }
+
+    #[test]
+    fn single_part() {
+        assert_eq!(inside_out_pairs(1), vec![(0, 0)]);
+    }
+}

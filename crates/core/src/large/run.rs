@@ -1,0 +1,449 @@
+//! The orchestrated large-graph training loop — Algorithm 5 and Figure 2.
+//!
+//! Three actors cooperate, as in §3.3.3:
+//!
+//! * the **SampleManager** thread walks the (rotation, pair) sequence and
+//!   fills positive-sample pools on the host with a team of worker
+//!   threads, keeping at most `S_GPU` pools in flight;
+//! * the **PoolManager** thread ships ready pools to the device;
+//! * the **main thread** keeps `P_GPU` embedding sub-matrices resident in
+//!   device bins, swaps them in the inside-out pair order (evicting the
+//!   bin whose part is needed farthest in the future), and dispatches the
+//!   embedding kernel for each pair.
+//!
+//! A full rotation applies `B` positive (and `B·ns` negative) updates per
+//! vertex per counterpart part, so rotations are counted to match the
+//! epoch budget: `e' = round(e_i · |E| / (B · K_i · |V_i|))` — the same
+//! total positive-sample budget as `e_i` epochs of the in-memory path.
+
+use std::time::Instant;
+
+use crossbeam::channel::bounded;
+use gosh_gpu::{Access, Device, DeviceError, FloatBuffer, LaunchConfig, PlainBuffer};
+use gosh_graph::csr::Csr;
+
+use super::partition::{choose_num_parts, Partition};
+use super::pools::{generate_pool, SamplePool, NO_SAMPLE};
+use super::rotation::inside_out_pairs;
+use crate::model::Embedding;
+use crate::schedule::decayed_lr;
+
+/// Hyper-parameters for [`train_large`].
+#[derive(Clone, Copy, Debug)]
+pub struct LargeParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Negative samples per positive.
+    pub negative_samples: usize,
+    /// Initial learning rate for this level.
+    pub lr: f32,
+    /// Epoch budget `e_i` for this level.
+    pub epochs: u32,
+    /// Sub-matrix bins on the device (P_GPU, paper default 3).
+    pub p_gpu: usize,
+    /// Sample pools in flight (S_GPU, paper default 4).
+    pub s_gpu: usize,
+    /// Positive samples per vertex per pool (B, paper default 5).
+    pub batch_b: usize,
+    /// Host threads for the SampleManager team.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// What happened during a [`train_large`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeReport {
+    /// Parts the matrix was cut into (K_i).
+    pub num_parts: usize,
+    /// Rotations executed (e').
+    pub rotations: u32,
+    /// Embedding kernels dispatched.
+    pub kernels: u64,
+    /// Sub-matrix loads into bins.
+    pub loads: u64,
+    /// Sub-matrix evictions (device → host write-backs).
+    pub evictions: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// A pool resident on the device.
+struct DevicePool {
+    pair: (usize, usize),
+    fwd: PlainBuffer<u32>,
+    rev: Option<PlainBuffer<u32>>,
+}
+
+/// Train `m` on `g` with the partitioned pipeline. The caller has already
+/// determined that the one-shot path does not fit (Algorithm 2, line 8).
+pub fn train_large(
+    device: &Device,
+    g: &Csr,
+    m: &mut Embedding,
+    params: &LargeParams,
+) -> Result<LargeReport, DeviceError> {
+    let start = Instant::now();
+    let n = g.num_vertices();
+    let d = params.dim;
+    assert_eq!(m.num_vertices(), n, "graph/matrix mismatch");
+    assert_eq!(m.dim(), d, "dimension mismatch");
+
+    // Budget 90% of free device memory for bins + pools.
+    let avail = device.available_bytes() / 10 * 9;
+    let k = choose_num_parts(n, d, avail, params.p_gpu, params.s_gpu, params.batch_b);
+    let partition = Partition::new(n, k);
+    let pairs = inside_out_pairs(k);
+    let e_und = g.num_undirected_edges().max(1);
+    let rotations = ((params.epochs as f64 * e_und as f64)
+        / (params.batch_b as f64 * k as f64 * n as f64))
+        .round()
+        .max(1.0) as u32;
+
+    let num_bins = params.p_gpu.clamp(2, k);
+    let max_part = partition.max_part_len();
+    let bins: Vec<FloatBuffer> = (0..num_bins)
+        .map(|_| device.alloc_floats(max_part * d))
+        .collect::<Result<_, _>>()?;
+
+    let mut loads = 0u64;
+    let mut evictions = 0u64;
+    let mut kernels = 0u64;
+
+    std::thread::scope(|scope| -> Result<(), DeviceError> {
+        // SampleManager: host-side pool generation, S_GPU pools buffered.
+        let (host_tx, host_rx) = bounded::<SamplePool>(params.s_gpu);
+        let sm_pairs = pairs.clone();
+        let sm_partition = partition.clone();
+        let sm = scope.spawn(move || {
+            'outer: for r in 0..rotations {
+                for &pair in &sm_pairs {
+                    let seed = params.seed ^ ((r as u64) << 40) ^ ((pair.0 as u64) << 20) ^ pair.1 as u64;
+                    let pool = generate_pool(g, &sm_partition, pair, params.batch_b, params.threads, seed);
+                    if host_tx.send(pool).is_err() {
+                        break 'outer; // consumer gone (error path)
+                    }
+                }
+            }
+        });
+
+        // PoolManager: ship ready pools to the device. At most S_GPU pools
+        // are device-resident at once: the channel buffer, plus one in the
+        // PoolManager's hand and one in the main thread's.
+        let dev_channel_cap = params.s_gpu.saturating_sub(2).max(1);
+        let (dev_tx, dev_rx) = bounded::<DevicePool>(dev_channel_cap);
+        let pm_device = device.clone();
+        let pm = scope.spawn(move || -> Result<(), DeviceError> {
+            for pool in host_rx {
+                let fwd = pm_device.upload_plain(&pool.fwd)?;
+                let rev = if pool.rev.is_empty() {
+                    None
+                } else {
+                    Some(pm_device.upload_plain(&pool.rev)?)
+                };
+                if dev_tx
+                    .send(DevicePool { pair: pool.pair, fwd, rev })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(())
+        });
+
+        // Main thread: bin management + kernel dispatch.
+        let mut holds: Vec<Option<usize>> = vec![None; num_bins];
+        'rotations: for r in 0..rotations {
+            let lr_now = decayed_lr(params.lr, r, rotations);
+            for (step, &(a, b)) in pairs.iter().enumerate() {
+                let Ok(pool) = dev_rx.recv() else {
+                    // PoolManager hit a device error; surface it below.
+                    break 'rotations;
+                };
+                debug_assert_eq!(pool.pair, (a, b));
+                let bin_a = ensure_resident(
+                    device, m, &partition, &bins, &mut holds, a, (a, b),
+                    &pairs[step + 1..], &mut loads, &mut evictions,
+                );
+                let bin_b = if a == b {
+                    bin_a
+                } else {
+                    ensure_resident(
+                        device, m, &partition, &bins, &mut holds, b, (a, b),
+                        &pairs[step + 1..], &mut loads, &mut evictions,
+                    )
+                };
+                kernel_pair(
+                    device, &bins[bin_a], &bins[bin_b], &partition, (a, b), &pool, lr_now, params,
+                );
+                kernels += 1;
+            }
+        }
+        drop(dev_rx); // unblock PoolManager if it is still sending
+        sm.join().expect("SampleManager panicked");
+        pm.join().expect("PoolManager panicked")?;
+
+        // Flush every resident part back to the host matrix.
+        for (bin, hold) in holds.iter().enumerate() {
+            if let Some(part) = hold {
+                write_back(m, &partition, &bins[bin], *part);
+                evictions += 1;
+            }
+        }
+        Ok(())
+    })?;
+
+    Ok(LargeReport {
+        num_parts: k,
+        rotations,
+        kernels,
+        loads,
+        evictions,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Make `part` resident; returns its bin. Evicts, if needed, the
+/// unpinned bin whose held part is used farthest in the future (the
+/// role P_GPU > 2 plays in §3.3.2: the extra bin keeps the soon-needed
+/// sub-matrix on the device instead of bouncing it).
+#[allow(clippy::too_many_arguments)]
+fn ensure_resident(
+    _device: &Device,
+    m: &mut Embedding,
+    partition: &Partition,
+    bins: &[FloatBuffer],
+    holds: &mut [Option<usize>],
+    part: usize,
+    pinned: (usize, usize),
+    future: &[(usize, usize)],
+    loads: &mut u64,
+    evictions: &mut u64,
+) -> usize {
+    if let Some(bin) = holds.iter().position(|h| *h == Some(part)) {
+        return bin;
+    }
+    // Free bin if any; otherwise Belady: evict the unpinned part whose next
+    // use is farthest away.
+    let victim = holds.iter().position(|h| h.is_none()).unwrap_or_else(|| {
+        let mut best = usize::MAX;
+        let mut best_dist = 0usize;
+        for (bin, hold) in holds.iter().enumerate() {
+            let held = hold.expect("no free bin means all hold parts");
+            if held == pinned.0 || held == pinned.1 {
+                continue;
+            }
+            let dist = future
+                .iter()
+                .position(|&(x, y)| x == held || y == held)
+                .unwrap_or(usize::MAX);
+            if best == usize::MAX || dist > best_dist {
+                best = bin;
+                best_dist = dist;
+            }
+        }
+        best
+    });
+    if let Some(old) = holds[victim] {
+        write_back(m, partition, &bins[victim], old);
+        *evictions += 1;
+    }
+    // Load the new part (host → device).
+    let range = partition.range(part);
+    let d = m.dim();
+    let span = (range.start as usize * d)..(range.end as usize * d);
+    bins[victim].copy_from_host_at(0, &m.as_slice()[span]);
+    holds[victim] = Some(part);
+    *loads += 1;
+    victim
+}
+
+/// Copy a bin's sub-matrix back into the host matrix (device → host).
+fn write_back(m: &mut Embedding, partition: &Partition, bin: &FloatBuffer, part: usize) {
+    let range = partition.range(part);
+    let d = m.dim();
+    let span = (range.start as usize * d)..(range.end as usize * d);
+    bin.copy_to_host_at(0, &mut m.as_mut_slice()[span]);
+}
+
+/// The embedding kernel for one part pair (the `EmbeddingKernel` of
+/// Algorithm 5): every vertex of each side is a source; positives come
+/// from the pool, negatives are drawn on the device uniformly from the
+/// counterpart part.
+#[allow(clippy::too_many_arguments)]
+fn kernel_pair(
+    device: &Device,
+    bin_a: &FloatBuffer,
+    bin_b: &FloatBuffer,
+    partition: &Partition,
+    (a, b): (usize, usize),
+    pool: &DevicePool,
+    lr: f32,
+    params: &LargeParams,
+) {
+    let d = params.dim;
+    let ns = params.negative_samples;
+    let bb = params.batch_b;
+    let range_a = partition.range(a);
+    let range_b = partition.range(b);
+    let len_a = (range_a.end - range_a.start) as usize;
+    let len_b = (range_b.end - range_b.start) as usize;
+    let diagonal = a == b;
+    let warps = if diagonal { len_a } else { len_a + len_b };
+    let fwd = pool.fwd.as_slice();
+    let rev = pool.rev.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
+
+    device.launch(LaunchConfig::new(warps, 2 * d), |w, scratch| {
+        let (src_row, tmp) = scratch.split_at_mut(d);
+        // Which side is this warp's source on?
+        let (src_local, src_bin, other_bin, other_len, other_start, samples) = if w.id() < len_a {
+            (w.id(), bin_a, bin_b, len_b, range_b.start, fwd)
+        } else {
+            (w.id() - len_a, bin_b, bin_a, len_a, range_a.start, rev)
+        };
+        w.global_read_row(src_bin, src_local * d, src_row, Access::Coalesced);
+        w.shared_store(d);
+        for i in 0..bb {
+            let t = samples[src_local * bb + i];
+            if t != NO_SAMPLE {
+                let t_local = (t - other_start) as usize;
+                one_update(w, other_bin, t_local, d, src_row, tmp, 1.0, lr);
+            }
+            for _ in 0..ns {
+                let u = w.rand_below(other_len as u32) as usize;
+                one_update(w, other_bin, u, d, src_row, tmp, 0.0, lr);
+            }
+        }
+        w.global_write_row(src_bin, src_local * d, src_row, Access::Coalesced);
+    });
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn one_update(
+    w: &gosh_gpu::Warp,
+    buf: &FloatBuffer,
+    local: usize,
+    d: usize,
+    src_row: &mut [f32],
+    tmp: &mut [f32],
+    b: f32,
+    lr: f32,
+) {
+    w.global_read_row(buf, local * d, tmp, Access::Coalesced);
+    let dot = w.dot(src_row, tmp);
+    let score = (b - w.sigmoid(dot)) * lr;
+    w.global_axpy_row(buf, local * d, score, src_row, Access::Coalesced);
+    w.shared_axpy(score, tmp, src_row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_gpu::DeviceConfig;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::erdos_renyi;
+
+    fn params(d: usize, epochs: u32) -> LargeParams {
+        LargeParams {
+            dim: d,
+            negative_samples: 3,
+            lr: 0.05,
+            epochs,
+            p_gpu: 3,
+            s_gpu: 4,
+            batch_b: 5,
+            threads: 2,
+            seed: 0xA5,
+        }
+    }
+
+    #[test]
+    fn partitioned_training_learns_two_cliques() {
+        // Device that cannot hold the whole matrix: 16 vertices × 16 dims
+        // × 4B = 1 KB matrix; give it ~0.7 KB of bin space.
+        let mut edges = vec![];
+        for x in 0..8u32 {
+            for y in 0..x {
+                edges.push((x, y));
+                edges.push((x + 8, y + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = csr_from_edges(16, &edges);
+        let device = Device::new(DeviceConfig::tiny(4096));
+        let mut m = Embedding::random(16, 16, 1);
+        let report = train_large(&device, &g, &mut m, &params(16, 400)).unwrap();
+        assert!(report.num_parts >= 2);
+        assert!(report.rotations >= 1);
+        let intra = (m.cosine(0, 1) + m.cosine(8, 9)) / 2.0;
+        let inter = (m.cosine(0, 9) + m.cosine(1, 10)) / 2.0;
+        assert!(intra > inter + 0.25, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn all_updates_written_back() {
+        // After training, the host matrix must differ from the initial one
+        // in every part (all parts received updates).
+        let g = erdos_renyi(64, 512, 3);
+        let device = Device::new(DeviceConfig::tiny(8192));
+        let mut m = Embedding::random(64, 8, 2);
+        let before = m.clone();
+        train_large(&device, &g, &mut m, &params(8, 50)).unwrap();
+        let k = choose_num_parts(64, 8, 8192 / 10 * 9, 3, 4, 5);
+        let p = Partition::new(64, k);
+        for j in 0..p.num_parts() {
+            let r = p.range(j);
+            let changed = (r.start..r.end).any(|v| m.row(v) != before.row(v));
+            assert!(changed, "part {j} never updated");
+        }
+    }
+
+    #[test]
+    fn device_memory_is_respected_and_restored() {
+        let g = erdos_renyi(128, 1024, 5);
+        let device = Device::new(DeviceConfig::tiny(16 * 1024));
+        let mut m = Embedding::random(128, 16, 4);
+        train_large(&device, &g, &mut m, &params(16, 20)).unwrap();
+        assert_eq!(device.allocated_bytes(), 0, "leak after training");
+    }
+
+    #[test]
+    fn rotation_count_tracks_epoch_budget() {
+        let g = erdos_renyi(100, 1000, 7);
+        let device = Device::new(DeviceConfig::tiny(8 * 1024));
+        let mut m = Embedding::random(100, 8, 5);
+        let r1 = train_large(&device, &g, &mut m, &params(8, 20)).unwrap();
+        let r2 = train_large(&device, &g, &mut m, &params(8, 40)).unwrap();
+        assert!(r2.rotations >= 2 * r1.rotations.max(1) - 1, "{} vs {}", r1.rotations, r2.rotations);
+    }
+
+    #[test]
+    fn bigger_b_means_fewer_rotations() {
+        let g = erdos_renyi(100, 2000, 9);
+        let device = Device::new(DeviceConfig::tiny(8 * 1024));
+        let mut m = Embedding::random(100, 8, 6);
+        let small_b = train_large(&device, &g, &mut m, &LargeParams { batch_b: 1, ..params(8, 30) }).unwrap();
+        let large_b = train_large(&device, &g, &mut m, &LargeParams { batch_b: 8, ..params(8, 30) }).unwrap();
+        assert!(large_b.rotations < small_b.rotations);
+    }
+
+    #[test]
+    fn more_bins_means_fewer_evictions() {
+        let g = erdos_renyi(256, 2048, 11);
+        let mut m = Embedding::random(256, 16, 7);
+        // Same epochs; P_GPU = 2 vs 3.
+        let dev2 = Device::new(DeviceConfig::tiny(24 * 1024));
+        let r2 = train_large(&dev2, &g, &mut m, &LargeParams { p_gpu: 2, ..params(16, 20) }).unwrap();
+        let dev3 = Device::new(DeviceConfig::tiny(24 * 1024));
+        let r3 = train_large(&dev3, &g, &mut m, &LargeParams { p_gpu: 3, ..params(16, 20) }).unwrap();
+        if r2.num_parts == r3.num_parts && r2.num_parts > 2 {
+            assert!(
+                r3.evictions <= r2.evictions,
+                "P_GPU=3 evictions {} > P_GPU=2 {}",
+                r3.evictions,
+                r2.evictions
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # gosh-core
+//!
+//! The GOSH embedding pipeline (Algorithms 1–3 and 5 of the paper):
+//!
+//! * [`model`] — embedding matrices, host- and shared-(atomic-)side.
+//! * [`update`] — the single positive/negative update (Algorithm 1).
+//! * [`schedule`] — the smoothing-ratio epoch distribution across levels
+//!   and the per-epoch learning-rate decay.
+//! * [`expand`] — projecting `M_i` to `M_{i-1}` through a coarsening map.
+//! * [`train_gpu`] — `TrainInGPU` (Algorithm 3) on the simulated device,
+//!   in naive, optimized and packed small-dimension variants.
+//! * [`train_cpu`] — the multi-threaded Hogwild CPU trainer used as the
+//!   §4.8 speedup reference.
+//! * [`large`] — the out-of-memory path (Algorithm 5): embedding-matrix
+//!   partitioning, inside-out rotations, host-side sample pools with
+//!   `SampleManager`/`PoolManager` threads, and copy/compute overlap.
+//! * [`pipeline`] — Algorithm 2 tying everything together.
+//! * [`config`] — the fast/normal/slow/no-coarsening presets of Table 3.
+
+pub mod config;
+pub mod expand;
+pub mod large;
+pub mod model;
+pub mod multi_gpu;
+pub mod pipeline;
+pub mod schedule;
+pub mod train_cpu;
+pub mod train_gpu;
+pub mod update;
+
+pub use config::{GoshConfig, Preset};
+pub use model::Embedding;
+pub use pipeline::{embed, GoshReport};
+pub use train_gpu::KernelVariant;

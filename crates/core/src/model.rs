@@ -1,0 +1,336 @@
+//! Embedding matrices.
+//!
+//! [`Embedding`] is the host-side `|V| × d` matrix `M_i`. [`SharedMatrix`]
+//! is the same data behind relaxed atomics, used whenever multiple threads
+//! update rows concurrently (the Hogwild CPU trainer, and the host copy of
+//! a partitioned matrix during Algorithm 5): lost updates are permitted,
+//! torn floats are not.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gosh_graph::rng::Xorshift128Plus;
+
+/// A host-side embedding matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embedding {
+    data: Vec<f32>,
+    num_vertices: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// A zero matrix.
+    pub fn zeros(num_vertices: usize, dim: usize) -> Self {
+        Self {
+            data: vec![0.0; num_vertices * dim],
+            num_vertices,
+            dim,
+        }
+    }
+
+    /// Random initialization, uniform in `[-0.5/d, 0.5/d)` — the VERSE
+    /// convention GOSH inherits (small values keep early sigmoids in the
+    /// responsive region).
+    pub fn random(num_vertices: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = Xorshift128Plus::new(seed);
+        let scale = 1.0 / dim as f32;
+        let data = (0..num_vertices * dim)
+            .map(|_| (rng.next_f32() - 0.5) * scale)
+            .collect();
+        Self {
+            data,
+            num_vertices,
+            dim,
+        }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(data: Vec<f32>, num_vertices: usize, dim: usize) -> Self {
+        assert_eq!(data.len(), num_vertices * dim, "shape mismatch");
+        Self {
+            data,
+            num_vertices,
+            dim,
+        }
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of features per vertex (the paper's `d`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `v` as a slice.
+    #[inline]
+    pub fn row(&self, v: u32) -> &[f32] {
+        let o = v as usize * self.dim;
+        &self.data[o..o + self.dim]
+    }
+
+    /// Row `v` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, v: u32) -> &mut [f32] {
+        let o = v as usize * self.dim;
+        &mut self.data[o..o + self.dim]
+    }
+
+    /// Two distinct rows mutably at once (for Algorithm 1 on the host).
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn two_rows_mut(&mut self, a: u32, b: u32) -> (&mut [f32], &mut [f32]) {
+        assert_ne!(a, b, "rows must be distinct");
+        let d = self.dim;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (first, second) = self.data.split_at_mut(hi as usize * d);
+        let row_lo = &mut first[lo as usize * d..lo as usize * d + d];
+        let row_hi = &mut second[..d];
+        if a < b {
+            (row_lo, row_hi)
+        } else {
+            (row_hi, row_lo)
+        }
+    }
+
+    /// Whole matrix as a flat slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Whole matrix as a flat mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix bytes (`4·|V|·d`), the quantity budgeted against device
+    /// memory in §3.3.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Cosine similarity between two rows (used by tests and examples).
+    pub fn cosine(&self, a: u32, b: u32) -> f32 {
+        let (ra, rb) = (self.row(a), self.row(b));
+        let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+        let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// An embedding matrix behind relaxed atomics for Hogwild-style updates.
+pub struct SharedMatrix {
+    data: Box<[AtomicU32]>,
+    num_vertices: usize,
+    dim: usize,
+}
+
+impl SharedMatrix {
+    /// Copy a host matrix into shared form.
+    pub fn from_embedding(m: &Embedding) -> Self {
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&x| AtomicU32::new(x.to_bits()))
+            .collect();
+        Self {
+            data,
+            num_vertices: m.num_vertices(),
+            dim: m.dim(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Features per row.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Relaxed load of element `(v, j)`.
+    #[inline]
+    pub fn load(&self, v: u32, j: usize) -> f32 {
+        f32::from_bits(self.data[v as usize * self.dim + j].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store of element `(v, j)`.
+    #[inline]
+    pub fn store(&self, v: u32, j: usize, x: f32) {
+        self.data[v as usize * self.dim + j].store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copy row `v` into `out`.
+    #[inline]
+    pub fn read_row(&self, v: u32, out: &mut [f32]) {
+        let o = v as usize * self.dim;
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = f32::from_bits(self.data[o + k].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrite row `v` from `src`.
+    #[inline]
+    pub fn write_row(&self, v: u32, src: &[f32]) {
+        let o = v as usize * self.dim;
+        for (k, &x) in src.iter().enumerate() {
+            self.data[o + k].store(x.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Racy `row[v] += a · xs` (Hogwild).
+    #[inline]
+    pub fn axpy_row(&self, v: u32, a: f32, xs: &[f32]) {
+        let o = v as usize * self.dim;
+        for (k, &x) in xs.iter().enumerate() {
+            let cell = &self.data[o + k];
+            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + a * x).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copy back out to a host matrix.
+    pub fn to_embedding(&self) -> Embedding {
+        let data = self
+            .data
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect();
+        Embedding::from_vec(data, self.num_vertices, self.dim)
+    }
+}
+
+impl std::fmt::Debug for SharedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedMatrix({}x{})", self.num_vertices, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_init_is_small_and_deterministic() {
+        let m1 = Embedding::random(10, 16, 5);
+        let m2 = Embedding::random(10, 16, 5);
+        assert_eq!(m1, m2);
+        let bound = 0.5 / 16.0;
+        assert!(m1.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert!(m1.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut m = Embedding::zeros(3, 4);
+        m.row_mut(1).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(0), &[0.0; 4]);
+        assert_eq!(m.memory_bytes(), 48);
+    }
+
+    #[test]
+    fn two_rows_mut_both_orders() {
+        let mut m = Embedding::zeros(4, 2);
+        {
+            let (a, b) = m.two_rows_mut(1, 3);
+            a[0] = 1.0;
+            b[0] = 3.0;
+        }
+        {
+            let (a, b) = m.two_rows_mut(2, 0);
+            a[0] = 2.0;
+            b[0] = 0.5;
+        }
+        assert_eq!(m.row(0)[0], 0.5);
+        assert_eq!(m.row(1)[0], 1.0);
+        assert_eq!(m.row(2)[0], 2.0);
+        assert_eq!(m.row(3)[0], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_rows_mut_same_row_panics() {
+        let mut m = Embedding::zeros(2, 2);
+        let _ = m.two_rows_mut(1, 1);
+    }
+
+    #[test]
+    fn cosine_of_identical_rows_is_one() {
+        let mut m = Embedding::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.row_mut(1).copy_from_slice(&[2.0, 4.0, 6.0]);
+        assert!((m.cosine(0, 1) - 1.0).abs() < 1e-6);
+        let z = Embedding::zeros(2, 3);
+        assert_eq!(z.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn shared_matrix_round_trip() {
+        let m = Embedding::random(5, 8, 9);
+        let s = SharedMatrix::from_embedding(&m);
+        assert_eq!(s.to_embedding(), m);
+    }
+
+    #[test]
+    fn shared_matrix_axpy() {
+        let m = Embedding::zeros(2, 3);
+        let s = SharedMatrix::from_embedding(&m);
+        s.write_row(1, &[1.0, 1.0, 1.0]);
+        s.axpy_row(1, 2.0, &[1.0, 2.0, 3.0]);
+        let mut out = [0f32; 3];
+        s.read_row(1, &mut out);
+        assert_eq!(out, [3.0, 5.0, 7.0]);
+        assert_eq!(s.load(1, 2), 7.0);
+        s.store(0, 0, 9.0);
+        assert_eq!(s.load(0, 0), 9.0);
+    }
+
+    #[test]
+    fn concurrent_axpy_keeps_floats_untorn() {
+        let s = SharedMatrix::from_embedding(&Embedding::zeros(1, 16));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.axpy_row(0, 1.0, &[1.0; 16]);
+                    }
+                });
+            }
+        });
+        // Lost updates are allowed; torn/NaN values are not.
+        let mut out = [0f32; 16];
+        s.read_row(0, &mut out);
+        for &x in &out {
+            assert!(x.is_finite());
+            assert!(x > 0.0 && x <= 4000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_validates_shape() {
+        Embedding::from_vec(vec![0.0; 5], 2, 3);
+    }
+}

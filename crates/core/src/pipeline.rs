@@ -1,0 +1,252 @@
+//! The GOSH pipeline — Algorithm 2.
+//!
+//! Coarsen, initialize the coarsest matrix randomly, then walk the
+//! hierarchy from `G_{D-1}` down to `G_0`: train each level on the device
+//! (one-shot if graph + matrix fit, the partitioned Algorithm 5 path
+//! otherwise) and project the result to the next finer level.
+
+use std::time::Instant;
+
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy};
+use gosh_gpu::{CostSnapshot, Device};
+use gosh_graph::csr::Csr;
+
+use crate::config::GoshConfig;
+use crate::expand::expand_embedding;
+use crate::large::{train_large, LargeParams};
+use crate::model::Embedding;
+use crate::schedule::epoch_distribution;
+use crate::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+
+/// Per-level training record.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelReport {
+    /// Level index (0 = original graph).
+    pub level: usize,
+    /// Vertices at this level.
+    pub vertices: usize,
+    /// Directed arcs at this level.
+    pub arcs: usize,
+    /// Epochs spent here (`e_i`).
+    pub epochs: u32,
+    /// Wall-clock training seconds for this level.
+    pub seconds: f64,
+    /// True if the Algorithm 5 partitioned path was used.
+    pub used_large_path: bool,
+}
+
+/// Summary of one [`embed`] run.
+#[derive(Clone, Debug)]
+pub struct GoshReport {
+    /// Number of levels D (1 when coarsening is disabled).
+    pub depth: usize,
+    /// Wall-clock seconds spent coarsening.
+    pub coarsening_seconds: f64,
+    /// Wall-clock seconds spent training (all levels).
+    pub training_seconds: f64,
+    /// End-to-end wall-clock seconds.
+    pub total_seconds: f64,
+    /// Per-level details, coarsest first (training order).
+    pub levels: Vec<LevelReport>,
+    /// Device cost counters accumulated by this run (for modeled time).
+    pub device_cost: CostSnapshot,
+}
+
+/// Embed `g0` with GOSH. Returns `M_0` and the run report.
+pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshReport) {
+    let t0 = Instant::now();
+    let cost0 = device.snapshot();
+
+    // Stage 1: coarsening (Algorithm 4) — or a single-level "hierarchy"
+    // for the no-coarsening configuration.
+    let hierarchy = match cfg.smoothing {
+        Some(_) => coarsen_hierarchy(
+            g0.clone(),
+            &CoarsenConfig {
+                threshold: cfg.coarsen_threshold,
+                threads: cfg.threads,
+                ..Default::default()
+            },
+        ),
+        None => Hierarchy {
+            graphs: vec![g0.clone()],
+            maps: Vec::new(),
+            stats: Vec::new(),
+        },
+    };
+    let coarsening_seconds = t0.elapsed().as_secs_f64();
+
+    let depth = hierarchy.depth();
+    let p = cfg.smoothing.unwrap_or(1.0);
+    let dist = epoch_distribution(cfg.epochs, p, depth);
+
+    // Stage 2: train coarsest-to-finest with projection in between.
+    let t_train = Instant::now();
+    let coarsest = hierarchy.coarsest();
+    let mut matrix = Embedding::random(coarsest.num_vertices(), cfg.dim, cfg.seed);
+    let variant = if cfg.small_dim_kernel {
+        KernelVariant::Auto
+    } else {
+        KernelVariant::Optimized
+    };
+    let mut levels = Vec::with_capacity(depth);
+
+    for i in (0..depth).rev() {
+        let g = &hierarchy.graphs[i];
+        let e_i = dist[i];
+        let t_level = Instant::now();
+        let needed = cfg.device_bytes_needed(g.num_vertices(), g.num_edges());
+        let used_large_path = if needed <= device.available_bytes() {
+            train_level_on_device(
+                device,
+                g,
+                &mut matrix,
+                &TrainParams::adjacency(cfg.dim, cfg.negative_samples, cfg.lr, e_i),
+                variant,
+            )
+            .expect("budgeted in-memory training failed to allocate");
+            false
+        } else {
+            train_large(
+                device,
+                g,
+                &mut matrix,
+                &LargeParams {
+                    dim: cfg.dim,
+                    negative_samples: cfg.negative_samples,
+                    lr: cfg.lr,
+                    epochs: e_i,
+                    p_gpu: cfg.p_gpu,
+                    s_gpu: cfg.s_gpu,
+                    batch_b: cfg.batch_b,
+                    threads: cfg.threads,
+                    seed: cfg.seed ^ i as u64,
+                },
+            )
+            .expect("partitioned training failed to allocate");
+            true
+        };
+        levels.push(LevelReport {
+            level: i,
+            vertices: g.num_vertices(),
+            arcs: g.num_edges(),
+            epochs: e_i,
+            seconds: t_level.elapsed().as_secs_f64(),
+            used_large_path,
+        });
+        if i > 0 {
+            matrix = expand_embedding(&matrix, &hierarchy.maps[i - 1]);
+        }
+    }
+
+    let training_seconds = t_train.elapsed().as_secs_f64();
+    let report = GoshReport {
+        depth,
+        coarsening_seconds,
+        training_seconds,
+        total_seconds: t0.elapsed().as_secs_f64(),
+        levels,
+        device_cost: device.snapshot().since(&cost0),
+    };
+    (matrix, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Preset;
+    use gosh_gpu::DeviceConfig;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::compact::remove_isolated;
+    use gosh_graph::gen::{rmat, RmatConfig};
+
+    fn small_cfg() -> GoshConfig {
+        GoshConfig::preset(Preset::Normal, false)
+            .with_dim(16)
+            .with_epochs(60)
+            .with_threads(4)
+    }
+
+    fn test_graph() -> Csr {
+        remove_isolated(&rmat(&RmatConfig::graph500(9, 8.0), 77)).graph
+    }
+
+    #[test]
+    fn full_pipeline_produces_finite_embedding() {
+        let g = test_graph();
+        let device = Device::new(DeviceConfig::titan_x());
+        let (m, report) = embed(&g, &small_cfg(), &device);
+        assert_eq!(m.num_vertices(), g.num_vertices());
+        assert_eq!(m.dim(), 16);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        assert!(report.depth >= 2, "expected multilevel, got {}", report.depth);
+        assert_eq!(report.levels.len(), report.depth);
+        // Training order is coarsest first.
+        assert_eq!(report.levels.last().unwrap().level, 0);
+        assert!(report.total_seconds >= report.training_seconds);
+        assert!(report.device_cost.kernels > 0);
+    }
+
+    #[test]
+    fn no_coarsening_config_has_one_level() {
+        let g = test_graph();
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = GoshConfig::preset(Preset::NoCoarsening, false)
+            .with_dim(8)
+            .with_epochs(10)
+            .with_threads(2);
+        let (_, report) = embed(&g, &cfg, &device);
+        assert_eq!(report.depth, 1);
+        assert_eq!(report.levels[0].epochs, 10);
+        assert!(report.coarsening_seconds < 0.05);
+    }
+
+    #[test]
+    fn epochs_concentrate_on_coarse_levels() {
+        let g = test_graph();
+        let device = Device::new(DeviceConfig::titan_x());
+        let (_, report) = embed(&g, &small_cfg(), &device);
+        if report.depth >= 3 {
+            let coarsest = report.levels.first().unwrap();
+            let finest = report.levels.last().unwrap();
+            assert!(coarsest.epochs > finest.epochs);
+        }
+    }
+
+    #[test]
+    fn tiny_device_routes_through_large_path() {
+        let g = test_graph();
+        // Matrix for the full graph will not fit: force Algorithm 5 at the
+        // fine levels while coarse levels still fit.
+        let bytes = g.num_vertices() * 16 * 4 / 4;
+        let device = Device::new(DeviceConfig::tiny(bytes));
+        let (m, report) = embed(&g, &small_cfg(), &device);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        assert!(
+            report.levels.iter().any(|l| l.used_large_path),
+            "no level used the partitioned path"
+        );
+        assert_eq!(device.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn embedding_reflects_structure_end_to_end() {
+        // Two dense clusters bridged by one edge; after the full pipeline
+        // the intra-cluster cosine must dominate.
+        let mut edges = vec![];
+        for x in 0..10u32 {
+            for y in 0..x {
+                edges.push((x, y));
+                edges.push((x + 10, y + 10));
+            }
+        }
+        edges.push((0, 10));
+        let g = csr_from_edges(20, &edges);
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = small_cfg().with_epochs(300);
+        let (m, _) = embed(&g, &cfg, &device);
+        let intra = (m.cosine(1, 2) + m.cosine(11, 12)) / 2.0;
+        let inter = (m.cosine(1, 12) + m.cosine(2, 11)) / 2.0;
+        assert!(intra > inter, "intra {intra} vs inter {inter}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Epoch distribution across coarsening levels and learning-rate decay.
+//!
+//! GOSH splits the total epoch budget `e` with a *smoothing ratio* `p`
+//! (§3): a share `p·e` is spread uniformly over the `D` levels, and the
+//! remaining `(1−p)·e` geometrically, each level receiving half of the
+//! next coarser one (`e'_i = e'_{i+1} / 2`), so the cheap coarse graphs
+//! absorb most of the training. The learning rate within a level decays
+//! linearly per epoch with a floor: `lr_j = lr · max(1 − j/e_i, 1e-4)`.
+
+/// Epochs for level `i` out of `levels` (level 0 = the original graph),
+/// given total budget `e` and smoothing ratio `p` (Algorithm 2's
+/// `calculateEpochs`). Every level receives at least one epoch.
+pub fn epochs_for_level(e: u32, p: f64, level: usize, levels: usize) -> u32 {
+    assert!(levels >= 1, "need at least one level");
+    assert!((0.0..=1.0).contains(&p), "smoothing ratio must be in [0,1]");
+    assert!(level < levels, "level out of range");
+    let uniform = p * e as f64 / levels as f64;
+    // Geometric weights 2^i normalized over levels; coarser i gets more.
+    let denom = (2f64.powi(levels as i32) - 1.0).max(1.0);
+    let geometric = (1.0 - p) * e as f64 * 2f64.powi(level as i32) / denom;
+    (uniform + geometric).round().max(1.0) as u32
+}
+
+/// Epoch counts for all levels; sums to ≈ `e` (± rounding, each ≥ 1).
+pub fn epoch_distribution(e: u32, p: f64, levels: usize) -> Vec<u32> {
+    (0..levels).map(|i| epochs_for_level(e, p, i, levels)).collect()
+}
+
+/// Learning rate for epoch `j` (0-based) of a level with `e_i` epochs.
+pub fn decayed_lr(lr: f32, j: u32, e_i: u32) -> f32 {
+    let frac = 1.0 - j as f64 / e_i.max(1) as f64;
+    lr * frac.max(1e-4) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_close_to_budget() {
+        for (e, p, levels) in [(1000u32, 0.3, 6usize), (600, 0.1, 8), (1400, 0.5, 4)] {
+            let dist = epoch_distribution(e, p, levels);
+            let total: u32 = dist.iter().sum();
+            let err = (total as f64 - e as f64).abs() / e as f64;
+            assert!(err < 0.02, "total {total} vs budget {e}");
+        }
+    }
+
+    #[test]
+    fn coarser_levels_get_more_epochs() {
+        let dist = epoch_distribution(1000, 0.3, 6);
+        for w in dist.windows(2) {
+            assert!(w[1] > w[0], "distribution not increasing: {dist:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_halving_when_p_zero() {
+        let dist = epoch_distribution(1024, 0.0, 4);
+        // Weights 1:2:4:8 over 15 → ≈ 68, 137, 273, 546.
+        assert!(dist[3] as f64 / dist[2] as f64 > 1.9);
+        assert!(dist[2] as f64 / dist[1] as f64 > 1.9);
+    }
+
+    #[test]
+    fn uniform_when_p_one() {
+        let dist = epoch_distribution(900, 1.0, 3);
+        assert_eq!(dist, vec![300, 300, 300]);
+    }
+
+    #[test]
+    fn single_level_takes_everything() {
+        assert_eq!(epoch_distribution(700, 0.3, 1), vec![700]);
+    }
+
+    #[test]
+    fn every_level_gets_at_least_one_epoch() {
+        let dist = epoch_distribution(8, 0.0, 8);
+        assert!(dist.iter().all(|&e| e >= 1), "{dist:?}");
+    }
+
+    #[test]
+    fn lr_decays_linearly_with_floor() {
+        let lr = 0.05;
+        assert_eq!(decayed_lr(lr, 0, 100), lr);
+        let half = decayed_lr(lr, 50, 100);
+        assert!((half - lr * 0.5).abs() < 1e-7);
+        let last = decayed_lr(lr, 100, 100);
+        assert!((last - lr * 1e-4).abs() < 1e-9);
+        // Floor also guards overshoot.
+        assert!(decayed_lr(lr, 1000, 100) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing ratio")]
+    fn invalid_p_panics() {
+        epochs_for_level(100, 1.5, 0, 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Multi-core CPU trainer (Hogwild).
+//!
+//! The 16-thread CPU implementation that Figure 4 uses as its speedup
+//! baseline, and the engine behind the VERSE comparator in
+//! `gosh-baselines`. Threads share the matrix through relaxed atomics and
+//! update without locks — the HOGWILD! regime (Niu et al., NIPS'11) the
+//! paper cites for CPUs (§3.1). Epoch accounting matches the GPU path:
+//! one epoch = |E| source processings drawn from the arc list.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gosh_gpu::warp::sigmoid;
+use gosh_graph::csr::Csr;
+use gosh_graph::rng::{mix64, Xorshift128Plus};
+
+use crate::model::{Embedding, SharedMatrix};
+use crate::schedule::decayed_lr;
+
+/// Positive-sample distribution (the similarity measure `Q` of §2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Similarity {
+    /// Uniform over Γ(src): the adjacency measure GOSH uses.
+    Adjacency,
+    /// Personalized PageRank: endpoint of a restart-terminated random walk
+    /// from the source (VERSE's recommended setting, α = 0.85).
+    Ppr {
+        /// Continuation probability.
+        alpha: f32,
+    },
+}
+
+/// Hyper-parameters for [`train_cpu`].
+#[derive(Clone, Copy, Debug)]
+pub struct CpuTrainParams {
+    /// Negative samples per source processing.
+    pub negative_samples: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Epochs (one epoch = |E| source processings).
+    pub epochs: u32,
+    /// Worker threads (the paper uses τ = 16).
+    pub threads: usize,
+    /// Positive-sample distribution.
+    pub similarity: Similarity,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CpuTrainParams {
+    fn default() -> Self {
+        Self {
+            negative_samples: 3,
+            lr: 0.025,
+            epochs: 100,
+            threads: 16,
+            similarity: Similarity::Adjacency,
+            seed: 0xCEC5,
+        }
+    }
+}
+
+/// Sources per dynamic batch.
+const BATCH: usize = 512;
+
+/// Train `m` on `g` in place with Hogwild threads.
+pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &CpuTrainParams) {
+    assert_eq!(g.num_vertices(), m.num_vertices(), "graph/matrix mismatch");
+    assert!(params.threads >= 1);
+    if g.num_edges() == 0 {
+        return;
+    }
+    let d = m.dim();
+    let n = g.num_vertices() as u32;
+    let shared = SharedMatrix::from_embedding(m);
+    let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
+    for v in 0..n {
+        arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+    }
+    let num_arcs = arc_src.len();
+    let sources = (num_arcs / 2).max(1);
+
+    for epoch in 0..params.epochs {
+        let lr_now = decayed_lr(params.lr, epoch, params.epochs);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..params.threads {
+                let arc_src = &arc_src;
+                let shared = &shared;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut rng =
+                        Xorshift128Plus::new(mix64(params.seed ^ ((epoch as u64) << 20) ^ t as u64));
+                    let mut src_row = vec![0f32; d];
+                    let mut tmp = vec![0f32; d];
+                    loop {
+                        let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                        if start >= sources {
+                            break;
+                        }
+                        let end = (start + BATCH).min(sources);
+                        for s in start..end {
+                            let src = arc_src[(2 * s + epoch as usize) % num_arcs];
+                            process_source(
+                                g, shared, src, n, params, lr_now, &mut rng, &mut src_row, &mut tmp,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+    *m = shared.to_embedding();
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn process_source(
+    g: &Csr,
+    shared: &SharedMatrix,
+    src: u32,
+    n: u32,
+    params: &CpuTrainParams,
+    lr: f32,
+    rng: &mut Xorshift128Plus,
+    src_row: &mut [f32],
+    tmp: &mut [f32],
+) {
+    shared.read_row(src, src_row);
+    if let Some(u) = positive_sample(g, src, params.similarity, rng) {
+        one_update(shared, u, src_row, tmp, 1.0, lr);
+    }
+    for _ in 0..params.negative_samples {
+        let u = rng.below(n);
+        one_update(shared, u, src_row, tmp, 0.0, lr);
+    }
+    shared.write_row(src, src_row);
+}
+
+/// Draw a positive sample for `src` under the chosen similarity.
+#[inline]
+pub fn positive_sample(
+    g: &Csr,
+    src: u32,
+    similarity: Similarity,
+    rng: &mut Xorshift128Plus,
+) -> Option<u32> {
+    let deg = g.degree(src);
+    if deg == 0 {
+        return None;
+    }
+    match similarity {
+        Similarity::Adjacency => Some(g.neighbor_at(src, rng.below(deg as u32) as usize)),
+        Similarity::Ppr { alpha } => {
+            let mut u = src;
+            loop {
+                let du = g.degree(u);
+                if du == 0 {
+                    // Dead end: restart at the source's own neighbourhood.
+                    u = g.neighbor_at(src, rng.below(deg as u32) as usize);
+                } else {
+                    u = g.neighbor_at(u, rng.below(du as u32) as usize);
+                }
+                if rng.next_f32() >= alpha {
+                    return Some(u);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn one_update(shared: &SharedMatrix, u: u32, src_row: &mut [f32], tmp: &mut [f32], b: f32, lr: f32) {
+    shared.read_row(u, tmp);
+    let dot: f32 = src_row.iter().zip(tmp.iter()).map(|(x, y)| x * y).sum();
+    let score = (b - sigmoid(dot)) * lr;
+    shared.axpy_row(u, score, src_row);
+    for (s, &t) in src_row.iter_mut().zip(tmp.iter()) {
+        *s += score * t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_graph::builder::csr_from_edges;
+
+    type CliquePairs = (Csr, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+    fn two_cliques() -> CliquePairs {
+        let mut edges = vec![];
+        for a in 0..8u32 {
+            for b in 0..a {
+                edges.push((a, b));
+                edges.push((a + 8, b + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = csr_from_edges(16, &edges);
+        let intra = vec![(0, 1), (2, 3), (8, 9), (10, 11)];
+        let inter = vec![(0, 9), (1, 10), (2, 12), (3, 13)];
+        (g, intra, inter)
+    }
+
+    fn mean_cos(m: &Embedding, pairs: &[(u32, u32)]) -> f32 {
+        pairs.iter().map(|&(a, b)| m.cosine(a, b)).sum::<f32>() / pairs.len() as f32
+    }
+
+    #[test]
+    fn single_thread_learns_structure() {
+        let (g, intra, inter) = two_cliques();
+        let mut m = Embedding::random(16, 16, 3);
+        let p = CpuTrainParams { threads: 1, epochs: 150, lr: 0.05, ..Default::default() };
+        train_cpu(&g, &mut m, &p);
+        assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.3);
+    }
+
+    #[test]
+    fn hogwild_threads_learn_structure() {
+        let (g, intra, inter) = two_cliques();
+        let mut m = Embedding::random(16, 16, 4);
+        let p = CpuTrainParams { threads: 8, epochs: 150, lr: 0.05, ..Default::default() };
+        train_cpu(&g, &mut m, &p);
+        assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.3);
+    }
+
+    #[test]
+    fn ppr_similarity_also_learns() {
+        let (g, intra, inter) = two_cliques();
+        let mut m = Embedding::random(16, 16, 5);
+        let p = CpuTrainParams {
+            threads: 4,
+            epochs: 150,
+            lr: 0.05,
+            similarity: Similarity::Ppr { alpha: 0.85 },
+            ..Default::default()
+        };
+        train_cpu(&g, &mut m, &p);
+        assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.2);
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let g = Csr::empty(4);
+        let mut m = Embedding::random(4, 8, 6);
+        let before = m.clone();
+        train_cpu(&g, &mut m, &CpuTrainParams::default());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn values_stay_finite_under_contention() {
+        let (g, _, _) = two_cliques();
+        let mut m = Embedding::random(16, 8, 7);
+        let p = CpuTrainParams { threads: 8, epochs: 50, lr: 0.2, ..Default::default() };
+        train_cpu(&g, &mut m, &p);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn positive_sample_respects_adjacency() {
+        let g = csr_from_edges(4, &[(0, 1), (0, 2)]);
+        let mut rng = Xorshift128Plus::new(1);
+        for _ in 0..50 {
+            let u = positive_sample(&g, 0, Similarity::Adjacency, &mut rng).unwrap();
+            assert!(u == 1 || u == 2);
+        }
+        assert!(positive_sample(&g, 3, Similarity::Adjacency, &mut rng).is_none());
+    }
+
+    #[test]
+    fn ppr_walk_reaches_two_hops() {
+        // Path 0-1-2: PPR from 0 must sometimes land on 2.
+        let g = csr_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut rng = Xorshift128Plus::new(2);
+        let mut saw_two = false;
+        for _ in 0..200 {
+            if positive_sample(&g, 0, Similarity::Ppr { alpha: 0.85 }, &mut rng) == Some(2) {
+                saw_two = true;
+                break;
+            }
+        }
+        assert!(saw_two);
+    }
+
+    use gosh_graph::csr::Csr;
+}

@@ -1,0 +1,585 @@
+//! `TrainInGPU` — Algorithm 3 on the simulated device.
+//!
+//! One source vertex is assigned per warp (per sub-warp in the packed
+//! small-dimension variant). Sources are drawn from the arc list so that
+//! one epoch performs |E| positive samples — the epoch definition of §4.3
+//! — weighting hubs by degree exactly as edge sampling does. Three kernel
+//! variants reproduce the §4.8 speedup-breakdown stages:
+//!
+//! * [`KernelVariant::Naive`] — no shared-memory staging, strided global
+//!   accesses; the "Naive GPU" bar of Figure 4.
+//! * [`KernelVariant::Optimized`] — the §3.1 kernel: source row staged in
+//!   shared memory once per source, coalesced round-robin access to sample
+//!   rows.
+//! * The packed small-dimension kernel (§3.1.1) — selected automatically
+//!   by [`KernelVariant::Auto`] when `d ≤ 16`: 8 or 16 lanes per source,
+//!   so 4 or 2 sources share each warp's instruction stream.
+//!
+//! Epochs are synchronized: each is one blocking kernel launch, so no two
+//! epochs overlap (§3.1), while updates within an epoch stay lock-free.
+
+use gosh_gpu::{Access, Device, DeviceError, FloatBuffer, LaunchConfig, PlainBuffer};
+use gosh_graph::csr::Csr;
+
+use crate::model::Embedding;
+use crate::schedule::decayed_lr;
+use crate::train_cpu::Similarity;
+
+/// Which embedding kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelVariant {
+    /// Unoptimized accesses (Figure 4's "Naive GPU").
+    Naive,
+    /// Shared-memory staging + coalesced accesses (§3.1).
+    Optimized,
+    /// `Optimized`, but switch to the packed small-`d` kernel when `d ≤ 16`.
+    Auto,
+}
+
+/// Training hyper-parameters for one level.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainParams {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Negative samples per source processing (`ns`).
+    pub negative_samples: usize,
+    /// Initial learning rate for this level.
+    pub lr: f32,
+    /// Epochs for this level (`e_i`).
+    pub epochs: u32,
+    /// Positive-sample distribution (the similarity measure Q of §2).
+    /// GOSH uses adjacency; VERSE-style PPR walks are also supported on
+    /// the device.
+    pub similarity: Similarity,
+}
+
+impl TrainParams {
+    /// Adjacency-similarity parameters (the paper's setting).
+    pub fn adjacency(dim: usize, negative_samples: usize, lr: f32, epochs: u32) -> Self {
+        Self { dim, negative_samples, lr, epochs, similarity: Similarity::Adjacency }
+    }
+}
+
+/// Draw a positive sample for `src` on the device: uniform neighbour for
+/// adjacency, restart-terminated random walk for PPR. Returns `None` for
+/// sources with no outgoing edges.
+#[inline]
+pub(crate) fn device_positive_sample(
+    w: &gosh_gpu::Warp,
+    xadj: &[u64],
+    adj: &[u32],
+    src: usize,
+    similarity: Similarity,
+) -> Option<usize> {
+    let (lo, hi) = (xadj[src] as usize, xadj[src + 1] as usize);
+    let deg = (hi - lo) as u32;
+    if deg == 0 {
+        return None;
+    }
+    match similarity {
+        Similarity::Adjacency => Some(adj[lo + w.rand_below(deg) as usize] as usize),
+        Similarity::Ppr { alpha } => {
+            let mut u = adj[lo + w.rand_below(deg) as usize] as usize;
+            // Each hop is one strided lookup into the CSR arrays.
+            w.alu(2);
+            while w.rand_f32() < alpha {
+                let (ulo, uhi) = (xadj[u] as usize, xadj[u + 1] as usize);
+                let udeg = (uhi - ulo) as u32;
+                if udeg == 0 {
+                    // Dead end: restart from the source neighbourhood.
+                    u = adj[lo + w.rand_below(deg) as usize] as usize;
+                } else {
+                    u = adj[ulo + w.rand_below(udeg) as usize] as usize;
+                }
+                w.alu(2);
+            }
+            Some(u)
+        }
+    }
+}
+
+/// A graph resident in device memory: CSR plus the arc-source schedule.
+pub struct DeviceGraph {
+    xadj: PlainBuffer<u64>,
+    adj: PlainBuffer<u32>,
+    arc_src: PlainBuffer<u32>,
+    num_vertices: usize,
+}
+
+impl DeviceGraph {
+    /// Upload `g` (H2D copies are counted).
+    pub fn upload(device: &Device, g: &Csr) -> Result<Self, DeviceError> {
+        let xadj: Vec<u64> = g.xadj().iter().map(|&x| x as u64).collect();
+        let mut arc_src = Vec::with_capacity(g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+        }
+        Ok(Self {
+            xadj: device.upload_plain(&xadj)?,
+            adj: device.upload_plain(g.adj())?,
+            arc_src: device.upload_plain(&arc_src)?,
+            num_vertices: g.num_vertices(),
+        })
+    }
+
+    /// Vertices in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Directed arcs in the graph.
+    pub fn num_arcs(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Source processings per epoch (= undirected edge count, §4.3).
+    pub fn sources_per_epoch(&self) -> usize {
+        (self.num_arcs() / 2).max(1)
+    }
+
+    /// Device-side view of the offsets array.
+    pub fn xadj_slice(&self) -> &[u64] {
+        self.xadj.as_slice()
+    }
+
+    /// Device-side view of the adjacency array.
+    pub fn adj_slice(&self) -> &[u32] {
+        self.adj.as_slice()
+    }
+
+    /// Device-side view of the arc-source schedule.
+    pub fn arc_src_slice(&self) -> &[u32] {
+        self.arc_src.as_slice()
+    }
+}
+
+/// Sub-warp lanes for a given dimension (§3.1.1: the smallest multiple of
+/// 8 that covers `d`), full warp for `d > 16`.
+pub fn lanes_for_dim(d: usize) -> usize {
+    if d <= 8 {
+        8
+    } else if d <= 16 {
+        16
+    } else {
+        32
+    }
+}
+
+/// Train `matrix` on `graph` for `params.epochs` epochs.
+///
+/// The matrix stays on the device; callers download it when the level is
+/// done. Panics if `matrix.len() != |V| · d`.
+pub fn train_in_gpu(
+    device: &Device,
+    graph: &DeviceGraph,
+    matrix: &FloatBuffer,
+    params: &TrainParams,
+    variant: KernelVariant,
+) {
+    assert_eq!(
+        matrix.len(),
+        graph.num_vertices() * params.dim,
+        "matrix shape mismatch"
+    );
+    if graph.num_arcs() == 0 {
+        return;
+    }
+    for epoch in 0..params.epochs {
+        let lr_now = decayed_lr(params.lr, epoch, params.epochs);
+        match variant {
+            KernelVariant::Naive => {
+                epoch_naive(device, graph, matrix, params, lr_now, epoch);
+            }
+            KernelVariant::Optimized => {
+                epoch_optimized(device, graph, matrix, params, lr_now, epoch);
+            }
+            KernelVariant::Auto => {
+                if lanes_for_dim(params.dim) < 32 {
+                    epoch_packed(device, graph, matrix, params, lr_now, epoch);
+                } else {
+                    epoch_optimized(device, graph, matrix, params, lr_now, epoch);
+                }
+            }
+        }
+    }
+}
+
+/// Arc index for warp `w` of `epoch` — every other arc, rotated per epoch
+/// so both orientations of each edge serve as source over time.
+#[inline]
+fn arc_for(w: usize, epoch: u32, num_arcs: usize) -> usize {
+    (2 * w + epoch as usize) % num_arcs
+}
+
+fn epoch_optimized(
+    device: &Device,
+    graph: &DeviceGraph,
+    matrix: &FloatBuffer,
+    params: &TrainParams,
+    lr: f32,
+    epoch: u32,
+) {
+    let d = params.dim;
+    let ns = params.negative_samples;
+    let n = graph.num_vertices() as u32;
+    let num_arcs = graph.num_arcs();
+    let sources = graph.sources_per_epoch();
+    let xadj = graph.xadj.as_slice();
+    let adj = graph.adj.as_slice();
+    let arc_src = graph.arc_src.as_slice();
+
+    device.launch(LaunchConfig::new(sources, 2 * d), |w, scratch| {
+        let (src_row, tmp) = scratch.split_at_mut(d);
+        let src = arc_src[arc_for(w.id(), epoch, num_arcs)] as usize;
+        // Stage M[src] in shared memory (§3.1).
+        w.global_read_row(matrix, src * d, src_row, Access::Coalesced);
+        w.shared_store(d);
+
+        // Positive sample from the similarity distribution Q.
+        if let Some(u) = device_positive_sample(w, xadj, adj, src, params.similarity) {
+            sample_update(w, matrix, u, d, src_row, tmp, 1.0, lr);
+        }
+        // ns negatives, uniform over V (the noise distribution).
+        for _ in 0..ns {
+            let u = w.rand_below(n) as usize;
+            sample_update(w, matrix, u, d, src_row, tmp, 0.0, lr);
+        }
+        // Write the staged source row back once.
+        w.global_write_row(matrix, src * d, src_row, Access::Coalesced);
+    });
+}
+
+/// One positive/negative update with the source row staged on chip
+/// (Algorithm 1 with pre-update semantics; see `update.rs`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn sample_update(
+    w: &gosh_gpu::Warp,
+    matrix: &FloatBuffer,
+    u: usize,
+    d: usize,
+    src_row: &mut [f32],
+    tmp: &mut [f32],
+    b: f32,
+    lr: f32,
+) {
+    w.global_read_row(matrix, u * d, tmp, Access::Coalesced);
+    let dot = w.dot(src_row, tmp);
+    let score = (b - w.sigmoid(dot)) * lr;
+    // Sample row first (uses the pre-update source), then the source.
+    w.global_axpy_row(matrix, u * d, score, src_row, Access::Coalesced);
+    w.shared_axpy(score, tmp, src_row);
+}
+
+fn epoch_naive(
+    device: &Device,
+    graph: &DeviceGraph,
+    matrix: &FloatBuffer,
+    params: &TrainParams,
+    lr: f32,
+    epoch: u32,
+) {
+    let d = params.dim;
+    let ns = params.negative_samples;
+    let n = graph.num_vertices() as u32;
+    let num_arcs = graph.num_arcs();
+    let sources = graph.sources_per_epoch();
+    let xadj = graph.xadj.as_slice();
+    let adj = graph.adj.as_slice();
+    let arc_src = graph.arc_src.as_slice();
+
+    device.launch(LaunchConfig::new(sources, 2 * d), |w, scratch| {
+        let (src_row, tmp) = scratch.split_at_mut(d);
+        let src = arc_src[arc_for(w.id(), epoch, num_arcs)] as usize;
+        let mut one = |u: usize, b: f32| {
+            // Re-read the source row from global memory for every sample,
+            // all accesses strided: the pre-optimization kernel of §4.8.
+            w.global_read_row(matrix, src * d, src_row, Access::Strided);
+            w.global_read_row(matrix, u * d, tmp, Access::Strided);
+            let dot = w.dot(src_row, tmp);
+            let score = (b - w.sigmoid(dot)) * lr;
+            w.global_axpy_row(matrix, u * d, score, src_row, Access::Strided);
+            w.global_axpy_row(matrix, src * d, score, tmp, Access::Strided);
+        };
+        if let Some(u) = device_positive_sample(w, xadj, adj, src, params.similarity) {
+            one(u, 1.0);
+        }
+        for _ in 0..ns {
+            one(w.rand_below(n) as usize, 0.0);
+        }
+    });
+}
+
+fn epoch_packed(
+    device: &Device,
+    graph: &DeviceGraph,
+    matrix: &FloatBuffer,
+    params: &TrainParams,
+    lr: f32,
+    epoch: u32,
+) {
+    let d = params.dim;
+    let ns = params.negative_samples;
+    let n = graph.num_vertices() as u32;
+    let num_arcs = graph.num_arcs();
+    let sources = graph.sources_per_epoch();
+    let lanes = lanes_for_dim(d);
+    let pack = 32 / lanes; // sources per warp: 4 (d ≤ 8) or 2 (d ≤ 16)
+    let num_warps = sources.div_ceil(pack);
+    let xadj = graph.xadj.as_slice();
+    let adj = graph.adj.as_slice();
+    let arc_src = graph.arc_src.as_slice();
+
+    // Scratch: k source rows + k sample rows.
+    device.launch(LaunchConfig::new(num_warps, 2 * pack * d), |w, scratch| {
+        let first = w.id() * pack;
+        let k = pack.min(sources - first);
+        let (src_rows, tmp) = scratch.split_at_mut(pack * d);
+        let src_rows = &mut src_rows[..k * d];
+        let tmp = &mut tmp[..k * d];
+
+        let mut srcs = [0usize; 4];
+        let mut src_offsets = [0usize; 4];
+        for i in 0..k {
+            let s = arc_src[arc_for(first + i, epoch, num_arcs)] as usize;
+            srcs[i] = s;
+            src_offsets[i] = s * d;
+        }
+        w.global_read_rows(matrix, &src_offsets[..k], d, src_rows, Access::Coalesced);
+        w.shared_store(k * d);
+
+        let mut sample_offsets = [0usize; 4];
+        let mut scores = [0f32; 4];
+        let mut dots = [0f32; 4];
+
+        // Positive pass: each sub-warp samples its own neighbour. Sources
+        // with no neighbours keep a zero score (self-target, no-op update).
+        let mut do_pass = |w: &gosh_gpu::Warp, tmp: &mut [f32], src_rows: &mut [f32], b: f32| {
+            for i in 0..k {
+                let u = if b == 1.0 {
+                    match device_positive_sample(w, xadj, adj, srcs[i], params.similarity) {
+                        Some(u) => u,
+                        None => {
+                            sample_offsets[i] = srcs[i] * d; // inert slot
+                            scores[i] = 0.0;
+                            continue;
+                        }
+                    }
+                } else {
+                    w.rand_below(n) as usize
+                };
+                sample_offsets[i] = u * d;
+                scores[i] = 1.0; // mark active; filled after the dot pass
+            }
+            w.global_read_rows(matrix, &sample_offsets[..k], d, tmp, Access::Coalesced);
+            w.dot_rows(src_rows, tmp, d, &mut dots[..k]);
+            w.alu(8); // one warp-wide sigmoid burst serves all sub-warps
+            for i in 0..k {
+                if scores[i] != 0.0 {
+                    scores[i] = (b - gosh_gpu::warp::sigmoid(dots[i])) * lr;
+                }
+            }
+            w.global_axpy_rows(matrix, &sample_offsets[..k], d, &scores[..k], src_rows, Access::Coalesced);
+            w.shared_axpy_rows(&scores[..k], tmp, src_rows, d);
+        };
+
+        do_pass(w, tmp, src_rows, 1.0);
+        for _ in 0..ns {
+            do_pass(w, tmp, src_rows, 0.0);
+        }
+        w.global_write_rows(matrix, &src_offsets[..k], d, src_rows, Access::Coalesced);
+    });
+}
+
+/// Upload, train, download: the small-graph path of Algorithm 2 (lines
+/// 6–7) for one level.
+pub fn train_level_on_device(
+    device: &Device,
+    g: &Csr,
+    host: &mut Embedding,
+    params: &TrainParams,
+    variant: KernelVariant,
+) -> Result<(), DeviceError> {
+    let graph = DeviceGraph::upload(device, g)?;
+    let matrix = device.upload_floats(host.as_slice())?;
+    train_in_gpu(device, &graph, &matrix, params, variant);
+    let out = matrix.to_host_vec();
+    host.as_mut_slice().copy_from_slice(&out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_gpu::DeviceConfig;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::erdos_renyi;
+
+    fn params(d: usize, epochs: u32) -> TrainParams {
+TrainParams::adjacency(d, 3, 0.05, epochs)
+    }
+
+    fn mean_cos(m: &Embedding, pairs: &[(u32, u32)]) -> f32 {
+        pairs.iter().map(|&(a, b)| m.cosine(a, b)).sum::<f32>() / pairs.len() as f32
+    }
+
+    /// Two cliques joined by one edge: intra-clique similarity should beat
+    /// inter-clique after training.
+    type CliquePairs = (Csr, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+    fn two_cliques() -> CliquePairs {
+        let mut edges = vec![];
+        for a in 0..8u32 {
+            for b in 0..a {
+                edges.push((a, b));
+                edges.push((a + 8, b + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = csr_from_edges(16, &edges);
+        let intra = vec![(0, 1), (2, 3), (8, 9), (10, 11), (4, 5), (12, 13)];
+        let inter = vec![(0, 9), (1, 10), (2, 12), (3, 13), (4, 14), (5, 15)];
+        (g, intra, inter)
+    }
+
+    fn train_variant(variant: KernelVariant, d: usize) -> (f32, f32) {
+        let (g, intra, inter) = two_cliques();
+        let device = Device::new(DeviceConfig::titan_x());
+        let mut m = Embedding::random(16, d, 42);
+        train_level_on_device(&device, &g, &mut m, &params(d, 150), variant).unwrap();
+        (mean_cos(&m, &intra), mean_cos(&m, &inter))
+    }
+
+    #[test]
+    fn optimized_kernel_separates_cliques() {
+        let (intra, inter) = train_variant(KernelVariant::Optimized, 32);
+        assert!(intra > inter + 0.3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn naive_kernel_learns_the_same_embedding_shape() {
+        let (intra, inter) = train_variant(KernelVariant::Naive, 32);
+        assert!(intra > inter + 0.3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn packed_kernel_learns_small_dims() {
+        for d in [8, 16] {
+            let (intra, inter) = train_variant(KernelVariant::Auto, d);
+            assert!(intra > inter + 0.25, "d={d}: intra {intra} vs inter {inter}");
+        }
+    }
+
+    #[test]
+    fn auto_on_large_d_equals_optimized_cost_shape() {
+        // For d = 32, Auto must take the optimized path: same warp count.
+        let g = erdos_renyi(64, 256, 3);
+        let device = Device::new(DeviceConfig::titan_x());
+        let graph = DeviceGraph::upload(&device, &g).unwrap();
+        let matrix = device.upload_floats(&vec![0.01; 64 * 32]).unwrap();
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Auto);
+        let auto_warps = device.snapshot().warps;
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Optimized);
+        let opt_warps = device.snapshot().warps;
+        assert_eq!(auto_warps, opt_warps);
+    }
+
+    #[test]
+    fn packed_kernel_launches_fewer_warps() {
+        let g = erdos_renyi(64, 256, 4);
+        let device = Device::new(DeviceConfig::titan_x());
+        let graph = DeviceGraph::upload(&device, &g).unwrap();
+        let matrix = device.upload_floats(&vec![0.01; 64 * 8]).unwrap();
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(8, 1), KernelVariant::Auto);
+        let packed = device.snapshot().warps;
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(8, 1), KernelVariant::Optimized);
+        let unpacked = device.snapshot().warps;
+        assert_eq!(packed, unpacked.div_ceil(4), "packed {packed} vs unpacked {unpacked}");
+    }
+
+    #[test]
+    fn naive_kernel_costs_more_transactions() {
+        let g = erdos_renyi(64, 256, 5);
+        let device = Device::new(DeviceConfig::titan_x());
+        let graph = DeviceGraph::upload(&device, &g).unwrap();
+        let matrix = device.upload_floats(&vec![0.01; 64 * 32]).unwrap();
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Optimized);
+        let opt = device.snapshot().transactions;
+        device.reset_counters();
+        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Naive);
+        let naive = device.snapshot().transactions;
+        assert!(naive > 3 * opt, "naive {naive} vs optimized {opt}");
+    }
+
+    #[test]
+    fn lanes_for_dim_matches_paper() {
+        assert_eq!(lanes_for_dim(4), 8);
+        assert_eq!(lanes_for_dim(8), 8);
+        assert_eq!(lanes_for_dim(9), 16);
+        assert_eq!(lanes_for_dim(16), 16);
+        assert_eq!(lanes_for_dim(17), 32);
+        assert_eq!(lanes_for_dim(128), 32);
+    }
+
+    #[test]
+    fn ppr_similarity_learns_on_device() {
+        let (g, intra, inter) = two_cliques();
+        let device = Device::new(DeviceConfig::titan_x());
+        let mut m = Embedding::random(16, 32, 42);
+        let p = TrainParams {
+            similarity: crate::train_cpu::Similarity::Ppr { alpha: 0.85 },
+            ..params(32, 150)
+        };
+        train_level_on_device(&device, &g, &mut m, &p, KernelVariant::Optimized).unwrap();
+        let (i, o) = (mean_cos(&m, &intra), mean_cos(&m, &inter));
+        assert!(i > o + 0.25, "intra {i} vs inter {o}");
+    }
+
+    #[test]
+    fn device_ppr_walk_reaches_two_hops() {
+        // Path 0-1-2: PPR positives from 0 must sometimes land on 2.
+        let g = csr_from_edges(3, &[(0, 1), (1, 2)]);
+        let device = Device::new(DeviceConfig::titan_x());
+        let graph = DeviceGraph::upload(&device, &g).unwrap();
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        device.launch(gosh_gpu::LaunchConfig::new(256, 0), |w, _| {
+            if device_positive_sample(
+                w,
+                graph.xadj_slice(),
+                graph.adj_slice(),
+                0,
+                crate::train_cpu::Similarity::Ppr { alpha: 0.85 },
+            ) == Some(2)
+            {
+                hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(hits.load(std::sync::atomic::Ordering::Relaxed) > 10);
+    }
+
+    #[test]
+    fn sources_per_epoch_is_edge_count() {
+        let g = csr_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let device = Device::new(DeviceConfig::titan_x());
+        let graph = DeviceGraph::upload(&device, &g).unwrap();
+        assert_eq!(graph.sources_per_epoch(), 3);
+        assert_eq!(graph.num_arcs(), 6);
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = Csr::empty(4);
+        let device = Device::new(DeviceConfig::titan_x());
+        let mut m = Embedding::random(4, 8, 1);
+        let before = m.clone();
+        train_level_on_device(&device, &g, &mut m, &params(8, 3), KernelVariant::Auto).unwrap();
+        assert_eq!(m, before);
+    }
+
+    use gosh_graph::csr::Csr;
+}

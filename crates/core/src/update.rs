@@ -1,0 +1,129 @@
+//! The embedding update — Algorithm 1.
+//!
+//! `score = (b − σ(M[v] · M[sample])) · lr`, then both rows move along each
+//! other scaled by `score`. As printed, the paper's line 3 would update the
+//! sample with the *already updated* source row; the released GOSH CUDA
+//! code (and VERSE before it) uses the pre-update rows for both sides, and
+//! we follow the code (see DESIGN.md §6). [`update_embedding_literal`]
+//! implements the printed order for comparison.
+
+use gosh_gpu::warp::sigmoid;
+
+/// One logistic update between a source row and a sample row, using
+/// pre-update values on both sides (the reference-code semantics).
+///
+/// `b` is 1.0 for a positive sample (drawn from the similarity
+/// distribution Q) and 0.0 for a negative one (drawn from the noise
+/// distribution), `lr` the current learning rate.
+#[inline]
+pub fn update_embedding(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
+    debug_assert_eq!(src.len(), sample.len());
+    let dot: f32 = src.iter().zip(sample.iter()).map(|(x, y)| x * y).sum();
+    let score = (b - sigmoid(dot)) * lr;
+    for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
+        let s_old = *s;
+        *s += score * *m;
+        *m += score * s_old;
+    }
+}
+
+/// Algorithm 1 exactly as printed: the sample update reads the already
+/// updated source row. Kept for the ablation test below and for anyone
+/// comparing against the paper text.
+#[inline]
+pub fn update_embedding_literal(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
+    debug_assert_eq!(src.len(), sample.len());
+    let dot: f32 = src.iter().zip(sample.iter()).map(|(x, y)| x * y).sum();
+    let score = (b - sigmoid(dot)) * lr;
+    for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
+        *s += score * *m;
+        *m += score * *s; // note: *s is the new value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn positive_update_pulls_rows_together() {
+        let mut src = vec![0.1, -0.2, 0.3];
+        let mut sam = vec![-0.1, 0.2, 0.1];
+        let before = dot(&src, &sam);
+        update_embedding(&mut src, &mut sam, 1.0, 0.1);
+        let after = dot(&src, &sam);
+        assert!(after > before, "{after} <= {before}");
+    }
+
+    #[test]
+    fn negative_update_pushes_rows_apart() {
+        let mut src = vec![0.1, 0.2, 0.3];
+        let mut sam = vec![0.1, 0.2, 0.1];
+        let before = dot(&src, &sam);
+        update_embedding(&mut src, &mut sam, 0.0, 0.1);
+        let after = dot(&src, &sam);
+        assert!(after < before, "{after} >= {before}");
+    }
+
+    #[test]
+    fn zero_lr_is_identity() {
+        let mut src = vec![0.5, -0.5];
+        let mut sam = vec![0.25, 0.75];
+        let (s0, m0) = (src.clone(), sam.clone());
+        update_embedding(&mut src, &mut sam, 1.0, 0.0);
+        assert_eq!(src, s0);
+        assert_eq!(sam, m0);
+    }
+
+    #[test]
+    fn update_is_symmetric_in_magnitude() {
+        // With equal rows, both sides must receive the same delta.
+        let mut src = vec![0.3, 0.3];
+        let mut sam = vec![0.3, 0.3];
+        update_embedding(&mut src, &mut sam, 1.0, 0.05);
+        assert_eq!(src, sam);
+    }
+
+    #[test]
+    fn saturated_positive_barely_moves() {
+        // σ(dot) ≈ 1 ⇒ score ≈ 0 for b = 1.
+        let mut src = vec![10.0, 10.0];
+        let mut sam = vec![10.0, 10.0];
+        let before = src.clone();
+        update_embedding(&mut src, &mut sam, 1.0, 0.1);
+        for (a, b) in src.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn literal_variant_differs_second_order() {
+        let mut s1 = vec![0.1, 0.2];
+        let mut m1 = vec![0.3, 0.4];
+        let mut s2 = s1.clone();
+        let mut m2 = m1.clone();
+        update_embedding(&mut s1, &mut m1, 1.0, 0.5);
+        update_embedding_literal(&mut s2, &mut m2, 1.0, 0.5);
+        // Source rows agree exactly; sample rows differ by O(score²).
+        assert_eq!(s1, s2);
+        assert_ne!(m1, m2);
+        for (a, b) in m1.iter().zip(&m2) {
+            assert!((a - b).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn repeated_positive_updates_converge_to_agreement() {
+        let mut src = vec![0.01, -0.02, 0.005, 0.01];
+        let mut sam = vec![-0.01, 0.03, -0.02, 0.0];
+        for _ in 0..2000 {
+            update_embedding(&mut src, &mut sam, 1.0, 0.05);
+        }
+        let d = dot(&src, &sam);
+        assert!(gosh_gpu::warp::sigmoid(d) > 0.9, "σ(dot) = {}", gosh_gpu::warp::sigmoid(d));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the training core: the Algorithm 1 update,
+//! the epoch schedule, and embedding expansion.
+
+use gosh_coarsen::mapping::Mapping;
+use gosh_core::expand::expand_embedding;
+use gosh_core::model::Embedding;
+use gosh_core::schedule::{decayed_lr, epoch_distribution};
+use gosh_core::update::update_embedding;
+use proptest::prelude::*;
+
+fn row(d: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, d..=d)
+}
+
+proptest! {
+    #[test]
+    fn positive_updates_never_decrease_similarity(
+        mut src in row(8),
+        mut sam in row(8),
+        lr in 0.001f32..0.2,
+    ) {
+        let before: f32 = src.iter().zip(&sam).map(|(a, b)| a * b).sum();
+        update_embedding(&mut src, &mut sam, 1.0, lr);
+        let after: f32 = src.iter().zip(&sam).map(|(a, b)| a * b).sum();
+        // σ(x) < 1 always, so a positive update moves dot upward (up to
+        // second-order effects bounded by lr²; allow tiny slack).
+        prop_assert!(after >= before - lr * lr, "{before} -> {after}");
+    }
+
+    #[test]
+    fn negative_updates_never_increase_similarity(
+        mut src in row(8),
+        mut sam in row(8),
+        lr in 0.001f32..0.2,
+    ) {
+        let before: f32 = src.iter().zip(&sam).map(|(a, b)| a * b).sum();
+        update_embedding(&mut src, &mut sam, 0.0, lr);
+        let after: f32 = src.iter().zip(&sam).map(|(a, b)| a * b).sum();
+        prop_assert!(after <= before + lr * lr, "{before} -> {after}");
+    }
+
+    #[test]
+    fn updates_keep_values_finite(
+        mut src in row(16),
+        mut sam in row(16),
+        b in prop::bool::ANY,
+        lr in 0.0f32..1.0,
+    ) {
+        update_embedding(&mut src, &mut sam, if b { 1.0 } else { 0.0 }, lr);
+        prop_assert!(src.iter().chain(&sam).all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn epoch_distribution_conserves_budget(
+        e in 50u32..5000,
+        p in 0.0f64..=1.0,
+        levels in 1usize..12,
+    ) {
+        let dist = epoch_distribution(e, p, levels);
+        prop_assert_eq!(dist.len(), levels);
+        prop_assert!(dist.iter().all(|&x| x >= 1));
+        let total: u32 = dist.iter().sum();
+        // Rounding each level can drift by at most half an epoch per level.
+        let slack = levels as u32 + 1;
+        prop_assert!(total >= e.saturating_sub(slack) && total <= e + slack,
+            "total {} vs budget {}", total, e);
+    }
+
+    #[test]
+    fn epoch_distribution_is_monotone_toward_coarse(
+        e in 100u32..5000,
+        p in 0.0f64..0.99,
+        levels in 2usize..10,
+    ) {
+        let dist = epoch_distribution(e, p, levels);
+        for w in dist.windows(2) {
+            prop_assert!(w[1] >= w[0], "{:?}", dist);
+        }
+    }
+
+    #[test]
+    fn lr_decay_is_monotone_and_floored(lr in 0.001f32..0.5, e in 1u32..1000) {
+        let mut prev = f32::INFINITY;
+        for j in 0..=e {
+            let cur = decayed_lr(lr, j, e);
+            prop_assert!(cur > 0.0);
+            prop_assert!(cur <= prev);
+            prev = cur;
+        }
+        prop_assert!(decayed_lr(lr, e, e) >= lr * 1e-4 * 0.99);
+    }
+
+    #[test]
+    fn expansion_preserves_rows(
+        k in 1usize..10,
+        d in 1usize..8,
+        assignment in prop::collection::vec(0usize..10, 1..50),
+    ) {
+        let coarse = Embedding::random(k, d, 11);
+        let map: Vec<u32> = assignment.iter().map(|&a| (a % k) as u32).collect();
+        let mapping = Mapping::new(map.clone(), k);
+        let fine = expand_embedding(&coarse, &mapping);
+        prop_assert_eq!(fine.num_vertices(), map.len());
+        for (v, &c) in map.iter().enumerate() {
+            prop_assert_eq!(fine.row(v as u32), coarse.row(c));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Area under the ROC curve.
+//!
+//! Computed by the rank-sum (Mann–Whitney) identity: AUC is the
+//! probability that a random positive scores above a random negative,
+//! with ties counted half. O(n log n) in the number of scored samples.
+
+/// AUCROC for `scores` with boolean `labels` (true = positive).
+///
+/// Returns 0.5 when either class is empty (the metric is undefined; 0.5 is
+/// the chance level and keeps pipelines total).
+pub fn auc_roc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score; average ranks over tie groups.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+
+    let mut rank_sum_pos = 0f64; // 1-based ranks of positives
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Tie group spans ranks i+1 ..= j+1; everyone gets the average.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos = pos as f64;
+    let neg = neg as f64;
+    (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc_roc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(auc_roc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert!((auc_roc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(auc_roc(&[0.1, 0.2], &[true, true]), 0.5);
+        assert_eq!(auc_roc(&[0.1, 0.2], &[false, false]), 0.5);
+        assert_eq!(auc_roc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // One mis-ranked pair out of 4: AUC = 3/4.
+        let scores = [0.1, 0.6, 0.4, 0.9];
+        let labels = [false, false, true, true];
+        assert!((auc_roc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_pairwise_definition_on_random_data() {
+        use gosh_graph::rng::Xorshift128Plus;
+        let mut rng = Xorshift128Plus::new(13);
+        let n = 200;
+        let scores: Vec<f32> = (0..n).map(|_| (rng.next_f32() * 8.0).round() / 8.0).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.3).collect();
+        // O(n²) reference with tie-halving.
+        let mut wins = 0f64;
+        let mut pairs = 0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if labels[i] && !labels[j] {
+                    pairs += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        let reference = wins / pairs;
+        assert!((auc_roc(&scores, &labels) - reference).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        auc_roc(&[0.1], &[true, false]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Node classification — the paper's stated extension task (§6: "we will
+//! extend our work for other ML tasks such as classification").
+//!
+//! A one-vs-rest logistic-regression classifier is trained on a labelled
+//! fraction of the vertices' embedding rows and scored on the rest. The
+//! synthetic community generator provides ground-truth labels, mirroring
+//! the community/label structure of the datasets used by multilevel
+//! embedding papers (MILE evaluates this way).
+
+use gosh_core::model::Embedding;
+use gosh_graph::rng::Xorshift128Plus;
+
+use crate::features::FeatureSet;
+use crate::logreg::{LogisticRegression, TrainMethod};
+
+/// Configuration for [`node_classification_accuracy`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifyConfig {
+    /// Fraction of vertices used for training the classifier.
+    pub train_fraction: f64,
+    /// Optimizer for each one-vs-rest head.
+    pub method: TrainMethod,
+    /// Classifier learning rate.
+    pub lr: f32,
+    /// L2 regularization.
+    pub l2: f32,
+    /// Shuffle/SGD seed.
+    pub seed: u64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        Self {
+            train_fraction: 0.5,
+            method: TrainMethod::Sgd { epochs: 10 },
+            lr: 0.1,
+            l2: 1e-4,
+            seed: 0xC1A5,
+        }
+    }
+}
+
+/// Train one-vs-rest heads on embedding rows and return test accuracy in
+/// `[0, 1]`. `labels[v]` is vertex `v`'s class.
+pub fn node_classification_accuracy(
+    m: &Embedding,
+    labels: &[u32],
+    cfg: &ClassifyConfig,
+) -> f64 {
+    assert_eq!(m.num_vertices(), labels.len(), "labels must cover all vertices");
+    let n = labels.len();
+    assert!(n >= 4, "too few vertices to split");
+    let num_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+    let d = m.dim();
+
+    // Shuffled vertex split.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = Xorshift128Plus::new(cfg.seed);
+    for i in (1..n).rev() {
+        let j = rng.below(i as u32 + 1) as usize;
+        order.swap(i, j);
+    }
+    let n_train = ((n as f64 * cfg.train_fraction) as usize).clamp(1, n - 1);
+    let (train_v, test_v) = order.split_at(n_train);
+
+    // One-vs-rest heads over the raw embedding rows.
+    let mut features = Vec::with_capacity(n_train * d);
+    for &v in train_v {
+        features.extend_from_slice(m.row(v));
+    }
+    let heads: Vec<LogisticRegression> = (0..num_classes)
+        .map(|c| {
+            let labels_c: Vec<bool> = train_v.iter().map(|&v| labels[v as usize] == c as u32).collect();
+            let set = FeatureSet { features: features.clone(), labels: labels_c, dim: d };
+            LogisticRegression::train(&set, cfg.method, cfg.lr, cfg.l2, cfg.seed ^ c as u64)
+        })
+        .collect();
+
+    // Argmax over head scores.
+    let mut correct = 0usize;
+    for &v in test_v {
+        let row = m.row(v);
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (c, head) in heads.iter().enumerate() {
+            let s = head.predict(row);
+            if s > best_score {
+                best_score = s;
+                best = c;
+            }
+        }
+        if best as u32 == labels[v as usize] {
+            correct += 1;
+        }
+    }
+    correct as f64 / test_v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_core::config::{GoshConfig, Preset};
+    use gosh_core::pipeline::embed;
+    use gosh_gpu::{Device, DeviceConfig};
+    use gosh_graph::gen::{community_graph_with_labels, CommunityConfig};
+
+    #[test]
+    fn classifies_separable_embedding_perfectly() {
+        // Hand-built embedding: class = sign pattern of the row.
+        let n = 200;
+        let mut m = Embedding::zeros(n, 4);
+        let labels: Vec<u32> = (0..n as u32).map(|v| v % 2).collect();
+        for v in 0..n as u32 {
+            let sign = if v % 2 == 0 { 1.0 } else { -1.0 };
+            m.row_mut(v).copy_from_slice(&[sign, -sign, sign * 0.5, 0.1]);
+        }
+        let acc = node_classification_accuracy(&m, &labels, &ClassifyConfig::default());
+        assert!(acc > 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn random_embedding_is_near_chance() {
+        let n = 300;
+        let m = Embedding::random(n, 8, 3);
+        let labels: Vec<u32> = (0..n as u32).map(|v| v % 3).collect();
+        let acc = node_classification_accuracy(&m, &labels, &ClassifyConfig::default());
+        assert!(acc < 0.55, "acc = {acc}");
+    }
+
+    #[test]
+    fn gosh_embedding_recovers_communities() {
+        let (g, labels) = community_graph_with_labels(&CommunityConfig::new(1024, 8), 9);
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = GoshConfig::preset(Preset::Normal, false)
+            .with_dim(16)
+            .with_epochs(120)
+            .with_threads(4);
+        let (m, _) = embed(&g, &cfg, &device);
+        let acc = node_classification_accuracy(&m, &labels, &ClassifyConfig::default());
+        // Chance is ~1/num_communities (< 10%); the embedding should make
+        // communities close to linearly separable.
+        assert!(acc > 0.6, "acc = {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover")]
+    fn label_length_mismatch_panics() {
+        let m = Embedding::zeros(4, 2);
+        node_classification_accuracy(&m, &[0, 1], &ClassifyConfig::default());
+    }
+}

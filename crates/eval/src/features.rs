@@ -1,0 +1,158 @@
+//! Edge features for the link-prediction classifier (§4.1).
+//!
+//! Each candidate edge `(u, v)` becomes the element-wise (Hadamard)
+//! product of the two embedding rows — the `R_train` / `R_test` vectors of
+//! the paper. Negative candidates are drawn uniformly from
+//! `(V × V) \ E` to balance the positives.
+
+use gosh_core::model::Embedding;
+use gosh_graph::csr::{Csr, VertexId};
+use gosh_graph::rng::Xorshift128Plus;
+
+/// A labelled feature set: `features` is row-major `num_rows × dim`.
+#[derive(Clone, Debug)]
+pub struct FeatureSet {
+    /// Hadamard features, row-major.
+    pub features: Vec<f32>,
+    /// One label per row (true = edge).
+    pub labels: Vec<bool>,
+    /// Feature dimension (= embedding dimension).
+    pub dim: usize,
+}
+
+impl FeatureSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Write the Hadamard product of rows `u` and `v` into `out`.
+#[inline]
+pub fn hadamard(m: &Embedding, u: VertexId, v: VertexId, out: &mut [f32]) {
+    let (ru, rv) = (m.row(u), m.row(v));
+    for ((o, &a), &b) in out.iter_mut().zip(ru).zip(rv) {
+        *o = a * b;
+    }
+}
+
+/// Sample `count` non-edges of `g` (uniform over V × V minus E and the
+/// diagonal).
+pub fn sample_negative_edges(g: &Csr, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices() as u32;
+    assert!(n >= 2, "graph too small for negative sampling");
+    let mut rng = Xorshift128Plus::new(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count && guard < count * 100 {
+        guard += 1;
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v && !g.has_edge(u, v) {
+            out.push((u, v));
+        }
+    }
+    out
+}
+
+/// Build a balanced feature set: all of `positives` (capped at
+/// `max_positives`) plus an equal number of sampled non-edges of `g`.
+pub fn build_feature_set(
+    m: &Embedding,
+    g: &Csr,
+    positives: &[(VertexId, VertexId)],
+    max_positives: usize,
+    seed: u64,
+) -> FeatureSet {
+    let d = m.dim();
+    // Cap by uniform stride so the subsample stays deterministic.
+    let take = positives.len().min(max_positives);
+    let stride = (positives.len().max(1) as f64 / take.max(1) as f64).max(1.0);
+    let chosen: Vec<(VertexId, VertexId)> = (0..take)
+        .map(|i| positives[(i as f64 * stride) as usize])
+        .collect();
+    let negatives = sample_negative_edges(g, chosen.len(), seed);
+
+    let rows = chosen.len() + negatives.len();
+    let mut features = vec![0f32; rows * d];
+    let mut labels = Vec::with_capacity(rows);
+    for (i, &(u, v)) in chosen.iter().chain(negatives.iter()).enumerate() {
+        hadamard(m, u, v, &mut features[i * d..(i + 1) * d]);
+        labels.push(i < chosen.len());
+    }
+    FeatureSet {
+        features,
+        labels,
+        dim: d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::erdos_renyi;
+
+    #[test]
+    fn hadamard_is_elementwise_product() {
+        let mut m = Embedding::zeros(2, 3);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0, -3.0]);
+        m.row_mut(1).copy_from_slice(&[4.0, -5.0, 6.0]);
+        let mut out = [0f32; 3];
+        hadamard(&m, 0, 1, &mut out);
+        assert_eq!(out, [4.0, -10.0, -18.0]);
+    }
+
+    #[test]
+    fn negatives_are_really_non_edges() {
+        let g = erdos_renyi(100, 600, 3);
+        let negs = sample_negative_edges(&g, 200, 7);
+        assert_eq!(negs.len(), 200);
+        for &(u, v) in &negs {
+            assert_ne!(u, v);
+            assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn feature_set_is_balanced() {
+        let g = erdos_renyi(60, 200, 5);
+        let m = Embedding::random(60, 8, 1);
+        let pos: Vec<_> = g.undirected_edges().collect();
+        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 11);
+        assert_eq!(fs.len(), 2 * pos.len());
+        assert_eq!(fs.labels.iter().filter(|&&l| l).count(), pos.len());
+        assert_eq!(fs.dim, 8);
+    }
+
+    #[test]
+    fn cap_subsamples_positives() {
+        let g = erdos_renyi(80, 400, 9);
+        let m = Embedding::random(80, 4, 2);
+        let pos: Vec<_> = g.undirected_edges().collect();
+        let fs = build_feature_set(&m, &g, &pos, 50, 13);
+        assert_eq!(fs.labels.iter().filter(|&&l| l).count(), 50);
+        assert_eq!(fs.len(), 100);
+    }
+
+    #[test]
+    fn feature_rows_match_hadamard() {
+        let g = csr_from_edges(4, &[(0, 1), (2, 3)]);
+        let m = Embedding::random(4, 5, 3);
+        let pos = vec![(0u32, 1u32)];
+        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 17);
+        let mut expect = [0f32; 5];
+        hadamard(&m, 0, 1, &mut expect);
+        assert_eq!(fs.row(0), &expect);
+    }
+}

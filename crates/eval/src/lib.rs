@@ -1,0 +1,19 @@
+//! # gosh-eval
+//!
+//! The link-prediction evaluation pipeline of §4.1: Hadamard
+//! (element-wise-product) edge features from an embedding, a balanced
+//! train set (every training edge plus an equal number of sampled
+//! non-edges), a logistic-regression classifier (batch or SGD, mirroring
+//! scikit-learn's `LogisticRegression` / `SGDClassifier` roles), and
+//! AUCROC on the held-out edges.
+
+pub mod auc;
+pub mod classify;
+pub mod features;
+pub mod logreg;
+pub mod pipeline;
+
+pub use auc::auc_roc;
+pub use classify::{node_classification_accuracy, ClassifyConfig};
+pub use logreg::{LogisticRegression, TrainMethod};
+pub use pipeline::{evaluate_link_prediction, EvalConfig};

@@ -1,0 +1,195 @@
+//! Logistic regression for edge classification.
+//!
+//! The paper trains scikit-learn's `LogisticRegression` on medium graphs
+//! and falls back to `SGDClassifier` (logistic loss) on large ones, where
+//! the batch solver gets too expensive. Both roles are covered here:
+//! full-batch gradient descent with a decaying step, and single-pass-style
+//! SGD over shuffled rows. Weights include a bias term.
+
+use crate::features::FeatureSet;
+use gosh_graph::rng::Xorshift128Plus;
+
+/// Which optimizer trains the classifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainMethod {
+    /// Full-batch gradient descent (`LogisticRegression` role).
+    Batch {
+        /// Gradient-descent iterations.
+        iterations: u32,
+    },
+    /// Shuffled stochastic gradient descent (`SGDClassifier` role).
+    Sgd {
+        /// Passes over the data.
+        epochs: u32,
+    },
+}
+
+/// A trained logistic-regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// Feature weights (length = feature dim).
+    pub weights: Vec<f32>,
+    /// Bias term.
+    pub bias: f32,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Train on a feature set.
+    pub fn train(data: &FeatureSet, method: TrainMethod, lr: f32, l2: f32, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty feature set");
+        let d = data.dim;
+        let n = data.len();
+        let mut w = vec![0f32; d];
+        let mut b = 0f32;
+
+        match method {
+            TrainMethod::Batch { iterations } => {
+                let mut grad = vec![0f32; d];
+                for it in 0..iterations {
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+                    let mut gb = 0f32;
+                    for i in 0..n {
+                        let row = data.row(i);
+                        let y = if data.labels[i] { 1.0 } else { 0.0 };
+                        let p = sigmoid(dot(&w, row) + b);
+                        let err = p - y;
+                        for (g, &x) in grad.iter_mut().zip(row) {
+                            *g += err * x;
+                        }
+                        gb += err;
+                    }
+                    let step = lr / (1.0 + it as f32 * 0.01) / n as f32;
+                    for (wk, &g) in w.iter_mut().zip(&grad) {
+                        *wk -= step * (g + l2 * *wk * n as f32);
+                    }
+                    b -= step * gb;
+                }
+            }
+            TrainMethod::Sgd { epochs } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = Xorshift128Plus::new(seed);
+                for epoch in 0..epochs {
+                    // Fisher–Yates reshuffle per epoch.
+                    for i in (1..n).rev() {
+                        let j = rng.below(i as u32 + 1) as usize;
+                        order.swap(i, j);
+                    }
+                    let step = lr / (1.0 + epoch as f32);
+                    for &i in &order {
+                        let row = data.row(i);
+                        let y = if data.labels[i] { 1.0 } else { 0.0 };
+                        let p = sigmoid(dot(&w, row) + b);
+                        let err = p - y;
+                        for (wk, &x) in w.iter_mut().zip(row) {
+                            *wk -= step * (err * x + l2 * *wk);
+                        }
+                        b -= step * err;
+                    }
+                }
+            }
+        }
+        Self { weights: w, bias: b }
+    }
+
+    /// P(edge) for one feature row.
+    #[inline]
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        sigmoid(dot(&self.weights, row) + self.bias)
+    }
+
+    /// Scores for every row of a feature set.
+    pub fn predict_all(&self, data: &FeatureSet) -> Vec<f32> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auc::auc_roc;
+
+    /// Linearly separable synthetic set: positives have positive mean.
+    fn separable(n: usize, d: usize, seed: u64) -> FeatureSet {
+        let mut rng = Xorshift128Plus::new(seed);
+        let mut features = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            for _ in 0..d {
+                let base = if pos { 0.6 } else { -0.6 };
+                features.push(base + rng.next_f32() - 0.5);
+            }
+            labels.push(pos);
+        }
+        FeatureSet { features, labels, dim: d }
+    }
+
+    #[test]
+    fn batch_solver_separates() {
+        let data = separable(400, 6, 1);
+        let model = LogisticRegression::train(&data, TrainMethod::Batch { iterations: 200 }, 1.0, 1e-4, 1);
+        let auc = auc_roc(&model.predict_all(&data), &data.labels);
+        assert!(auc > 0.95, "auc = {auc}");
+    }
+
+    #[test]
+    fn sgd_solver_separates() {
+        let data = separable(400, 6, 2);
+        let model = LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 10 }, 0.1, 1e-4, 2);
+        let auc = auc_roc(&model.predict_all(&data), &data.labels);
+        assert!(auc > 0.95, "auc = {auc}");
+    }
+
+    #[test]
+    fn random_labels_give_chance_auc() {
+        let mut rng = Xorshift128Plus::new(3);
+        let n = 600;
+        let d = 4;
+        let features: Vec<f32> = (0..n * d).map(|_| rng.next_f32() - 0.5).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.5).collect();
+        let data = FeatureSet { features, labels, dim: d };
+        let model = LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 5 }, 0.1, 1e-4, 3);
+        let auc = auc_roc(&model.predict_all(&data), &data.labels);
+        assert!((auc - 0.5).abs() < 0.1, "auc = {auc}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let data = separable(100, 3, 4);
+        let model = LogisticRegression::train(&data, TrainMethod::Batch { iterations: 50 }, 1.0, 0.0, 4);
+        for s in model.predict_all(&data) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = separable(200, 4, 5);
+        let a = LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 3 }, 0.1, 1e-4, 7);
+        let b = LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 3 }, 0.1, 1e-4, 7);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty feature set")]
+    fn empty_set_panics() {
+        let data = FeatureSet { features: vec![], labels: vec![], dim: 4 };
+        LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 1 }, 0.1, 0.0, 1);
+    }
+}

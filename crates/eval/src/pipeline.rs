@@ -1,0 +1,124 @@
+//! End-to-end link-prediction evaluation (§4.1).
+//!
+//! Given an embedding of `G_train` and the held-out test edges, build the
+//! balanced train/test feature sets, fit the classifier on `R_train`, and
+//! report AUCROC on `R_test` — the number every table in the paper's
+//! evaluation reports.
+
+use gosh_core::model::Embedding;
+use gosh_graph::csr::{Csr, VertexId};
+
+use crate::auc::auc_roc;
+use crate::features::build_feature_set;
+use crate::logreg::{LogisticRegression, TrainMethod};
+
+/// Evaluation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Cap on classifier training positives (the paper switches from
+    /// `LogisticRegression` to `SGDClassifier` on large graphs; we cap the
+    /// feature matrix instead for the same reason — classifier cost must
+    /// not swamp embedding cost).
+    pub max_train_positives: usize,
+    /// Optimizer for the classifier.
+    pub method: TrainMethod,
+    /// Classifier learning rate.
+    pub lr: f32,
+    /// L2 regularization.
+    pub l2: f32,
+    /// Seed for negative sampling and SGD shuffling.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            max_train_positives: 200_000,
+            method: TrainMethod::Sgd { epochs: 8 },
+            lr: 0.05,
+            l2: 1e-5,
+            seed: 0xE7A1,
+        }
+    }
+}
+
+/// Train the classifier on `G_train`'s edges and score the test edges.
+/// Returns AUCROC in `[0, 1]`.
+pub fn evaluate_link_prediction(
+    m: &Embedding,
+    g_train: &Csr,
+    test_edges: &[(VertexId, VertexId)],
+    cfg: &EvalConfig,
+) -> f64 {
+    assert_eq!(
+        m.num_vertices(),
+        g_train.num_vertices(),
+        "embedding must cover the training graph"
+    );
+    let train_pos: Vec<(VertexId, VertexId)> = g_train.undirected_edges().collect();
+    let train_set = build_feature_set(m, g_train, &train_pos, cfg.max_train_positives, cfg.seed);
+    let model = LogisticRegression::train(&train_set, cfg.method, cfg.lr, cfg.l2, cfg.seed);
+
+    // Test set: held-out edges vs fresh non-edges (never capped — the
+    // paper scores every test edge).
+    let test_set = build_feature_set(m, g_train, test_edges, usize::MAX, cfg.seed ^ 0x7E57);
+    let scores = model.predict_all(&test_set);
+    auc_roc(&scores, &test_set.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_core::config::{GoshConfig, Preset};
+    use gosh_core::pipeline::embed;
+    use gosh_gpu::{Device, DeviceConfig};
+    use gosh_graph::gen::{community_graph, CommunityConfig};
+    use gosh_graph::split::{train_test_split, SplitConfig};
+
+    #[test]
+    fn random_embedding_scores_near_chance() {
+        let g = community_graph(&CommunityConfig::new(512, 6), 5);
+        let split = train_test_split(&g, &SplitConfig::default());
+        let m = Embedding::random(split.train.num_vertices(), 16, 3);
+        let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        assert!((auc - 0.5).abs() < 0.15, "auc = {auc}");
+    }
+
+    #[test]
+    fn trained_embedding_beats_random() {
+        let g = community_graph(&CommunityConfig::new(512, 8), 8);
+        let split = train_test_split(&g, &SplitConfig::default());
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = GoshConfig::preset(Preset::Normal, false)
+            .with_dim(16)
+            .with_epochs(80)
+            .with_threads(4);
+        let (m, _) = embed(&split.train, &cfg, &device);
+        let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        assert!(auc > 0.75, "auc = {auc}");
+    }
+
+    #[test]
+    fn batch_and_sgd_agree_roughly() {
+        let g = community_graph(&CommunityConfig::new(400, 6), 9);
+        let split = train_test_split(&g, &SplitConfig::default());
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = GoshConfig::preset(Preset::Fast, false)
+            .with_dim(16)
+            .with_epochs(60)
+            .with_threads(4);
+        let (m, _) = embed(&split.train, &cfg, &device);
+        let sgd = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        let batch = evaluate_link_prediction(
+            &m,
+            &split.train,
+            &split.test_edges,
+            &EvalConfig {
+                method: TrainMethod::Batch { iterations: 150 },
+                lr: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!((sgd - batch).abs() < 0.12, "sgd {sgd} vs batch {batch}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the evaluation stack.
+
+use gosh_eval::auc_roc;
+use gosh_eval::features::FeatureSet;
+use gosh_eval::{LogisticRegression, TrainMethod};
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 2..200).prop_map(|pairs| {
+        let (scores, labels): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded((scores, labels) in scored_labels()) {
+        let auc = auc_roc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform((scores, labels) in scored_labels()) {
+        // AUC depends only on the ranking: any strictly increasing
+        // transform of the scores must not change it.
+        let auc1 = auc_roc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+        let auc2 = auc_roc(&transformed, &labels);
+        prop_assert!((auc1 - auc2).abs() < 1e-9, "{auc1} vs {auc2}");
+    }
+
+    #[test]
+    fn auc_flips_under_negation((scores, labels) in scored_labels()) {
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(pos > 0 && pos < labels.len());
+        let auc = auc_roc(&scores, &labels);
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let auc_neg = auc_roc(&negated, &labels);
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9, "{auc} + {auc_neg} != 1");
+    }
+
+    #[test]
+    fn auc_invariant_under_label_consistent_permutation((scores, labels) in scored_labels(), seed in 0u64..100) {
+        use gosh_graph::rng::Xorshift128Plus;
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        let mut rng = Xorshift128Plus::new(seed);
+        for i in (1..idx.len()).rev() {
+            let j = rng.below(i as u32 + 1) as usize;
+            idx.swap(i, j);
+        }
+        let s2: Vec<f32> = idx.iter().map(|&i| scores[i]).collect();
+        let l2: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
+        prop_assert!((auc_roc(&scores, &labels) - auc_roc(&s2, &l2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logreg_predictions_stay_probabilities(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f32..2.0, 4..=4), 4..60),
+        epochs in 1u32..6,
+    ) {
+        let n = rows.len();
+        let features: Vec<f32> = rows.iter().flatten().copied().collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let data = FeatureSet { features, labels, dim: 4 };
+        let model = LogisticRegression::train(&data, TrainMethod::Sgd { epochs }, 0.1, 1e-4, 1);
+        for s in model.predict_all(&data) {
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s.is_finite());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Device memory buffers.
+//!
+//! Two buffer kinds cover everything GOSH stores on the device:
+//!
+//! * [`FloatBuffer`] — embedding (sub-)matrices. Elements are `f32` bits
+//!   inside `AtomicU32` cells so that the concurrent, lock-free updates of
+//!   Algorithm 3 are exactly as racy as the CUDA original permits (lost
+//!   updates possible, torn floats impossible) without undefined
+//!   behaviour.
+//! * [`PlainBuffer<T>`] — read-only data: CSR arrays, sample pools.
+//!
+//! Every allocation is charged against the owning device's memory budget
+//! and refunded on drop; host↔device copies bump the PCIe byte counters.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::device::DeviceShared;
+use crate::error::DeviceError;
+
+/// A mutable `f32` buffer in simulated device global memory.
+pub struct FloatBuffer {
+    data: Box<[AtomicU32]>,
+    device: Arc<DeviceShared>,
+    bytes: usize,
+}
+
+impl FloatBuffer {
+    pub(crate) fn new_zeroed(device: Arc<DeviceShared>, len: usize) -> Result<Self, DeviceError> {
+        let bytes = len * 4;
+        device.try_alloc(bytes)?;
+        let data = (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+        Ok(Self { data, device, bytes })
+    }
+
+    pub(crate) fn new_from_slice(
+        device: Arc<DeviceShared>,
+        host: &[f32],
+    ) -> Result<Self, DeviceError> {
+        let buf = Self::new_zeroed(device, host.len())?;
+        buf.copy_from_host(host);
+        Ok(buf)
+    }
+
+    /// Number of `f32` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Relaxed load of one element.
+    #[inline]
+    pub fn load(&self, i: usize) -> f32 {
+        f32::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store of one element.
+    #[inline]
+    pub fn store(&self, i: usize, v: f32) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Racy read-modify-write: `buf[i] += v`. Lost updates are possible —
+    /// the Hogwild contract of §3.1.
+    #[inline]
+    pub fn add(&self, i: usize, v: f32) {
+        let cur = self.load(i);
+        self.store(i, cur + v);
+    }
+
+    /// Read `out.len()` elements starting at `offset` (device-side access;
+    /// not counted as a PCIe copy).
+    #[inline]
+    pub fn read_row(&self, offset: usize, out: &mut [f32]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.load(offset + k);
+        }
+    }
+
+    /// Write `src` starting at `offset` (device-side access).
+    #[inline]
+    pub fn write_row(&self, offset: usize, src: &[f32]) {
+        for (k, &v) in src.iter().enumerate() {
+            self.store(offset + k, v);
+        }
+    }
+
+    /// Host→device copy into `[offset, offset + src.len())`; counted
+    /// against the interconnect.
+    pub fn copy_from_host_at(&self, offset: usize, src: &[f32]) {
+        self.write_row(offset, src);
+        self.device.counters.h2d_bytes.fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
+    }
+
+    /// Host→device copy of the whole buffer.
+    pub fn copy_from_host(&self, src: &[f32]) {
+        assert_eq!(src.len(), self.len(), "host slice length mismatch");
+        self.copy_from_host_at(0, src);
+    }
+
+    /// Device→host copy of `[offset, offset + out.len())`.
+    pub fn copy_to_host_at(&self, offset: usize, out: &mut [f32]) {
+        self.read_row(offset, out);
+        self.device.counters.d2h_bytes.fetch_add(out.len() as u64 * 4, Ordering::Relaxed);
+    }
+
+    /// Device→host copy of the whole buffer.
+    pub fn to_host_vec(&self) -> Vec<f32> {
+        let mut v = vec![0f32; self.len()];
+        self.copy_to_host_at(0, &mut v);
+        v
+    }
+}
+
+impl Drop for FloatBuffer {
+    fn drop(&mut self) {
+        self.device.free(self.bytes);
+    }
+}
+
+impl std::fmt::Debug for FloatBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FloatBuffer(len={})", self.len())
+    }
+}
+
+/// A read-only typed buffer in simulated device memory (graph structure,
+/// sample pools).
+pub struct PlainBuffer<T: Copy + Send + Sync> {
+    data: Box<[T]>,
+    device: Arc<DeviceShared>,
+    bytes: usize,
+}
+
+impl<T: Copy + Send + Sync> PlainBuffer<T> {
+    pub(crate) fn new_from_slice(
+        device: Arc<DeviceShared>,
+        host: &[T],
+    ) -> Result<Self, DeviceError> {
+        let bytes = std::mem::size_of_val(host);
+        device.try_alloc(bytes)?;
+        device.counters.h2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        Ok(Self {
+            data: host.to_vec().into_boxed_slice(),
+            device,
+            bytes,
+        })
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device-side view of the contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Copy + Send + Sync> Drop for PlainBuffer<T> {
+    fn drop(&mut self) {
+        self.device.free(self.bytes);
+    }
+}
+
+impl<T: Copy + Send + Sync> std::fmt::Debug for PlainBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlainBuffer(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DeviceConfig;
+    use crate::device::Device;
+    use crate::error::DeviceError;
+
+    #[test]
+    fn alloc_and_free_accounting() {
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        assert_eq!(dev.allocated_bytes(), 0);
+        let buf = dev.alloc_floats(128).unwrap(); // 512 bytes
+        assert_eq!(dev.allocated_bytes(), 512);
+        drop(buf);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn oom_is_reported_with_sizes() {
+        let dev = Device::new(DeviceConfig::tiny(100));
+        let err = dev.alloc_floats(100).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory { requested, available } => {
+                assert_eq!(requested, 400);
+                assert_eq!(available, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn oom_frees_nothing() {
+        let dev = Device::new(DeviceConfig::tiny(1000));
+        let _keep = dev.alloc_floats(200).unwrap(); // 800 bytes
+        assert!(dev.alloc_floats(100).is_err()); // +400 would exceed
+        assert_eq!(dev.allocated_bytes(), 800);
+        let small = dev.alloc_floats(50); // 200 bytes fits
+        assert!(small.is_ok());
+    }
+
+    #[test]
+    fn float_roundtrip_and_add() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(buf.load(1), 2.0);
+        buf.add(1, 0.5);
+        assert_eq!(buf.load(1), 2.5);
+        buf.store(0, -1.0);
+        assert_eq!(buf.to_host_vec(), vec![-1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn row_io() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.alloc_floats(8).unwrap();
+        buf.write_row(4, &[9.0, 8.0, 7.0, 6.0]);
+        let mut out = [0f32; 4];
+        buf.read_row(4, &mut out);
+        assert_eq!(out, [9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn copies_bump_pcie_counters() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[0.0; 16]).unwrap();
+        let _ = buf.to_host_vec();
+        let s = dev.snapshot();
+        assert_eq!(s.h2d_bytes, 64);
+        assert_eq!(s.d2h_bytes, 64);
+    }
+
+    #[test]
+    fn plain_buffer_contents_and_accounting() {
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        let buf = dev.upload_plain(&[1u32, 2, 3]).unwrap();
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        assert_eq!(dev.allocated_bytes(), 12);
+        drop(buf);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+}

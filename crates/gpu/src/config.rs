@@ -1,0 +1,98 @@
+//! Device configuration and the cost-model constants.
+
+/// Configuration of the simulated device.
+///
+/// The defaults describe the paper's testbed GPU (Titan X Pascal: 12 GB,
+/// 28 SMs, 1.417 GHz, PCIe 3.0 x16); [`DeviceConfig::tiny`] shrinks the
+/// memory so the large-graph path can be exercised at laptop scale.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Device memory budget in bytes.
+    pub memory_bytes: usize,
+    /// Streaming multiprocessor count (parallelism divisor in the model).
+    pub num_sms: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Resident warps per SM assumed for latency hiding.
+    pub occupancy: usize,
+    /// Host-device interconnect bandwidth in GB/s (PCIe 3.0 x16 ≈ 12).
+    pub pcie_gbps: f64,
+    /// Host worker threads that execute warps. 0 = all available cores.
+    pub host_threads: usize,
+    /// Fixed issue latency of a global-memory instruction, in cycles.
+    pub mem_latency_cycles: u64,
+    /// Cycles per 32-byte global transaction.
+    pub cycles_per_transaction: u64,
+    /// Cycles per shared-memory warp instruction.
+    pub shared_cycles: u64,
+    /// Seed for per-warp RNG streams.
+    pub seed: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's Titan X Pascal.
+    pub fn titan_x() -> Self {
+        Self {
+            memory_bytes: 12 * (1usize << 30),
+            num_sms: 28,
+            clock_ghz: 1.417,
+            occupancy: 8,
+            pcie_gbps: 12.0,
+            host_threads: 0,
+            mem_latency_cycles: 40,
+            cycles_per_transaction: 8,
+            shared_cycles: 2,
+            seed: 0x0060_5011,
+        }
+    }
+
+    /// A deliberately small device (default 64 MB) that forces the
+    /// large-graph decomposition on laptop-scale graphs.
+    pub fn tiny(memory_bytes: usize) -> Self {
+        Self {
+            memory_bytes,
+            ..Self::titan_x()
+        }
+    }
+
+    /// Resolve `host_threads == 0` to the machine's parallelism.
+    pub fn resolved_host_threads(&self) -> usize {
+        if self.host_threads > 0 {
+            self.host_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_has_12gb() {
+        let c = DeviceConfig::titan_x();
+        assert_eq!(c.memory_bytes, 12 * 1024 * 1024 * 1024);
+        assert_eq!(c.num_sms, 28);
+    }
+
+    #[test]
+    fn tiny_overrides_memory_only() {
+        let c = DeviceConfig::tiny(1 << 20);
+        assert_eq!(c.memory_bytes, 1 << 20);
+        assert_eq!(c.num_sms, DeviceConfig::titan_x().num_sms);
+    }
+
+    #[test]
+    fn threads_resolve_to_positive() {
+        assert!(DeviceConfig::default().resolved_host_threads() >= 1);
+        let c = DeviceConfig { host_threads: 3, ..Default::default() };
+        assert_eq!(c.resolved_host_threads(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! The memory-system cost model.
+//!
+//! Every kernel tallies four kinds of work, per warp:
+//!
+//! * **ALU warp instructions** — one per 32-lane vector operation.
+//! * **Shared-memory warp instructions** — bank traffic for rows staged in
+//!   shared memory (§3.1's source-row cache).
+//! * **Global-memory instructions** — each carries a fixed issue latency
+//!   plus a per-32-byte-transaction cost. A coalesced row of `d` floats is
+//!   `ceil(4d/32)` transactions; a strided access is `d` transactions —
+//!   this asymmetry is the §3.1 coalescing optimization.
+//! * **Host-device copies** — bytes over a PCIe-like interconnect.
+//!
+//! Modeled device time = total warp cycles / (SMs × occupancy × clock).
+//! The model is deliberately simple and *relative*: it ranks kernel
+//! variants (naive vs optimized vs packed small-`d`) the way the paper's
+//! Figure 4 and Table 8 do, but its absolute seconds are not Titan X
+//! wall-clock. Experiment output always labels which clock it reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::DeviceConfig;
+
+/// Global cost counters, updated by warp contexts in bulk.
+#[derive(Debug, Default)]
+pub struct CostCounters {
+    /// ALU warp instructions.
+    pub alu: AtomicU64,
+    /// Shared-memory warp instructions.
+    pub shared: AtomicU64,
+    /// Global-memory instructions issued (fixed latency each).
+    pub mem_instructions: AtomicU64,
+    /// 32-byte global transactions.
+    pub transactions: AtomicU64,
+    /// Warps executed.
+    pub warps: AtomicU64,
+    /// Kernels launched.
+    pub kernels: AtomicU64,
+    /// Host→device bytes copied.
+    pub h2d_bytes: AtomicU64,
+    /// Device→host bytes copied.
+    pub d2h_bytes: AtomicU64,
+}
+
+/// Per-thread counter deltas, flushed once per warp batch to keep the
+/// atomics out of the kernel inner loops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalCounters {
+    pub alu: u64,
+    pub shared: u64,
+    pub mem_instructions: u64,
+    pub transactions: u64,
+    pub warps: u64,
+}
+
+impl CostCounters {
+    /// Add a batch of locally accumulated counts.
+    pub fn flush(&self, l: &LocalCounters) {
+        self.alu.fetch_add(l.alu, Ordering::Relaxed);
+        self.shared.fetch_add(l.shared, Ordering::Relaxed);
+        self.mem_instructions.fetch_add(l.mem_instructions, Ordering::Relaxed);
+        self.transactions.fetch_add(l.transactions, Ordering::Relaxed);
+        self.warps.fetch_add(l.warps, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            alu: self.alu.load(Ordering::Relaxed),
+            shared: self.shared.load(Ordering::Relaxed),
+            mem_instructions: self.mem_instructions.load(Ordering::Relaxed),
+            transactions: self.transactions.load(Ordering::Relaxed),
+            warps: self.warps.load(Ordering::Relaxed),
+            kernels: self.kernels.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.alu,
+            &self.shared,
+            &self.mem_instructions,
+            &self.transactions,
+            &self.warps,
+            &self.kernels,
+            &self.h2d_bytes,
+            &self.d2h_bytes,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable view of the counters at a point in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    pub alu: u64,
+    pub shared: u64,
+    pub mem_instructions: u64,
+    pub transactions: u64,
+    pub warps: u64,
+    pub kernels: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+}
+
+impl CostSnapshot {
+    /// Counter-wise difference (`self` after, `earlier` before).
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            alu: self.alu - earlier.alu,
+            shared: self.shared - earlier.shared,
+            mem_instructions: self.mem_instructions - earlier.mem_instructions,
+            transactions: self.transactions - earlier.transactions,
+            warps: self.warps - earlier.warps,
+            kernels: self.kernels - earlier.kernels,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+        }
+    }
+}
+
+/// Converts counter snapshots into modeled seconds under a device config.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    cfg: DeviceConfig,
+}
+
+impl CostModel {
+    /// Build a model for the given device configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Total warp cycles implied by a snapshot.
+    pub fn cycles(&self, s: &CostSnapshot) -> u64 {
+        s.alu
+            + s.shared * self.cfg.shared_cycles
+            + s.mem_instructions * self.cfg.mem_latency_cycles
+            + s.transactions * self.cfg.cycles_per_transaction
+    }
+
+    /// Modeled kernel (device) seconds.
+    pub fn kernel_seconds(&self, s: &CostSnapshot) -> f64 {
+        let parallel = (self.cfg.num_sms * self.cfg.occupancy).max(1) as f64;
+        self.cycles(s) as f64 / (parallel * self.cfg.clock_ghz * 1e9)
+    }
+
+    /// Modeled copy seconds over the interconnect.
+    pub fn copy_seconds(&self, s: &CostSnapshot) -> f64 {
+        (s.h2d_bytes + s.d2h_bytes) as f64 / (self.cfg.pcie_gbps * 1e9)
+    }
+
+    /// Modeled total assuming copies and kernels overlap perfectly — the
+    /// best case the §3.3.2 prefetching (P_GPU = 3) aims for.
+    pub fn overlapped_seconds(&self, s: &CostSnapshot) -> f64 {
+        self.kernel_seconds(s).max(self.copy_seconds(s))
+    }
+
+    /// Modeled total with no overlap (P_GPU = 2 style serialization).
+    pub fn serial_seconds(&self, s: &CostSnapshot) -> f64 {
+        self.kernel_seconds(s) + self.copy_seconds(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(alu: u64, shared: u64, mem: u64, tx: u64) -> CostSnapshot {
+        CostSnapshot {
+            alu,
+            shared,
+            mem_instructions: mem,
+            transactions: tx,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cycles_weight_memory_heaviest() {
+        let cfg = DeviceConfig::titan_x();
+        let m = CostModel::new(cfg);
+        let alu_only = snap(100, 0, 0, 0);
+        let mem_only = snap(0, 0, 100, 0);
+        assert!(m.cycles(&mem_only) > 10 * m.cycles(&alu_only));
+    }
+
+    #[test]
+    fn strided_costs_more_than_coalesced() {
+        // 32 floats coalesced: 1 instruction, 4 transactions.
+        // 32 floats strided: 1 instruction, 32 transactions.
+        let m = CostModel::new(DeviceConfig::titan_x());
+        let coalesced = snap(0, 0, 1, 4);
+        let strided = snap(0, 0, 1, 32);
+        assert!(m.cycles(&strided) > 2 * m.cycles(&coalesced));
+    }
+
+    #[test]
+    fn seconds_scale_with_clock_and_sms() {
+        let base = DeviceConfig::titan_x();
+        let slow = DeviceConfig { num_sms: 14, ..base };
+        let s = snap(1000, 1000, 1000, 1000);
+        let t_base = CostModel::new(base).kernel_seconds(&s);
+        let t_slow = CostModel::new(slow).kernel_seconds(&s);
+        assert!((t_slow / t_base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_seconds_from_bytes() {
+        let m = CostModel::new(DeviceConfig::titan_x());
+        let s = CostSnapshot { h2d_bytes: 12_000_000_000, ..Default::default() };
+        assert!((m.copy_seconds(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_max_serial_is_sum() {
+        let m = CostModel::new(DeviceConfig::titan_x());
+        let s = CostSnapshot {
+            mem_instructions: 1_000_000,
+            h2d_bytes: 1_000_000_000,
+            ..Default::default()
+        };
+        let k = m.kernel_seconds(&s);
+        let c = m.copy_seconds(&s);
+        assert!((m.overlapped_seconds(&s) - k.max(c)).abs() < 1e-12);
+        assert!((m.serial_seconds(&s) - (k + c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let a = snap(10, 10, 10, 10);
+        let b = snap(25, 15, 12, 30);
+        let d = b.since(&a);
+        assert_eq!(d.alu, 15);
+        assert_eq!(d.transactions, 20);
+    }
+
+    #[test]
+    fn counters_flush_and_reset() {
+        let c = CostCounters::default();
+        c.flush(&LocalCounters { alu: 5, shared: 3, mem_instructions: 2, transactions: 7, warps: 1 });
+        c.flush(&LocalCounters { alu: 1, ..Default::default() });
+        let s = c.snapshot();
+        assert_eq!(s.alu, 6);
+        assert_eq!(s.transactions, 7);
+        c.reset();
+        assert_eq!(c.snapshot(), CostSnapshot::default());
+    }
+}

@@ -1,0 +1,28 @@
+//! Device errors.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed the configured device memory.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, available } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

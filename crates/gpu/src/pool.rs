@@ -1,0 +1,218 @@
+//! Persistent worker pool backing kernel launches.
+//!
+//! Spawning OS threads per launch costs ~10 ms on this class of machine;
+//! GOSH dispatches tens of thousands of kernels per run (one per epoch /
+//! per part pair), so launches must reuse workers. This is a minimal
+//! rayon-style scoped pool: `run` publishes a borrowed job, wakes every
+//! worker, and blocks until all of them have finished it — which is what
+//! makes handing a non-`'static` closure to long-lived threads sound.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A borrowed job erased to a raw pointer. The pointer is only
+/// dereferenced between publication and the final `pending` decrement,
+/// and `run` does not return before `pending` reaches zero, so the
+/// borrow is live for every dereference.
+#[derive(Clone, Copy)]
+struct ErasedFn {
+    ptr: *const (dyn Fn() + Sync),
+}
+// SAFETY: the pointee is `Sync` (asserted at construction) and the pool
+// guarantees it outlives all uses (see `run`).
+unsafe impl Send for ErasedFn {}
+unsafe impl Sync for ErasedFn {}
+
+struct Job {
+    seq: u64,
+    f: ErasedFn,
+    /// Workers that have not finished this job yet.
+    pending: Arc<AtomicUsize>,
+    done: Arc<(Mutex<()>, Condvar)>,
+}
+
+impl Clone for Job {
+    fn clone(&self) -> Self {
+        Self {
+            seq: self.seq,
+            f: self.f,
+            pending: self.pending.clone(),
+            done: self.done.clone(),
+        }
+    }
+}
+
+struct Slot {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    slot: Mutex<Slot>,
+    job_cv: Condvar,
+}
+
+/// A fixed-size pool of workers that execute one job at a time.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes `run` calls from different host threads.
+    launch_lock: Mutex<u64>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(Slot { job: None, shutdown: false }),
+            job_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name("gosh-gpu-worker".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn device worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            launch_lock: Mutex::new(0),
+            threads,
+        }
+    }
+
+    /// Run `f` on every worker simultaneously; returns when all finish.
+    /// `f` typically loops over an atomic work cursor.
+    pub(crate) fn run<F: Fn() + Sync>(&self, f: F) {
+        let mut seq_guard = self.launch_lock.lock();
+        *seq_guard += 1;
+        let pending = Arc::new(AtomicUsize::new(self.threads));
+        let done = Arc::new((Mutex::new(()), Condvar::new()));
+        {
+            let fref: &(dyn Fn() + Sync) = &f;
+            // SAFETY: we erase the lifetime, but we block below until
+            // `pending == 0`, i.e. until no worker will touch `f` again,
+            // before `f` can be dropped.
+            let fref: *const (dyn Fn() + Sync) = unsafe { std::mem::transmute(fref) };
+            let mut slot = self.shared.slot.lock();
+            slot.job = Some(Job {
+                seq: *seq_guard,
+                f: ErasedFn { ptr: fref },
+                pending: pending.clone(),
+                done: done.clone(),
+            });
+            self.shared.job_cv.notify_all();
+        }
+        let (lock, cv) = &*done;
+        let mut g = lock.lock();
+        while pending.load(Ordering::Acquire) != 0 {
+            cv.wait(&mut g);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.shutdown = true;
+            self.shared.job_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                match &slot.job {
+                    Some(j) if j.seq > seen => {
+                        seen = j.seq;
+                        break j.clone();
+                    }
+                    _ => shared.job_cv.wait(&mut slot),
+                }
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `pending` hits zero;
+        // we are strictly before our decrement.
+        let f = unsafe { &*job.f.ptr };
+        f();
+        // Final touch of the job: decrement, then notify under the lock.
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let (lock, cv) = &*job.done;
+            let _g = lock.lock();
+            cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_borrowed_work_to_completion() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let cursor = AtomicUsize::new(0);
+        pool.run(|| {
+            while cursor.fetch_add(1, Ordering::Relaxed) < 1000 {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn sequential_jobs_do_not_interleave() {
+        let pool = WorkerPool::new(4);
+        let log = Mutex::new(Vec::new());
+        for round in 0..50 {
+            pool.run(|| {
+                log.lock().push(round);
+            });
+        }
+        let log = log.into_inner();
+        assert_eq!(log.len(), 50 * 4);
+        // All entries of round r precede all entries of round r+1.
+        for (i, w) in log.windows(2).enumerate() {
+            assert!(w[0] <= w[1], "interleaved at {i}: {:?}", &log[i..i + 2]);
+        }
+    }
+
+    #[test]
+    fn many_tiny_jobs_are_fast() {
+        let pool = WorkerPool::new(8);
+        let t0 = std::time::Instant::now();
+        for _ in 0..2000 {
+            pool.run(|| {});
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt < 2.0, "2000 empty jobs took {dt}s");
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = WorkerPool::new(1);
+        let x = AtomicUsize::new(0);
+        pool.run(|| {
+            x.fetch_add(7, Ordering::Relaxed);
+        });
+        assert_eq!(x.load(Ordering::Relaxed), 7);
+    }
+}

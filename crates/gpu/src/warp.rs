@@ -1,0 +1,461 @@
+//! Warp execution context.
+//!
+//! A [`Warp`] is the view a kernel has of one 32-lane SIMT warp: a warp
+//! id, a deterministic per-warp RNG stream (the in-kernel sampler of
+//! Algorithm 3), and counting wrappers around global/shared-memory and ALU
+//! work. Kernels express Algorithm 3 in terms of these warp-wide vector
+//! operations; the wrappers perform the *functional* work on the spot and
+//! tally the *architectural* cost for the [`crate::cost::CostModel`].
+//!
+//! Counting conventions (see `cost.rs` for the cycle weights):
+//! * a vector op over `len` lanes is `ceil(len/32)` warp instructions,
+//!   minimum 1 — a warp busy with an 8-float row still issues one
+//!   instruction, which is exactly the small-`d` underutilization of
+//!   §3.1.1;
+//! * a coalesced global row of `len` floats moves `ceil(4·len/32)`
+//!   32-byte transactions in one memory instruction;
+//! * a strided access moves one transaction per element.
+
+use std::cell::Cell;
+
+use gosh_graph::rng::{mix64, Xorshift128Plus};
+
+use crate::buffer::FloatBuffer;
+use crate::cost::LocalCounters;
+
+/// Global-memory access pattern of a row operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Lane k touches element k: round-robin layout, 32-byte segments.
+    Coalesced,
+    /// Each lane wanders: one transaction per element (the naive kernel).
+    Strided,
+}
+
+/// Warp lanes (fixed at 32, as in the paper).
+pub const WARP_SIZE: usize = 32;
+
+/// Execution context handed to a kernel once per warp.
+pub struct Warp {
+    id: Cell<usize>,
+    rng: Cell<XsState>,
+    counters: Cell<LocalCounters>,
+}
+
+/// Copyable xorshift128+ state (kept in a `Cell` so counting methods can
+/// take `&self` while the kernel holds `&mut` scratch slices).
+#[derive(Clone, Copy)]
+struct XsState {
+    s0: u64,
+    s1: u64,
+}
+
+impl Warp {
+    pub(crate) fn new() -> Self {
+        Self {
+            id: Cell::new(0),
+            rng: Cell::new(XsState { s0: 1, s1: 2 }),
+            counters: Cell::new(LocalCounters::default()),
+        }
+    }
+
+    /// Re-arm the context for warp `id` of kernel `kernel_id` (deterministic
+    /// RNG stream per (seed, kernel, warp) triple).
+    pub(crate) fn arm(&self, id: usize, kernel_id: u64, seed: u64) {
+        self.id.set(id);
+        let mut sm = Xorshift128Plus::new(mix64(seed ^ kernel_id.rotate_left(17) ^ id as u64));
+        // Pull two words through the seeded generator for the state.
+        let s0 = sm.next_u64();
+        let s1 = sm.next_u64() | 1;
+        self.rng.set(XsState { s0, s1 });
+        let mut c = self.counters.get();
+        c.warps += 1;
+        self.counters.set(c);
+    }
+
+    pub(crate) fn take_counters(&self) -> LocalCounters {
+        self.counters.replace(LocalCounters::default())
+    }
+
+    /// This warp's id within the launch.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id.get()
+    }
+
+    #[inline]
+    fn bump(&self, f: impl FnOnce(&mut LocalCounters)) {
+        let mut c = self.counters.get();
+        f(&mut c);
+        self.counters.set(c);
+    }
+
+    #[inline]
+    fn next_u64(&self) -> u64 {
+        let XsState { mut s0, s1 } = self.rng.get();
+        let y = s1;
+        let new_s0 = y;
+        s0 ^= s0 << 23;
+        let new_s1 = s0 ^ y ^ (s0 >> 17) ^ (y >> 26);
+        self.rng.set(XsState { s0: new_s0, s1: new_s1 });
+        new_s1.wrapping_add(y)
+    }
+
+    /// Uniform integer in `[0, bound)` from the warp's RNG stream.
+    #[inline]
+    pub fn rand_below(&self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        let x = self.next_u64() as u32 as u64;
+        ((x * bound as u64) >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn rand_f32(&self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    #[inline]
+    fn vector_instructions(len: usize, lanes_per_item: usize) -> u64 {
+        // `lanes_per_item` > 1 models packed small-d warps where one
+        // instruction serves several sources at once.
+        (len.div_ceil(WARP_SIZE / lanes_per_item.max(1))).max(1) as u64
+    }
+
+    #[inline]
+    fn row_transactions(len: usize, access: Access) -> u64 {
+        match access {
+            Access::Coalesced => (len * 4).div_ceil(32) as u64,
+            Access::Strided => len as u64,
+        }
+    }
+
+    /// Read a global row into scratch ("registers"): one memory instruction.
+    #[inline]
+    pub fn global_read_row(&self, buf: &FloatBuffer, offset: usize, out: &mut [f32], access: Access) {
+        buf.read_row(offset, out);
+        let tx = Self::row_transactions(out.len(), access);
+        self.bump(|c| {
+            c.mem_instructions += 1;
+            c.transactions += tx;
+        });
+    }
+
+    /// Write scratch back to a global row: one memory instruction.
+    #[inline]
+    pub fn global_write_row(&self, buf: &FloatBuffer, offset: usize, src: &[f32], access: Access) {
+        buf.write_row(offset, src);
+        let tx = Self::row_transactions(src.len(), access);
+        self.bump(|c| {
+            c.mem_instructions += 1;
+            c.transactions += tx;
+        });
+    }
+
+    /// Racy global update `buf[offset + k] += a * xs[k]` — read + write
+    /// memory instructions, the sample-row update of Algorithm 1.
+    #[inline]
+    pub fn global_axpy_row(&self, buf: &FloatBuffer, offset: usize, a: f32, xs: &[f32], access: Access) {
+        for (k, &x) in xs.iter().enumerate() {
+            buf.add(offset + k, a * x);
+        }
+        let tx = 2 * Self::row_transactions(xs.len(), access);
+        self.bump(|c| {
+            c.mem_instructions += 2;
+            c.transactions += tx;
+            c.alu += Self::vector_instructions(xs.len(), 1);
+        });
+    }
+
+    /// Dot product of two rows already on chip (shared/registers).
+    #[inline]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0f32;
+        for (x, y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        // FMA chain + log2(32) shuffle-reduce steps.
+        let instr = Self::vector_instructions(a.len(), 1) + 5;
+        self.bump(|c| c.alu += instr);
+        acc
+    }
+
+    /// `ys[k] += a * xs[k]` with `ys` in shared memory (the source-row
+    /// update of Algorithm 1 under the §3.1 shared-memory staging).
+    #[inline]
+    pub fn shared_axpy(&self, a: f32, xs: &[f32], ys: &mut [f32]) {
+        debug_assert_eq!(xs.len(), ys.len());
+        for (y, &x) in ys.iter_mut().zip(xs) {
+            *y += a * x;
+        }
+        let instr = Self::vector_instructions(xs.len(), 1);
+        self.bump(|c| {
+            c.alu += instr;
+            c.shared += 2 * instr; // read + write
+        });
+    }
+
+    /// Count a shared-memory staging copy of `len` floats (e.g. moving a
+    /// global row into shared memory after `global_read_row`).
+    #[inline]
+    pub fn shared_store(&self, len: usize) {
+        let instr = Self::vector_instructions(len, 1);
+        self.bump(|c| c.shared += instr);
+    }
+
+    /// Packed read: `offsets.len()` sub-warps each read a `row_len` row in
+    /// the *same* instruction slot (small-`d` mode, §3.1.1). Rows land
+    /// concatenated in `out`. Costs one memory instruction (latencies
+    /// overlap across sub-warps) plus each row's transactions.
+    pub fn global_read_rows(
+        &self,
+        buf: &FloatBuffer,
+        offsets: &[usize],
+        row_len: usize,
+        out: &mut [f32],
+        access: Access,
+    ) {
+        debug_assert_eq!(out.len(), offsets.len() * row_len);
+        for (k, &off) in offsets.iter().enumerate() {
+            buf.read_row(off, &mut out[k * row_len..(k + 1) * row_len]);
+        }
+        let tx = offsets.len() as u64 * Self::row_transactions(row_len, access);
+        self.bump(|c| {
+            c.mem_instructions += 1;
+            c.transactions += tx;
+        });
+    }
+
+    /// Packed write, the counterpart of [`Warp::global_read_rows`].
+    pub fn global_write_rows(
+        &self,
+        buf: &FloatBuffer,
+        offsets: &[usize],
+        row_len: usize,
+        src: &[f32],
+        access: Access,
+    ) {
+        debug_assert_eq!(src.len(), offsets.len() * row_len);
+        for (k, &off) in offsets.iter().enumerate() {
+            buf.write_row(off, &src[k * row_len..(k + 1) * row_len]);
+        }
+        let tx = offsets.len() as u64 * Self::row_transactions(row_len, access);
+        self.bump(|c| {
+            c.mem_instructions += 1;
+            c.transactions += tx;
+        });
+    }
+
+    /// Packed racy update: sub-warp `k` performs
+    /// `buf[offsets[k] + j] += a[k] * xs[k·row_len + j]` in one read + one
+    /// write instruction slot shared by all sub-warps.
+    pub fn global_axpy_rows(
+        &self,
+        buf: &FloatBuffer,
+        offsets: &[usize],
+        row_len: usize,
+        a: &[f32],
+        xs: &[f32],
+        access: Access,
+    ) {
+        debug_assert_eq!(xs.len(), offsets.len() * row_len);
+        debug_assert_eq!(a.len(), offsets.len());
+        for (k, &off) in offsets.iter().enumerate() {
+            for j in 0..row_len {
+                buf.add(off + j, a[k] * xs[k * row_len + j]);
+            }
+        }
+        let tx = 2 * offsets.len() as u64 * Self::row_transactions(row_len, access);
+        self.bump(|c| {
+            c.mem_instructions += 2;
+            c.transactions += tx;
+            c.alu += Self::vector_instructions(offsets.len() * row_len, 1);
+        });
+    }
+
+    /// Packed dot products: sub-warp `k` computes `a_k · b_k` where the
+    /// rows are concatenated; all sub-warps share the lane budget, so the
+    /// instruction count is `ceil(k·row_len/32) + reduce`, the §3.1.1 win.
+    pub fn dot_rows(&self, a: &[f32], b: &[f32], row_len: usize, out: &mut [f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len() % row_len, 0);
+        let k = a.len() / row_len;
+        debug_assert_eq!(out.len(), k);
+        for (i, o) in out.iter_mut().enumerate() {
+            let r = i * row_len..(i + 1) * row_len;
+            *o = a[r.clone()].iter().zip(&b[r]).map(|(x, y)| x * y).sum();
+        }
+        let instr = Self::vector_instructions(a.len(), 1) + 5;
+        self.bump(|c| c.alu += instr);
+    }
+
+    /// Packed shared-memory update: `ys[k·row_len + j] += a[k] · xs[k·row_len + j]`.
+    pub fn shared_axpy_rows(&self, a: &[f32], xs: &[f32], ys: &mut [f32], row_len: usize) {
+        debug_assert_eq!(xs.len(), ys.len());
+        let k = xs.len() / row_len;
+        debug_assert_eq!(a.len(), k);
+        for i in 0..k {
+            for j in 0..row_len {
+                ys[i * row_len + j] += a[i] * xs[i * row_len + j];
+            }
+        }
+        let instr = Self::vector_instructions(xs.len(), 1);
+        self.bump(|c| {
+            c.alu += instr;
+            c.shared += 2 * instr;
+        });
+    }
+
+    /// Numerically-stable sigmoid, counted as a short ALU burst.
+    #[inline]
+    pub fn sigmoid(&self, x: f32) -> f32 {
+        self.bump(|c| c.alu += 8);
+        sigmoid(x)
+    }
+
+    /// Count `n` extra ALU warp instructions (scalar bookkeeping).
+    #[inline]
+    pub fn alu(&self, n: u64) {
+        self.bump(|c| c.alu += n);
+    }
+
+}
+
+/// Plain sigmoid used by both device kernels and CPU trainers.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::device::{Device, LaunchConfig};
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-200.0) >= 0.0); // no underflow blowup
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_warp() {
+        let w = Warp::new();
+        w.arm(7, 3, 42);
+        let a: Vec<u32> = (0..8).map(|_| w.rand_below(1000)).collect();
+        w.arm(7, 3, 42);
+        let b: Vec<u32> = (0..8).map(|_| w.rand_below(1000)).collect();
+        assert_eq!(a, b);
+        w.arm(8, 3, 42);
+        let c: Vec<u32> = (0..8).map(|_| w.rand_below(1000)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn transactions_follow_access_pattern() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&vec![0f32; 64]).unwrap();
+        dev.reset_counters();
+        dev.launch(LaunchConfig::new(1, 64), |w, scratch| {
+            w.global_read_row(&buf, 0, &mut scratch[..32], Access::Coalesced);
+        });
+        let coalesced = dev.snapshot().transactions;
+        dev.reset_counters();
+        dev.launch(LaunchConfig::new(1, 64), |w, scratch| {
+            w.global_read_row(&buf, 0, &mut scratch[..32], Access::Strided);
+        });
+        let strided = dev.snapshot().transactions;
+        assert_eq!(coalesced, 4); // 128 bytes / 32
+        assert_eq!(strided, 32);
+    }
+
+    #[test]
+    fn dot_and_axpy_compute_correctly() {
+        let w = Warp::new();
+        w.arm(0, 0, 0);
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(w.dot(&a, &b), 32.0);
+        let mut ys = [1.0f32, 1.0, 1.0];
+        w.shared_axpy(2.0, &a, &mut ys);
+        assert_eq!(ys, [3.0, 5.0, 7.0]);
+        let c = w.take_counters();
+        assert!(c.alu > 0 && c.shared > 0);
+    }
+
+    #[test]
+    fn min_one_instruction_for_small_rows() {
+        // An 8-float vector op still costs a full warp instruction — the
+        // §3.1.1 underutilization.
+        assert_eq!(Warp::vector_instructions(8, 1), 1);
+        assert_eq!(Warp::vector_instructions(32, 1), 1);
+        assert_eq!(Warp::vector_instructions(33, 1), 2);
+        assert_eq!(Warp::vector_instructions(128, 1), 4);
+    }
+
+    #[test]
+    fn packed_reads_cost_one_instruction() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&vec![1f32; 64]).unwrap();
+        dev.reset_counters();
+        // 4 packed rows of 8 floats: 1 instruction, 4 transactions.
+        dev.launch(LaunchConfig::new(1, 32), |w, scratch| {
+            w.global_read_rows(&buf, &[0, 8, 16, 24], 8, &mut scratch[..32], Access::Coalesced);
+        });
+        let s = dev.snapshot();
+        assert_eq!(s.mem_instructions, 1);
+        assert_eq!(s.transactions, 4);
+        // Same data via 4 separate reads: 4 instructions.
+        dev.reset_counters();
+        dev.launch(LaunchConfig::new(1, 32), |w, scratch| {
+            for k in 0..4usize {
+                w.global_read_row(&buf, k * 8, &mut scratch[k * 8..(k + 1) * 8], Access::Coalesced);
+            }
+        });
+        assert_eq!(dev.snapshot().mem_instructions, 4);
+    }
+
+    #[test]
+    fn packed_dot_and_axpy_match_scalar() {
+        let w = Warp::new();
+        w.arm(0, 0, 0);
+        let a = [1.0f32, 2.0, 3.0, 4.0]; // two rows of 2
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut out = [0f32; 2];
+        w.dot_rows(&a, &b, 2, &mut out);
+        assert_eq!(out, [17.0, 53.0]);
+        let mut ys = [0f32; 4];
+        w.shared_axpy_rows(&[2.0, 10.0], &a, &mut ys, 2);
+        assert_eq!(ys, [2.0, 4.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn packed_global_axpy_rows_applies() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[1.0, 1.0, 10.0, 10.0]).unwrap();
+        dev.launch(LaunchConfig::new(1, 8), |w, _| {
+            w.global_axpy_rows(&buf, &[0, 2], 2, &[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0], Access::Coalesced);
+        });
+        assert_eq!(buf.to_host_vec(), vec![2.0, 3.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn global_axpy_applies_update() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[1.0, 1.0]).unwrap();
+        dev.launch(LaunchConfig::new(1, 4), |w, _| {
+            w.global_axpy_row(&buf, 0, 3.0, &[1.0, 2.0], Access::Coalesced);
+        });
+        assert_eq!(buf.to_host_vec(), vec![4.0, 7.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Edge-list to CSR construction.
+//!
+//! The builder accepts arbitrary (possibly duplicated, self-looped,
+//! unsorted) edge lists and produces the clean symmetric CSR that the
+//! coarsening and trainers assume: sorted neighbour lists, no duplicate
+//! arcs, no self loops, every edge present in both directions (for the
+//! undirected graphs used throughout the paper).
+
+use crate::csr::{Csr, VertexId};
+
+/// Accumulates edges and finalizes them into a [`Csr`].
+///
+/// Construction is O(|V| + |E|) using counting sort over the source
+/// endpoint — the same complexity budget the paper gives for each
+/// coarsening stage, so graph (re)construction never dominates.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    symmetrize: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` vertices. By default the result is
+    /// symmetrized, deduplicated, and self-loop free.
+    pub fn new(n: usize) -> Self {
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+            symmetrize: true,
+            dedup: true,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Keep the graph directed (no reverse arcs added).
+    pub fn directed(mut self) -> Self {
+        self.symmetrize = false;
+        self
+    }
+
+    /// Keep duplicate arcs (multi-graph).
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Keep self loops.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.drop_self_loops = false;
+        self
+    }
+
+    /// Number of vertices the builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of raw edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add one edge. Panics if an endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge ({u},{v}) out of range for n={}",
+            self.num_vertices
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Add many edges.
+    pub fn extend<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Reserve capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Finalize into a CSR graph.
+    pub fn build(self) -> Csr {
+        let n = self.num_vertices;
+        let mut arcs: Vec<(VertexId, VertexId)> =
+            Vec::with_capacity(self.edges.len() * if self.symmetrize { 2 } else { 1 });
+        for &(u, v) in &self.edges {
+            if self.drop_self_loops && u == v {
+                continue;
+            }
+            arcs.push((u, v));
+            if self.symmetrize && u != v {
+                arcs.push((v, u));
+            }
+        }
+
+        // Counting sort by source: O(|V| + |E|).
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _) in &arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let xadj = counts.clone();
+        let mut adj = vec![0 as VertexId; arcs.len()];
+        let mut cursor = counts;
+        for &(u, v) in &arcs {
+            adj[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+
+        // Sort each neighbour list, then optionally dedup in place.
+        let mut out_adj = Vec::with_capacity(adj.len());
+        let mut out_xadj = Vec::with_capacity(n + 1);
+        out_xadj.push(0usize);
+        for v in 0..n {
+            let start = out_adj.len();
+            let slice = &mut adj[xadj[v]..xadj[v + 1]];
+            slice.sort_unstable();
+            if self.dedup {
+                let mut last: Option<VertexId> = None;
+                for &u in slice.iter() {
+                    if last != Some(u) {
+                        out_adj.push(u);
+                        last = Some(u);
+                    }
+                }
+            } else {
+                out_adj.extend_from_slice(slice);
+            }
+            let _ = start;
+            out_xadj.push(out_adj.len());
+        }
+
+        Csr::from_raw(out_xadj, out_adj)
+    }
+}
+
+/// Convenience: build a symmetric, deduplicated, loop-free CSR from an edge list.
+pub fn csr_from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_symmetric() {
+        let g = csr_from_edges(4, &[(2, 0), (0, 1), (3, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.neighbors(3), &[1]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn dedups_duplicates_and_reverse_duplicates() {
+        let g = csr_from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let g = csr_from_edges(2, &[(0, 0), (0, 1)]);
+        assert!(g.has_no_self_loops());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn keep_self_loops_opt_in() {
+        let mut b = GraphBuilder::new(2).keep_self_loops();
+        b.add_edge(0, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[0]);
+        // Self loop is not doubled by symmetrization.
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn directed_preserves_orientation() {
+        let mut b = GraphBuilder::new(3).directed();
+        b.extend([(0, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn multigraph_keeps_duplicates() {
+        let mut b = GraphBuilder::new(2).keep_duplicates();
+        b.extend([(0, 1), (0, 1)]);
+        let g = b.build();
+        // Two parallel edges, each symmetrized.
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = csr_from_edges(5, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_isolated(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Isolated-vertex removal.
+//!
+//! Graphs loaded from edge lists (the paper's SNAP/KONECT sources) contain
+//! no isolated vertices by construction — every vertex id appears in an
+//! edge. Synthetic generators like R-MAT, however, can leave many ids
+//! untouched. Isolated vertices distort the coarsening density threshold
+//! δ = |E|/|V| (they inflate |V| and thus make ordinary vertices look like
+//! hubs), so dataset construction compacts them away, mirroring the
+//! paper's "remove all the isolated vertices" preprocessing (§4.1).
+
+use crate::csr::{Csr, VertexId};
+
+/// A compacted graph plus the id mapping back to the original.
+#[derive(Clone, Debug)]
+pub struct CompactedGraph {
+    /// The graph over `0..n'` with every vertex of degree >= 1.
+    pub graph: Csr,
+    /// `orig_of_new[v]` = original id of compact vertex `v`.
+    pub orig_of_new: Vec<VertexId>,
+}
+
+/// Remove all degree-0 vertices, renumbering the rest contiguously.
+pub fn remove_isolated(g: &Csr) -> CompactedGraph {
+    let n = g.num_vertices();
+    let mut new_of_orig = vec![VertexId::MAX; n];
+    let mut orig_of_new = Vec::new();
+    for v in 0..n as VertexId {
+        if g.degree(v) > 0 {
+            new_of_orig[v as usize] = orig_of_new.len() as VertexId;
+            orig_of_new.push(v);
+        }
+    }
+    let mut xadj = Vec::with_capacity(orig_of_new.len() + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::with_capacity(g.num_edges());
+    for &v in &orig_of_new {
+        for &u in g.neighbors(v) {
+            adj.push(new_of_orig[u as usize]);
+        }
+        xadj.push(adj.len());
+    }
+    CompactedGraph {
+        graph: Csr::from_raw(xadj, adj),
+        orig_of_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+    use crate::gen::{rmat, RmatConfig};
+
+    #[test]
+    fn removes_only_isolated() {
+        let g = csr_from_edges(6, &[(0, 2), (2, 4)]);
+        let c = remove_isolated(&g);
+        assert_eq!(c.graph.num_vertices(), 3);
+        assert_eq!(c.graph.num_isolated(), 0);
+        assert_eq!(c.orig_of_new, vec![0, 2, 4]);
+        assert!(c.graph.has_edge(0, 1));
+        assert!(c.graph.has_edge(1, 2));
+        assert!(!c.graph.has_edge(0, 2));
+    }
+
+    #[test]
+    fn noop_when_no_isolated() {
+        let g = csr_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = remove_isolated(&g);
+        assert_eq!(c.graph, g);
+        assert_eq!(c.orig_of_new, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn preserves_edge_count_and_symmetry() {
+        let g = rmat(&RmatConfig::graph500(10, 2.0), 3);
+        let c = remove_isolated(&g);
+        assert_eq!(c.graph.num_edges(), g.num_edges());
+        assert!(c.graph.is_symmetric());
+        assert_eq!(c.graph.num_isolated(), 0);
+    }
+
+    #[test]
+    fn all_isolated_gives_empty() {
+        let g = Csr::empty(4);
+        let c = remove_isolated(&g);
+        assert_eq!(c.graph.num_vertices(), 0);
+        assert!(c.orig_of_new.is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Connected components.
+//!
+//! Used for dataset diagnostics (the paper's graphs are dominated by one
+//! giant component — a property the coarsening dynamics depend on: whole
+//! components collapse into isolated super-vertices that stall shrinkage)
+//! and by the CLI's `stats` command.
+
+use crate::csr::{Csr, VertexId};
+
+/// Component labelling of a graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` = component id of vertex `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of all components.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn giant_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of vertices in the largest component.
+    pub fn giant_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.giant_size() as f64 / n as f64
+        }
+    }
+}
+
+/// Label connected components with an iterative BFS (no recursion, so
+/// million-vertex graphs are fine).
+pub fn connected_components(g: &Csr) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for start in 0..n as VertexId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        queue.clear();
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+    use crate::gen::{community_graph, CommunityConfig};
+
+    #[test]
+    fn two_triangles_are_two_components() {
+        let g = csr_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_eq!(c.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_components() {
+        let g = csr_from_edges(4, &[(0, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.giant_size(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.giant_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn community_graphs_have_a_giant_component() {
+        let g = community_graph(&CommunityConfig::new(2000, 6), 3);
+        let c = connected_components(&g);
+        assert!(c.giant_fraction(2000) > 0.95, "giant = {}", c.giant_fraction(2000));
+    }
+
+    #[test]
+    fn labels_respect_edges() {
+        let g = community_graph(&CommunityConfig::new(500, 4), 5);
+        let c = connected_components(&g);
+        for (u, v) in g.edges() {
+            assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+    }
+
+    use crate::csr::Csr;
+}

@@ -1,0 +1,287 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! This is the data structure named in the paper's §3.2.1: `xadj` holds the
+//! starting index of each vertex's neighbour list inside `adj`, with
+//! `xadj[n]` equal to the number of (directed) edges. Both the coarsening
+//! and the trainers operate directly on this layout.
+
+/// Vertex identifier. 32 bits cover every graph in the paper
+/// (com-friendster has 65.6 M vertices).
+pub type VertexId = u32;
+
+/// A graph in CSR form.
+///
+/// For undirected graphs each edge is stored in both directions, so
+/// `num_edges()` counts *directed* arcs; `num_undirected_edges()` halves it.
+/// The structure is immutable after construction — exactly how GOSH treats
+/// each level of the coarsening hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    xadj: Vec<usize>,
+    adj: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent: `xadj` must be non-empty,
+    /// non-decreasing, start at 0 and end at `adj.len()`, and every
+    /// neighbour id must be `< n`.
+    pub fn from_raw(xadj: Vec<usize>, adj: Vec<VertexId>) -> Self {
+        assert!(!xadj.is_empty(), "xadj must have at least one entry");
+        assert_eq!(xadj[0], 0, "xadj must start at 0");
+        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj must end at |adj|");
+        let n = xadj.len() - 1;
+        for w in xadj.windows(2) {
+            assert!(w[0] <= w[1], "xadj must be non-decreasing");
+        }
+        for &u in &adj {
+            assert!((u as usize) < n, "neighbour id {u} out of range (n={n})");
+        }
+        Self { xadj, adj }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            xadj: vec![0; n + 1],
+            adj: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of directed arcs stored (2x the edge count for symmetric graphs).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges assuming a symmetric adjacency.
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Average degree `|E| / |V|` — the δ threshold of Algorithm 4.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// The neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adj[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v` (|Γ(v)| in the paper's notation for symmetric graphs).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// The `k`-th neighbour of `v` (unchecked in release builds).
+    #[inline]
+    pub fn neighbor_at(&self, v: VertexId, k: usize) -> VertexId {
+        debug_assert!(k < self.degree(v));
+        self.adj[self.xadj[v as usize] + k]
+    }
+
+    /// Raw offset array.
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// Raw adjacency array.
+    #[inline]
+    pub fn adj(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// Iterator over all directed arcs `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over undirected edges `(u, v)` with `u <= v` (each reported once).
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges().filter(|&(u, v)| u <= v)
+    }
+
+    /// True if `(u, v)` is an arc. Binary search when the list is sorted,
+    /// which `GraphBuilder` guarantees; linear fallback is still correct on
+    /// unsorted lists produced by external CSR data.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let nbrs = self.neighbors(u);
+        if nbrs.len() >= 16 && nbrs.windows(2).all(|w| w[0] <= w[1]) {
+            nbrs.binary_search(&v).is_ok()
+        } else {
+            nbrs.contains(&v)
+        }
+    }
+
+    /// True if every arc `(u, v)` has a reverse arc `(v, u)`.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.neighbors(v).contains(&u))
+    }
+
+    /// True if no vertex lists itself as a neighbour.
+    pub fn has_no_self_loops(&self) -> bool {
+        self.edges().all(|(u, v)| u != v)
+    }
+
+    /// Number of vertices with degree zero.
+    pub fn num_isolated(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .filter(|&v| self.degree(v) == 0)
+            .count()
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bytes needed to hold the graph (`(|V|+1) + |E|` entries, §3.3).
+    pub fn memory_bytes(&self) -> usize {
+        self.xadj.len() * std::mem::size_of::<usize>()
+            + self.adj.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Consume into raw arrays.
+    pub fn into_raw(self) -> (Vec<usize>, Vec<VertexId>) {
+        (self.xadj, self.adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2 stored symmetrically.
+    fn path3() -> Csr {
+        Csr::from_raw(vec![0, 1, 3, 4], vec![1, 0, 2, 1])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbor_at(1, 1), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_isolated(), 5);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Csr::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_counts() {
+        let g = path3();
+        assert_eq!(g.edges().count(), 4);
+        assert_eq!(g.undirected_edges().count(), 2);
+        let e: Vec<_> = g.undirected_edges().collect();
+        assert_eq!(e, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn symmetry_and_loops() {
+        let g = path3();
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+        let asym = Csr::from_raw(vec![0, 1, 1], vec![1]);
+        assert!(!asym.is_symmetric());
+        let looped = Csr::from_raw(vec![0, 1], vec![0]);
+        assert!(!looped.has_no_self_loops());
+    }
+
+    #[test]
+    fn has_edge_small_and_large() {
+        let g = path3();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        // Large sorted neighbour list to hit the binary-search path.
+        let n = 64usize;
+        let xadj = vec![0, n - 1]
+            .into_iter()
+            .chain(std::iter::repeat_n(n - 1, n - 1))
+            .collect::<Vec<_>>();
+        let adj: Vec<u32> = (1..n as u32).collect();
+        let g = Csr::from_raw(xadj, adj);
+        assert!(g.has_edge(0, 33));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let g = path3();
+        assert!((g.density() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "xadj must start at 0")]
+    fn bad_xadj_start_panics() {
+        Csr::from_raw(vec![1, 2], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_xadj_panics() {
+        Csr::from_raw(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_neighbor_panics() {
+        Csr::from_raw(vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn memory_bytes_formula() {
+        let g = path3();
+        let expect = 4 * std::mem::size_of::<usize>() + 4 * std::mem::size_of::<u32>();
+        assert_eq!(g.memory_bytes(), expect);
+    }
+
+    #[test]
+    fn into_raw_round_trip() {
+        let g = path3();
+        let (xadj, adj) = g.clone().into_raw();
+        let g2 = Csr::from_raw(xadj, adj);
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Barabási–Albert preferential attachment generator.
+//!
+//! Grows a graph one vertex at a time, attaching each new vertex to `k`
+//! existing vertices chosen proportionally to degree. Produces power-law
+//! degree tails with a different hub topology than R-MAT (a connected core
+//! rather than quadrant clusters) — useful for stressing the coarsening on
+//! structures where hubs are adjacent to each other.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::rng::Xorshift128Plus;
+
+/// Generate a BA graph: `n` vertices, each newcomer attaching `k` edges.
+///
+/// Attachment uses the standard "repeated endpoints" trick: sampling a
+/// uniform position of the running edge-endpoint list is exactly
+/// degree-proportional sampling, with no auxiliary weights.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Csr {
+    assert!(k >= 1, "attachment count must be positive");
+    assert!(n > k, "need more vertices than attachments");
+    let mut rng = Xorshift128Plus::new(seed);
+    // Endpoint multiset: every edge contributes both endpoints.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * k);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * k);
+
+    // Seed clique over the first k+1 vertices.
+    for u in 0..=(k as u32) {
+        for v in 0..u {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for u in (k as u32 + 1)..(n as u32) {
+        let mut picked = 0usize;
+        let mut guard = 0usize;
+        let mut chosen = Vec::with_capacity(k);
+        while picked < k && guard < 32 * k {
+            guard += 1;
+            let t = endpoints[rng.below(endpoints.len() as u32) as usize];
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+                picked += 1;
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 3, 8), barabasi_albert(200, 3, 8));
+    }
+
+    #[test]
+    fn edge_count_matches_growth() {
+        let n = 500;
+        let k = 4;
+        let g = barabasi_albert(n, k, 1);
+        // clique + k per newcomer (a handful may be lost to the guard).
+        let expect = k * (k + 1) / 2 + (n - k - 1) * k;
+        let m = g.num_undirected_edges();
+        assert!(m <= expect && m as f64 > 0.98 * expect as f64, "m={m} expect={expect}");
+    }
+
+    #[test]
+    fn clean_output() {
+        let g = barabasi_albert(300, 2, 3);
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+        assert_eq!(g.num_isolated(), 0);
+    }
+
+    #[test]
+    fn rich_get_richer() {
+        let g = barabasi_albert(3000, 2, 5);
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn degenerate_panics() {
+        barabasi_albert(3, 3, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Community-structured scale-free generator.
+//!
+//! The paper's datasets (social networks, web graphs) combine three
+//! structural traits: power-law degrees (hubs — what `MultiEdgeCollapse`
+//! exploits), local clustering, and **community structure** (what makes a
+//! held-out edge predictable from an embedding: its endpoints usually
+//! share a community). This generator plants all three:
+//!
+//! * community sizes are drawn from a truncated Pareto distribution;
+//! * each community is a Holme–Kim powerlaw-cluster graph (hubs +
+//!   triangles);
+//! * a mixing fraction `mu` of extra edges connects random vertices of
+//!   different communities, degree-proportionally.
+//!
+//! This is an LFR-benchmark-style construction, simplified to stay O(|E|).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::gen::powerlaw_cluster::powerlaw_cluster;
+use crate::rng::Xorshift128Plus;
+
+/// Parameters for [`community_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommunityConfig {
+    /// Total vertices.
+    pub num_vertices: usize,
+    /// Target average undirected degree.
+    pub avg_degree: usize,
+    /// Fraction of edge budget spent on inter-community edges.
+    pub mixing: f64,
+    /// Smallest community size.
+    pub min_community: usize,
+    /// Largest community size (truncation).
+    pub max_community: usize,
+}
+
+impl CommunityConfig {
+    /// Sensible defaults for a graph of `n` vertices with average degree `k`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            num_vertices: n,
+            avg_degree: k,
+            mixing: 0.15,
+            min_community: 32.min(n / 2).max(4),
+            max_community: (n / 4).max(64).min(n),
+        }
+    }
+}
+
+/// Draw community sizes from a truncated Pareto(α = 2) until they cover
+/// `n`, then trim the last one.
+fn community_sizes(cfg: &CommunityConfig, rng: &mut Xorshift128Plus) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut total = 0usize;
+    let alpha = 2.0f64;
+    while total < cfg.num_vertices {
+        let u = rng.next_f64().max(1e-12);
+        // Inverse-CDF of Pareto with scale = min_community.
+        let raw = cfg.min_community as f64 / u.powf(1.0 / alpha);
+        let size = (raw as usize)
+            .clamp(cfg.min_community, cfg.max_community)
+            .min(cfg.num_vertices - total + cfg.min_community);
+        sizes.push(size);
+        total += size;
+    }
+    // Trim overshoot off the last community (merge into previous if tiny).
+    let overshoot = total - cfg.num_vertices;
+    let last = sizes.last_mut().unwrap();
+    *last -= overshoot;
+    if *last < cfg.min_community && sizes.len() > 1 {
+        let dropped = sizes.pop().unwrap();
+        *sizes.last_mut().unwrap() += dropped;
+    }
+    sizes
+}
+
+/// Generate the community graph. Also returns the community id of every
+/// vertex (useful for diagnostics and node-classification style tests).
+pub fn community_graph_with_labels(cfg: &CommunityConfig, seed: u64) -> (Csr, Vec<u32>) {
+    assert!(cfg.num_vertices >= 2 * cfg.min_community, "graph too small");
+    assert!((0.0..1.0).contains(&cfg.mixing), "mixing must be in [0,1)");
+    let mut rng = Xorshift128Plus::new(seed);
+    let sizes = community_sizes(cfg, &mut rng);
+    let n = cfg.num_vertices;
+    let k_intra = ((cfg.avg_degree as f64 * (1.0 - cfg.mixing)).round() as usize).max(2);
+
+    let mut builder = GraphBuilder::new(n);
+    let mut labels = vec![0u32; n];
+    let mut base = 0u32;
+    for (c, &size) in sizes.iter().enumerate() {
+        let k = k_intra.min(size.saturating_sub(1)).max(1);
+        let sub = powerlaw_cluster(size, k, 0.6, seed ^ ((c as u64 + 1) << 32));
+        for (u, v) in sub.undirected_edges() {
+            builder.add_edge(base + u, base + v);
+        }
+        for v in 0..size {
+            labels[(base + v as u32) as usize] = c as u32;
+        }
+        base += size as u32;
+    }
+
+    // Inter-community edges: endpoints uniform (degree bias comes from the
+    // rewiring below being accepted only across communities).
+    let inter_edges = (cfg.num_vertices as f64 * cfg.avg_degree as f64 * cfg.mixing) as usize;
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < inter_edges && guard < inter_edges * 50 {
+        guard += 1;
+        let u = rng.below(n as u32);
+        let v = rng.below(n as u32);
+        if labels[u as usize] != labels[v as usize] {
+            builder.add_edge(u, v);
+            added += 1;
+        }
+    }
+    (builder.build(), labels)
+}
+
+/// Generate just the graph.
+pub fn community_graph(cfg: &CommunityConfig, seed: u64) -> Csr {
+    community_graph_with_labels(cfg, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_clean() {
+        let cfg = CommunityConfig::new(1000, 6);
+        let (g1, l1) = community_graph_with_labels(&cfg, 3);
+        let (g2, l2) = community_graph_with_labels(&cfg, 3);
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+        assert!(g1.is_symmetric());
+        assert!(g1.has_no_self_loops());
+        assert_eq!(g1.num_vertices(), 1000);
+    }
+
+    #[test]
+    fn density_tracks_target() {
+        let cfg = CommunityConfig::new(4000, 8);
+        let g = community_graph(&cfg, 5);
+        let realized = g.num_undirected_edges() as f64 / 4000.0;
+        assert!((realized / 8.0 - 1.0).abs() < 0.3, "density {realized}");
+    }
+
+    #[test]
+    fn most_edges_are_intra_community() {
+        let cfg = CommunityConfig::new(2000, 8);
+        let (g, labels) = community_graph_with_labels(&cfg, 7);
+        let intra = g
+            .undirected_edges()
+            .filter(|&(u, v)| labels[u as usize] == labels[v as usize])
+            .count();
+        let frac = intra as f64 / g.num_undirected_edges() as f64;
+        assert!(frac > 0.7, "intra fraction {frac}");
+        assert!(frac < 0.99, "no mixing at all: {frac}");
+    }
+
+    #[test]
+    fn sizes_are_power_lawish() {
+        let cfg = CommunityConfig::new(8000, 6);
+        let (_, labels) = community_graph_with_labels(&cfg, 9);
+        let num_comms = *labels.iter().max().unwrap() as usize + 1;
+        assert!(num_comms >= 10, "only {num_comms} communities");
+        let mut counts = vec![0usize; num_comms];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max >= 3 * min, "sizes too uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn hubs_exist() {
+        let g = community_graph(&CommunityConfig::new(3000, 8), 11);
+        assert!(g.max_degree() as f64 > 4.0 * g.density());
+    }
+
+    #[test]
+    fn no_isolated_vertices() {
+        let g = community_graph(&CommunityConfig::new(1500, 4), 13);
+        assert_eq!(g.num_isolated(), 0);
+    }
+}

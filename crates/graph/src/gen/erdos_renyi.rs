@@ -1,0 +1,70 @@
+//! Erdős–Rényi G(n, m) generator.
+//!
+//! Uniform random graphs: every vertex has roughly the same degree, i.e.
+//! no hubs. Used in tests and ablations as the antipode of R-MAT — the
+//! coarsening density rule should almost never fire here, and coarsening
+//! efficiency stays high.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::rng::Xorshift128Plus;
+
+/// Generate an undirected G(n, m) graph with `m` sampled edge slots.
+///
+/// Sampling is with replacement followed by dedup, so the realized edge
+/// count is marginally below `m` for dense settings.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = Xorshift128Plus::new(seed);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(m);
+    let bound = n as u32;
+    let mut added = 0usize;
+    while added < m {
+        let u = rng.below(bound);
+        let v = rng.below(bound);
+        if u != v {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(100, 500, 4), erdos_renyi(100, 500, 4));
+    }
+
+    #[test]
+    fn respects_counts() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        let m = g.num_undirected_edges();
+        assert!(m > 4700 && m <= 5000, "m = {m}");
+    }
+
+    #[test]
+    fn clean_output() {
+        let g = erdos_renyi(500, 2000, 9);
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+    }
+
+    #[test]
+    fn degrees_are_flat() {
+        let g = erdos_renyi(2000, 20000, 2);
+        // Max degree in G(n,m) stays within a small factor of the mean.
+        assert!((g.max_degree() as f64) < 4.0 * g.density());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_graph_panics() {
+        erdos_renyi(1, 1, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on SNAP/KONECT graphs (Table 2). Those datasets are
+//! not redistributable here, so experiments use synthetic stand-ins whose
+//! vertex counts, edge counts and degree skew are chosen to mimic each
+//! dataset at laptop scale. RMAT reproduces the heavy-tailed, hub-dominated
+//! structure that drives GOSH's coarsening behaviour; Erdős–Rényi and
+//! Barabási–Albert cover the flat and preferential-attachment extremes for
+//! tests and ablations.
+
+pub mod barabasi_albert;
+pub mod community;
+pub mod erdos_renyi;
+pub mod powerlaw_cluster;
+pub mod rmat;
+pub mod suite;
+
+pub use barabasi_albert::barabasi_albert;
+pub use community::{community_graph, community_graph_with_labels, CommunityConfig};
+pub use erdos_renyi::erdos_renyi;
+pub use powerlaw_cluster::{powerlaw_cluster, sampled_clustering};
+pub use rmat::{rmat, RmatConfig};
+pub use suite::{dataset, Dataset, MEDIUM_SUITE, LARGE_SUITE};

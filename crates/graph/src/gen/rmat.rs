@@ -1,0 +1,151 @@
+//! Recursive MATrix (R-MAT) generator.
+//!
+//! Kronecker-style power-law graphs: each edge picks a quadrant of the
+//! adjacency matrix recursively with probabilities (a, b, c, d). With the
+//! classic (0.57, 0.19, 0.19, 0.05) parameters the result has the skewed
+//! degree distribution and hub vertices that `MultiEdgeCollapse`'s density
+//! rule (Algorithm 4, line 12) is designed around.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::rng::Xorshift128Plus;
+
+/// Parameters for [`rmat`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average *undirected* degree; `edges = degree * 2^scale`.
+    pub avg_degree: f64,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Noise added to the quadrant probabilities at each recursion level to
+    /// avoid the artificial staircase degree distribution of pure R-MAT.
+    pub noise: f64,
+}
+
+impl RmatConfig {
+    /// Classic Graph500-style parameters at the given scale and degree.
+    pub fn graph500(scale: u32, avg_degree: f64) -> Self {
+        Self {
+            scale,
+            avg_degree,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.05,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an undirected R-MAT graph (deduplicated, loop-free, symmetric).
+///
+/// Duplicate edges produced by the recursive process are merged, so the
+/// realized edge count lands slightly below `avg_degree * n`; the suite
+/// configs in [`super::suite`] compensate by oversampling.
+pub fn rmat(cfg: &RmatConfig, seed: u64) -> Csr {
+    assert!(cfg.scale >= 1 && cfg.scale <= 31, "scale out of range");
+    let frac_sum = cfg.a + cfg.b + cfg.c;
+    assert!(
+        frac_sum < 1.0 + 1e-9 && cfg.a > 0.0 && cfg.b >= 0.0 && cfg.c >= 0.0,
+        "invalid quadrant probabilities"
+    );
+    let n = 1usize << cfg.scale;
+    let m = (cfg.avg_degree * n as f64).round() as usize;
+    let mut rng = Xorshift128Plus::new(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m);
+
+    for _ in 0..m {
+        let (u, v) = sample_edge(cfg, &mut rng);
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+#[inline]
+fn sample_edge(cfg: &RmatConfig, rng: &mut Xorshift128Plus) -> (u32, u32) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    let d = cfg.d();
+    for _level in 0..cfg.scale {
+        // Jitter quadrant probabilities per level (smooth R-MAT).
+        let na = cfg.a * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.next_f64());
+        let nb = cfg.b * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.next_f64());
+        let nc = cfg.c * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.next_f64());
+        let nd = d * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.next_f64());
+        let total = na + nb + nc + nd;
+        let r = rng.next_f64() * total;
+        u <<= 1;
+        v <<= 1;
+        if r < na {
+            // top-left
+        } else if r < na + nb {
+            v |= 1;
+        } else if r < na + nb + nc {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RmatConfig::graph500(10, 8.0);
+        let g1 = rmat(&cfg, 99);
+        let g2 = rmat(&cfg, 99);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = RmatConfig::graph500(10, 8.0);
+        assert_ne!(rmat(&cfg, 1), rmat(&cfg, 2));
+    }
+
+    #[test]
+    fn size_is_plausible() {
+        let cfg = RmatConfig::graph500(12, 8.0);
+        let g = rmat(&cfg, 7);
+        assert_eq!(g.num_vertices(), 4096);
+        // Dedup and loop removal lose some edges but most survive.
+        let target = 8.0 * 4096.0;
+        assert!(g.num_undirected_edges() as f64 > 0.5 * target);
+        assert!((g.num_undirected_edges() as f64) < 1.01 * target);
+    }
+
+    #[test]
+    fn output_is_clean() {
+        let cfg = RmatConfig::graph500(10, 4.0);
+        let g = rmat(&cfg, 3);
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let cfg = RmatConfig::graph500(12, 16.0);
+        let g = rmat(&cfg, 5);
+        // Hubs should far exceed the mean degree in a power-law graph.
+        assert!(g.max_degree() as f64 > 8.0 * g.density());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale out of range")]
+    fn zero_scale_panics() {
+        rmat(&RmatConfig::graph500(0, 1.0), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Edge-list I/O.
+//!
+//! Reads the whitespace-separated edge-list format used by SNAP and KONECT
+//! (the paper's data sources): one `u v` pair per line, `#` or `%` comment
+//! lines ignored. Vertex ids are compacted to a dense `0..n` range, which
+//! is what the SNAP graphs require (their ids are sparse). A matching
+//! writer allows round-tripping generated graphs to disk.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Result of loading an edge list: the graph plus the mapping from original
+/// file ids to the dense ids used internally.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The graph with dense vertex ids.
+    pub graph: Csr,
+    /// `original_ids[v]` is the id vertex `v` had in the input file.
+    pub original_ids: Vec<u64>,
+}
+
+/// Parse an edge list from a reader. Ids are compacted in first-seen order.
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<LoadedGraph> {
+    let mut ids: HashMap<u64, VertexId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let intern = |raw: u64, ids: &mut HashMap<u64, VertexId>, orig: &mut Vec<u64>| {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = orig.len() as VertexId;
+            orig.push(raw);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        let ui = intern(u, &mut ids, &mut original_ids);
+        let vi = intern(v, &mut ids, &mut original_ids);
+        edges.push((ui, vi));
+    }
+
+    let mut b = GraphBuilder::new(original_ids.len());
+    b.extend(edges);
+    Ok(LoadedGraph {
+        graph: b.build(),
+        original_ids,
+    })
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge list at line {}", lineno + 1),
+    )
+}
+
+/// Load an edge-list file from disk.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> io::Result<LoadedGraph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file))
+}
+
+/// Write a graph as an edge list (each undirected edge once, `u <= v`).
+pub fn write_edge_list<P: AsRef<Path>>(path: P, graph: &Csr) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# gosh-rs edge list: {} vertices", graph.num_vertices())?;
+    for (u, v) in graph.undirected_edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Magic header of the binary CSR format.
+const BINARY_MAGIC: &[u8; 8] = b"GOSHCSR1";
+
+/// Write a graph in the binary CSR format: magic, |V| and |arcs| as
+/// little-endian u64, then `xadj` (u64 each) and `adj` (u32 each).
+/// Loading a binary CSR skips the parse + build of the text path, which
+/// matters when the experiment harness re-reads multi-million-edge
+/// graphs.
+pub fn write_binary<P: AsRef<Path>>(path: P, graph: &Csr) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for &x in graph.xadj() {
+        w.write_all(&(x as u64).to_le_bytes())?;
+    }
+    for &u in graph.adj() {
+        w.write_all(&u.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load a graph written by [`write_binary`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    let data = std::fs::read(path)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < 24 || &data[0..8] != BINARY_MAGIC {
+        return Err(bad("not a gosh binary CSR file"));
+    }
+    let read_u64 = |off: usize| u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+    let n = read_u64(8) as usize;
+    let arcs = read_u64(16) as usize;
+    let expect = 24 + (n + 1) * 8 + arcs * 4;
+    if data.len() != expect {
+        return Err(bad("truncated or oversized binary CSR file"));
+    }
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut off = 24;
+    for _ in 0..=n {
+        xadj.push(read_u64(off) as usize);
+        off += 8;
+    }
+    let mut adj = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        adj.push(u32::from_le_bytes(data[off..off + 4].try_into().unwrap()));
+        off += 4;
+    }
+    if *xadj.last().unwrap() != arcs {
+        return Err(bad("inconsistent xadj/adj lengths"));
+    }
+    Ok(Csr::from_raw(xadj, adj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# header\n% konect style\n\n10 20\n20 30\n10 30\n";
+        let loaded = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_undirected_edges(), 3);
+        assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn compacts_sparse_ids_first_seen() {
+        let text = "1000000 5\n5 7\n";
+        let loaded = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(loaded.original_ids, vec![1_000_000, 5, 7]);
+        assert!(loaded.graph.has_edge(0, 1));
+        assert!(loaded.graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = "1 2\nbogus\n";
+        let err = read_edge_list(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let text2 = "1\n";
+        assert!(read_edge_list(Cursor::new(text2)).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let g = crate::builder::csr_from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let dir = std::env::temp_dir().join("gosh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list(&path, &g).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.graph.num_undirected_edges(), g.num_undirected_edges());
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let g = crate::gen::erdos_renyi(300, 1200, 5);
+        let dir = std::env::temp_dir().join("gosh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csr");
+        write_binary(&path, &g).unwrap();
+        let loaded = load_binary(&path).unwrap();
+        assert_eq!(loaded, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let dir = std::env::temp_dir().join("gosh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.csr");
+        std::fs::write(&path, b"not a graph at all").unwrap();
+        assert!(load_binary(&path).is_err());
+        // Truncated file with a valid magic.
+        let g = crate::builder::csr_from_edges(4, &[(0, 1), (2, 3)]);
+        write_binary(&path, &g).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        assert!(load_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let loaded = read_edge_list(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 0);
+        assert_eq!(loaded.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gosh-graph
+//!
+//! Graph substrate for the GOSH reproduction: a compact CSR (Compressed
+//! Sparse Row) graph representation, edge-list construction and I/O,
+//! deterministic synthetic generators (RMAT, Erdős–Rényi, Barabási–Albert),
+//! the 80/20 link-prediction train/test split from the paper's §4.1, and
+//! structural statistics.
+//!
+//! All vertex identifiers are `u32` (`VertexId`); offsets are `usize`.
+//! Every stochastic routine takes an explicit seed so that experiments are
+//! reproducible bit-for-bit.
+
+pub mod builder;
+pub mod compact;
+pub mod components;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod rng;
+pub mod split;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+pub use split::{train_test_split, SplitConfig, TrainTestSplit};
+pub use stats::GraphStats;

@@ -1,0 +1,182 @@
+//! Link-prediction train/test split (paper §4.1).
+//!
+//! The input graph is split into `G_train` holding 80% of the edges and a
+//! test set with the remaining 20%. Isolated vertices are removed from
+//! `G_train` (ids are compacted), and every test edge with an endpoint that
+//! fell out of `G_train` is dropped — this guarantees `V_test ⊆ V_train`,
+//! exactly as the paper's pipeline requires.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use crate::rng::Xorshift128Plus;
+
+/// Parameters for [`train_test_split`].
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// Fraction of undirected edges assigned to the training graph.
+    pub train_fraction: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            train_fraction: 0.8,
+            seed: 0x90_5E,
+        }
+    }
+}
+
+/// Output of [`train_test_split`].
+#[derive(Clone, Debug)]
+pub struct TrainTestSplit {
+    /// Training graph over compacted vertex ids `0..n_train`.
+    pub train: Csr,
+    /// Held-out edges, endpoints in *train* id space.
+    pub test_edges: Vec<(VertexId, VertexId)>,
+    /// `orig_of_train[t]` = original id of train vertex `t`.
+    pub orig_of_train: Vec<VertexId>,
+    /// `train_of_orig[v]` = train id of original vertex `v`, or `NONE`.
+    pub train_of_orig: Vec<VertexId>,
+    /// Number of test edges dropped because an endpoint left `G_train`.
+    pub dropped_test_edges: usize,
+}
+
+/// Sentinel for "vertex not present in the training graph".
+pub const NONE: VertexId = VertexId::MAX;
+
+/// Split `g` into train/test per the paper's link-prediction pipeline.
+pub fn train_test_split(g: &Csr, cfg: &SplitConfig) -> TrainTestSplit {
+    assert!(
+        (0.0..=1.0).contains(&cfg.train_fraction),
+        "train_fraction must be in [0,1]"
+    );
+    let mut edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
+    let mut rng = Xorshift128Plus::new(cfg.seed);
+    // Fisher–Yates shuffle.
+    for i in (1..edges.len()).rev() {
+        let j = rng.below(i as u32 + 1) as usize;
+        edges.swap(i, j);
+    }
+    let n_train_edges = (edges.len() as f64 * cfg.train_fraction).round() as usize;
+    let (train_edges, test_edges_raw) = edges.split_at(n_train_edges.min(edges.len()));
+
+    // Vertices that keep at least one training edge survive; compact ids.
+    let mut train_of_orig = vec![NONE; g.num_vertices()];
+    let mut orig_of_train: Vec<VertexId> = Vec::new();
+    for &(u, v) in train_edges {
+        for w in [u, v] {
+            if train_of_orig[w as usize] == NONE {
+                train_of_orig[w as usize] = orig_of_train.len() as VertexId;
+                orig_of_train.push(w);
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(orig_of_train.len());
+    b.reserve(train_edges.len());
+    for &(u, v) in train_edges {
+        b.add_edge(train_of_orig[u as usize], train_of_orig[v as usize]);
+    }
+    let train = b.build();
+
+    let mut test_edges = Vec::with_capacity(test_edges_raw.len());
+    let mut dropped = 0usize;
+    for &(u, v) in test_edges_raw {
+        let (tu, tv) = (train_of_orig[u as usize], train_of_orig[v as usize]);
+        if tu != NONE && tv != NONE {
+            test_edges.push((tu, tv));
+        } else {
+            dropped += 1;
+        }
+    }
+
+    TrainTestSplit {
+        train,
+        test_edges,
+        orig_of_train,
+        train_of_orig,
+        dropped_test_edges: dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::erdos_renyi;
+
+    #[test]
+    fn fractions_are_respected() {
+        let g = erdos_renyi(500, 3000, 1);
+        let s = train_test_split(&g, &SplitConfig::default());
+        let total = g.num_undirected_edges();
+        let train = s.train.num_undirected_edges();
+        assert!((train as f64 / total as f64 - 0.8).abs() < 0.02);
+        assert_eq!(s.test_edges.len() + s.dropped_test_edges, total - train);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let g = erdos_renyi(300, 1500, 2);
+        let a = train_test_split(&g, &SplitConfig::default());
+        let b = train_test_split(&g, &SplitConfig::default());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test_edges, b.test_edges);
+    }
+
+    #[test]
+    fn different_seed_changes_split() {
+        let g = erdos_renyi(300, 1500, 2);
+        let a = train_test_split(&g, &SplitConfig { seed: 1, ..Default::default() });
+        let b = train_test_split(&g, &SplitConfig { seed: 2, ..Default::default() });
+        assert_ne!(a.test_edges, b.test_edges);
+    }
+
+    #[test]
+    fn no_isolated_vertices_in_train() {
+        let g = erdos_renyi(400, 900, 3);
+        let s = train_test_split(&g, &SplitConfig::default());
+        assert_eq!(s.train.num_isolated(), 0);
+    }
+
+    #[test]
+    fn test_endpoints_exist_in_train() {
+        let g = erdos_renyi(400, 900, 4);
+        let s = train_test_split(&g, &SplitConfig::default());
+        let n = s.train.num_vertices() as VertexId;
+        for &(u, v) in &s.test_edges {
+            assert!(u < n && v < n);
+        }
+    }
+
+    #[test]
+    fn test_edges_are_held_out() {
+        let g = erdos_renyi(200, 800, 5);
+        let s = train_test_split(&g, &SplitConfig::default());
+        for &(u, v) in &s.test_edges {
+            assert!(!s.train.has_edge(u, v), "test edge ({u},{v}) leaked into train");
+        }
+    }
+
+    #[test]
+    fn id_mappings_are_inverse() {
+        let g = erdos_renyi(200, 600, 6);
+        let s = train_test_split(&g, &SplitConfig::default());
+        for (t, &o) in s.orig_of_train.iter().enumerate() {
+            assert_eq!(s.train_of_orig[o as usize] as usize, t);
+        }
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let g = erdos_renyi(100, 300, 7);
+        let all = train_test_split(&g, &SplitConfig { train_fraction: 1.0, seed: 1 });
+        assert_eq!(all.test_edges.len(), 0);
+        assert_eq!(all.train.num_undirected_edges(), g.num_undirected_edges());
+        let none = train_test_split(&g, &SplitConfig { train_fraction: 0.0, seed: 1 });
+        assert_eq!(none.train.num_vertices(), 0);
+        assert_eq!(none.test_edges.len(), 0);
+        assert_eq!(none.dropped_test_edges, g.num_undirected_edges());
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural statistics used by the experiment printouts (Table 2) and by
+//! coarsening-quality checks (shrink rate, degree skew).
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges (assuming symmetric storage).
+    pub num_edges: usize,
+    /// |E| / |V| with |E| counted once per undirected edge, as in Table 2.
+    pub density: f64,
+    /// Largest degree.
+    pub max_degree: usize,
+    /// Vertices with no edges.
+    pub isolated: usize,
+    /// Fraction of arcs incident to the top 1% highest-degree vertices —
+    /// a cheap skew measure (≈1 means hub-dominated, ≈0.02 means flat).
+    pub hub_mass: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn compute(g: &Csr) -> Self {
+        let n = g.num_vertices();
+        let mut degrees: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+        let isolated = degrees.iter().filter(|&&d| d == 0).count();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let total: usize = degrees.iter().sum();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = (n / 100).max(1).min(n.max(1));
+        let hub: usize = degrees.iter().take(top).sum();
+        let hub_mass = if total == 0 { 0.0 } else { hub as f64 / total as f64 };
+        Self {
+            num_vertices: n,
+            num_edges: g.num_undirected_edges(),
+            density: if n == 0 { 0.0 } else { g.num_undirected_edges() as f64 / n as f64 },
+            max_degree,
+            isolated,
+            hub_mass,
+        }
+    }
+}
+
+/// Degree histogram with logarithmic buckets `[2^k, 2^{k+1})`.
+///
+/// Bucket 0 counts degree-0 vertices, bucket k >= 1 counts degrees in
+/// `[2^{k-1}, 2^k)`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; 34];
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.degree(v);
+        let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        hist[bucket] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+/// Shrink rate between consecutive coarsening levels (§3.2):
+/// `(|V_{i-1}| - |V_i|) / |V_{i-1}|`.
+pub fn shrink_rate(prev_vertices: usize, next_vertices: usize) -> f64 {
+    if prev_vertices == 0 {
+        return 0.0;
+    }
+    (prev_vertices as f64 - next_vertices as f64) / prev_vertices as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_edges;
+    use crate::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn stats_on_path() {
+        let g = csr_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 0);
+        assert!((s.density - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let g = Csr::empty(3);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated, 3);
+        assert_eq!(s.hub_mass, 0.0);
+        let g0 = Csr::empty(0);
+        assert_eq!(GraphStats::compute(&g0).density, 0.0);
+    }
+
+    use crate::csr::Csr;
+
+    #[test]
+    fn rmat_is_more_skewed_than_er() {
+        let er = erdos_renyi(4096, 32768, 1);
+        let rm = rmat(&RmatConfig::graph500(12, 8.0), 1);
+        let s_er = GraphStats::compute(&er);
+        let s_rm = GraphStats::compute(&rm);
+        assert!(
+            s_rm.hub_mass > 2.0 * s_er.hub_mass,
+            "rmat hub mass {} vs er {}",
+            s_rm.hub_mass,
+            s_er.hub_mass
+        );
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let g = erdos_renyi(1000, 4000, 2);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn histogram_buckets_are_correct() {
+        // Star: center degree 4 -> bucket 3 ([4,8)); leaves degree 1 -> bucket 1.
+        let g = csr_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[3], 1);
+    }
+
+    #[test]
+    fn shrink_rate_examples() {
+        assert!((shrink_rate(100, 20) - 0.8).abs() < 1e-12);
+        assert_eq!(shrink_rate(0, 0), 0.0);
+        assert_eq!(shrink_rate(10, 10), 0.0);
+    }
+}

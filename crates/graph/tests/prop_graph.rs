@@ -1,0 +1,91 @@
+//! Property-based tests for the graph substrate: CSR construction, split
+//! invariants, and generator cleanliness over randomized inputs.
+
+use gosh_graph::builder::csr_from_edges;
+use gosh_graph::gen::{barabasi_albert, erdos_renyi, rmat, RmatConfig};
+use gosh_graph::split::{train_test_split, SplitConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over up to 64 vertices.
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..64).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..256);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_output_is_always_clean((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.has_no_self_loops());
+        // Sorted, deduplicated neighbour lists.
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn builder_preserves_every_non_loop_edge((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v), "missing edge ({}, {})", u, v);
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_invents_no_edges((n, edges) in edge_list()) {
+        let g = csr_from_edges(n, &edges);
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                let present = edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u));
+                prop_assert!(present, "invented edge ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_edges((n, edges) in edge_list(), seed in 0u64..1000) {
+        let g = csr_from_edges(n, &edges);
+        let s = train_test_split(&g, &SplitConfig { train_fraction: 0.8, seed });
+        let total = g.num_undirected_edges();
+        let split_total = s.train.num_undirected_edges() + s.test_edges.len() + s.dropped_test_edges;
+        prop_assert_eq!(total, split_total);
+        // Test edges never appear in train.
+        for &(u, v) in &s.test_edges {
+            prop_assert!(!s.train.has_edge(u, v));
+        }
+        prop_assert_eq!(s.train.num_isolated(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_clean(n in 2usize..256, seed in 0u64..50) {
+        let m = n * 3;
+        let g = erdos_renyi(n, m, seed);
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.has_no_self_loops());
+        prop_assert!(g.num_undirected_edges() <= m);
+    }
+
+    #[test]
+    fn rmat_clean(scale in 4u32..10, seed in 0u64..20) {
+        let g = rmat(&RmatConfig::graph500(scale, 4.0), seed);
+        prop_assert_eq!(g.num_vertices(), 1usize << scale);
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.has_no_self_loops());
+    }
+
+    #[test]
+    fn ba_connected_and_clean(n in 8usize..128, k in 1usize..4, seed in 0u64..20) {
+        let g = barabasi_albert(n, k, seed);
+        prop_assert!(g.is_symmetric());
+        prop_assert!(g.has_no_self_loops());
+        prop_assert_eq!(g.num_isolated(), 0);
+    }
+}

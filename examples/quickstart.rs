@@ -1,0 +1,60 @@
+//! Quickstart: embed a graph with GOSH in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small scale-free graph, embeds it with the `normal`
+//! configuration on a simulated Titan X, and prints a few nearest
+//! neighbours in the embedding space to show that the geometry follows
+//! the graph structure.
+
+use gosh::core::config::{GoshConfig, Preset};
+use gosh::core::pipeline::embed;
+use gosh::gpu::{Device, DeviceConfig};
+use gosh::graph::gen::{community_graph, CommunityConfig};
+
+fn main() {
+    // 1. A graph: 4096 vertices, average degree 8, planted communities.
+    let graph = community_graph(&CommunityConfig::new(4096, 8), 42);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_undirected_edges()
+    );
+
+    // 2. A device: the paper's 12 GB Titan X (simulated).
+    let device = Device::new(DeviceConfig::titan_x());
+
+    // 3. Embed with the Table 3 "normal" preset, 16 dimensions.
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(16)
+        .with_epochs(200)
+        .with_threads(8);
+    let (embedding, report) = embed(&graph, &cfg, &device);
+
+    println!(
+        "embedded in {:.2}s ({} coarsening levels, {:.2}s coarsening, {:.2}s training)",
+        report.total_seconds, report.depth, report.coarsening_seconds, report.training_seconds
+    );
+    for level in &report.levels {
+        println!(
+            "  level {}: {} vertices, {} epochs, {:.3}s{}",
+            level.level,
+            level.vertices,
+            level.epochs,
+            level.seconds,
+            if level.used_large_path { " (partitioned)" } else { "" }
+        );
+    }
+
+    // 4. Sanity check: neighbours should be closer than random vertices.
+    let v = 0u32;
+    let neighbor = graph.neighbors(v)[0];
+    let stranger = graph.num_vertices() as u32 / 2 + 7;
+    println!(
+        "cos(v, neighbour) = {:.3}   cos(v, random) = {:.3}",
+        embedding.cosine(v, neighbor),
+        embedding.cosine(v, stranger)
+    );
+}

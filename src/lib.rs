@@ -1,0 +1,19 @@
+//! # gosh
+//!
+//! Facade crate for the GOSH reproduction: re-exports every workspace crate
+//! under one roof so examples and downstream users can depend on a single
+//! package.
+//!
+//! - [`graph`] — CSR graphs, generators, IO, train/test splits.
+//! - [`coarsen`] — MultiEdgeCollapse coarsening (sequential and parallel).
+//! - [`gpu`] — the software SIMT device the kernels run on.
+//! - [`core`] — the GOSH embedding pipeline itself.
+//! - [`baselines`] — VERSE, MILE-like and GraphVite-like comparators.
+//! - [`eval`] — link-prediction evaluation (logistic regression, AUCROC).
+
+pub use gosh_baselines as baselines;
+pub use gosh_coarsen as coarsen;
+pub use gosh_core as core;
+pub use gosh_eval as eval;
+pub use gosh_gpu as gpu;
+pub use gosh_graph as graph;

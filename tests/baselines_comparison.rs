@@ -1,0 +1,119 @@
+//! Integration tests that pin the paper's qualitative comparisons: the
+//! relationships between GOSH and the baselines that every table relies
+//! on must hold on the synthetic suite.
+
+use gosh::baselines::{graphvite_embed, mile_embed, verse_embed, GraphviteParams, MileParams, VerseParams};
+use gosh::coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh::coarsen::mile::mile_coarsen;
+use gosh::core::config::{GoshConfig, Preset};
+use gosh::core::pipeline::embed;
+use gosh::eval::{evaluate_link_prediction, EvalConfig};
+use gosh::gpu::{Device, DeviceConfig, DeviceError};
+use gosh::graph::gen::{community_graph, CommunityConfig};
+use gosh::graph::split::{train_test_split, SplitConfig};
+
+#[test]
+fn gosh_is_faster_than_verse_at_comparable_quality() {
+    // The Table 6 headline: GOSH delivers comparable AUCROC at a fraction
+    // of the time, because most epochs run on coarse graphs.
+    let g = community_graph(&CommunityConfig::new(4096, 8), 11);
+    let s = train_test_split(&g, &SplitConfig::default());
+
+    let verse = verse_embed(
+        &s.train,
+        &VerseParams { dim: 16, epochs: 150, lr: 0.025, threads: 8, ..Default::default() },
+    );
+    let device = Device::new(DeviceConfig::titan_x());
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(16)
+        .with_epochs(150)
+        .with_threads(8);
+    let (m, report) = embed(&s.train, &cfg, &device);
+
+    let eval = EvalConfig::default();
+    let auc_verse = evaluate_link_prediction(&verse.embedding, &s.train, &s.test_edges, &eval);
+    let auc_gosh = evaluate_link_prediction(&m, &s.train, &s.test_edges, &eval);
+    assert!(
+        report.total_seconds < verse.seconds,
+        "gosh {:.2}s vs verse {:.2}s",
+        report.total_seconds,
+        verse.seconds
+    );
+    assert!(auc_gosh > auc_verse - 0.06, "gosh {auc_gosh} vs verse {auc_verse}");
+}
+
+#[test]
+fn gosh_coarsening_outshrinks_mile_at_equal_levels() {
+    // Table 5: at the same level count GOSH's coarsest graph is far
+    // smaller, and its coarsening is faster.
+    let g = community_graph(&CommunityConfig::new(8192, 10), 13);
+    let levels = 5;
+    let t0 = std::time::Instant::now();
+    let mile = mile_coarsen(g.clone(), levels);
+    let mile_time = t0.elapsed().as_secs_f64();
+
+    // Sequential vs sequential: at this miniature scale thread startup
+    // would swamp the parallel coarsener (the τ = 16 comparison at real
+    // scale is the table5_mile_vs_gosh binary).
+    let cfg = CoarsenConfig { threshold: 1, threads: 1, max_levels: levels + 1, ..Default::default() };
+    let t1 = std::time::Instant::now();
+    let gosh = coarsen_hierarchy(g, &cfg);
+    let gosh_time = t1.elapsed().as_secs_f64();
+
+    let mile_last = mile.levels.last().unwrap().num_vertices();
+    let gosh_last = gosh.coarsest().num_vertices();
+    assert!(gosh_last * 4 < mile_last, "gosh {gosh_last} vs mile {mile_last}");
+    assert!(gosh_time < mile_time, "gosh {gosh_time:.3}s vs mile {mile_time:.3}s");
+}
+
+#[test]
+fn graphvite_ooms_where_gosh_partitions() {
+    // The Table 7 contrast: same device, same graph — GraphVite fails,
+    // GOSH finishes with a usable embedding.
+    let g = community_graph(&CommunityConfig::new(4096, 8), 17);
+    let s = train_test_split(&g, &SplitConfig::default());
+    let dim = 32;
+    let device_mem = s.train.num_vertices() * dim * 4 / 4;
+
+    let device = Device::new(DeviceConfig::tiny(device_mem));
+    let gv = graphvite_embed(
+        &device,
+        &s.train,
+        &GraphviteParams { dim, epochs: 30, ..GraphviteParams::fast() },
+    );
+    assert!(matches!(gv, Err(DeviceError::OutOfMemory { .. })));
+
+    let cfg = GoshConfig::preset(Preset::Fast, true)
+        .with_dim(dim)
+        .with_epochs(40)
+        .with_threads(8);
+    let (m, report) = embed(&s.train, &cfg, &device);
+    assert!(report.levels.iter().any(|l| l.used_large_path));
+    let auc = evaluate_link_prediction(&m, &s.train, &s.test_edges, &EvalConfig::default());
+    assert!(auc > 0.7, "auc = {auc}");
+}
+
+#[test]
+fn mile_embedding_is_comparable_but_not_better_by_much() {
+    // Table 6 nuance: on *small* graphs MILE can be competitive (it wins
+    // com-amazon in the paper); GOSH must stay within a few points while
+    // being the faster tool at scale (asserted by table5/table6 harness).
+    let g = community_graph(&CommunityConfig::new(4096, 8), 19);
+    let s = train_test_split(&g, &SplitConfig::default());
+    let mile = mile_embed(
+        &s.train,
+        &MileParams { dim: 16, levels: 5, base_epochs: 150, lr: 0.05, threads: 4, ..Default::default() },
+    );
+    let device = Device::new(DeviceConfig::titan_x());
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(16)
+        .with_epochs(150)
+        .with_threads(8);
+    let (m, _) = embed(&s.train, &cfg, &device);
+
+    let eval = EvalConfig::default();
+    let auc_mile = evaluate_link_prediction(&mile.embedding, &s.train, &s.test_edges, &eval);
+    let auc_gosh = evaluate_link_prediction(&m, &s.train, &s.test_edges, &eval);
+    assert!(auc_gosh > auc_mile - 0.04, "gosh {auc_gosh} vs mile {auc_mile}");
+    assert!(auc_gosh > 0.8 && auc_mile > 0.6);
+}
