@@ -12,7 +12,8 @@
 use std::time::Instant;
 
 use gosh_core::model::Embedding;
-use gosh_core::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use gosh_core::train_gpu::train_level_on_device;
+use gosh_core::{KernelVariant, TrainParams};
 use gosh_gpu::{Device, DeviceError};
 use gosh_graph::csr::Csr;
 
@@ -79,7 +80,12 @@ pub fn graphvite_embed(
         device,
         g,
         &mut m,
-        &TrainParams::adjacency(params.dim, params.negative_samples, params.lr, params.epochs),
+        &TrainParams::adjacency(
+            params.dim,
+            params.negative_samples,
+            params.lr,
+            params.epochs,
+        ),
         KernelVariant::Optimized,
     )?;
     Ok(BaselineResult {
@@ -101,7 +107,11 @@ mod tests {
         let g = community_graph(&CommunityConfig::new(512, 8), 1);
         let split = train_test_split(&g, &SplitConfig::default());
         let device = Device::new(DeviceConfig::titan_x());
-        let params = GraphviteParams { dim: 16, epochs: 100, ..GraphviteParams::fast() };
+        let params = GraphviteParams {
+            dim: 16,
+            epochs: 100,
+            ..GraphviteParams::fast()
+        };
         let res = graphvite_embed(&device, &split.train, &params).unwrap();
         let auc = evaluate_link_prediction(
             &res.embedding,
@@ -118,10 +128,20 @@ mod tests {
         // GOSH which would partition (the Table 7 contrast).
         let g = community_graph(&CommunityConfig::new(1024, 6), 2);
         let device = Device::new(DeviceConfig::tiny(16 * 1024));
-        let err = graphvite_embed(&device, &g, &GraphviteParams { dim: 32, ..GraphviteParams::fast() })
-            .unwrap_err();
+        let err = graphvite_embed(
+            &device,
+            &g,
+            &GraphviteParams {
+                dim: 32,
+                ..GraphviteParams::fast()
+            },
+        )
+        .unwrap_err();
         match err {
-            DeviceError::OutOfMemory { requested, available } => {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => {
                 assert!(requested > available);
             }
         }

@@ -15,7 +15,8 @@ use std::time::Instant;
 use gosh_coarsen::mile::mile_coarsen;
 use gosh_core::expand::expand_embedding;
 use gosh_core::model::Embedding;
-use gosh_core::train_cpu::{train_cpu, CpuTrainParams, Similarity};
+use gosh_core::train_cpu::train_cpu;
+use gosh_core::TrainParams;
 use gosh_graph::csr::Csr;
 
 use crate::BaselineResult;
@@ -91,14 +92,14 @@ pub fn mile_embed(g: &Csr, params: &MileParams) -> BaselineResult {
     train_cpu(
         coarsest,
         &mut m,
-        &CpuTrainParams {
-            negative_samples: params.negative_samples,
-            lr: params.lr,
-            epochs: params.base_epochs,
-            threads: params.threads,
-            similarity: Similarity::Adjacency,
-            seed: params.seed,
-        },
+        &TrainParams::adjacency(
+            params.dim,
+            params.negative_samples,
+            params.lr,
+            params.base_epochs,
+        )
+        .with_threads(params.threads)
+        .with_seed(params.seed),
     );
 
     // Refinement: project down one level, then smooth — no re-training.

@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use gosh_core::model::Embedding;
-use gosh_core::train_cpu::{train_cpu, CpuTrainParams, Similarity};
+use gosh_core::{CpuHogwild, LevelSchedule, Similarity, TrainBackend, TrainParams};
 use gosh_graph::csr::Csr;
 
 use crate::BaselineResult;
@@ -46,22 +46,25 @@ impl Default for VerseParams {
     }
 }
 
-/// Run VERSE on `g`.
+/// Run VERSE on `g`. Rides the [`CpuHogwild`] backend: VERSE *is* the
+/// single-level PPR configuration of the shared CPU engine.
 pub fn verse_embed(g: &Csr, params: &VerseParams) -> BaselineResult {
     let start = Instant::now();
     let mut m = Embedding::random(g.num_vertices(), params.dim, params.seed);
-    train_cpu(
-        g,
-        &mut m,
-        &CpuTrainParams {
-            negative_samples: params.negative_samples,
-            lr: params.lr,
-            epochs: params.epochs,
-            threads: params.threads,
-            similarity: Similarity::Ppr { alpha: params.alpha },
-            seed: params.seed,
-        },
+    let backend = CpuHogwild::new(
+        TrainParams::adjacency(
+            params.dim,
+            params.negative_samples,
+            params.lr,
+            params.epochs,
+        )
+        .with_similarity(Similarity::Ppr {
+            alpha: params.alpha,
+        })
+        .with_threads(params.threads)
+        .with_seed(params.seed),
     );
+    backend.train_level(g, &mut m, LevelSchedule::single(params.epochs, params.seed));
     BaselineResult {
         embedding: m,
         seconds: start.elapsed().as_secs_f64(),
@@ -100,8 +103,18 @@ mod tests {
     #[test]
     fn more_epochs_take_longer() {
         let g = community_graph(&CommunityConfig::new(256, 6), 2);
-        let p_short = VerseParams { dim: 8, epochs: 5, threads: 2, ..Default::default() };
-        let p_long = VerseParams { dim: 8, epochs: 50, threads: 2, ..Default::default() };
+        let p_short = VerseParams {
+            dim: 8,
+            epochs: 5,
+            threads: 2,
+            ..Default::default()
+        };
+        let p_long = VerseParams {
+            dim: 8,
+            epochs: 50,
+            threads: 2,
+            ..Default::default()
+        };
         let a = verse_embed(&g, &p_short);
         let b = verse_embed(&g, &p_long);
         assert!(b.seconds > a.seconds);

@@ -57,7 +57,7 @@ fn bench_sampling(c: &mut Criterion) {
             black_box(gosh_core::train_cpu::positive_sample(
                 &g,
                 v,
-                gosh_core::train_cpu::Similarity::Adjacency,
+                gosh_core::Similarity::Adjacency,
                 &mut rng,
             ))
         });
@@ -68,7 +68,7 @@ fn bench_sampling(c: &mut Criterion) {
             black_box(gosh_core::train_cpu::positive_sample(
                 &g,
                 v,
-                gosh_core::train_cpu::Similarity::Ppr { alpha: 0.85 },
+                gosh_core::Similarity::Ppr { alpha: 0.85 },
                 &mut rng,
             ))
         });

@@ -14,16 +14,14 @@ use gosh_core::config::{GoshConfig, Preset};
 use gosh_core::expand::expand_embedding;
 use gosh_core::model::Embedding;
 use gosh_core::schedule::epoch_distribution;
-use gosh_core::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use gosh_core::train_gpu::train_level_on_device;
+use gosh_core::{KernelVariant, TrainParams};
 use gosh_gpu::{Device, DeviceConfig};
 use gosh_graph::csr::Csr;
 
 /// Coarsen to below 100 vertices with explicit options; returns
 /// (graphs, mappings, largest-cluster share seen).
-fn coarsen(
-    g0: Csr,
-    opts: &CollapseOptions,
-) -> (Vec<Csr>, Vec<gosh_coarsen::Mapping>, f64) {
+fn coarsen(g0: Csr, opts: &CollapseOptions) -> (Vec<Csr>, Vec<gosh_coarsen::Mapping>, f64) {
     let mut graphs = vec![g0];
     let mut maps = Vec::new();
     let mut worst_share = 0.0f64;
@@ -51,16 +49,47 @@ fn main() {
     let epochs = scaled_epochs_with(1000, 0.3);
 
     println!("# Ablation: coarsening design choices (density rule, hub order); epochs = {epochs}");
-    header(&["graph", "variant", "D", "|V_D-1|", "max_cluster_share", "aucroc_%"]);
+    header(&[
+        "graph",
+        "variant",
+        "D",
+        "|V_D-1|",
+        "max_cluster_share",
+        "aucroc_%",
+    ]);
 
     for d in datasets {
         let g = d.generate(42);
         let s = split(&g);
         let variants = [
-            ("full", CollapseOptions { density_rule: true, hub_order: true }),
-            ("no-density-rule", CollapseOptions { density_rule: false, hub_order: true }),
-            ("no-hub-order", CollapseOptions { density_rule: true, hub_order: false }),
-            ("neither", CollapseOptions { density_rule: false, hub_order: false }),
+            (
+                "full",
+                CollapseOptions {
+                    density_rule: true,
+                    hub_order: true,
+                },
+            ),
+            (
+                "no-density-rule",
+                CollapseOptions {
+                    density_rule: false,
+                    hub_order: true,
+                },
+            ),
+            (
+                "no-hub-order",
+                CollapseOptions {
+                    density_rule: true,
+                    hub_order: false,
+                },
+            ),
+            (
+                "neither",
+                CollapseOptions {
+                    density_rule: false,
+                    hub_order: false,
+                },
+            ),
         ];
         for (name, opts) in variants {
             let (graphs, maps, share) = coarsen(s.train.clone(), &opts);

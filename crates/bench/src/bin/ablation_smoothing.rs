@@ -7,7 +7,9 @@
 //! work on cheap coarse graphs (fast), large `p` spreads epochs toward
 //! the expensive fine levels (slower, typically a little more accurate).
 
-use gosh_bench::{auc_percent, datasets_from_args, fmt_s, header, scaled_epochs_with, split, tau, DIM};
+use gosh_bench::{
+    auc_percent, datasets_from_args, fmt_s, header, scaled_epochs_with, split, tau, DIM,
+};
 use gosh_core::config::{GoshConfig, Preset};
 use gosh_core::pipeline::embed;
 use gosh_gpu::{Device, DeviceConfig};

@@ -14,8 +14,9 @@
 //! quality trend the figure demonstrates.
 
 use gosh_bench::{auc_percent, fmt_s, header, scaled_epochs, split, tau, DIM};
-use gosh_core::large::{train_large, LargeParams};
+use gosh_core::large::train_large;
 use gosh_core::model::Embedding;
+use gosh_core::{PartitionedOpts, TrainParams};
 use gosh_gpu::{Device, DeviceConfig};
 use gosh_graph::gen::{community_graph, CommunityConfig};
 
@@ -46,16 +47,12 @@ fn main() {
             &device,
             &s.train,
             &mut m,
-            &LargeParams {
-                dim: DIM,
-                negative_samples: 3,
-                lr: 0.035,
-                epochs,
-                p_gpu: 3,
-                s_gpu: 4,
+            &TrainParams::adjacency(DIM, 3, 0.035, epochs)
+                .with_threads(tau())
+                .with_seed(0x905E),
+            &PartitionedOpts {
                 batch_b: b,
-                threads: tau(),
-                seed: 0x905E,
+                ..Default::default()
             },
         )
         .expect("large-graph training failed");

@@ -20,8 +20,9 @@ use gosh_bench::{datasets_from_args, header, scaled_epochs, split, tau, DIM};
 use gosh_core::config::{GoshConfig, Preset};
 use gosh_core::model::Embedding;
 use gosh_core::pipeline::embed;
-use gosh_core::train_cpu::{train_cpu, CpuTrainParams, Similarity};
-use gosh_core::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use gosh_core::train_cpu::train_cpu;
+use gosh_core::train_gpu::train_level_on_device;
+use gosh_core::{KernelVariant, TrainParams};
 use gosh_gpu::{CostModel, Device, DeviceConfig};
 
 fn main() {
@@ -37,8 +38,12 @@ fn main() {
     ]);
     let epochs = scaled_epochs(1000);
 
-    println!("# Figure 4: speedups of intermediate Gosh versions over the 16-thread CPU implementation");
-    println!("# epochs = {epochs}; GPU variants priced by the cost model (see header of the binary)");
+    println!(
+        "# Figure 4: speedups of intermediate Gosh versions over the 16-thread CPU implementation"
+    );
+    println!(
+        "# epochs = {epochs}; GPU variants priced by the cost model (see header of the binary)"
+    );
     header(&["graph", "variant", "time_s", "speedup_vs_cpu"]);
 
     for d in datasets {
@@ -52,20 +57,18 @@ fn main() {
         train_cpu(
             &s.train,
             &mut m,
-            &CpuTrainParams {
-                negative_samples: 3,
-                lr: 0.035,
-                epochs,
-                threads: tau(),
-                similarity: Similarity::Adjacency,
-                seed: 1,
-            },
+            &TrainParams::adjacency(DIM, 3, 0.035, epochs)
+                .with_threads(tau())
+                .with_seed(1),
         );
         let cpu_s = t0.elapsed().as_secs_f64();
         println!("{}\tCPU-16t\t{:.2}\t1.00x", d.name, cpu_s);
 
         // 2 & 3. GPU without coarsening, naive vs optimized (modeled).
-        for (name, variant) in [("NaiveGPU", KernelVariant::Naive), ("OptGPU", KernelVariant::Optimized)] {
+        for (name, variant) in [
+            ("NaiveGPU", KernelVariant::Naive),
+            ("OptGPU", KernelVariant::Optimized),
+        ] {
             let device = Device::new(DeviceConfig::titan_x());
             let mut m = Embedding::random(n, DIM, 1);
             train_level_on_device(
@@ -77,7 +80,12 @@ fn main() {
             )
             .expect("training failed");
             let modeled = CostModel::new(*device.config()).kernel_seconds(&device.snapshot());
-            println!("{}\t{name}\t{:.2}\t{:.2}x", d.name, modeled, cpu_s / modeled);
+            println!(
+                "{}\t{name}\t{:.2}\t{:.2}x",
+                d.name,
+                modeled,
+                cpu_s / modeled
+            );
         }
 
         // 4 & 5. Full GOSH, sequential vs parallel coarsening.

@@ -16,8 +16,16 @@ fn main() {
     println!("# Table 2: normal and large graphs used in the experiments");
     println!("# (synthetic stand-ins; paper columns shown for reference)");
     header(&[
-        "graph", "mimics", "|V|", "|E|", "density", "clustering", "max_deg",
-        "paper_|V|", "paper_|E|", "paper_density",
+        "graph",
+        "mimics",
+        "|V|",
+        "|E|",
+        "density",
+        "clustering",
+        "max_deg",
+        "paper_|V|",
+        "paper_|E|",
+        "paper_density",
     ]);
 
     let suites: Vec<_> = if medium_only {

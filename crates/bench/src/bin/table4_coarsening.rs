@@ -16,7 +16,9 @@ fn main() {
         "twitter-like",
         "friendster-like",
     ]);
-    let tau = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let tau = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
 
     println!("# Table 4: sequential vs parallel coarsening (threshold = 100)");
     header(&["graph", "tau", "time_s", "speedup", "D", "|V_D-1|"]);

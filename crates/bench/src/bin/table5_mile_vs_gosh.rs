@@ -10,11 +10,18 @@ use gosh_coarsen::mile::mile_coarsen;
 fn main() {
     let datasets = datasets_from_args(&["orkut-like"]);
     let levels = 8usize;
-    let tau = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(16);
+    let tau = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(16);
 
     for d in datasets {
         let g = d.generate(42);
-        println!("# Table 5: Mile vs Gosh coarsening on {} (|V|={})", d.name, g.num_vertices());
+        println!(
+            "# Table 5: Mile vs Gosh coarsening on {} (|V|={})",
+            d.name,
+            g.num_vertices()
+        );
         println!("# Gosh uses parallel coarsening with tau = {tau} threads");
         header(&["i", "mile_time_s", "mile_|Vi|", "gosh_time_s", "gosh_|Vi|"]);
 
@@ -27,7 +34,11 @@ fn main() {
         };
         let gosh = coarsen_hierarchy(g, &cfg);
 
-        println!("0\t-\t{}\t-\t{}", mile.levels[0].num_vertices(), gosh.graphs[0].num_vertices());
+        println!(
+            "0\t-\t{}\t-\t{}",
+            mile.levels[0].num_vertices(),
+            gosh.graphs[0].num_vertices()
+        );
         for i in 1..=levels {
             let (mt, mv) = mile
                 .stats

@@ -7,8 +7,7 @@
 //! clock; see DESIGN.md).
 
 use gosh_bench::{
-    datasets_from_args, fmt_s, header, run_gosh, run_graphvite, run_mile, run_verse, split,
-    ToolRow,
+    datasets_from_args, fmt_s, header, run_gosh, run_graphvite, run_mile, run_verse, split, ToolRow,
 };
 use gosh_core::config::Preset;
 
@@ -41,7 +40,14 @@ fn main() {
 
     println!("# Table 6: link prediction on medium-scale graphs");
     println!("# Table 3 configurations: fast(p=0.1,lr=0.050,e=600) normal(0.3,0.035,1000) slow(0.5,0.025,1400), epochs scaled by GOSH_EPOCH_SCALE");
-    header(&["graph", "algorithm", "time_s", "speedup", "modeled_dev_s", "aucroc_%"]);
+    header(&[
+        "graph",
+        "algorithm",
+        "time_s",
+        "speedup",
+        "modeled_dev_s",
+        "aucroc_%",
+    ]);
 
     for d in datasets {
         let g = d.generate(42);
@@ -60,7 +66,12 @@ fn main() {
             }
         }
 
-        for preset in [Preset::Fast, Preset::Normal, Preset::Slow, Preset::NoCoarsening] {
+        for preset in [
+            Preset::Fast,
+            Preset::Normal,
+            Preset::Slow,
+            Preset::NoCoarsening,
+        ] {
             let (r, _) = run_gosh(&s, preset, false, None, SCALE);
             print_row(d.name, &r, verse.wall_seconds);
         }

@@ -7,7 +7,9 @@
 //! memory failure on every large graph), and VERSE runs only where the
 //! paper's did (soc-sinaweibo's stand-in).
 
-use gosh_bench::{datasets_from_args, fmt_s, header, run_gosh, run_graphvite, run_verse, split, DIM};
+use gosh_bench::{
+    datasets_from_args, fmt_s, header, run_gosh, run_graphvite, run_verse, split, DIM,
+};
 use gosh_core::config::Preset;
 
 /// Default epoch scale. The paper's large-graph budgets (100/200/300
@@ -20,7 +22,14 @@ fn main() {
     let datasets = datasets_from_args(&["hyperlink-like", "sinaweibo-like"]);
 
     println!("# Table 7: link prediction on large graphs (large-graph epoch budgets: 100/200/300, scaled)");
-    header(&["graph", "algorithm", "time_s", "speedup", "aucroc_%", "note"]);
+    header(&[
+        "graph",
+        "algorithm",
+        "time_s",
+        "speedup",
+        "aucroc_%",
+        "note",
+    ]);
 
     for d in datasets {
         let g = d.generate(42);
@@ -31,17 +40,33 @@ fn main() {
         // VERSE succeeded only on soc-sinaweibo in the paper.
         let verse_wall = if d.mimics == "soc-sinaweibo" {
             let r = run_verse(&s, 1000, SCALE);
-            println!("{}\tVerse\t{}\t1.00x\t{:.2}\t", d.name, fmt_s(r.wall_seconds), r.aucroc);
+            println!(
+                "{}\tVerse\t{}\t1.00x\t{:.2}\t",
+                d.name,
+                fmt_s(r.wall_seconds),
+                r.aucroc
+            );
             Some(r.wall_seconds)
         } else {
             println!("{}\tVerse\tTimeout\t-\t-\t(paper: >12h)", d.name);
             None
         };
 
-        println!("{}\tMile\tskipped\t-\t-\t(paper: OOM / >12h on all large graphs)", d.name);
+        println!(
+            "{}\tMile\tskipped\t-\t-\t(paper: OOM / >12h on all large graphs)",
+            d.name
+        );
         match run_graphvite(&s, true, Some(device_mem), SCALE) {
-            Some(r) => println!("{}\tGraphvite\t{}\t-\t{:.2}\tunexpectedly fit", d.name, fmt_s(r.wall_seconds), r.aucroc),
-            None => println!("{}\tGraphvite\tOOM\t-\t-\t(matrix exceeds device memory)", d.name),
+            Some(r) => println!(
+                "{}\tGraphvite\t{}\t-\t{:.2}\tunexpectedly fit",
+                d.name,
+                fmt_s(r.wall_seconds),
+                r.aucroc
+            ),
+            None => println!(
+                "{}\tGraphvite\tOOM\t-\t-\t(matrix exceeds device memory)",
+                d.name
+            ),
         }
 
         for preset in [Preset::Fast, Preset::Normal, Preset::Slow] {

@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use gosh_bench::{datasets_from_args, fmt_s, header, scaled_epochs, split};
 use gosh_core::model::Embedding;
-use gosh_core::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use gosh_core::train_gpu::train_level_on_device;
+use gosh_core::{KernelVariant, TrainParams};
 use gosh_gpu::{CostModel, Device, DeviceConfig};
 
 fn main() {
@@ -27,7 +28,11 @@ fn main() {
             for dim in [8usize, 16, 32] {
                 let device = Device::new(DeviceConfig::titan_x());
                 let mut m = Embedding::random(s.train.num_vertices(), dim, 1);
-                let variant = if sm { KernelVariant::Auto } else { KernelVariant::Optimized };
+                let variant = if sm {
+                    KernelVariant::Auto
+                } else {
+                    KernelVariant::Optimized
+                };
                 let t0 = Instant::now();
                 train_level_on_device(
                     &device,

@@ -17,7 +17,9 @@
 
 use std::time::Instant;
 
-use gosh_baselines::{graphvite_embed, mile_embed, verse_embed, GraphviteParams, MileParams, VerseParams};
+use gosh_baselines::{
+    graphvite_embed, mile_embed, verse_embed, GraphviteParams, MileParams, VerseParams,
+};
 use gosh_core::config::{GoshConfig, Preset};
 use gosh_core::model::Embedding;
 use gosh_core::pipeline::{embed, GoshReport};
@@ -31,7 +33,10 @@ pub const DIM: usize = 32;
 
 /// Threads used for "τ = 16" style runs (capped at the machine).
 pub fn tau() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(16).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(16)
+        .min(16)
 }
 
 /// Epoch scale factor: `GOSH_EPOCH_SCALE` env var, else `default`.
@@ -137,7 +142,7 @@ pub fn run_mile(s: &TrainTestSplit, scale: f64) -> ToolRow {
         levels: 8,
         base_epochs: scaled_epochs_with(1000, scale),
         lr: 0.025,
-        threads: 1,      // MILE is a sequential tool (§4.3)
+        threads: 1,       // MILE is a sequential tool (§4.3)
         refine_passes: 1, // one smoothing pass per level; two over-smooths
         // at 8 levels on graphs this small
         ..Default::default()
@@ -162,7 +167,11 @@ pub fn run_graphvite(
         Some(m) => DeviceConfig::tiny(m),
         None => DeviceConfig::titan_x(),
     });
-    let base = if fast { GraphviteParams::fast() } else { GraphviteParams::slow() };
+    let base = if fast {
+        GraphviteParams::fast()
+    } else {
+        GraphviteParams::slow()
+    };
     let params = GraphviteParams {
         dim: DIM,
         epochs: scaled_epochs_with(base.epochs, scale),
@@ -173,7 +182,11 @@ pub fn run_graphvite(
         Ok(res) => {
             let modeled = CostModel::new(*device.config()).kernel_seconds(&device.snapshot());
             Some(ToolRow {
-                tool: if fast { "Graphvite-fast".into() } else { "Graphvite-slow".into() },
+                tool: if fast {
+                    "Graphvite-fast".into()
+                } else {
+                    "Graphvite-slow".into()
+                },
                 wall_seconds: res.seconds,
                 modeled_seconds: Some(modeled),
                 aucroc: auc_percent(&res.embedding, s),

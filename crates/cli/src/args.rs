@@ -35,14 +35,18 @@ impl Parsed {
             .ok_or_else(|| format!("missing <{name}> argument"))
     }
 
-    /// Optional flag parsed into `T`.
-    pub fn flag<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+    /// Optional flag parsed into `T`; parse failures carry the type's
+    /// own error detail (e.g. the valid choices for an enum flag).
+    pub fn flag<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
         match self.flags.get(key) {
             None => Ok(None),
             Some(raw) => raw
                 .parse::<T>()
                 .map(Some)
-                .map_err(|_| format!("invalid value `{raw}` for --{key}")),
+                .map_err(|e| format!("invalid value `{raw}` for --{key}: {e}")),
         }
     }
 
@@ -62,7 +66,10 @@ mod tests {
 
     #[test]
     fn splits_positionals_and_flags() {
-        let p = parse(&strs(&["a.txt", "--dim", "32", "out.emb", "--preset", "fast"])).unwrap();
+        let p = parse(&strs(&[
+            "a.txt", "--dim", "32", "out.emb", "--preset", "fast",
+        ]))
+        .unwrap();
         assert_eq!(p.positional, vec!["a.txt", "out.emb"]);
         assert_eq!(p.flag::<usize>("dim").unwrap(), Some(32));
         assert_eq!(p.flag_str("preset"), Some("fast"));

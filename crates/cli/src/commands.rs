@@ -4,6 +4,7 @@ use std::io::Write;
 use std::time::Instant;
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh_core::backend::BackendChoice;
 use gosh_core::config::{GoshConfig, Preset};
 use gosh_core::model::Embedding;
 use gosh_core::pipeline::embed as gosh_embed;
@@ -19,7 +20,10 @@ use gosh_graph::stats::GraphStats;
 use crate::args::{parse, Parsed};
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(16)
 }
 
 /// Load a graph: `.csr` binary or edge-list text.
@@ -49,7 +53,9 @@ fn parse_preset(p: &Parsed) -> Result<Preset, String> {
         "normal" => Ok(Preset::Normal),
         "slow" => Ok(Preset::Slow),
         "nocoarse" => Ok(Preset::NoCoarsening),
-        other => Err(format!("unknown preset `{other}` (fast|normal|slow|nocoarse)")),
+        other => Err(format!(
+            "unknown preset `{other}` (fast|normal|slow|nocoarse)"
+        )),
     }
 }
 
@@ -60,6 +66,9 @@ fn build_config(p: &Parsed) -> Result<(GoshConfig, Device), String> {
         .with_threads(p.flag::<usize>("threads")?.unwrap_or_else(default_threads));
     if let Some(e) = p.flag::<u32>("epochs")? {
         cfg = cfg.with_epochs(e);
+    }
+    if let Some(backend) = p.flag::<BackendChoice>("backend")? {
+        cfg = cfg.with_backend(backend);
     }
     let device_mb = p.flag::<usize>("device-mb")?.unwrap_or(12 * 1024);
     let device = Device::new(DeviceConfig::tiny(device_mb << 20));
@@ -149,11 +158,16 @@ fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
     let (m, report) = gosh_embed(g, &cfg, &device);
     let secs = t0.elapsed().as_secs_f64();
     println!(
-        "embedded: D = {} levels, {:.2}s total ({:.2}s coarsening), {} partitioned levels",
+        "embedded: D = {} levels, {:.2}s total ({:.2}s coarsening), {} partitioned levels, {} CPU levels",
         report.depth,
         secs,
         report.coarsening_seconds,
-        report.levels.iter().filter(|l| l.used_large_path).count()
+        report.levels.iter().filter(|l| l.used_large_path).count(),
+        report
+            .levels
+            .iter()
+            .filter(|l| l.backend == gosh_core::BackendKind::CpuHogwild)
+            .count()
     );
     Ok((m, secs))
 }
@@ -190,6 +204,10 @@ pub fn eval(args: &[String]) -> Result<(), String> {
     );
     let (m, secs) = run_gosh(&split.train, &p)?;
     let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
-    println!("link-prediction AUCROC: {:.2}% ({:.2}s embedding)", 100.0 * auc, secs);
+    println!(
+        "link-prediction AUCROC: {:.2}% ({:.2}s embedding)",
+        100.0 * auc,
+        secs
+    );
     Ok(())
 }

@@ -6,7 +6,9 @@
 //! gosh coarsen <graph> [--threads N] [--threshold T]
 //! gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
 //!                              [--device-mb M] [--threads N]
+//!                              [--backend cpu|gpu|auto]
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
+//!                   [--backend cpu|gpu|auto]
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension) or the
@@ -51,7 +53,9 @@ USAGE:
   gosh coarsen <graph> [--threads N] [--threshold T]
   gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
                                [--device-mb M] [--threads N]
+                               [--backend cpu|gpu|auto]
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
+                    [--backend cpu|gpu|auto]
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
@@ -59,4 +63,7 @@ USAGE:
   P is one of fast | normal | slow | nocoarse (Table 3).
   --device-mb simulates a device with that much memory (default: 12288,
   the paper's Titan X); small values force the partitioned Algorithm 5.
+  --backend selects the training engine chain: cpu forces the Hogwild
+  CPU trainer, gpu uses the device only, auto (default) prefers the
+  device and falls back per level.
 ";

@@ -47,12 +47,22 @@ fn generate_stats_coarsen_eval_flow() {
     assert!(text.contains("level 1:"));
 
     let emb = dir.join("g.emb");
-    let (ok, text) = run(&["embed", graph_s, emb.to_str().unwrap(), "--dim", "8", "--epochs", "20"]);
+    let (ok, text) = run(&[
+        "embed",
+        graph_s,
+        emb.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--epochs",
+        "20",
+    ]);
     assert!(ok, "{text}");
     let first_line = std::fs::read_to_string(&emb).unwrap();
     assert!(first_line.starts_with("3000 8"));
 
-    let (ok, text) = run(&["eval", graph_s, "--dim", "8", "--epochs", "40", "--preset", "fast"]);
+    let (ok, text) = run(&[
+        "eval", graph_s, "--dim", "8", "--epochs", "40", "--preset", "fast",
+    ]);
     assert!(ok, "{text}");
     assert!(text.contains("AUCROC"));
 
@@ -76,6 +86,47 @@ fn bad_inputs_fail_cleanly() {
     let (ok, text) = run(&["embed", "--dim"]);
     assert!(!ok);
     assert!(text.contains("expects a value"));
+}
+
+#[test]
+fn backend_flag_selects_engines() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_be_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.csr");
+    let graph_s = graph.to_str().unwrap();
+    let (ok, text) = run(&["generate", "600:5", graph_s]);
+    assert!(ok, "{text}");
+
+    for backend in ["cpu", "gpu", "auto"] {
+        let emb = dir.join(format!("g_{backend}.emb"));
+        let (ok, text) = run(&[
+            "embed",
+            graph_s,
+            emb.to_str().unwrap(),
+            "--dim",
+            "8",
+            "--epochs",
+            "10",
+            "--backend",
+            backend,
+        ]);
+        assert!(ok, "--backend {backend}: {text}");
+        assert!(text.contains("CPU levels"), "{text}");
+        if backend == "cpu" {
+            // Every level off-device: the CPU level count is nonzero.
+            // (Comma-anchored so "10 CPU levels" cannot false-match.)
+            assert!(!text.contains(", 0 CPU levels"), "{text}");
+        }
+    }
+
+    let (ok, text) = run(&["embed", graph_s, "/tmp/never.emb", "--backend", "tpu"]);
+    assert!(!ok);
+    assert!(
+        text.contains("unknown backend `tpu` (cpu|gpu|auto)"),
+        "{text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -60,8 +60,7 @@ pub fn build_coarse_parallel(g: &Csr, mapping: &Mapping, threads: usize) -> Csr 
     // Private region per processed batch: (batch_idx, per-cluster degrees,
     // edge list). Collected under a mutex; order restored afterwards.
     type Region = (usize, Vec<usize>, Vec<u32>);
-    let regions: Mutex<Vec<Region>> =
-        Mutex::new(Vec::with_capacity(num_batches));
+    let regions: Mutex<Vec<Region>> = Mutex::new(Vec::with_capacity(num_batches));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -136,9 +135,9 @@ mod tests {
             }
         }
         for (cu, cv) in coarse.edges() {
-            let witnessed = fine.edges().any(|(u, v)| {
-                mapping.cluster_of(u) == cu && mapping.cluster_of(v) == cv
-            });
+            let witnessed = fine
+                .edges()
+                .any(|(u, v)| mapping.cluster_of(u) == cu && mapping.cluster_of(v) == cv);
             assert!(witnessed, "invented coarse edge {cu}-{cv}");
         }
     }

@@ -141,7 +141,11 @@ pub fn coarsen_hierarchy(g0: Csr, cfg: &CoarsenConfig) -> Hierarchy {
         level += 1;
     }
 
-    Hierarchy { graphs, maps, stats }
+    Hierarchy {
+        graphs,
+        maps,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +156,8 @@ mod tests {
 
     #[test]
     fn reaches_threshold() {
-        let g = gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 8.0), 21)).graph;
+        let g =
+            gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 8.0), 21)).graph;
         let h = coarsen_hierarchy(g, &CoarsenConfig::default());
         assert!(h.coarsest().num_vertices() <= 100 * 2); // allow slight overshoot on stall
         assert!(h.depth() >= 2);
@@ -218,7 +223,10 @@ mod tests {
     #[test]
     fn respects_max_levels() {
         let g = rmat(&RmatConfig::graph500(12, 8.0), 29);
-        let cfg = CoarsenConfig { max_levels: 3, ..Default::default() };
+        let cfg = CoarsenConfig {
+            max_levels: 3,
+            ..Default::default()
+        };
         let h = coarsen_hierarchy(g, &cfg);
         assert!(h.depth() <= 3);
     }

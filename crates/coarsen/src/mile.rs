@@ -97,7 +97,11 @@ pub fn mile_coarsen(g0: Csr, num_levels: usize) -> MileCoarsening {
         current = coarse;
     }
 
-    MileCoarsening { levels, maps, stats }
+    MileCoarsening {
+        levels,
+        maps,
+        stats,
+    }
 }
 
 /// One round of SEM followed by NHEM; returns the pair mapping.
@@ -223,7 +227,8 @@ mod tests {
     #[test]
     fn gosh_outshrinks_mile_at_equal_levels() {
         // The Table 5 comparison in miniature.
-        let g = gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 10.0), 3)).graph;
+        let g =
+            gosh_graph::compact::remove_isolated(&rmat(&RmatConfig::graph500(12, 10.0), 3)).graph;
         let levels = 5;
         let mile = mile_coarsen(g.clone(), levels);
         let cfg = crate::hierarchy::CoarsenConfig {

@@ -93,7 +93,10 @@ mod tests {
         for threads in [2, 4, 8] {
             let m = map_parallel(&g, threads);
             assert_eq!(m.num_fine(), g.num_vertices());
-            assert!(m.as_slice().iter().all(|&c| (c as usize) < m.num_clusters()));
+            assert!(m
+                .as_slice()
+                .iter()
+                .all(|&c| (c as usize) < m.num_clusters()));
         }
     }
 

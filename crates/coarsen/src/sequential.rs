@@ -47,7 +47,11 @@ pub fn map_sequential_with(g: &Csr, opts: &CollapseOptions) -> Mapping {
     let mut map = vec![UNMAPPED; n];
     // δ from Algorithm 4 line 5; |E| here counts directed arcs, matching
     // the CSR-based |E_i| the reference implementation divides by.
-    let delta = if opts.density_rule { g.density() } else { f64::INFINITY };
+    let delta = if opts.density_rule {
+        g.density()
+    } else {
+        f64::INFINITY
+    };
     let mut cluster = 0 as VertexId;
 
     for &v in &order {

@@ -2,6 +2,8 @@
 
 use gosh_gpu::DeviceConfig;
 
+use crate::backend::BackendChoice;
+
 /// The named configurations of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Preset {
@@ -42,6 +44,8 @@ pub struct GoshConfig {
     pub batch_b: usize,
     /// RNG seed for initialization.
     pub seed: u64,
+    /// Which training-backend chain the pipeline uses per level.
+    pub backend: BackendChoice,
 }
 
 impl Default for GoshConfig {
@@ -72,6 +76,7 @@ impl GoshConfig {
             s_gpu: 4,
             batch_b: 5,
             seed: 0x905E,
+            backend: BackendChoice::Auto,
         }
     }
 
@@ -94,15 +99,18 @@ impl GoshConfig {
         self
     }
 
+    /// Override the training-backend chain.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Bytes needed to train graph+matrix resident on the device
-    /// (Algorithm 2, line 5): the matrix, xadj, adj, and the arc-source
-    /// schedule used by the edge-frequency epoch definition.
+    /// (Algorithm 2, line 5). Delegates to
+    /// [`crate::backend::device_bytes_needed`], the check behind
+    /// `GpuInMemory::fits`.
     pub fn device_bytes_needed(&self, num_vertices: usize, num_arcs: usize) -> usize {
-        let matrix = num_vertices * self.dim * 4;
-        let xadj = (num_vertices + 1) * 8;
-        let adj = num_arcs * 4;
-        let arc_src = num_arcs * 4;
-        matrix + xadj + adj + arc_src
+        crate::backend::device_bytes_needed(self.dim, num_vertices, num_arcs)
     }
 }
 
@@ -149,7 +157,10 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let c = GoshConfig::default().with_epochs(5).with_dim(16).with_threads(2);
+        let c = GoshConfig::default()
+            .with_epochs(5)
+            .with_dim(16)
+            .with_threads(2);
         assert_eq!(c.epochs, 5);
         assert_eq!(c.dim, 16);
         assert_eq!(c.threads, 2);

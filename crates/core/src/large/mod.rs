@@ -15,4 +15,4 @@ pub mod run;
 pub use partition::{choose_num_parts, Partition};
 pub use pools::{generate_pool, SamplePool};
 pub use rotation::inside_out_pairs;
-pub use run::{train_large, LargeParams, LargeReport};
+pub use run::{train_large, LargeReport};

@@ -50,7 +50,10 @@ impl Partition {
 
     /// Largest part size (sizes the device bins).
     pub fn max_part_len(&self) -> usize {
-        (0..self.num_parts()).map(|j| self.len(j)).max().unwrap_or(0)
+        (0..self.num_parts())
+            .map(|j| self.len(j))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Which part vertex `v` belongs to.

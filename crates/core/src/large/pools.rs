@@ -53,8 +53,10 @@ fn fill_side(
     let cursor = AtomicUsize::new(0);
     let out_chunks: Vec<&mut [u32]> = out.chunks_mut(CHUNK * b).collect();
     let num_chunks = out_chunks.len();
-    let out_slots: Vec<parking_lot::Mutex<&mut [u32]>> =
-        out_chunks.into_iter().map(parking_lot::Mutex::new).collect();
+    let out_slots: Vec<parking_lot::Mutex<&mut [u32]>> = out_chunks
+        .into_iter()
+        .map(parking_lot::Mutex::new)
+        .collect();
 
     let workers = threads.max(1).min(num_chunks.max(1));
     std::thread::scope(|scope| {
@@ -106,10 +108,28 @@ pub fn generate_pool(
     let (a, bb) = pair;
     assert!(a >= bb, "pair must be ordered (a >= b)");
     let mut fwd = Vec::new();
-    fill_side(g, partition, a, bb, b, threads, mix64(seed ^ 0xF0), &mut fwd);
+    fill_side(
+        g,
+        partition,
+        a,
+        bb,
+        b,
+        threads,
+        mix64(seed ^ 0xF0),
+        &mut fwd,
+    );
     let mut rev = Vec::new();
     if a != bb {
-        fill_side(g, partition, bb, a, b, threads, mix64(seed ^ 0x0F), &mut rev);
+        fill_side(
+            g,
+            partition,
+            bb,
+            a,
+            b,
+            threads,
+            mix64(seed ^ 0x0F),
+            &mut rev,
+        );
     }
     SamplePool { pair, fwd, rev }
 }

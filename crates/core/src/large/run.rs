@@ -25,31 +25,9 @@ use gosh_graph::csr::Csr;
 use super::partition::{choose_num_parts, Partition};
 use super::pools::{generate_pool, SamplePool, NO_SAMPLE};
 use super::rotation::inside_out_pairs;
+use crate::backend::{PartitionedOpts, TrainParams};
 use crate::model::Embedding;
 use crate::schedule::decayed_lr;
-
-/// Hyper-parameters for [`train_large`].
-#[derive(Clone, Copy, Debug)]
-pub struct LargeParams {
-    /// Embedding dimension.
-    pub dim: usize,
-    /// Negative samples per positive.
-    pub negative_samples: usize,
-    /// Initial learning rate for this level.
-    pub lr: f32,
-    /// Epoch budget `e_i` for this level.
-    pub epochs: u32,
-    /// Sub-matrix bins on the device (P_GPU, paper default 3).
-    pub p_gpu: usize,
-    /// Sample pools in flight (S_GPU, paper default 4).
-    pub s_gpu: usize,
-    /// Positive samples per vertex per pool (B, paper default 5).
-    pub batch_b: usize,
-    /// Host threads for the SampleManager team.
-    pub threads: usize,
-    /// RNG seed.
-    pub seed: u64,
-}
 
 /// What happened during a [`train_large`] run.
 #[derive(Clone, Copy, Debug)]
@@ -77,11 +55,13 @@ struct DevicePool {
 
 /// Train `m` on `g` with the partitioned pipeline. The caller has already
 /// determined that the one-shot path does not fit (Algorithm 2, line 8).
+/// `opts` shapes the partitioning (P_GPU bins, S_GPU pools, batch B).
 pub fn train_large(
     device: &Device,
     g: &Csr,
     m: &mut Embedding,
-    params: &LargeParams,
+    params: &TrainParams,
+    opts: &PartitionedOpts,
 ) -> Result<LargeReport, DeviceError> {
     let start = Instant::now();
     let n = g.num_vertices();
@@ -91,16 +71,16 @@ pub fn train_large(
 
     // Budget 90% of free device memory for bins + pools.
     let avail = device.available_bytes() / 10 * 9;
-    let k = choose_num_parts(n, d, avail, params.p_gpu, params.s_gpu, params.batch_b);
+    let k = choose_num_parts(n, d, avail, opts.p_gpu, opts.s_gpu, opts.batch_b);
     let partition = Partition::new(n, k);
     let pairs = inside_out_pairs(k);
     let e_und = g.num_undirected_edges().max(1);
     let rotations = ((params.epochs as f64 * e_und as f64)
-        / (params.batch_b as f64 * k as f64 * n as f64))
+        / (opts.batch_b as f64 * k as f64 * n as f64))
         .round()
         .max(1.0) as u32;
 
-    let num_bins = params.p_gpu.clamp(2, k);
+    let num_bins = opts.p_gpu.clamp(2, k);
     let max_part = partition.max_part_len();
     let bins: Vec<FloatBuffer> = (0..num_bins)
         .map(|_| device.alloc_floats(max_part * d))
@@ -112,14 +92,16 @@ pub fn train_large(
 
     std::thread::scope(|scope| -> Result<(), DeviceError> {
         // SampleManager: host-side pool generation, S_GPU pools buffered.
-        let (host_tx, host_rx) = bounded::<SamplePool>(params.s_gpu);
+        let (host_tx, host_rx) = bounded::<SamplePool>(opts.s_gpu);
         let sm_pairs = pairs.clone();
         let sm_partition = partition.clone();
         let sm = scope.spawn(move || {
             'outer: for r in 0..rotations {
                 for &pair in &sm_pairs {
-                    let seed = params.seed ^ ((r as u64) << 40) ^ ((pair.0 as u64) << 20) ^ pair.1 as u64;
-                    let pool = generate_pool(g, &sm_partition, pair, params.batch_b, params.threads, seed);
+                    let seed =
+                        params.seed ^ ((r as u64) << 40) ^ ((pair.0 as u64) << 20) ^ pair.1 as u64;
+                    let pool =
+                        generate_pool(g, &sm_partition, pair, opts.batch_b, params.threads, seed);
                     if host_tx.send(pool).is_err() {
                         break 'outer; // consumer gone (error path)
                     }
@@ -130,7 +112,7 @@ pub fn train_large(
         // PoolManager: ship ready pools to the device. At most S_GPU pools
         // are device-resident at once: the channel buffer, plus one in the
         // PoolManager's hand and one in the main thread's.
-        let dev_channel_cap = params.s_gpu.saturating_sub(2).max(1);
+        let dev_channel_cap = opts.s_gpu.saturating_sub(2).max(1);
         let (dev_tx, dev_rx) = bounded::<DevicePool>(dev_channel_cap);
         let pm_device = device.clone();
         let pm = scope.spawn(move || -> Result<(), DeviceError> {
@@ -142,7 +124,11 @@ pub fn train_large(
                     Some(pm_device.upload_plain(&pool.rev)?)
                 };
                 if dev_tx
-                    .send(DevicePool { pair: pool.pair, fwd, rev })
+                    .send(DevicePool {
+                        pair: pool.pair,
+                        fwd,
+                        rev,
+                    })
                     .is_err()
                 {
                     break;
@@ -162,19 +148,43 @@ pub fn train_large(
                 };
                 debug_assert_eq!(pool.pair, (a, b));
                 let bin_a = ensure_resident(
-                    device, m, &partition, &bins, &mut holds, a, (a, b),
-                    &pairs[step + 1..], &mut loads, &mut evictions,
+                    device,
+                    m,
+                    &partition,
+                    &bins,
+                    &mut holds,
+                    a,
+                    (a, b),
+                    &pairs[step + 1..],
+                    &mut loads,
+                    &mut evictions,
                 );
                 let bin_b = if a == b {
                     bin_a
                 } else {
                     ensure_resident(
-                        device, m, &partition, &bins, &mut holds, b, (a, b),
-                        &pairs[step + 1..], &mut loads, &mut evictions,
+                        device,
+                        m,
+                        &partition,
+                        &bins,
+                        &mut holds,
+                        b,
+                        (a, b),
+                        &pairs[step + 1..],
+                        &mut loads,
+                        &mut evictions,
                     )
                 };
                 kernel_pair(
-                    device, &bins[bin_a], &bins[bin_b], &partition, (a, b), &pool, lr_now, params,
+                    device,
+                    &bins[bin_a],
+                    &bins[bin_b],
+                    &partition,
+                    (a, b),
+                    &pool,
+                    lr_now,
+                    params,
+                    opts.batch_b,
                 );
                 kernels += 1;
             }
@@ -279,11 +289,12 @@ fn kernel_pair(
     (a, b): (usize, usize),
     pool: &DevicePool,
     lr: f32,
-    params: &LargeParams,
+    params: &TrainParams,
+    batch_b: usize,
 ) {
     let d = params.dim;
     let ns = params.negative_samples;
-    let bb = params.batch_b;
+    let bb = batch_b;
     let range_a = partition.range(a);
     let range_b = partition.range(b);
     let len_a = (range_a.end - range_a.start) as usize;
@@ -344,18 +355,14 @@ mod tests {
     use gosh_graph::builder::csr_from_edges;
     use gosh_graph::gen::erdos_renyi;
 
-    fn params(d: usize, epochs: u32) -> LargeParams {
-        LargeParams {
-            dim: d,
-            negative_samples: 3,
-            lr: 0.05,
-            epochs,
-            p_gpu: 3,
-            s_gpu: 4,
-            batch_b: 5,
-            threads: 2,
-            seed: 0xA5,
-        }
+    fn params(d: usize, epochs: u32) -> TrainParams {
+        TrainParams::adjacency(d, 3, 0.05, epochs)
+            .with_threads(2)
+            .with_seed(0xA5)
+    }
+
+    fn opts() -> PartitionedOpts {
+        PartitionedOpts::default()
     }
 
     #[test]
@@ -373,7 +380,7 @@ mod tests {
         let g = csr_from_edges(16, &edges);
         let device = Device::new(DeviceConfig::tiny(4096));
         let mut m = Embedding::random(16, 16, 1);
-        let report = train_large(&device, &g, &mut m, &params(16, 400)).unwrap();
+        let report = train_large(&device, &g, &mut m, &params(16, 400), &opts()).unwrap();
         assert!(report.num_parts >= 2);
         assert!(report.rotations >= 1);
         let intra = (m.cosine(0, 1) + m.cosine(8, 9)) / 2.0;
@@ -389,7 +396,7 @@ mod tests {
         let device = Device::new(DeviceConfig::tiny(8192));
         let mut m = Embedding::random(64, 8, 2);
         let before = m.clone();
-        train_large(&device, &g, &mut m, &params(8, 50)).unwrap();
+        train_large(&device, &g, &mut m, &params(8, 50), &opts()).unwrap();
         let k = choose_num_parts(64, 8, 8192 / 10 * 9, 3, 4, 5);
         let p = Partition::new(64, k);
         for j in 0..p.num_parts() {
@@ -404,7 +411,7 @@ mod tests {
         let g = erdos_renyi(128, 1024, 5);
         let device = Device::new(DeviceConfig::tiny(16 * 1024));
         let mut m = Embedding::random(128, 16, 4);
-        train_large(&device, &g, &mut m, &params(16, 20)).unwrap();
+        train_large(&device, &g, &mut m, &params(16, 20), &opts()).unwrap();
         assert_eq!(device.allocated_bytes(), 0, "leak after training");
     }
 
@@ -413,9 +420,14 @@ mod tests {
         let g = erdos_renyi(100, 1000, 7);
         let device = Device::new(DeviceConfig::tiny(8 * 1024));
         let mut m = Embedding::random(100, 8, 5);
-        let r1 = train_large(&device, &g, &mut m, &params(8, 20)).unwrap();
-        let r2 = train_large(&device, &g, &mut m, &params(8, 40)).unwrap();
-        assert!(r2.rotations >= 2 * r1.rotations.max(1) - 1, "{} vs {}", r1.rotations, r2.rotations);
+        let r1 = train_large(&device, &g, &mut m, &params(8, 20), &opts()).unwrap();
+        let r2 = train_large(&device, &g, &mut m, &params(8, 40), &opts()).unwrap();
+        assert!(
+            r2.rotations >= 2 * r1.rotations.max(1) - 1,
+            "{} vs {}",
+            r1.rotations,
+            r2.rotations
+        );
     }
 
     #[test]
@@ -423,8 +435,28 @@ mod tests {
         let g = erdos_renyi(100, 2000, 9);
         let device = Device::new(DeviceConfig::tiny(8 * 1024));
         let mut m = Embedding::random(100, 8, 6);
-        let small_b = train_large(&device, &g, &mut m, &LargeParams { batch_b: 1, ..params(8, 30) }).unwrap();
-        let large_b = train_large(&device, &g, &mut m, &LargeParams { batch_b: 8, ..params(8, 30) }).unwrap();
+        let small_b = train_large(
+            &device,
+            &g,
+            &mut m,
+            &params(8, 30),
+            &PartitionedOpts {
+                batch_b: 1,
+                ..opts()
+            },
+        )
+        .unwrap();
+        let large_b = train_large(
+            &device,
+            &g,
+            &mut m,
+            &params(8, 30),
+            &PartitionedOpts {
+                batch_b: 8,
+                ..opts()
+            },
+        )
+        .unwrap();
         assert!(large_b.rotations < small_b.rotations);
     }
 
@@ -434,9 +466,23 @@ mod tests {
         let mut m = Embedding::random(256, 16, 7);
         // Same epochs; P_GPU = 2 vs 3.
         let dev2 = Device::new(DeviceConfig::tiny(24 * 1024));
-        let r2 = train_large(&dev2, &g, &mut m, &LargeParams { p_gpu: 2, ..params(16, 20) }).unwrap();
+        let r2 = train_large(
+            &dev2,
+            &g,
+            &mut m,
+            &params(16, 20),
+            &PartitionedOpts { p_gpu: 2, ..opts() },
+        )
+        .unwrap();
         let dev3 = Device::new(DeviceConfig::tiny(24 * 1024));
-        let r3 = train_large(&dev3, &g, &mut m, &LargeParams { p_gpu: 3, ..params(16, 20) }).unwrap();
+        let r3 = train_large(
+            &dev3,
+            &g,
+            &mut m,
+            &params(16, 20),
+            &PartitionedOpts { p_gpu: 3, ..opts() },
+        )
+        .unwrap();
         if r2.num_parts == r3.num_parts && r2.num_parts > 2 {
             assert!(
                 r3.evictions <= r2.evictions,

@@ -2,6 +2,10 @@
 //!
 //! The GOSH embedding pipeline (Algorithms 1–3 and 5 of the paper):
 //!
+//! * [`backend`] — the [`backend::TrainBackend`] abstraction: the one
+//!   shared [`backend::TrainParams`] plus the `CpuHogwild`,
+//!   `GpuInMemory` and `GpuPartitioned` engines the pipeline selects
+//!   between per level.
 //! * [`model`] — embedding matrices, host- and shared-(atomic-)side.
 //! * [`update`] — the single positive/negative update (Algorithm 1).
 //! * [`schedule`] — the smoothing-ratio epoch distribution across levels
@@ -14,9 +18,12 @@
 //! * [`large`] — the out-of-memory path (Algorithm 5): embedding-matrix
 //!   partitioning, inside-out rotations, host-side sample pools with
 //!   `SampleManager`/`PoolManager` threads, and copy/compute overlap.
-//! * [`pipeline`] — Algorithm 2 tying everything together.
+//! * [`multi_gpu`] — synchronous data-parallel replica training.
+//! * [`pipeline`] — Algorithm 2 tying everything together, dispatching
+//!   every level through the backend chain.
 //! * [`config`] — the fast/normal/slow/no-coarsening presets of Table 3.
 
+pub mod backend;
 pub mod config;
 pub mod expand;
 pub mod large;
@@ -28,6 +35,10 @@ pub mod train_cpu;
 pub mod train_gpu;
 pub mod update;
 
+pub use backend::{
+    backends_for, BackendChoice, BackendKind, CpuHogwild, GpuInMemory, GpuPartitioned,
+    LevelSchedule, LevelStats, PartitionedOpts, Similarity, TrainBackend, TrainParams,
+};
 pub use config::{GoshConfig, Preset};
 pub use model::Embedding;
 pub use pipeline::{embed, GoshReport};

@@ -13,9 +13,10 @@
 use gosh_gpu::{Access, Device, DeviceError, FloatBuffer, LaunchConfig};
 use gosh_graph::csr::Csr;
 
+use crate::backend::TrainParams;
 use crate::model::Embedding;
 use crate::schedule::decayed_lr;
-use crate::train_gpu::{DeviceGraph, TrainParams};
+use crate::train_gpu::DeviceGraph;
 
 /// One device's replica: graph + matrix resident together.
 struct Replica {
@@ -37,7 +38,11 @@ pub fn train_multi_gpu(
     params: &TrainParams,
 ) -> Result<(), DeviceError> {
     assert!(!devices.is_empty(), "need at least one device");
-    assert_eq!(g.num_vertices(), host.num_vertices(), "graph/matrix mismatch");
+    assert_eq!(
+        g.num_vertices(),
+        host.num_vertices(),
+        "graph/matrix mismatch"
+    );
     assert_eq!(host.dim(), params.dim, "dimension mismatch");
     if g.num_edges() == 0 {
         return Ok(());
@@ -186,8 +191,9 @@ mod tests {
     #[test]
     fn four_devices_shard_all_sources() {
         let g = community_graph(&CommunityConfig::new(256, 6), 33);
-        let devices: Vec<Device> =
-            (0..4).map(|_| Device::new(DeviceConfig::titan_x())).collect();
+        let devices: Vec<Device> = (0..4)
+            .map(|_| Device::new(DeviceConfig::titan_x()))
+            .collect();
         let mut m = Embedding::random(256, 16, 9);
         let before = m.clone();
         train_multi_gpu(&devices, &g, &mut m, &params(10)).unwrap();

@@ -1,9 +1,11 @@
 //! The GOSH pipeline — Algorithm 2.
 //!
 //! Coarsen, initialize the coarsest matrix randomly, then walk the
-//! hierarchy from `G_{D-1}` down to `G_0`: train each level on the device
-//! (one-shot if graph + matrix fit, the partitioned Algorithm 5 path
-//! otherwise) and project the result to the next finer level.
+//! hierarchy from `G_{D-1}` down to `G_0`: train each level through the
+//! [`TrainBackend`] chain selected by [`crate::backend::BackendChoice`]
+//! (the device-fit check of line 5 is backend selection — the first
+//! backend whose `fits` accepts the level trains it) and project the
+//! result to the next finer level.
 
 use std::time::Instant;
 
@@ -11,12 +13,14 @@ use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy};
 use gosh_gpu::{CostSnapshot, Device};
 use gosh_graph::csr::Csr;
 
+use crate::backend::{
+    backends_for, BackendKind, LevelSchedule, PartitionedOpts, TrainBackend, TrainParams,
+};
 use crate::config::GoshConfig;
 use crate::expand::expand_embedding;
-use crate::large::{train_large, LargeParams};
 use crate::model::Embedding;
 use crate::schedule::epoch_distribution;
-use crate::train_gpu::{train_level_on_device, KernelVariant, TrainParams};
+use crate::train_gpu::KernelVariant;
 
 /// Per-level training record.
 #[derive(Clone, Copy, Debug)]
@@ -31,6 +35,8 @@ pub struct LevelReport {
     pub epochs: u32,
     /// Wall-clock training seconds for this level.
     pub seconds: f64,
+    /// The engine that trained this level.
+    pub backend: BackendKind,
     /// True if the Algorithm 5 partitioned path was used.
     pub used_large_path: bool,
 }
@@ -80,7 +86,8 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
     let p = cfg.smoothing.unwrap_or(1.0);
     let dist = epoch_distribution(cfg.epochs, p, depth);
 
-    // Stage 2: train coarsest-to-finest with projection in between.
+    // Stage 2: train coarsest-to-finest with projection in between, each
+    // level dispatched through the backend chain.
     let t_train = Instant::now();
     let coarsest = hierarchy.coarsest();
     let mut matrix = Embedding::random(coarsest.num_vertices(), cfg.dim, cfg.seed);
@@ -89,50 +96,48 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
     } else {
         KernelVariant::Optimized
     };
+    let params = TrainParams {
+        dim: cfg.dim,
+        negative_samples: cfg.negative_samples,
+        lr: cfg.lr,
+        epochs: cfg.epochs,
+        similarity: crate::backend::Similarity::Adjacency,
+        threads: cfg.threads,
+        seed: cfg.seed,
+    };
+    let opts = PartitionedOpts {
+        p_gpu: cfg.p_gpu,
+        s_gpu: cfg.s_gpu,
+        batch_b: cfg.batch_b,
+    };
+    let backends = backends_for(cfg.backend, device, params, variant, opts);
     let mut levels = Vec::with_capacity(depth);
 
     for i in (0..depth).rev() {
         let g = &hierarchy.graphs[i];
         let e_i = dist[i];
-        let t_level = Instant::now();
-        let needed = cfg.device_bytes_needed(g.num_vertices(), g.num_edges());
-        let used_large_path = if needed <= device.available_bytes() {
-            train_level_on_device(
-                device,
-                g,
-                &mut matrix,
-                &TrainParams::adjacency(cfg.dim, cfg.negative_samples, cfg.lr, e_i),
-                variant,
-            )
-            .expect("budgeted in-memory training failed to allocate");
-            false
-        } else {
-            train_large(
-                device,
-                g,
-                &mut matrix,
-                &LargeParams {
-                    dim: cfg.dim,
-                    negative_samples: cfg.negative_samples,
-                    lr: cfg.lr,
-                    epochs: e_i,
-                    p_gpu: cfg.p_gpu,
-                    s_gpu: cfg.s_gpu,
-                    batch_b: cfg.batch_b,
-                    threads: cfg.threads,
-                    seed: cfg.seed ^ i as u64,
-                },
-            )
-            .expect("partitioned training failed to allocate");
-            true
-        };
+        let backend: &dyn TrainBackend = backends
+            .iter()
+            .find(|b| b.fits(g))
+            .expect("no backend in the chain accepts this level")
+            .as_ref();
+        let stats = backend.train_level(
+            g,
+            &mut matrix,
+            LevelSchedule {
+                level: i,
+                epochs: e_i,
+                seed: cfg.seed ^ i as u64,
+            },
+        );
         levels.push(LevelReport {
             level: i,
             vertices: g.num_vertices(),
             arcs: g.num_edges(),
             epochs: e_i,
-            seconds: t_level.elapsed().as_secs_f64(),
-            used_large_path,
+            seconds: stats.seconds,
+            backend: stats.backend,
+            used_large_path: stats.backend == BackendKind::GpuPartitioned,
         });
         if i > 0 {
             matrix = expand_embedding(&matrix, &hierarchy.maps[i - 1]);
@@ -154,6 +159,7 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendChoice;
     use crate::config::Preset;
     use gosh_gpu::DeviceConfig;
     use gosh_graph::builder::csr_from_edges;
@@ -179,7 +185,11 @@ mod tests {
         assert_eq!(m.num_vertices(), g.num_vertices());
         assert_eq!(m.dim(), 16);
         assert!(m.as_slice().iter().all(|x| x.is_finite()));
-        assert!(report.depth >= 2, "expected multilevel, got {}", report.depth);
+        assert!(
+            report.depth >= 2,
+            "expected multilevel, got {}",
+            report.depth
+        );
         assert_eq!(report.levels.len(), report.depth);
         // Training order is coarsest first.
         assert_eq!(report.levels.last().unwrap().level, 0);
@@ -226,7 +236,38 @@ mod tests {
             report.levels.iter().any(|l| l.used_large_path),
             "no level used the partitioned path"
         );
+        assert!(report
+            .levels
+            .iter()
+            .all(|l| l.used_large_path == (l.backend == BackendKind::GpuPartitioned)));
         assert_eq!(device.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn cpu_backend_trains_every_level_off_device() {
+        let g = test_graph();
+        let device = Device::new(DeviceConfig::titan_x());
+        let cfg = small_cfg().with_backend(BackendChoice::Cpu);
+        let (m, report) = embed(&g, &cfg, &device);
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        assert!(report
+            .levels
+            .iter()
+            .all(|l| l.backend == BackendKind::CpuHogwild));
+        // The device was never touched.
+        assert_eq!(report.device_cost.kernels, 0);
+        assert_eq!(device.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn gpu_and_auto_choices_agree_on_backend_sequence() {
+        let g = test_graph();
+        let kinds = |choice: BackendChoice| -> Vec<BackendKind> {
+            let device = Device::new(DeviceConfig::titan_x());
+            let (_, report) = embed(&g, &small_cfg().with_backend(choice), &device);
+            report.levels.iter().map(|l| l.backend).collect()
+        };
+        assert_eq!(kinds(BackendChoice::Gpu), kinds(BackendChoice::Auto));
     }
 
     #[test]

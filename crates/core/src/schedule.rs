@@ -23,7 +23,9 @@ pub fn epochs_for_level(e: u32, p: f64, level: usize, levels: usize) -> u32 {
 
 /// Epoch counts for all levels; sums to ≈ `e` (± rounding, each ≥ 1).
 pub fn epoch_distribution(e: u32, p: f64, levels: usize) -> Vec<u32> {
-    (0..levels).map(|i| epochs_for_level(e, p, i, levels)).collect()
+    (0..levels)
+        .map(|i| epochs_for_level(e, p, i, levels))
+        .collect()
 }
 
 /// Learning rate for epoch `j` (0-based) of a level with `e_i` epochs.

@@ -13,57 +13,17 @@ use gosh_gpu::warp::sigmoid;
 use gosh_graph::csr::Csr;
 use gosh_graph::rng::{mix64, Xorshift128Plus};
 
+use crate::backend::{Similarity, TrainParams};
 use crate::model::{Embedding, SharedMatrix};
 use crate::schedule::decayed_lr;
-
-/// Positive-sample distribution (the similarity measure `Q` of §2).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Similarity {
-    /// Uniform over Γ(src): the adjacency measure GOSH uses.
-    Adjacency,
-    /// Personalized PageRank: endpoint of a restart-terminated random walk
-    /// from the source (VERSE's recommended setting, α = 0.85).
-    Ppr {
-        /// Continuation probability.
-        alpha: f32,
-    },
-}
-
-/// Hyper-parameters for [`train_cpu`].
-#[derive(Clone, Copy, Debug)]
-pub struct CpuTrainParams {
-    /// Negative samples per source processing.
-    pub negative_samples: usize,
-    /// Initial learning rate.
-    pub lr: f32,
-    /// Epochs (one epoch = |E| source processings).
-    pub epochs: u32,
-    /// Worker threads (the paper uses τ = 16).
-    pub threads: usize,
-    /// Positive-sample distribution.
-    pub similarity: Similarity,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-impl Default for CpuTrainParams {
-    fn default() -> Self {
-        Self {
-            negative_samples: 3,
-            lr: 0.025,
-            epochs: 100,
-            threads: 16,
-            similarity: Similarity::Adjacency,
-            seed: 0xCEC5,
-        }
-    }
-}
 
 /// Sources per dynamic batch.
 const BATCH: usize = 512;
 
 /// Train `m` on `g` in place with Hogwild threads.
-pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &CpuTrainParams) {
+///
+/// `params.dim` is ignored — the dimension comes from `m` itself.
+pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     assert_eq!(g.num_vertices(), m.num_vertices(), "graph/matrix mismatch");
     assert!(params.threads >= 1);
     if g.num_edges() == 0 {
@@ -88,8 +48,9 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &CpuTrainParams) {
                 let shared = &shared;
                 let cursor = &cursor;
                 scope.spawn(move || {
-                    let mut rng =
-                        Xorshift128Plus::new(mix64(params.seed ^ ((epoch as u64) << 20) ^ t as u64));
+                    let mut rng = Xorshift128Plus::new(mix64(
+                        params.seed ^ ((epoch as u64) << 20) ^ t as u64,
+                    ));
                     let mut src_row = vec![0f32; d];
                     let mut tmp = vec![0f32; d];
                     loop {
@@ -101,7 +62,15 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &CpuTrainParams) {
                         for s in start..end {
                             let src = arc_src[(2 * s + epoch as usize) % num_arcs];
                             process_source(
-                                g, shared, src, n, params, lr_now, &mut rng, &mut src_row, &mut tmp,
+                                g,
+                                shared,
+                                src,
+                                n,
+                                params,
+                                lr_now,
+                                &mut rng,
+                                &mut src_row,
+                                &mut tmp,
                             );
                         }
                     }
@@ -119,7 +88,7 @@ fn process_source(
     shared: &SharedMatrix,
     src: u32,
     n: u32,
-    params: &CpuTrainParams,
+    params: &TrainParams,
     lr: f32,
     rng: &mut Xorshift128Plus,
     src_row: &mut [f32],
@@ -169,7 +138,14 @@ pub fn positive_sample(
 }
 
 #[inline]
-fn one_update(shared: &SharedMatrix, u: u32, src_row: &mut [f32], tmp: &mut [f32], b: f32, lr: f32) {
+fn one_update(
+    shared: &SharedMatrix,
+    u: u32,
+    src_row: &mut [f32],
+    tmp: &mut [f32],
+    b: f32,
+    lr: f32,
+) {
     shared.read_row(u, tmp);
     let dot: f32 = src_row.iter().zip(tmp.iter()).map(|(x, y)| x * y).sum();
     let score = (b - sigmoid(dot)) * lr;
@@ -209,7 +185,12 @@ mod tests {
     fn single_thread_learns_structure() {
         let (g, intra, inter) = two_cliques();
         let mut m = Embedding::random(16, 16, 3);
-        let p = CpuTrainParams { threads: 1, epochs: 150, lr: 0.05, ..Default::default() };
+        let p = TrainParams {
+            threads: 1,
+            epochs: 150,
+            lr: 0.05,
+            ..Default::default()
+        };
         train_cpu(&g, &mut m, &p);
         assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.3);
     }
@@ -218,7 +199,12 @@ mod tests {
     fn hogwild_threads_learn_structure() {
         let (g, intra, inter) = two_cliques();
         let mut m = Embedding::random(16, 16, 4);
-        let p = CpuTrainParams { threads: 8, epochs: 150, lr: 0.05, ..Default::default() };
+        let p = TrainParams {
+            threads: 8,
+            epochs: 150,
+            lr: 0.05,
+            ..Default::default()
+        };
         train_cpu(&g, &mut m, &p);
         assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.3);
     }
@@ -227,7 +213,7 @@ mod tests {
     fn ppr_similarity_also_learns() {
         let (g, intra, inter) = two_cliques();
         let mut m = Embedding::random(16, 16, 5);
-        let p = CpuTrainParams {
+        let p = TrainParams {
             threads: 4,
             epochs: 150,
             lr: 0.05,
@@ -243,7 +229,7 @@ mod tests {
         let g = Csr::empty(4);
         let mut m = Embedding::random(4, 8, 6);
         let before = m.clone();
-        train_cpu(&g, &mut m, &CpuTrainParams::default());
+        train_cpu(&g, &mut m, &TrainParams::default());
         assert_eq!(m, before);
     }
 
@@ -251,7 +237,12 @@ mod tests {
     fn values_stay_finite_under_contention() {
         let (g, _, _) = two_cliques();
         let mut m = Embedding::random(16, 8, 7);
-        let p = CpuTrainParams { threads: 8, epochs: 50, lr: 0.2, ..Default::default() };
+        let p = TrainParams {
+            threads: 8,
+            epochs: 50,
+            lr: 0.2,
+            ..Default::default()
+        };
         train_cpu(&g, &mut m, &p);
         assert!(m.as_slice().iter().all(|x| x.is_finite()));
     }

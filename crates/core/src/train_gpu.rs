@@ -21,9 +21,9 @@
 use gosh_gpu::{Access, Device, DeviceError, FloatBuffer, LaunchConfig, PlainBuffer};
 use gosh_graph::csr::Csr;
 
+use crate::backend::{Similarity, TrainParams};
 use crate::model::Embedding;
 use crate::schedule::decayed_lr;
-use crate::train_cpu::Similarity;
 
 /// Which embedding kernel to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,30 +34,6 @@ pub enum KernelVariant {
     Optimized,
     /// `Optimized`, but switch to the packed small-`d` kernel when `d ≤ 16`.
     Auto,
-}
-
-/// Training hyper-parameters for one level.
-#[derive(Clone, Copy, Debug)]
-pub struct TrainParams {
-    /// Embedding dimension.
-    pub dim: usize,
-    /// Negative samples per source processing (`ns`).
-    pub negative_samples: usize,
-    /// Initial learning rate for this level.
-    pub lr: f32,
-    /// Epochs for this level (`e_i`).
-    pub epochs: u32,
-    /// Positive-sample distribution (the similarity measure Q of §2).
-    /// GOSH uses adjacency; VERSE-style PPR walks are also supported on
-    /// the device.
-    pub similarity: Similarity,
-}
-
-impl TrainParams {
-    /// Adjacency-similarity parameters (the paper's setting).
-    pub fn adjacency(dim: usize, negative_samples: usize, lr: f32, epochs: u32) -> Self {
-        Self { dim, negative_samples, lr, epochs, similarity: Similarity::Adjacency }
-    }
 }
 
 /// Draw a positive sample for `src` on the device: uniform neighbour for
@@ -379,7 +355,14 @@ fn epoch_packed(
                     scores[i] = (b - gosh_gpu::warp::sigmoid(dots[i])) * lr;
                 }
             }
-            w.global_axpy_rows(matrix, &sample_offsets[..k], d, &scores[..k], src_rows, Access::Coalesced);
+            w.global_axpy_rows(
+                matrix,
+                &sample_offsets[..k],
+                d,
+                &scores[..k],
+                src_rows,
+                Access::Coalesced,
+            );
             w.shared_axpy_rows(&scores[..k], tmp, src_rows, d);
         };
 
@@ -416,7 +399,7 @@ mod tests {
     use gosh_graph::gen::erdos_renyi;
 
     fn params(d: usize, epochs: u32) -> TrainParams {
-TrainParams::adjacency(d, 3, 0.05, epochs)
+        TrainParams::adjacency(d, 3, 0.05, epochs)
     }
 
     fn mean_cos(m: &Embedding, pairs: &[(u32, u32)]) -> f32 {
@@ -466,7 +449,10 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
     fn packed_kernel_learns_small_dims() {
         for d in [8, 16] {
             let (intra, inter) = train_variant(KernelVariant::Auto, d);
-            assert!(intra > inter + 0.25, "d={d}: intra {intra} vs inter {inter}");
+            assert!(
+                intra > inter + 0.25,
+                "d={d}: intra {intra} vs inter {inter}"
+            );
         }
     }
 
@@ -478,10 +464,22 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
         let graph = DeviceGraph::upload(&device, &g).unwrap();
         let matrix = device.upload_floats(&vec![0.01; 64 * 32]).unwrap();
         device.reset_counters();
-        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Auto);
+        train_in_gpu(
+            &device,
+            &graph,
+            &matrix,
+            &params(32, 1),
+            KernelVariant::Auto,
+        );
         let auto_warps = device.snapshot().warps;
         device.reset_counters();
-        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Optimized);
+        train_in_gpu(
+            &device,
+            &graph,
+            &matrix,
+            &params(32, 1),
+            KernelVariant::Optimized,
+        );
         let opt_warps = device.snapshot().warps;
         assert_eq!(auto_warps, opt_warps);
     }
@@ -496,9 +494,19 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
         train_in_gpu(&device, &graph, &matrix, &params(8, 1), KernelVariant::Auto);
         let packed = device.snapshot().warps;
         device.reset_counters();
-        train_in_gpu(&device, &graph, &matrix, &params(8, 1), KernelVariant::Optimized);
+        train_in_gpu(
+            &device,
+            &graph,
+            &matrix,
+            &params(8, 1),
+            KernelVariant::Optimized,
+        );
         let unpacked = device.snapshot().warps;
-        assert_eq!(packed, unpacked.div_ceil(4), "packed {packed} vs unpacked {unpacked}");
+        assert_eq!(
+            packed,
+            unpacked.div_ceil(4),
+            "packed {packed} vs unpacked {unpacked}"
+        );
     }
 
     #[test]
@@ -508,10 +516,22 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
         let graph = DeviceGraph::upload(&device, &g).unwrap();
         let matrix = device.upload_floats(&vec![0.01; 64 * 32]).unwrap();
         device.reset_counters();
-        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Optimized);
+        train_in_gpu(
+            &device,
+            &graph,
+            &matrix,
+            &params(32, 1),
+            KernelVariant::Optimized,
+        );
         let opt = device.snapshot().transactions;
         device.reset_counters();
-        train_in_gpu(&device, &graph, &matrix, &params(32, 1), KernelVariant::Naive);
+        train_in_gpu(
+            &device,
+            &graph,
+            &matrix,
+            &params(32, 1),
+            KernelVariant::Naive,
+        );
         let naive = device.snapshot().transactions;
         assert!(naive > 3 * opt, "naive {naive} vs optimized {opt}");
     }
@@ -532,7 +552,7 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
         let device = Device::new(DeviceConfig::titan_x());
         let mut m = Embedding::random(16, 32, 42);
         let p = TrainParams {
-            similarity: crate::train_cpu::Similarity::Ppr { alpha: 0.85 },
+            similarity: crate::backend::Similarity::Ppr { alpha: 0.85 },
             ..params(32, 150)
         };
         train_level_on_device(&device, &g, &mut m, &p, KernelVariant::Optimized).unwrap();
@@ -553,7 +573,7 @@ TrainParams::adjacency(d, 3, 0.05, epochs)
                 graph.xadj_slice(),
                 graph.adj_slice(),
                 0,
-                crate::train_cpu::Similarity::Ppr { alpha: 0.85 },
+                crate::backend::Similarity::Ppr { alpha: 0.85 },
             ) == Some(2)
             {
                 hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -124,6 +124,10 @@ mod tests {
             update_embedding(&mut src, &mut sam, 1.0, 0.05);
         }
         let d = dot(&src, &sam);
-        assert!(gosh_gpu::warp::sigmoid(d) > 0.9, "σ(dot) = {}", gosh_gpu::warp::sigmoid(d));
+        assert!(
+            gosh_gpu::warp::sigmoid(d) > 0.9,
+            "σ(dot) = {}",
+            gosh_gpu::warp::sigmoid(d)
+        );
     }
 }

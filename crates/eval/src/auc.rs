@@ -85,7 +85,9 @@ mod tests {
         use gosh_graph::rng::Xorshift128Plus;
         let mut rng = Xorshift128Plus::new(13);
         let n = 200;
-        let scores: Vec<f32> = (0..n).map(|_| (rng.next_f32() * 8.0).round() / 8.0).collect();
+        let scores: Vec<f32> = (0..n)
+            .map(|_| (rng.next_f32() * 8.0).round() / 8.0)
+            .collect();
         let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.3).collect();
         // O(n²) reference with tie-halving.
         let mut wins = 0f64;

@@ -42,12 +42,12 @@ impl Default for ClassifyConfig {
 
 /// Train one-vs-rest heads on embedding rows and return test accuracy in
 /// `[0, 1]`. `labels[v]` is vertex `v`'s class.
-pub fn node_classification_accuracy(
-    m: &Embedding,
-    labels: &[u32],
-    cfg: &ClassifyConfig,
-) -> f64 {
-    assert_eq!(m.num_vertices(), labels.len(), "labels must cover all vertices");
+pub fn node_classification_accuracy(m: &Embedding, labels: &[u32], cfg: &ClassifyConfig) -> f64 {
+    assert_eq!(
+        m.num_vertices(),
+        labels.len(),
+        "labels must cover all vertices"
+    );
     let n = labels.len();
     assert!(n >= 4, "too few vertices to split");
     let num_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
@@ -70,8 +70,15 @@ pub fn node_classification_accuracy(
     }
     let heads: Vec<LogisticRegression> = (0..num_classes)
         .map(|c| {
-            let labels_c: Vec<bool> = train_v.iter().map(|&v| labels[v as usize] == c as u32).collect();
-            let set = FeatureSet { features: features.clone(), labels: labels_c, dim: d };
+            let labels_c: Vec<bool> = train_v
+                .iter()
+                .map(|&v| labels[v as usize] == c as u32)
+                .collect();
+            let set = FeatureSet {
+                features: features.clone(),
+                labels: labels_c,
+                dim: d,
+            };
             LogisticRegression::train(&set, cfg.method, cfg.lr, cfg.l2, cfg.seed ^ c as u64)
         })
         .collect();
@@ -112,7 +119,8 @@ mod tests {
         let labels: Vec<u32> = (0..n as u32).map(|v| v % 2).collect();
         for v in 0..n as u32 {
             let sign = if v % 2 == 0 { 1.0 } else { -1.0 };
-            m.row_mut(v).copy_from_slice(&[sign, -sign, sign * 0.5, 0.1]);
+            m.row_mut(v)
+                .copy_from_slice(&[sign, -sign, sign * 0.5, 0.1]);
         }
         let acc = node_classification_accuracy(&m, &labels, &ClassifyConfig::default());
         assert!(acc > 0.95, "acc = {acc}");

@@ -98,7 +98,10 @@ impl LogisticRegression {
                 }
             }
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// P(edge) for one feature row.
@@ -136,13 +139,18 @@ mod tests {
             }
             labels.push(pos);
         }
-        FeatureSet { features, labels, dim: d }
+        FeatureSet {
+            features,
+            labels,
+            dim: d,
+        }
     }
 
     #[test]
     fn batch_solver_separates() {
         let data = separable(400, 6, 1);
-        let model = LogisticRegression::train(&data, TrainMethod::Batch { iterations: 200 }, 1.0, 1e-4, 1);
+        let model =
+            LogisticRegression::train(&data, TrainMethod::Batch { iterations: 200 }, 1.0, 1e-4, 1);
         let auc = auc_roc(&model.predict_all(&data), &data.labels);
         assert!(auc > 0.95, "auc = {auc}");
     }
@@ -162,7 +170,11 @@ mod tests {
         let d = 4;
         let features: Vec<f32> = (0..n * d).map(|_| rng.next_f32() - 0.5).collect();
         let labels: Vec<bool> = (0..n).map(|_| rng.next_f32() < 0.5).collect();
-        let data = FeatureSet { features, labels, dim: d };
+        let data = FeatureSet {
+            features,
+            labels,
+            dim: d,
+        };
         let model = LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 5 }, 0.1, 1e-4, 3);
         let auc = auc_roc(&model.predict_all(&data), &data.labels);
         assert!((auc - 0.5).abs() < 0.1, "auc = {auc}");
@@ -171,7 +183,8 @@ mod tests {
     #[test]
     fn predictions_are_probabilities() {
         let data = separable(100, 3, 4);
-        let model = LogisticRegression::train(&data, TrainMethod::Batch { iterations: 50 }, 1.0, 0.0, 4);
+        let model =
+            LogisticRegression::train(&data, TrainMethod::Batch { iterations: 50 }, 1.0, 0.0, 4);
         for s in model.predict_all(&data) {
             assert!((0.0..=1.0).contains(&s));
         }
@@ -189,7 +202,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty feature set")]
     fn empty_set_panics() {
-        let data = FeatureSet { features: vec![], labels: vec![], dim: 4 };
+        let data = FeatureSet {
+            features: vec![],
+            labels: vec![],
+            dim: 4,
+        };
         LogisticRegression::train(&data, TrainMethod::Sgd { epochs: 1 }, 0.1, 0.0, 1);
     }
 }

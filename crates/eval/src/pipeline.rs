@@ -80,7 +80,8 @@ mod tests {
         let g = community_graph(&CommunityConfig::new(512, 6), 5);
         let split = train_test_split(&g, &SplitConfig::default());
         let m = Embedding::random(split.train.num_vertices(), 16, 3);
-        let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        let auc =
+            evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
         assert!((auc - 0.5).abs() < 0.15, "auc = {auc}");
     }
 
@@ -94,7 +95,8 @@ mod tests {
             .with_epochs(80)
             .with_threads(4);
         let (m, _) = embed(&split.train, &cfg, &device);
-        let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        let auc =
+            evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
         assert!(auc > 0.75, "auc = {auc}");
     }
 
@@ -108,7 +110,8 @@ mod tests {
             .with_epochs(60)
             .with_threads(4);
         let (m, _) = embed(&split.train, &cfg, &device);
-        let sgd = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+        let sgd =
+            evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
         let batch = evaluate_link_prediction(
             &m,
             &split.train,

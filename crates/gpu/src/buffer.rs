@@ -30,7 +30,11 @@ impl FloatBuffer {
         let bytes = len * 4;
         device.try_alloc(bytes)?;
         let data = (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
-        Ok(Self { data, device, bytes })
+        Ok(Self {
+            data,
+            device,
+            bytes,
+        })
     }
 
     pub(crate) fn new_from_slice(
@@ -95,7 +99,10 @@ impl FloatBuffer {
     /// against the interconnect.
     pub fn copy_from_host_at(&self, offset: usize, src: &[f32]) {
         self.write_row(offset, src);
-        self.device.counters.h2d_bytes.fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
+        self.device
+            .counters
+            .h2d_bytes
+            .fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
     }
 
     /// Host→device copy of the whole buffer.
@@ -107,7 +114,10 @@ impl FloatBuffer {
     /// Device→host copy of `[offset, offset + out.len())`.
     pub fn copy_to_host_at(&self, offset: usize, out: &mut [f32]) {
         self.read_row(offset, out);
-        self.device.counters.d2h_bytes.fetch_add(out.len() as u64 * 4, Ordering::Relaxed);
+        self.device
+            .counters
+            .d2h_bytes
+            .fetch_add(out.len() as u64 * 4, Ordering::Relaxed);
     }
 
     /// Device→host copy of the whole buffer.
@@ -145,7 +155,10 @@ impl<T: Copy + Send + Sync> PlainBuffer<T> {
     ) -> Result<Self, DeviceError> {
         let bytes = std::mem::size_of_val(host);
         device.try_alloc(bytes)?;
-        device.counters.h2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        device
+            .counters
+            .h2d_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         Ok(Self {
             data: host.to_vec().into_boxed_slice(),
             device,
@@ -205,7 +218,10 @@ mod tests {
         let dev = Device::new(DeviceConfig::tiny(100));
         let err = dev.alloc_floats(100).unwrap_err();
         match err {
-            DeviceError::OutOfMemory { requested, available } => {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 400);
                 assert_eq!(available, 100);
             }

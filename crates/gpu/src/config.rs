@@ -60,7 +60,9 @@ impl DeviceConfig {
         if self.host_threads > 0 {
             self.host_threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -92,7 +94,10 @@ mod tests {
     #[test]
     fn threads_resolve_to_positive() {
         assert!(DeviceConfig::default().resolved_host_threads() >= 1);
-        let c = DeviceConfig { host_threads: 3, ..Default::default() };
+        let c = DeviceConfig {
+            host_threads: 3,
+            ..Default::default()
+        };
         assert_eq!(c.resolved_host_threads(), 3);
     }
 }

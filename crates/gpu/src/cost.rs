@@ -58,8 +58,10 @@ impl CostCounters {
     pub fn flush(&self, l: &LocalCounters) {
         self.alu.fetch_add(l.alu, Ordering::Relaxed);
         self.shared.fetch_add(l.shared, Ordering::Relaxed);
-        self.mem_instructions.fetch_add(l.mem_instructions, Ordering::Relaxed);
-        self.transactions.fetch_add(l.transactions, Ordering::Relaxed);
+        self.mem_instructions
+            .fetch_add(l.mem_instructions, Ordering::Relaxed);
+        self.transactions
+            .fetch_add(l.transactions, Ordering::Relaxed);
         self.warps.fetch_add(l.warps, Ordering::Relaxed);
     }
 
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn seconds_scale_with_clock_and_sms() {
         let base = DeviceConfig::titan_x();
-        let slow = DeviceConfig { num_sms: 14, ..base };
+        let slow = DeviceConfig {
+            num_sms: 14,
+            ..base
+        };
         let s = snap(1000, 1000, 1000, 1000);
         let t_base = CostModel::new(base).kernel_seconds(&s);
         let t_slow = CostModel::new(slow).kernel_seconds(&s);
@@ -212,7 +217,10 @@ mod tests {
     #[test]
     fn copy_seconds_from_bytes() {
         let m = CostModel::new(DeviceConfig::titan_x());
-        let s = CostSnapshot { h2d_bytes: 12_000_000_000, ..Default::default() };
+        let s = CostSnapshot {
+            h2d_bytes: 12_000_000_000,
+            ..Default::default()
+        };
         assert!((m.copy_seconds(&s) - 1.0).abs() < 1e-9);
     }
 
@@ -242,8 +250,17 @@ mod tests {
     #[test]
     fn counters_flush_and_reset() {
         let c = CostCounters::default();
-        c.flush(&LocalCounters { alu: 5, shared: 3, mem_instructions: 2, transactions: 7, warps: 1 });
-        c.flush(&LocalCounters { alu: 1, ..Default::default() });
+        c.flush(&LocalCounters {
+            alu: 5,
+            shared: 3,
+            mem_instructions: 2,
+            transactions: 7,
+            warps: 1,
+        });
+        c.flush(&LocalCounters {
+            alu: 1,
+            ..Default::default()
+        });
         let s = c.snapshot();
         assert_eq!(s.alu, 6);
         assert_eq!(s.transactions, 7);

@@ -180,7 +180,6 @@ impl Device {
             }
         });
     }
-
 }
 
 impl std::fmt::Debug for Device {

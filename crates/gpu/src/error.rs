@@ -17,7 +17,10 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeviceError::OutOfMemory { requested, available } => write!(
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
                 f,
                 "device out of memory: requested {requested} bytes, {available} available"
             ),

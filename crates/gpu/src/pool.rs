@@ -67,7 +67,10 @@ impl WorkerPool {
     pub(crate) fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
-            slot: Mutex::new(Slot { job: None, shutdown: false }),
+            slot: Mutex::new(Slot {
+                job: None,
+                shutdown: false,
+            }),
             job_cv: Condvar::new(),
         });
         let handles = (0..threads)

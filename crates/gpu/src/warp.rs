@@ -97,7 +97,10 @@ impl Warp {
         let new_s0 = y;
         s0 ^= s0 << 23;
         let new_s1 = s0 ^ y ^ (s0 >> 17) ^ (y >> 26);
-        self.rng.set(XsState { s0: new_s0, s1: new_s1 });
+        self.rng.set(XsState {
+            s0: new_s0,
+            s1: new_s1,
+        });
         new_s1.wrapping_add(y)
     }
 
@@ -132,7 +135,13 @@ impl Warp {
 
     /// Read a global row into scratch ("registers"): one memory instruction.
     #[inline]
-    pub fn global_read_row(&self, buf: &FloatBuffer, offset: usize, out: &mut [f32], access: Access) {
+    pub fn global_read_row(
+        &self,
+        buf: &FloatBuffer,
+        offset: usize,
+        out: &mut [f32],
+        access: Access,
+    ) {
         buf.read_row(offset, out);
         let tx = Self::row_transactions(out.len(), access);
         self.bump(|c| {
@@ -155,7 +164,14 @@ impl Warp {
     /// Racy global update `buf[offset + k] += a * xs[k]` — read + write
     /// memory instructions, the sample-row update of Algorithm 1.
     #[inline]
-    pub fn global_axpy_row(&self, buf: &FloatBuffer, offset: usize, a: f32, xs: &[f32], access: Access) {
+    pub fn global_axpy_row(
+        &self,
+        buf: &FloatBuffer,
+        offset: usize,
+        a: f32,
+        xs: &[f32],
+        access: Access,
+    ) {
         for (k, &x) in xs.iter().enumerate() {
             buf.add(offset + k, a * x);
         }
@@ -319,7 +335,6 @@ impl Warp {
     pub fn alu(&self, n: u64) {
         self.bump(|c| c.alu += n);
     }
-
 }
 
 /// Plain sigmoid used by both device kernels and CPU trainers.
@@ -410,7 +425,13 @@ mod tests {
         dev.reset_counters();
         // 4 packed rows of 8 floats: 1 instruction, 4 transactions.
         dev.launch(LaunchConfig::new(1, 32), |w, scratch| {
-            w.global_read_rows(&buf, &[0, 8, 16, 24], 8, &mut scratch[..32], Access::Coalesced);
+            w.global_read_rows(
+                &buf,
+                &[0, 8, 16, 24],
+                8,
+                &mut scratch[..32],
+                Access::Coalesced,
+            );
         });
         let s = dev.snapshot();
         assert_eq!(s.mem_instructions, 1);
@@ -419,7 +440,12 @@ mod tests {
         dev.reset_counters();
         dev.launch(LaunchConfig::new(1, 32), |w, scratch| {
             for k in 0..4usize {
-                w.global_read_row(&buf, k * 8, &mut scratch[k * 8..(k + 1) * 8], Access::Coalesced);
+                w.global_read_row(
+                    &buf,
+                    k * 8,
+                    &mut scratch[k * 8..(k + 1) * 8],
+                    Access::Coalesced,
+                );
             }
         });
         assert_eq!(dev.snapshot().mem_instructions, 4);
@@ -444,7 +470,14 @@ mod tests {
         let dev = Device::new(DeviceConfig::titan_x());
         let buf = dev.upload_floats(&[1.0, 1.0, 10.0, 10.0]).unwrap();
         dev.launch(LaunchConfig::new(1, 8), |w, _| {
-            w.global_axpy_rows(&buf, &[0, 2], 2, &[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0], Access::Coalesced);
+            w.global_axpy_rows(
+                &buf,
+                &[0, 2],
+                2,
+                &[1.0, 2.0],
+                &[1.0, 2.0, 3.0, 4.0],
+                Access::Coalesced,
+            );
         });
         assert_eq!(buf.to_host_vec(), vec![2.0, 3.0, 16.0, 18.0]);
     }

@@ -108,7 +108,11 @@ mod tests {
     fn community_graphs_have_a_giant_component() {
         let g = community_graph(&CommunityConfig::new(2000, 6), 3);
         let c = connected_components(&g);
-        assert!(c.giant_fraction(2000) > 0.95, "giant = {}", c.giant_fraction(2000));
+        assert!(
+            c.giant_fraction(2000) > 0.95,
+            "giant = {}",
+            c.giant_fraction(2000)
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
         // clique + k per newcomer (a handful may be lost to the guard).
         let expect = k * (k + 1) / 2 + (n - k - 1) * k;
         let m = g.num_undirected_edges();
-        assert!(m <= expect && m as f64 > 0.98 * expect as f64, "m={m} expect={expect}");
+        assert!(
+            m <= expect && m as f64 > 0.98 * expect as f64,
+            "m={m} expect={expect}"
+        );
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub use community::{community_graph, community_graph_with_labels, CommunityConfi
 pub use erdos_renyi::erdos_renyi;
 pub use powerlaw_cluster::{powerlaw_cluster, sampled_clustering};
 pub use rmat::{rmat, RmatConfig};
-pub use suite::{dataset, Dataset, MEDIUM_SUITE, LARGE_SUITE};
+pub use suite::{dataset, Dataset, LARGE_SUITE, MEDIUM_SUITE};

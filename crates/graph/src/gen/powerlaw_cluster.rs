@@ -18,7 +18,10 @@ use crate::rng::Xorshift128Plus;
 pub fn powerlaw_cluster(n: usize, k: usize, triangle_p: f64, seed: u64) -> Csr {
     assert!(k >= 1, "attachment count must be positive");
     assert!(n > k, "need more vertices than attachments");
-    assert!((0.0..=1.0).contains(&triangle_p), "probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&triangle_p),
+        "probability out of range"
+    );
     let mut rng = Xorshift128Plus::new(seed);
     // Degree-proportional sampling via the repeated-endpoints multiset.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * k);
@@ -28,10 +31,10 @@ pub fn powerlaw_cluster(n: usize, k: usize, triangle_p: f64, seed: u64) -> Csr {
     let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     let connect = |b: &mut GraphBuilder,
-                       endpoints: &mut Vec<u32>,
-                       nbrs: &mut Vec<Vec<u32>>,
-                       u: u32,
-                       v: u32| {
+                   endpoints: &mut Vec<u32>,
+                   nbrs: &mut Vec<Vec<u32>>,
+                   u: u32,
+                   v: u32| {
         b.add_edge(u, v);
         endpoints.push(u);
         endpoints.push(v);
@@ -145,7 +148,10 @@ mod tests {
         let (n, k) = (2000, 5);
         let g = powerlaw_cluster(n, k, 0.5, 3);
         let realized = g.num_undirected_edges() as f64 / n as f64;
-        assert!((realized / k as f64 - 1.0).abs() < 0.15, "density {realized}");
+        assert!(
+            (realized / k as f64 - 1.0).abs() < 0.15,
+            "density {realized}"
+        );
     }
 
     #[test]

@@ -60,23 +60,119 @@ impl Dataset {
 
 /// Medium-scale suite (Table 6 graphs).
 pub const MEDIUM_SUITE: &[Dataset] = &[
-    Dataset { name: "dblp-like", mimics: "com-dblp", scale: 14, density: 3.31, paper_vertices: 317_080, paper_edges: 1_049_866, large: false },
-    Dataset { name: "amazon-like", mimics: "com-amazon", scale: 14, density: 2.76, paper_vertices: 334_863, paper_edges: 925_872, large: false },
-    Dataset { name: "youtube-like", mimics: "youtube", scale: 15, density: 4.34, paper_vertices: 1_138_499, paper_edges: 4_945_382, large: false },
-    Dataset { name: "pokec-like", mimics: "soc-pokec", scale: 15, density: 18.75, paper_vertices: 1_632_803, paper_edges: 30_622_564, large: false },
-    Dataset { name: "wiki-topcats-like", mimics: "wiki-topcats", scale: 15, density: 15.92, paper_vertices: 1_791_489, paper_edges: 28_511_807, large: false },
-    Dataset { name: "orkut-like", mimics: "com-orkut", scale: 16, density: 38.14, paper_vertices: 3_072_441, paper_edges: 117_185_083, large: false },
-    Dataset { name: "lj-like", mimics: "com-lj", scale: 16, density: 8.67, paper_vertices: 3_997_962, paper_edges: 34_681_189, large: false },
-    Dataset { name: "livejournal-like", mimics: "soc-LiveJournal", scale: 16, density: 14.23, paper_vertices: 4_847_571, paper_edges: 68_993_773, large: false },
+    Dataset {
+        name: "dblp-like",
+        mimics: "com-dblp",
+        scale: 14,
+        density: 3.31,
+        paper_vertices: 317_080,
+        paper_edges: 1_049_866,
+        large: false,
+    },
+    Dataset {
+        name: "amazon-like",
+        mimics: "com-amazon",
+        scale: 14,
+        density: 2.76,
+        paper_vertices: 334_863,
+        paper_edges: 925_872,
+        large: false,
+    },
+    Dataset {
+        name: "youtube-like",
+        mimics: "youtube",
+        scale: 15,
+        density: 4.34,
+        paper_vertices: 1_138_499,
+        paper_edges: 4_945_382,
+        large: false,
+    },
+    Dataset {
+        name: "pokec-like",
+        mimics: "soc-pokec",
+        scale: 15,
+        density: 18.75,
+        paper_vertices: 1_632_803,
+        paper_edges: 30_622_564,
+        large: false,
+    },
+    Dataset {
+        name: "wiki-topcats-like",
+        mimics: "wiki-topcats",
+        scale: 15,
+        density: 15.92,
+        paper_vertices: 1_791_489,
+        paper_edges: 28_511_807,
+        large: false,
+    },
+    Dataset {
+        name: "orkut-like",
+        mimics: "com-orkut",
+        scale: 16,
+        density: 38.14,
+        paper_vertices: 3_072_441,
+        paper_edges: 117_185_083,
+        large: false,
+    },
+    Dataset {
+        name: "lj-like",
+        mimics: "com-lj",
+        scale: 16,
+        density: 8.67,
+        paper_vertices: 3_997_962,
+        paper_edges: 34_681_189,
+        large: false,
+    },
+    Dataset {
+        name: "livejournal-like",
+        mimics: "soc-LiveJournal",
+        scale: 16,
+        density: 14.23,
+        paper_vertices: 4_847_571,
+        paper_edges: 68_993_773,
+        large: false,
+    },
 ];
 
 /// Large-scale suite (Table 7 graphs) — these exceed the simulated device
 /// memory used in the experiments and exercise `LargeGraphGPU`.
 pub const LARGE_SUITE: &[Dataset] = &[
-    Dataset { name: "hyperlink-like", mimics: "hyperlink2012", scale: 18, density: 15.77, paper_vertices: 39_497_204, paper_edges: 623_056_313, large: true },
-    Dataset { name: "sinaweibo-like", mimics: "soc-sinaweibo", scale: 19, density: 4.46, paper_vertices: 58_655_849, paper_edges: 261_321_071, large: true },
-    Dataset { name: "twitter-like", mimics: "twitter_rv", scale: 18, density: 35.25, paper_vertices: 41_652_230, paper_edges: 1_468_365_182, large: true },
-    Dataset { name: "friendster-like", mimics: "com-friendster", scale: 19, density: 27.53, paper_vertices: 65_608_366, paper_edges: 1_806_067_135, large: true },
+    Dataset {
+        name: "hyperlink-like",
+        mimics: "hyperlink2012",
+        scale: 18,
+        density: 15.77,
+        paper_vertices: 39_497_204,
+        paper_edges: 623_056_313,
+        large: true,
+    },
+    Dataset {
+        name: "sinaweibo-like",
+        mimics: "soc-sinaweibo",
+        scale: 19,
+        density: 4.46,
+        paper_vertices: 58_655_849,
+        paper_edges: 261_321_071,
+        large: true,
+    },
+    Dataset {
+        name: "twitter-like",
+        mimics: "twitter_rv",
+        scale: 18,
+        density: 35.25,
+        paper_vertices: 41_652_230,
+        paper_edges: 1_468_365_182,
+        large: true,
+    },
+    Dataset {
+        name: "friendster-like",
+        mimics: "com-friendster",
+        scale: 19,
+        density: 27.53,
+        paper_vertices: 65_608_366,
+        paper_edges: 1_806_067_135,
+        large: true,
+    },
 ];
 
 /// Look up a dataset by its synthetic name in either suite.

@@ -182,7 +182,10 @@ mod tests {
         let path = dir.join("roundtrip.txt");
         write_edge_list(&path, &g).unwrap();
         let loaded = load_edge_list(&path).unwrap();
-        assert_eq!(loaded.graph.num_undirected_edges(), g.num_undirected_edges());
+        assert_eq!(
+            loaded.graph.num_undirected_edges(),
+            g.num_undirected_edges()
+        );
         assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
         std::fs::remove_file(&path).ok();
     }

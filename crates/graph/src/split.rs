@@ -128,8 +128,20 @@ mod tests {
     #[test]
     fn different_seed_changes_split() {
         let g = erdos_renyi(300, 1500, 2);
-        let a = train_test_split(&g, &SplitConfig { seed: 1, ..Default::default() });
-        let b = train_test_split(&g, &SplitConfig { seed: 2, ..Default::default() });
+        let a = train_test_split(
+            &g,
+            &SplitConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = train_test_split(
+            &g,
+            &SplitConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.test_edges, b.test_edges);
     }
 
@@ -155,7 +167,10 @@ mod tests {
         let g = erdos_renyi(200, 800, 5);
         let s = train_test_split(&g, &SplitConfig::default());
         for &(u, v) in &s.test_edges {
-            assert!(!s.train.has_edge(u, v), "test edge ({u},{v}) leaked into train");
+            assert!(
+                !s.train.has_edge(u, v),
+                "test edge ({u},{v}) leaked into train"
+            );
         }
     }
 
@@ -171,10 +186,22 @@ mod tests {
     #[test]
     fn extreme_fractions() {
         let g = erdos_renyi(100, 300, 7);
-        let all = train_test_split(&g, &SplitConfig { train_fraction: 1.0, seed: 1 });
+        let all = train_test_split(
+            &g,
+            &SplitConfig {
+                train_fraction: 1.0,
+                seed: 1,
+            },
+        );
         assert_eq!(all.test_edges.len(), 0);
         assert_eq!(all.train.num_undirected_edges(), g.num_undirected_edges());
-        let none = train_test_split(&g, &SplitConfig { train_fraction: 0.0, seed: 1 });
+        let none = train_test_split(
+            &g,
+            &SplitConfig {
+                train_fraction: 0.0,
+                seed: 1,
+            },
+        );
         assert_eq!(none.train.num_vertices(), 0);
         assert_eq!(none.test_edges.len(), 0);
         assert_eq!(none.dropped_test_edges, g.num_undirected_edges());

@@ -32,11 +32,19 @@ impl GraphStats {
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let top = (n / 100).max(1).min(n.max(1));
         let hub: usize = degrees.iter().take(top).sum();
-        let hub_mass = if total == 0 { 0.0 } else { hub as f64 / total as f64 };
+        let hub_mass = if total == 0 {
+            0.0
+        } else {
+            hub as f64 / total as f64
+        };
         Self {
             num_vertices: n,
             num_edges: g.num_undirected_edges(),
-            density: if n == 0 { 0.0 } else { g.num_undirected_edges() as f64 / n as f64 },
+            density: if n == 0 {
+                0.0
+            } else {
+                g.num_undirected_edges() as f64 / n as f64
+            },
             max_degree,
             isolated,
             hub_mass,
@@ -52,7 +60,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut hist = vec![0usize; 34];
     for v in 0..g.num_vertices() as u32 {
         let d = g.degree(v);
-        let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let bucket = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         hist[bucket] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {

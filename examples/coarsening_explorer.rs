@@ -13,7 +13,9 @@ use gosh::coarsen::mile::mile_coarsen;
 use gosh::graph::stats::shrink_rate;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "youtube-like".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "youtube-like".into());
     let dataset = gosh::graph::gen::dataset(&name).expect("unknown dataset");
     let graph = dataset.generate(42);
     println!(
@@ -24,7 +26,9 @@ fn main() {
         graph.density()
     );
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     println!("\n== GOSH MultiEdgeCollapse (parallel, tau = {threads}) ==");
     let h = coarsen_hierarchy(graph.clone(), &CoarsenConfig::with_threads(threads));
     let mut prev = graph.num_vertices();
@@ -56,7 +60,10 @@ fn main() {
     let levels = h.depth() - 1;
     let mile = mile_coarsen(graph, levels);
     for s in &mile.stats {
-        println!("level {}: |V| = {:>8}  {:.4}s", s.level, s.vertices, s.seconds);
+        println!(
+            "level {}: |V| = {:>8}  {:.4}s",
+            s.level, s.vertices, s.seconds
+        );
     }
     let mile_total: f64 = mile.stats.iter().map(|s| s.seconds).sum();
     println!(

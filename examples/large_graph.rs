@@ -13,8 +13,8 @@ use gosh::core::config::{GoshConfig, Preset};
 use gosh::core::pipeline::embed;
 use gosh::eval::{evaluate_link_prediction, EvalConfig};
 use gosh::gpu::{CostModel, Device, DeviceConfig};
-use gosh::graph::split::{train_test_split, SplitConfig};
 use gosh::graph::gen::{community_graph, CommunityConfig};
+use gosh::graph::split::{train_test_split, SplitConfig};
 
 fn main() {
     let graph = community_graph(&CommunityConfig::new(32_768, 12), 7);
@@ -43,7 +43,11 @@ fn main() {
             level.vertices,
             level.epochs,
             level.seconds,
-            if level.used_large_path { "partitioned (Alg. 5)" } else { "one-shot" }
+            if level.used_large_path {
+                "partitioned (Alg. 5)"
+            } else {
+                "one-shot"
+            }
         );
     }
     let model = CostModel::new(*device.config());

@@ -15,8 +15,11 @@ use gosh::gpu::{Device, DeviceConfig};
 use gosh::graph::split::{train_test_split, SplitConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "dblp-like".into());
-    let dataset = gosh::graph::gen::dataset(&name).expect("unknown dataset; see gosh_graph::gen::MEDIUM_SUITE");
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dblp-like".into());
+    let dataset = gosh::graph::gen::dataset(&name)
+        .expect("unknown dataset; see gosh_graph::gen::MEDIUM_SUITE");
     let graph = dataset.generate(42);
     println!(
         "{}: {} vertices, {} edges (stands in for {})",
@@ -37,7 +40,9 @@ fn main() {
 
     for preset in [Preset::Fast, Preset::Normal, Preset::Slow] {
         let device = Device::new(DeviceConfig::titan_x());
-        let cfg = GoshConfig::preset(preset, false).with_dim(32).with_threads(8);
+        let cfg = GoshConfig::preset(preset, false)
+            .with_dim(32)
+            .with_threads(8);
         // Scaled-down budget so the example finishes in seconds.
         let cfg = cfg.with_epochs(cfg.epochs / 4);
         let (m, report) = embed(&s.train, &cfg, &device);

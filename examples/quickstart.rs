@@ -44,7 +44,11 @@ fn main() {
             level.vertices,
             level.epochs,
             level.seconds,
-            if level.used_large_path { " (partitioned)" } else { "" }
+            if level.used_large_path {
+                " (partitioned)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -1,15 +1,40 @@
 //! # gosh
 //!
-//! Facade crate for the GOSH reproduction: re-exports every workspace crate
-//! under one roof so examples and downstream users can depend on a single
-//! package.
+//! Facade crate for the GOSH reproduction (Akyildiz, Aljundi, Kaya:
+//! *GOSH: Embedding Big Graphs on Small Hardware*, ICPP 2020):
+//! re-exports every workspace library under one roof so examples and
+//! downstream users can depend on a single package.
 //!
 //! - [`graph`] — CSR graphs, generators, IO, train/test splits.
-//! - [`coarsen`] — MultiEdgeCollapse coarsening (sequential and parallel).
-//! - [`gpu`] — the software SIMT device the kernels run on.
-//! - [`core`] — the GOSH embedding pipeline itself.
+//! - [`coarsen`] — MultiEdgeCollapse coarsening (sequential and
+//!   parallel) plus the MILE comparator coarsener.
+//! - [`gpu`] — the software SIMT device the kernels run on (warps,
+//!   buffers, streams, cost model).
+//! - [`core`] — the GOSH embedding pipeline: the
+//!   [`core::backend::TrainBackend`] engines (`CpuHogwild`,
+//!   `GpuInMemory`, `GpuPartitioned`), the epoch schedule, embedding
+//!   expansion, and [`core::pipeline::embed`] tying them together.
 //! - [`baselines`] — VERSE, MILE-like and GraphVite-like comparators.
-//! - [`eval`] — link-prediction evaluation (logistic regression, AUCROC).
+//! - [`eval`] — link-prediction and node-classification evaluation
+//!   (logistic regression, AUCROC).
+//!
+//! Binaries live in sibling crates rather than here: the `gosh` CLI in
+//! `gosh-cli`, and one experiment binary per paper table/figure in
+//! `gosh-bench`.
+//!
+//! ```no_run
+//! use gosh::core::config::{GoshConfig, Preset};
+//! use gosh::core::pipeline::embed;
+//! use gosh::gpu::{Device, DeviceConfig};
+//! use gosh::graph::gen::{community_graph, CommunityConfig};
+//!
+//! let graph = community_graph(&CommunityConfig::new(4096, 8), 42);
+//! let device = Device::new(DeviceConfig::titan_x());
+//! let cfg = GoshConfig::preset(Preset::Normal, false).with_dim(16);
+//! let (embedding, report) = embed(&graph, &cfg, &device);
+//! assert_eq!(embedding.num_vertices(), graph.num_vertices());
+//! assert_eq!(report.levels.len(), report.depth);
+//! ```
 
 pub use gosh_baselines as baselines;
 pub use gosh_coarsen as coarsen;

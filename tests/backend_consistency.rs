@@ -1,0 +1,111 @@
+//! Cross-backend guarantees: every engine behind the `TrainBackend`
+//! trait must solve the same embedding problem, and the schedule the
+//! pipeline derives from a seed must be reproducible.
+
+use gosh::core::backend::{BackendChoice, BackendKind};
+use gosh::core::config::{GoshConfig, Preset};
+use gosh::core::pipeline::embed;
+use gosh::eval::{evaluate_link_prediction, EvalConfig};
+use gosh::gpu::{Device, DeviceConfig};
+use gosh::graph::compact::remove_isolated;
+use gosh::graph::csr::Csr;
+use gosh::graph::gen::{community_graph, erdos_renyi, CommunityConfig};
+use gosh::graph::split::{train_test_split, SplitConfig};
+
+fn auc_for(g: &Csr, choice: BackendChoice, seed: u64) -> f64 {
+    let s = train_test_split(
+        g,
+        &SplitConfig {
+            train_fraction: 0.8,
+            seed,
+        },
+    );
+    let device = Device::new(DeviceConfig::titan_x());
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(16)
+        .with_epochs(150)
+        .with_threads(4)
+        .with_backend(choice);
+    let (m, report) = embed(&s.train, &cfg, &device);
+    let expected = match choice {
+        BackendChoice::Cpu => BackendKind::CpuHogwild,
+        _ => BackendKind::GpuInMemory,
+    };
+    assert!(
+        report.levels.iter().all(|l| l.backend == expected),
+        "{choice:?} routed through {:?}",
+        report.levels.iter().map(|l| l.backend).collect::<Vec<_>>()
+    );
+    evaluate_link_prediction(&m, &s.train, &s.test_edges, &EvalConfig::default())
+}
+
+#[test]
+fn cpu_and_gpu_agree_on_seeded_erdos_renyi() {
+    // A seeded 500-vertex Erdős–Rényi graph (average degree 12). Random
+    // graphs carry almost no link-prediction signal, so the *absolute*
+    // AUC hovers near chance for every method — the property under test
+    // is that the two engines land in the same place: same SGD, same
+    // answer, tolerance only covering Hogwild race noise.
+    let g = remove_isolated(&erdos_renyi(500, 3000, 42)).graph;
+    let auc_cpu = auc_for(&g, BackendChoice::Cpu, 42);
+    let auc_gpu = auc_for(&g, BackendChoice::Gpu, 42);
+    assert!(
+        (auc_cpu - auc_gpu).abs() < 0.08,
+        "cpu {auc_cpu} vs gpu {auc_gpu}"
+    );
+}
+
+#[test]
+fn cpu_and_gpu_both_learn_structured_graphs() {
+    // On a graph with real structure the same tolerance must hold at a
+    // *high* quality level — both engines learn, neither lags.
+    let g = community_graph(&CommunityConfig::new(512, 8), 42);
+    let auc_cpu = auc_for(&g, BackendChoice::Cpu, 3);
+    let auc_gpu = auc_for(&g, BackendChoice::Gpu, 3);
+    assert!(auc_cpu > 0.75, "cpu backend failed to learn: {auc_cpu}");
+    assert!(auc_gpu > 0.75, "gpu backend failed to learn: {auc_gpu}");
+    assert!(
+        (auc_cpu - auc_gpu).abs() < 0.08,
+        "cpu {auc_cpu} vs gpu {auc_gpu}"
+    );
+}
+
+#[test]
+fn same_seed_gives_identical_level_schedule() {
+    let g = remove_isolated(&erdos_renyi(500, 3000, 7)).graph;
+    let cfg = GoshConfig::preset(Preset::Fast, false)
+        .with_dim(8)
+        .with_epochs(80)
+        .with_threads(1);
+    let device = Device::new(DeviceConfig::titan_x());
+    let (_, r1) = embed(&g, &cfg, &device);
+    let (_, r2) = embed(&g, &cfg, &device);
+    assert_eq!(r1.depth, r2.depth);
+    let epochs = |r: &gosh::core::pipeline::GoshReport| {
+        r.levels
+            .iter()
+            .map(|l| (l.level, l.epochs, l.backend))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(epochs(&r1), epochs(&r2), "schedule not reproducible");
+}
+
+#[test]
+fn backend_sequences_are_deterministic_across_choices() {
+    // Same config, fresh devices: the per-level backend decisions are a
+    // pure function of (choice, fit), never of wall-clock state.
+    let g = remove_isolated(&erdos_renyi(500, 3000, 9)).graph;
+    for choice in [BackendChoice::Cpu, BackendChoice::Gpu, BackendChoice::Auto] {
+        let cfg = GoshConfig::preset(Preset::Fast, false)
+            .with_dim(8)
+            .with_epochs(40)
+            .with_threads(2)
+            .with_backend(choice);
+        let seq = |_| -> Vec<BackendKind> {
+            let device = Device::new(DeviceConfig::titan_x());
+            let (_, r) = embed(&g, &cfg, &device);
+            r.levels.iter().map(|l| l.backend).collect()
+        };
+        assert_eq!(seq(0), seq(1), "{choice:?} backend routing unstable");
+    }
+}

@@ -2,7 +2,9 @@
 //! relationships between GOSH and the baselines that every table relies
 //! on must hold on the synthetic suite.
 
-use gosh::baselines::{graphvite_embed, mile_embed, verse_embed, GraphviteParams, MileParams, VerseParams};
+use gosh::baselines::{
+    graphvite_embed, mile_embed, verse_embed, GraphviteParams, MileParams, VerseParams,
+};
 use gosh::coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh::coarsen::mile::mile_coarsen;
 use gosh::core::config::{GoshConfig, Preset};
@@ -21,7 +23,13 @@ fn gosh_is_faster_than_verse_at_comparable_quality() {
 
     let verse = verse_embed(
         &s.train,
-        &VerseParams { dim: 16, epochs: 150, lr: 0.025, threads: 8, ..Default::default() },
+        &VerseParams {
+            dim: 16,
+            epochs: 150,
+            lr: 0.025,
+            threads: 8,
+            ..Default::default()
+        },
     );
     let device = Device::new(DeviceConfig::titan_x());
     let cfg = GoshConfig::preset(Preset::Normal, false)
@@ -39,7 +47,10 @@ fn gosh_is_faster_than_verse_at_comparable_quality() {
         report.total_seconds,
         verse.seconds
     );
-    assert!(auc_gosh > auc_verse - 0.06, "gosh {auc_gosh} vs verse {auc_verse}");
+    assert!(
+        auc_gosh > auc_verse - 0.06,
+        "gosh {auc_gosh} vs verse {auc_verse}"
+    );
 }
 
 #[test]
@@ -55,15 +66,26 @@ fn gosh_coarsening_outshrinks_mile_at_equal_levels() {
     // Sequential vs sequential: at this miniature scale thread startup
     // would swamp the parallel coarsener (the τ = 16 comparison at real
     // scale is the table5_mile_vs_gosh binary).
-    let cfg = CoarsenConfig { threshold: 1, threads: 1, max_levels: levels + 1, ..Default::default() };
+    let cfg = CoarsenConfig {
+        threshold: 1,
+        threads: 1,
+        max_levels: levels + 1,
+        ..Default::default()
+    };
     let t1 = std::time::Instant::now();
     let gosh = coarsen_hierarchy(g, &cfg);
     let gosh_time = t1.elapsed().as_secs_f64();
 
     let mile_last = mile.levels.last().unwrap().num_vertices();
     let gosh_last = gosh.coarsest().num_vertices();
-    assert!(gosh_last * 4 < mile_last, "gosh {gosh_last} vs mile {mile_last}");
-    assert!(gosh_time < mile_time, "gosh {gosh_time:.3}s vs mile {mile_time:.3}s");
+    assert!(
+        gosh_last * 4 < mile_last,
+        "gosh {gosh_last} vs mile {mile_last}"
+    );
+    assert!(
+        gosh_time < mile_time,
+        "gosh {gosh_time:.3}s vs mile {mile_time:.3}s"
+    );
 }
 
 #[test]
@@ -79,7 +101,11 @@ fn graphvite_ooms_where_gosh_partitions() {
     let gv = graphvite_embed(
         &device,
         &s.train,
-        &GraphviteParams { dim, epochs: 30, ..GraphviteParams::fast() },
+        &GraphviteParams {
+            dim,
+            epochs: 30,
+            ..GraphviteParams::fast()
+        },
     );
     assert!(matches!(gv, Err(DeviceError::OutOfMemory { .. })));
 
@@ -102,7 +128,14 @@ fn mile_embedding_is_comparable_but_not_better_by_much() {
     let s = train_test_split(&g, &SplitConfig::default());
     let mile = mile_embed(
         &s.train,
-        &MileParams { dim: 16, levels: 5, base_epochs: 150, lr: 0.05, threads: 4, ..Default::default() },
+        &MileParams {
+            dim: 16,
+            levels: 5,
+            base_epochs: 150,
+            lr: 0.05,
+            threads: 4,
+            ..Default::default()
+        },
     );
     let device = Device::new(DeviceConfig::titan_x());
     let cfg = GoshConfig::preset(Preset::Normal, false)
@@ -114,6 +147,9 @@ fn mile_embedding_is_comparable_but_not_better_by_much() {
     let eval = EvalConfig::default();
     let auc_mile = evaluate_link_prediction(&mile.embedding, &s.train, &s.test_edges, &eval);
     let auc_gosh = evaluate_link_prediction(&m, &s.train, &s.test_edges, &eval);
-    assert!(auc_gosh > auc_mile - 0.04, "gosh {auc_gosh} vs mile {auc_mile}");
+    assert!(
+        auc_gosh > auc_mile - 0.04,
+        "gosh {auc_gosh} vs mile {auc_mile}"
+    );
     assert!(auc_gosh > 0.8 && auc_mile > 0.6);
 }

@@ -111,7 +111,12 @@ fn deterministic_given_seeds_single_thread_coarsening() {
 #[test]
 fn all_presets_run_end_to_end() {
     let s = test_split(512, 6, 5);
-    for preset in [Preset::Fast, Preset::Normal, Preset::Slow, Preset::NoCoarsening] {
+    for preset in [
+        Preset::Fast,
+        Preset::Normal,
+        Preset::Slow,
+        Preset::NoCoarsening,
+    ] {
         let device = Device::new(DeviceConfig::titan_x());
         let cfg = GoshConfig::preset(preset, false)
             .with_dim(8)
@@ -119,6 +124,9 @@ fn all_presets_run_end_to_end() {
             .with_threads(4);
         let (m, _) = embed(&s.train, &cfg, &device);
         assert_eq!(m.num_vertices(), s.train.num_vertices());
-        assert!(m.as_slice().iter().all(|x| x.is_finite()), "{preset:?} produced non-finite values");
+        assert!(
+            m.as_slice().iter().all(|x| x.is_finite()),
+            "{preset:?} produced non-finite values"
+        );
     }
 }

@@ -1,0 +1,205 @@
+//! Offline shim for `criterion`: groups, `Bencher::iter`, `black_box`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up once, run a fixed number
+//! of timed samples, report the mean time per iteration — with none of
+//! the real crate's statistics, plotting, or baseline storage. Good
+//! enough to spot order-of-magnitude regressions by eye; not a
+//! statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Samples to take.
+    samples: usize,
+    /// Mean seconds per iteration, filled by `iter`.
+    mean: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean seconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that runs
+        // long enough to time reliably (~2 ms per sample).
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            count += iters;
+        }
+        self.mean = total.as_secs_f64() / count.max(1) as f64;
+    }
+}
+
+fn human(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, mean: 0.0 };
+    f(&mut b);
+    println!(
+        "{label:<40} {:>12}/iter  ({samples} samples)",
+        human(b.mean)
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for subsequent benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.samples, |b| f(b));
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.0), self.samples, |b| {
+            f(b, input)
+        });
+    }
+
+    /// End the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples();
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), self.default_samples(), |b| f(b));
+    }
+
+    fn default_samples(&self) -> usize {
+        if self.samples == 0 {
+            10
+        } else {
+            self.samples
+        }
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            mean: 0.0,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean > 0.0);
+    }
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}
