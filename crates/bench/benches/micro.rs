@@ -1,12 +1,18 @@
 //! Criterion micro-benchmarks of the hot paths behind every table:
-//! the Algorithm 1 update, one coarsening step (sequential and parallel),
-//! coarse-graph construction, positive sampling, AUCROC, and CSR builds.
+//! the Algorithm 1 update, the fused in-place trainer update, the full
+//! sharded-vs-seed trainer core, one coarsening step (sequential and
+//! parallel), coarse-graph construction, positive sampling, AUCROC, and
+//! CSR builds.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gosh_bench::hotpath::train_cpu_seed;
 use gosh_coarsen::build::build_coarse_sequential;
 use gosh_coarsen::parallel::map_parallel;
 use gosh_coarsen::sequential::map_sequential;
+use gosh_core::model::{Embedding, SharedMatrix};
+use gosh_core::train_cpu::{fused_update, train_cpu};
 use gosh_core::update::update_embedding;
+use gosh_core::TrainParams;
 use gosh_eval::auc_roc;
 use gosh_graph::builder::csr_from_edges;
 use gosh_graph::gen::{community_graph, CommunityConfig};
@@ -24,6 +30,55 @@ fn bench_update(c: &mut Criterion) {
             });
         });
     }
+    group.finish();
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    // The fused in-place update vs the two-sided reference update.
+    let mut group = c.benchmark_group("trainer_update");
+    for d in [32usize, 128] {
+        let mut rng = Xorshift128Plus::new(13);
+        let mk = |rng: &mut Xorshift128Plus| -> Vec<f32> {
+            (0..d).map(|_| rng.next_f32() - 0.5).collect()
+        };
+        let mut src = mk(&mut rng);
+        let mut smp = mk(&mut rng);
+        group.bench_with_input(BenchmarkId::new("reference", d), &d, |b, _| {
+            b.iter(|| update_embedding(black_box(&mut src), black_box(&mut smp), 1.0, 1e-9));
+        });
+        let mut src2 = mk(&mut rng);
+        let shared = SharedMatrix::from_embedding(&Embedding::random(1, d, 5));
+        group.bench_with_input(BenchmarkId::new("fused_in_place", d), &d, |b, _| {
+            b.iter(|| {
+                fused_update(
+                    black_box(&mut src2),
+                    black_box(shared.row_atomics(0)),
+                    1.0,
+                    1e-9,
+                )
+            });
+        });
+    }
+    group.finish();
+
+    // The whole trainer core: copy-free sharded engine vs the frozen
+    // seed engine, same workload (see gosh_bench::hotpath).
+    let g = community_graph(&CommunityConfig::new(8192, 8), 11);
+    let params = TrainParams::adjacency(32, 3, 0.025, 4).with_threads(8);
+    let mut group = c.benchmark_group("trainer_core_epoch4_d32");
+    group.sample_size(10);
+    group.bench_function("sharded", |b| {
+        b.iter(|| {
+            let mut m = Embedding::random(8192, 32, 3);
+            train_cpu(black_box(&g), &mut m, &params);
+        });
+    });
+    group.bench_function("seed", |b| {
+        b.iter(|| {
+            let mut m = Embedding::random(8192, 32, 3);
+            train_cpu_seed(black_box(&g), &mut m, &params);
+        });
+    });
     group.finish();
 }
 
@@ -105,6 +160,7 @@ fn bench_csr_build(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_update,
+    bench_hotpath,
     bench_coarsening,
     bench_sampling,
     bench_auc,

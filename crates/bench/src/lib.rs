@@ -5,6 +5,10 @@
 //! the hot paths. Shared plumbing lives here: scaled-down run settings,
 //! tool wrappers that return `(seconds, AUCROC)` rows, and TSV printing.
 //!
+//! The trainer-core throughput harness lives in [`hotpath`]: it backs
+//! the `gosh bench-train` CLI subcommand and the criterion hot-path
+//! bench, and documents the `BENCH_hotpath.json` schema both emit.
+//!
 //! ## Scaling
 //!
 //! Absolute scales are reduced so the whole evaluation runs on a laptop
@@ -14,6 +18,8 @@
 //! `GOSH_EPOCH_SCALE` (default 0.1). Comparison *shapes* — who wins, by
 //! what relative factor, where crossovers sit — are preserved; absolute
 //! wall-clock is not comparable to the paper's testbed.
+
+pub mod hotpath;
 
 use std::time::Instant;
 

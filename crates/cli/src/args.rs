@@ -1,27 +1,59 @@
-//! Minimal flag parsing (positional args + `--key value` flags).
+//! Minimal flag parsing (positional args + `--key value` / `--key=value`
+//! flags), validated against each command's known flag set.
+//!
+//! Three failure modes of a free-form parser are closed here: an unknown
+//! flag is an error instead of being silently swallowed (`--epoch 100`
+//! must not quietly do nothing), `--key=value` is accepted, and a flag
+//! whose "value" is the next `--flag` is rejected instead of consuming
+//! it.
 
 use std::collections::HashMap;
 
 /// Parsed command-line tail: positionals in order, flags by name.
+#[derive(Debug)]
 pub struct Parsed {
     pub positional: Vec<String>,
     flags: HashMap<String, String>,
 }
 
-/// Split `args` into positionals and `--key value` flags.
-pub fn parse(args: &[String]) -> Result<Parsed, String> {
+/// Split `args` into positionals and flags. Every flag must appear in
+/// `known` (the command's flag vocabulary); values come from either
+/// `--key value` or `--key=value`, and a value may not itself start with
+/// `--`.
+pub fn parse(args: &[String], known: &[&str]) -> Result<Parsed, String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if let Some(key) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} expects a value"))?;
-            flags.insert(key.to_string(), value.clone());
-        } else {
+        let Some(rest) = a.strip_prefix("--") else {
             positional.push(a.clone());
+            continue;
+        };
+        let (key, value) = match rest.split_once('=') {
+            Some((key, value)) => (key, value.to_string()),
+            None => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{rest} expects a value"))?;
+                if value.starts_with("--") {
+                    return Err(format!(
+                        "flag --{rest} expects a value, got another flag `{value}`"
+                    ));
+                }
+                (rest, value.clone())
+            }
+        };
+        if !known.contains(&key) {
+            return Err(if known.is_empty() {
+                format!("unknown flag --{key} (this command takes no flags)")
+            } else {
+                format!(
+                    "unknown flag --{key} (known flags: --{})",
+                    known.join(", --")
+                )
+            });
         }
+        flags.insert(key.to_string(), value);
     }
     Ok(Parsed { positional, flags })
 }
@@ -64,11 +96,14 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
+    const KNOWN: &[&str] = &["dim", "preset", "epochs"];
+
     #[test]
     fn splits_positionals_and_flags() {
-        let p = parse(&strs(&[
-            "a.txt", "--dim", "32", "out.emb", "--preset", "fast",
-        ]))
+        let p = parse(
+            &strs(&["a.txt", "--dim", "32", "out.emb", "--preset", "fast"]),
+            KNOWN,
+        )
         .unwrap();
         assert_eq!(p.positional, vec!["a.txt", "out.emb"]);
         assert_eq!(p.flag::<usize>("dim").unwrap(), Some(32));
@@ -77,19 +112,41 @@ mod tests {
     }
 
     #[test]
+    fn equals_form_is_accepted() {
+        let p = parse(&strs(&["--dim=32", "--preset=fast"]), KNOWN).unwrap();
+        assert_eq!(p.flag::<usize>("dim").unwrap(), Some(32));
+        assert_eq!(p.flag_str("preset"), Some("fast"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let err = parse(&strs(&["--epoch", "100"]), KNOWN).unwrap_err();
+        assert!(err.contains("unknown flag --epoch"), "{err}");
+        assert!(err.contains("--epochs"), "should list known flags: {err}");
+        let err = parse(&strs(&["--dim=8"]), &[]).unwrap_err();
+        assert!(err.contains("takes no flags"), "{err}");
+    }
+
+    #[test]
     fn missing_flag_value_errors() {
-        assert!(parse(&strs(&["--dim"])).is_err());
+        assert!(parse(&strs(&["--dim"]), KNOWN).is_err());
+    }
+
+    #[test]
+    fn flag_as_value_errors() {
+        let err = parse(&strs(&["--dim", "--epochs", "10"]), KNOWN).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
     }
 
     #[test]
     fn bad_flag_type_errors() {
-        let p = parse(&strs(&["--dim", "banana"])).unwrap();
+        let p = parse(&strs(&["--dim", "banana"]), KNOWN).unwrap();
         assert!(p.flag::<usize>("dim").is_err());
     }
 
     #[test]
     fn missing_positional_errors() {
-        let p = parse(&strs(&[])).unwrap();
+        let p = parse(&strs(&[]), KNOWN).unwrap();
         assert!(p.positional(0, "graph").is_err());
     }
 }

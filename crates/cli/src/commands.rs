@@ -1,7 +1,9 @@
-//! The five CLI commands.
+//! The six CLI commands.
 
 use std::io::Write;
 use std::time::Instant;
+
+use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_core::backend::BackendChoice;
@@ -18,6 +20,9 @@ use gosh_graph::split::{train_test_split, SplitConfig};
 use gosh_graph::stats::GraphStats;
 
 use crate::args::{parse, Parsed};
+
+/// Flags shared by `embed` and `eval` (the GOSH pipeline knobs).
+const PIPELINE_FLAGS: &[&str] = &["dim", "preset", "epochs", "device-mb", "threads", "backend"];
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -77,7 +82,7 @@ fn build_config(p: &Parsed) -> Result<(GoshConfig, Device), String> {
 
 /// `gosh generate <dataset|N:K> <out>`.
 pub fn generate(args: &[String]) -> Result<(), String> {
-    let p = parse(args)?;
+    let p = parse(args, &["seed"])?;
     let spec = p.positional(0, "dataset|N:K")?;
     let out = p.positional(1, "output file")?;
     let seed = p.flag::<u64>("seed")?.unwrap_or(42);
@@ -105,7 +110,7 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 
 /// `gosh stats <graph>`.
 pub fn stats(args: &[String]) -> Result<(), String> {
-    let p = parse(args)?;
+    let p = parse(args, &[])?;
     let g = load_graph(p.positional(0, "graph")?)?;
     let s = GraphStats::compute(&g);
     let comps = connected_components(&g);
@@ -126,7 +131,7 @@ pub fn stats(args: &[String]) -> Result<(), String> {
 
 /// `gosh coarsen <graph> [--threads N] [--threshold T]`.
 pub fn coarsen(args: &[String]) -> Result<(), String> {
-    let p = parse(args)?;
+    let p = parse(args, &["threads", "threshold"])?;
     let g = load_graph(p.positional(0, "graph")?)?;
     let cfg = CoarsenConfig {
         threads: p.flag::<usize>("threads")?.unwrap_or_else(default_threads),
@@ -174,7 +179,7 @@ fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
 
 /// `gosh embed <graph> <out.emb> [...]`.
 pub fn embed(args: &[String]) -> Result<(), String> {
-    let p = parse(args)?;
+    let p = parse(args, PIPELINE_FLAGS)?;
     let g = load_graph(p.positional(0, "graph")?)?;
     let out = p.positional(1, "output file")?;
     let (m, _) = run_gosh(&g, &p)?;
@@ -193,7 +198,7 @@ pub fn embed(args: &[String]) -> Result<(), String> {
 
 /// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
 pub fn eval(args: &[String]) -> Result<(), String> {
-    let p = parse(args)?;
+    let p = parse(args, PIPELINE_FLAGS)?;
     let g = load_graph(p.positional(0, "graph")?)?;
     let split = train_test_split(&g, &SplitConfig::default());
     println!(
@@ -209,5 +214,55 @@ pub fn eval(args: &[String]) -> Result<(), String> {
         100.0 * auc,
         secs
     );
+    Ok(())
+}
+
+/// `gosh bench-train [...]`: time the CPU trainer hot path and write the
+/// `BENCH_hotpath.json` perf-trajectory report (schema documented in
+/// `gosh_bench::hotpath`).
+pub fn bench_train(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices",
+            "degree",
+            "dim",
+            "threads",
+            "epochs",
+            "negatives",
+            "seed",
+            "baseline",
+            "reps",
+            "out",
+        ],
+    )?;
+    let defaults = HotpathConfig::default();
+    let cfg = HotpathConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        dim: p.flag::<usize>("dim")?.unwrap_or(defaults.dim),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        epochs: p.flag::<u32>("epochs")?.unwrap_or(defaults.epochs),
+        negative_samples: p
+            .flag::<usize>("negatives")?
+            .unwrap_or(defaults.negative_samples),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.threads == 0 || cfg.vertices < 2 {
+        return Err("bench-train needs --threads >= 1 and --vertices >= 2".into());
+    }
+    let report = run_hotpath(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_hotpath.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "hotpath: {:.0} updates/sec ({} updates, {} threads, d = {}, {:.3}s)",
+        report.updates_per_sec, report.updates, report.threads, report.dim, report.seconds
+    );
+    if let (Some(b), Some(x)) = (report.seed_updates_per_sec(), report.speedup_vs_seed()) {
+        println!("seed engine: {b:.0} updates/sec — speedup {x:.2}x");
+    }
+    println!("wrote {out}");
     Ok(())
 }

@@ -9,6 +9,9 @@
 //!                              [--backend cpu|gpu|auto]
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
 //!                   [--backend cpu|gpu|auto]
+//! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
+//!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
+//!                  [--baseline true|false] [--out FILE]
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension) or the
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
         Some("coarsen") => commands::coarsen(&argv[1..]),
         Some("embed") => commands::embed(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
+        Some("bench-train") => commands::bench_train(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -56,6 +60,9 @@ USAGE:
                                [--backend cpu|gpu|auto]
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
                     [--backend cpu|gpu|auto]
+  gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
+                   [--epochs E] [--negatives NS] [--seed S] [--reps R]
+                   [--baseline true|false] [--out FILE]
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
@@ -66,4 +73,7 @@ USAGE:
   --backend selects the training engine chain: cpu forces the Hogwild
   CPU trainer, gpu uses the device only, auto (default) prefers the
   device and falls back per level.
+  bench-train times the sharded CPU trainer hot path on a synthetic
+  community graph and writes BENCH_hotpath.json (updates/sec, threads,
+  dim, plus the frozen-seed-engine baseline unless --baseline false).
 ";

@@ -89,6 +89,87 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn flag_validation_catches_typos_and_misuse() {
+    // An unknown flag must error, not be silently swallowed — the classic
+    // trap was `--epoch 100` doing nothing.
+    let (ok, text) = run(&["embed", "g.csr", "out.emb", "--epoch", "100"]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag --epoch"), "{text}");
+    assert!(text.contains("--epochs"), "should list known flags: {text}");
+
+    // A flag directly followed by another flag must not consume it.
+    let (ok, text) = run(&["embed", "g.csr", "out.emb", "--dim", "--epochs", "10"]);
+    assert!(!ok);
+    assert!(text.contains("expects a value"), "{text}");
+
+    // A command with no flags rejects any flag.
+    let (ok, text) = run(&["stats", "g.csr", "--dim", "8"]);
+    assert!(!ok);
+    assert!(text.contains("takes no flags"), "{text}");
+}
+
+#[test]
+fn equals_form_flags_work_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.csr");
+    let graph_s = graph.to_str().unwrap();
+    let (ok, text) = run(&["generate", "500:5", graph_s, "--seed=7"]);
+    assert!(ok, "{text}");
+    let emb = dir.join("g.emb");
+    let (ok, text) = run(&[
+        "embed",
+        graph_s,
+        emb.to_str().unwrap(),
+        "--dim=8",
+        "--epochs=10",
+        "--backend=cpu",
+    ]);
+    assert!(ok, "{text}");
+    let first_line = std::fs::read_to_string(&emb).unwrap();
+    assert!(first_line.starts_with("500 8"), "{first_line}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_train_emits_hotpath_json() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_bt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_hotpath.json");
+    let (ok, text) = run(&[
+        "bench-train",
+        "--vertices",
+        "512",
+        "--degree",
+        "6",
+        "--dim",
+        "16",
+        "--threads",
+        "2",
+        "--epochs",
+        "3",
+        "--reps",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("updates/sec"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"bench\": \"hotpath\"",
+        "\"updates_per_sec\"",
+        "\"speedup_vs_seed\"",
+        "\"threads\": 2",
+        "\"dim\": 16",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn backend_flag_selects_engines() {
     let dir = std::env::temp_dir().join(format!("gosh_cli_be_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

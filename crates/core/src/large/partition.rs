@@ -71,6 +71,11 @@ impl Partition {
 /// plus `S_GPU` sample-pool slots fit in `available_bytes` (§3.3.2's
 /// trade-off — more parts always fit, but every extra part lengthens the
 /// rotation, so we take the minimum that fits, and never fewer than 2).
+///
+/// Bins are sized by the *ceiling* part length `max_part_len() =
+/// ceil(n/K)`, so the fit is verified against that, not against the
+/// average `n/K` — deriving K from `n · per_vertex / available` alone can
+/// overshoot device memory by one vertex's worth of rounding per part.
 pub fn choose_num_parts(
     n: usize,
     dim: usize,
@@ -82,8 +87,13 @@ pub fn choose_num_parts(
     assert!(n >= 2, "graph too small to partition");
     // Per-part bytes: a sub-matrix bin is part_len·d floats; a pool slot
     // holds B targets for both sides of a pair (2·part_len·B u32).
-    let per_vertex = p_gpu * dim * 4 + s_gpu * batch_b * 2 * 4;
-    let k = (n * per_vertex).div_ceil(available_bytes.max(1));
+    let per_vertex = (p_gpu * dim * 4 + s_gpu * batch_b * 2 * 4).max(1);
+    // Largest part length whose bins fit; K = ceil(n / max_len) then
+    // guarantees ceil(n/K) <= max_len. With max_len == 0 nothing fits —
+    // fall through to K = n (one vertex per part) and let the device
+    // allocation surface the failure.
+    let max_len = available_bytes / per_vertex;
+    let k = if max_len == 0 { n } else { n.div_ceil(max_len) };
     k.clamp(2, n)
 }
 
@@ -147,6 +157,29 @@ mod tests {
     #[test]
     fn choose_parts_minimum_two() {
         assert_eq!(choose_num_parts(100, 8, usize::MAX / 2, 3, 4, 5), 2);
+    }
+
+    #[test]
+    fn chosen_parts_fit_with_ceiling_part_size() {
+        // Adversarial n: with per_vertex = 256 (dim 8, P=3, S=4, B=5) and
+        // 511 bytes available, the average-based K was 2 — but
+        // ceil(3/2) = 2 vertices per bin needs 512 bytes. The fit must be
+        // verified against the ceiling part size.
+        let per_vertex = 3 * 8 * 4 + 4 * 5 * 2 * 4;
+        assert_eq!(per_vertex, 256);
+        let k = choose_num_parts(3, 8, 2 * per_vertex - 1, 3, 4, 5);
+        assert_eq!(k, 3, "rounding overshoot not corrected");
+        // Property over a sweep: whenever anything fits at all, the
+        // ceiling-sized bins of the chosen K fit in the budget.
+        for n in [3usize, 7, 100, 1001, 65_537] {
+            for avail in [per_vertex, 2 * per_vertex - 1, 10_000, 1 << 20] {
+                let k = choose_num_parts(n, 8, avail, 3, 4, 5);
+                let bytes = n.div_ceil(k) * per_vertex;
+                if avail >= per_vertex {
+                    assert!(bytes <= avail, "n={n} avail={avail}: K={k} needs {bytes}");
+                }
+            }
+        }
     }
 
     #[test]

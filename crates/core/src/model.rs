@@ -5,8 +5,20 @@
 //! update rows concurrently (the Hogwild CPU trainer, and the host copy of
 //! a partitioned matrix during Algorithm 5): lost updates are permitted,
 //! torn floats are not.
+//!
+//! Threads work on [`SharedMatrix::row_atomics`] views *in place*:
+//! sample rows are never staged through scratch buffers. Storage packs
+//! **two `f32` lanes per `AtomicU64`** — one relaxed load or store moves
+//! two matrix elements, halving the atomic-operation count of the
+//! per-element `AtomicU32` discipline it replaced. A 64-bit relaxed
+//! access is single-instruction on every 64-bit target, so individual
+//! lanes still never tear; racing writers can lose a neighbouring
+//! lane's update within the same pair, which is just the HOGWILD!
+//! lost-update contract at pair granularity. Odd dimensions pad the
+//! final pair's high lane with `0.0`; the trainer preserves the padding
+//! invariant (zero source lane ⇒ zero update) so pads stay exactly zero.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gosh_graph::rng::Xorshift128Plus;
 
@@ -135,25 +147,47 @@ impl Embedding {
     }
 }
 
+/// Pack two `f32` lanes into the `u64` cell layout (`lo` is lane `2k`,
+/// `hi` lane `2k + 1`).
+#[inline]
+pub fn pack_pair(lo: f32, hi: f32) -> u64 {
+    lo.to_bits() as u64 | ((hi.to_bits() as u64) << 32)
+}
+
+/// Unpack an atomic cell into its two `f32` lanes.
+#[inline]
+pub fn unpack_pair(w: u64) -> (f32, f32) {
+    (f32::from_bits(w as u32), f32::from_bits((w >> 32) as u32))
+}
+
 /// An embedding matrix behind relaxed atomics for Hogwild-style updates.
 pub struct SharedMatrix {
-    data: Box<[AtomicU32]>,
+    data: Box<[AtomicU64]>,
     num_vertices: usize,
     dim: usize,
+    /// `AtomicU64` cells per row: `ceil(dim / 2)`.
+    pairs: usize,
 }
 
 impl SharedMatrix {
-    /// Copy a host matrix into shared form.
+    /// Copy a host matrix into shared paired-lane form.
     pub fn from_embedding(m: &Embedding) -> Self {
-        let data = m
-            .as_slice()
-            .iter()
-            .map(|&x| AtomicU32::new(x.to_bits()))
-            .collect();
+        let dim = m.dim();
+        let pairs = dim.div_ceil(2);
+        let mut data = Vec::with_capacity(m.num_vertices() * pairs);
+        for v in 0..m.num_vertices() as u32 {
+            let row = m.row(v);
+            for p in 0..pairs {
+                let lo = row[2 * p];
+                let hi = if 2 * p + 1 < dim { row[2 * p + 1] } else { 0.0 };
+                data.push(AtomicU64::new(pack_pair(lo, hi)));
+            }
+        }
         Self {
-            data,
+            data: data.into_boxed_slice(),
             num_vertices: m.num_vertices(),
-            dim: m.dim(),
+            dim,
+            pairs,
         }
     }
 
@@ -169,54 +203,60 @@ impl SharedMatrix {
         self.dim
     }
 
-    /// Relaxed load of element `(v, j)`.
+    /// `AtomicU64` cells per row (`ceil(dim / 2)`).
     #[inline]
-    pub fn load(&self, v: u32, j: usize) -> f32 {
-        f32::from_bits(self.data[v as usize * self.dim + j].load(Ordering::Relaxed))
+    pub fn pairs_per_row(&self) -> usize {
+        self.pairs
     }
 
-    /// Relaxed store of element `(v, j)`.
+    /// Row `v` as a shared atomic pair slice: the in-place view the
+    /// Hogwild trainer updates through. One bounds check per row, none
+    /// per element; no scratch copy in or out.
     #[inline]
-    pub fn store(&self, v: u32, j: usize, x: f32) {
-        self.data[v as usize * self.dim + j].store(x.to_bits(), Ordering::Relaxed);
+    pub fn row_atomics(&self, v: u32) -> &[AtomicU64] {
+        let o = v as usize * self.pairs;
+        &self.data[o..o + self.pairs]
     }
 
-    /// Copy row `v` into `out`.
+    /// Relaxed load of element `j` of an atomic row view.
     #[inline]
-    pub fn read_row(&self, v: u32, out: &mut [f32]) {
-        let o = v as usize * self.dim;
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = f32::from_bits(self.data[o + k].load(Ordering::Relaxed));
+    pub fn get(row: &[AtomicU64], j: usize) -> f32 {
+        let (lo, hi) = unpack_pair(row[j / 2].load(Ordering::Relaxed));
+        if j.is_multiple_of(2) {
+            lo
+        } else {
+            hi
         }
     }
 
-    /// Overwrite row `v` from `src`.
+    /// Relaxed store of element `j` of an atomic row view. (A racy
+    /// read-modify-write of the enclosing pair — fine for tooling and
+    /// tests; the trainer writes whole pairs.)
     #[inline]
-    pub fn write_row(&self, v: u32, src: &[f32]) {
-        let o = v as usize * self.dim;
-        for (k, &x) in src.iter().enumerate() {
-            self.data[o + k].store(x.to_bits(), Ordering::Relaxed);
-        }
+    pub fn set(row: &[AtomicU64], j: usize, x: f32) {
+        let cell = &row[j / 2];
+        let (lo, hi) = unpack_pair(cell.load(Ordering::Relaxed));
+        let w = if j.is_multiple_of(2) {
+            pack_pair(x, hi)
+        } else {
+            pack_pair(lo, x)
+        };
+        cell.store(w, Ordering::Relaxed);
     }
 
-    /// Racy `row[v] += a · xs` (Hogwild).
-    #[inline]
-    pub fn axpy_row(&self, v: u32, a: f32, xs: &[f32]) {
-        let o = v as usize * self.dim;
-        for (k, &x) in xs.iter().enumerate() {
-            let cell = &self.data[o + k];
-            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
-            cell.store((cur + a * x).to_bits(), Ordering::Relaxed);
-        }
-    }
-
-    /// Copy back out to a host matrix.
+    /// Copy back out to a host matrix (padding lanes dropped).
     pub fn to_embedding(&self) -> Embedding {
-        let data = self
-            .data
-            .iter()
-            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
-            .collect();
+        let mut data = Vec::with_capacity(self.num_vertices * self.dim);
+        for v in 0..self.num_vertices {
+            let row = &self.data[v * self.pairs..(v + 1) * self.pairs];
+            for (p, cell) in row.iter().enumerate() {
+                let (lo, hi) = unpack_pair(cell.load(Ordering::Relaxed));
+                data.push(lo);
+                if 2 * p + 1 < self.dim {
+                    data.push(hi);
+                }
+            }
+        }
         Embedding::from_vec(data, self.num_vertices, self.dim)
     }
 }
@@ -287,42 +327,62 @@ mod tests {
     }
 
     #[test]
-    fn shared_matrix_round_trip() {
-        let m = Embedding::random(5, 8, 9);
-        let s = SharedMatrix::from_embedding(&m);
-        assert_eq!(s.to_embedding(), m);
+    fn shared_matrix_round_trip_even_and_odd_dims() {
+        for dim in [1usize, 2, 3, 7, 8, 31] {
+            let m = Embedding::random(5, dim, 9);
+            let s = SharedMatrix::from_embedding(&m);
+            assert_eq!(s.pairs_per_row(), dim.div_ceil(2));
+            assert_eq!(s.to_embedding(), m, "dim {dim}");
+        }
     }
 
     #[test]
-    fn shared_matrix_axpy() {
+    fn pack_unpack_is_lossless() {
+        for (lo, hi) in [(0.0f32, -0.0f32), (1.5, -3.25), (f32::MIN, f32::MAX)] {
+            let (l2, h2) = unpack_pair(pack_pair(lo, hi));
+            assert_eq!(lo.to_bits(), l2.to_bits());
+            assert_eq!(hi.to_bits(), h2.to_bits());
+        }
+    }
+
+    #[test]
+    fn row_atomics_views_update_in_place() {
         let m = Embedding::zeros(2, 3);
         let s = SharedMatrix::from_embedding(&m);
-        s.write_row(1, &[1.0, 1.0, 1.0]);
-        s.axpy_row(1, 2.0, &[1.0, 2.0, 3.0]);
-        let mut out = [0f32; 3];
-        s.read_row(1, &mut out);
-        assert_eq!(out, [3.0, 5.0, 7.0]);
-        assert_eq!(s.load(1, 2), 7.0);
-        s.store(0, 0, 9.0);
-        assert_eq!(s.load(0, 0), 9.0);
+        let row = s.row_atomics(1);
+        assert_eq!(row.len(), 2); // ceil(3 / 2) pairs
+        for j in 0..3 {
+            SharedMatrix::set(row, j, 1.0 + j as f32);
+        }
+        assert_eq!(SharedMatrix::get(s.row_atomics(1), 2), 3.0);
+        // Two views of the same row alias the same cells.
+        let alias = s.row_atomics(1);
+        SharedMatrix::set(alias, 0, 9.0);
+        assert_eq!(SharedMatrix::get(row, 0), 9.0);
+        let back = s.to_embedding();
+        assert_eq!(back.row(1), &[9.0, 2.0, 3.0]);
+        assert_eq!(back.row(0), &[0.0; 3]);
     }
 
     #[test]
-    fn concurrent_axpy_keeps_floats_untorn() {
+    fn concurrent_in_place_updates_keep_lanes_untorn() {
         let s = SharedMatrix::from_embedding(&Embedding::zeros(1, 16));
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
+                    let row = s.row_atomics(0);
                     for _ in 0..1000 {
-                        s.axpy_row(0, 1.0, &[1.0; 16]);
+                        for cell in row {
+                            let (lo, hi) = unpack_pair(cell.load(Ordering::Relaxed));
+                            cell.store(pack_pair(lo + 1.0, hi + 1.0), Ordering::Relaxed);
+                        }
                     }
                 });
             }
         });
-        // Lost updates are allowed; torn/NaN values are not.
-        let mut out = [0f32; 16];
-        s.read_row(0, &mut out);
-        for &x in &out {
+        // Lost updates are allowed; torn/NaN lanes are not.
+        let back = s.to_embedding();
+        for &x in back.row(0) {
             assert!(x.is_finite());
             assert!(x > 0.0 && x <= 4000.0);
         }

@@ -16,6 +16,7 @@ use gosh_graph::csr::Csr;
 use crate::backend::TrainParams;
 use crate::model::Embedding;
 use crate::schedule::decayed_lr;
+use crate::train_cpu::train_cpu;
 use crate::train_gpu::DeviceGraph;
 
 /// One device's replica: graph + matrix resident together.
@@ -28,6 +29,11 @@ struct Replica {
 /// Train `host` on `g` across several devices with synchronous replica
 /// averaging. Uses the optimized kernel on every device.
 ///
+/// With an empty device list the replica set degenerates to the host:
+/// training falls back to the sharded CPU Hogwild engine
+/// ([`crate::train_cpu::train_cpu`]), so callers can hand over whatever
+/// device inventory they discovered — including none.
+///
 /// Errors if any device cannot hold a full replica (replicated data
 /// parallelism needs the whole matrix per device; for matrices beyond a
 /// single device, use the partitioned path of [`crate::large`]).
@@ -37,7 +43,10 @@ pub fn train_multi_gpu(
     host: &mut Embedding,
     params: &TrainParams,
 ) -> Result<(), DeviceError> {
-    assert!(!devices.is_empty(), "need at least one device");
+    if devices.is_empty() {
+        train_cpu(g, host, params);
+        return Ok(());
+    }
     assert_eq!(
         g.num_vertices(),
         host.num_vertices(),
@@ -227,5 +236,18 @@ mod tests {
         let before = m.clone();
         train_multi_gpu(&devices, &g, &mut m, &params(3)).unwrap();
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn no_devices_falls_back_to_host_hogwild() {
+        let g = community_graph(&CommunityConfig::new(256, 6), 37);
+        let mut m = Embedding::random(256, 16, 13);
+        let p = TrainParams {
+            threads: 4,
+            ..params(60)
+        };
+        train_multi_gpu(&[], &g, &mut m, &p).unwrap();
+        assert!(m.as_slice().iter().all(|x| x.is_finite()));
+        assert!(quality(&m, &g) > 0.25, "host fallback failed to learn");
     }
 }

@@ -21,11 +21,29 @@ pub fn epochs_for_level(e: u32, p: f64, level: usize, levels: usize) -> u32 {
     (uniform + geometric).round().max(1.0) as u32
 }
 
-/// Epoch counts for all levels; sums to ≈ `e` (± rounding, each ≥ 1).
+/// Epoch counts for all levels. Each level gets at least one epoch, and
+/// the total never exceeds the budget `e` — per-level rounding plus the
+/// `≥ 1` floor can overspend (small `e`, deep hierarchies), so the raw
+/// counts are renormalized by trimming the finest level holding the
+/// current maximum until the budget holds. When `e < levels` the floor
+/// wins: the total is `levels`, the minimum that trains every graph.
 pub fn epoch_distribution(e: u32, p: f64, levels: usize) -> Vec<u32> {
-    (0..levels)
+    let mut dist: Vec<u32> = (0..levels)
         .map(|i| epochs_for_level(e, p, i, levels))
-        .collect()
+        .collect();
+    let mut total: u32 = dist.iter().sum();
+    while total > e {
+        let max = *dist.iter().max().expect("levels >= 1");
+        if max <= 1 {
+            break; // the >= 1 floor: nothing left to trim
+        }
+        // First (finest) level at the maximum: trimming it preserves the
+        // coarser-gets-more ordering.
+        let i = dist.iter().position(|&x| x == max).unwrap();
+        dist[i] -= 1;
+        total -= 1;
+    }
+    dist
 }
 
 /// Learning rate for epoch `j` (0-based) of a level with `e_i` epochs.
@@ -79,6 +97,33 @@ mod tests {
     fn every_level_gets_at_least_one_epoch() {
         let dist = epoch_distribution(8, 0.0, 8);
         assert!(dist.iter().all(|&e| e >= 1), "{dist:?}");
+    }
+
+    #[test]
+    fn tight_budgets_never_overspend() {
+        // Small budgets with deep hierarchies used to overshoot `e` via
+        // rounding and the >= 1 floor. The renormalized total must stay
+        // within max(e, levels), every level keeping at least one epoch
+        // and the coarser-gets-more ordering intact.
+        for (e, p, levels) in [
+            (8u32, 0.0, 8usize),
+            (10, 0.3, 8),
+            (12, 0.5, 10),
+            (3, 0.0, 8), // budget below the floor: total == levels
+            (20, 1.0, 16),
+            (100, 0.1, 12),
+        ] {
+            let dist = epoch_distribution(e, p, levels);
+            let total: u32 = dist.iter().sum();
+            assert!(
+                total <= e.max(levels as u32),
+                "e={e} p={p} levels={levels}: total {total} ({dist:?})"
+            );
+            assert!(dist.iter().all(|&x| x >= 1), "{dist:?}");
+            for w in dist.windows(2) {
+                assert!(w[0] <= w[1], "ordering broken: {dist:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Multi-core CPU trainer (Hogwild).
+//! Multi-core CPU trainer (Hogwild), copy-free and sharded.
 //!
 //! The 16-thread CPU implementation that Figure 4 uses as its speedup
 //! baseline, and the engine behind the VERSE comparator in
@@ -6,19 +6,49 @@
 //! update without locks — the HOGWILD! regime (Niu et al., NIPS'11) the
 //! paper cites for CPUs (§3.1). Epoch accounting matches the GPU path:
 //! one epoch = |E| source processings drawn from the arc list.
+//!
+//! Three design decisions keep the hot path at memory speed:
+//!
+//! * **Copy-free sample updates.** Sample rows are updated through
+//!   [`SharedMatrix::row_atomics`] views, in place: [`fused_update`]
+//!   accumulates the dot and applies both sides' axpy in one fused pass
+//!   over the view. The former engine's `one_update` copied every sample
+//!   row into a `tmp` scratch, re-read it for the axpy, and bounced the
+//!   source through a second scratch per update — that per-sample copy
+//!   discipline is gone, halving atomic traffic per update.
+//! * **Register-staged source row.** Mirroring the GPU kernel (§3.1
+//!   stages the source row in shared memory), each source's row is read
+//!   once, updated locally across its `1 + ns` samples — where it
+//!   vectorizes, since it is plain `f32` — and written back once.
+//! * **Sharded work distribution.** Each epoch's source space is split
+//!   into one contiguous shard per thread ([`shard_ranges`]); a worker
+//!   team is spawned once and holds at an epoch barrier, so threads never
+//!   touch a shared cursor and never pay a per-epoch spawn. The former
+//!   engine handed out batches from a global `AtomicUsize`, serializing
+//!   every thread through one contended cache line. Sample rows are
+//!   prefetched as soon as their ids are drawn.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 
-use gosh_gpu::warp::sigmoid;
 use gosh_graph::csr::Csr;
 use gosh_graph::rng::{mix64, Xorshift128Plus};
 
 use crate::backend::{Similarity, TrainParams};
-use crate::model::{Embedding, SharedMatrix};
+use crate::model::{pack_pair, unpack_pair, Embedding, SharedMatrix};
 use crate::schedule::decayed_lr;
+use crate::update::fast_sigmoid;
 
-/// Sources per dynamic batch.
-const BATCH: usize = 512;
+/// Split `sources` source processings into one contiguous shard per
+/// thread. Shards are disjoint, cover `0..sources` exactly, and differ in
+/// size by at most one — the static distribution that replaces the global
+/// batch cursor.
+pub fn shard_ranges(sources: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(threads >= 1, "need at least one thread");
+    (0..threads)
+        .map(|t| (t * sources / threads)..((t + 1) * sources / threads))
+        .collect()
+}
 
 /// Train `m` on `g` in place with Hogwild threads.
 ///
@@ -26,10 +56,9 @@ const BATCH: usize = 512;
 pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     assert_eq!(g.num_vertices(), m.num_vertices(), "graph/matrix mismatch");
     assert!(params.threads >= 1);
-    if g.num_edges() == 0 {
+    if g.num_edges() == 0 || params.epochs == 0 {
         return;
     }
-    let d = m.dim();
     let n = g.num_vertices() as u32;
     let shared = SharedMatrix::from_embedding(m);
     let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
@@ -39,48 +68,99 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     let num_arcs = arc_src.len();
     let sources = (num_arcs / 2).max(1);
 
-    for epoch in 0..params.epochs {
-        let lr_now = decayed_lr(params.lr, epoch, params.epochs);
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for t in 0..params.threads {
-                let arc_src = &arc_src;
-                let shared = &shared;
-                let cursor = &cursor;
-                scope.spawn(move || {
+    // No thread should sit on an empty shard *and* a barrier slot.
+    let threads = params.threads.min(sources);
+    let shards = shard_ranges(sources, threads);
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for (t, shard) in shards.into_iter().enumerate() {
+            let arc_src = &arc_src;
+            let shared = &shared;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                // One allocation per worker lifetime: the staged source
+                // row (the CPU analogue of the kernel's shared memory),
+                // padded to the paired-lane width.
+                let mut src_row = vec![0f32; 2 * shared.pairs_per_row()];
+                for epoch in 0..params.epochs {
+                    let lr_now = decayed_lr(params.lr, epoch, params.epochs);
                     let mut rng = Xorshift128Plus::new(mix64(
                         params.seed ^ ((epoch as u64) << 20) ^ t as u64,
                     ));
-                    let mut src_row = vec![0f32; d];
-                    let mut tmp = vec![0f32; d];
-                    loop {
-                        let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
-                        if start >= sources {
-                            break;
+                    // `(2s + epoch) % num_arcs` with the division hoisted:
+                    // 2s < num_arcs and offset < num_arcs, so one
+                    // conditional subtract replaces a per-source div.
+                    let offset = epoch as usize % num_arcs;
+                    let arc_at = |s: usize| {
+                        let mut idx = 2 * s + offset;
+                        if idx >= num_arcs {
+                            idx -= num_arcs;
                         }
-                        let end = (start + BATCH).min(sources);
-                        for s in start..end {
-                            let src = arc_src[(2 * s + epoch as usize) % num_arcs];
-                            process_source(
-                                g,
-                                shared,
-                                src,
-                                n,
-                                params,
-                                lr_now,
-                                &mut rng,
-                                &mut src_row,
-                                &mut tmp,
-                            );
+                        arc_src[idx]
+                    };
+                    let mut src_next = if shard.is_empty() {
+                        0
+                    } else {
+                        arc_at(shard.start)
+                    };
+                    for s in shard.clone() {
+                        let src = src_next;
+                        // Warm the next source's row while this one trains.
+                        if s + 1 < shard.end {
+                            src_next = arc_at(s + 1);
+                            prefetch_row(shared.row_atomics(src_next));
                         }
+                        process_source(g, shared, src, n, params, lr_now, &mut rng, &mut src_row);
                     }
-                });
-            }
-        });
-    }
+                    // Epoch synchronization (§3.1): the next epoch's
+                    // learning rate applies only once every shard is done.
+                    barrier.wait();
+                }
+            });
+        }
+    });
     *m = shared.to_embedding();
 }
 
+/// Negative draws batched ahead per source (bounds the id scratchpad;
+/// the row data itself is never staged).
+const PREFETCH_AHEAD: usize = 8;
+
+/// Hint the cache that `row` is about to be read. The trainer is
+/// memory-latency-bound: sample rows are random, so without the hint
+/// every update eats the full L2/L3 miss before its dot product can
+/// start.
+#[inline(always)]
+fn prefetch_row(row: &[AtomicU64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `_mm_prefetch` is an architectural hint; it performs no
+        // memory access and is valid for any pointer.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = row.as_ptr() as *const i8;
+            for off in (0..row.len() * 8).step_by(64) {
+                _mm_prefetch(p.add(off), _MM_HINT_T0);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // Portable fallback: a relaxed load warms the first line.
+        if let Some(c) = row.first() {
+            std::hint::black_box(c.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// One source processing: a positive draw from `Q` plus `ns` negatives.
+/// The source row is staged in `src_row` across its samples (written
+/// back once); sample rows are updated fully in place.
+///
+/// Sample ids are drawn *before* any update — positive first, then the
+/// negatives, preserving the per-thread RNG stream order — so every
+/// sample row can be prefetched while earlier updates compute.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn process_source(
@@ -92,17 +172,55 @@ fn process_source(
     lr: f32,
     rng: &mut Xorshift128Plus,
     src_row: &mut [f32],
-    tmp: &mut [f32],
 ) {
-    shared.read_row(src, src_row);
-    if let Some(u) = positive_sample(g, src, params.similarity, rng) {
-        one_update(shared, u, src_row, tmp, 1.0, lr);
+    let pos = positive_sample(g, src, params.similarity, rng);
+    let ns = params.negative_samples;
+    let ahead = ns.min(PREFETCH_AHEAD);
+    let mut negs = [0u32; PREFETCH_AHEAD];
+    for slot in negs.iter_mut().take(ahead) {
+        *slot = rng.below(n);
     }
-    for _ in 0..params.negative_samples {
+    if let Some(u) = pos {
+        prefetch_row(shared.row_atomics(u));
+    }
+    for &u in negs.iter().take(ahead) {
+        prefetch_row(shared.row_atomics(u));
+    }
+    let src_pairs = shared.row_atomics(src);
+    let mut st = src_row.chunks_exact_mut(4);
+    let mut sp = src_pairs.chunks_exact(2);
+    for (slot, cs) in (&mut st).zip(&mut sp) {
+        let (a0, a1) = unpack_pair(cs[0].load(Ordering::Relaxed));
+        let (a2, a3) = unpack_pair(cs[1].load(Ordering::Relaxed));
+        slot[0] = a0;
+        slot[1] = a1;
+        slot[2] = a2;
+        slot[3] = a3;
+    }
+    if let ([s0, s1], [c]) = (st.into_remainder(), sp.remainder()) {
+        let (a0, a1) = unpack_pair(c.load(Ordering::Relaxed));
+        *s0 = a0;
+        *s1 = a1;
+    }
+    if let Some(u) = pos {
+        fused_update(src_row, shared.row_atomics(u), 1.0, lr);
+    }
+    for &u in negs.iter().take(ahead) {
+        fused_update(src_row, shared.row_atomics(u), 0.0, lr);
+    }
+    for _ in ahead..ns {
         let u = rng.below(n);
-        one_update(shared, u, src_row, tmp, 0.0, lr);
+        fused_update(src_row, shared.row_atomics(u), 0.0, lr);
     }
-    shared.write_row(src, src_row);
+    let mut st = src_row.chunks_exact(4);
+    let mut sp = src_pairs.chunks_exact(2);
+    for (slot, cs) in (&mut st).zip(&mut sp) {
+        cs[0].store(pack_pair(slot[0], slot[1]), Ordering::Relaxed);
+        cs[1].store(pack_pair(slot[2], slot[3]), Ordering::Relaxed);
+    }
+    if let ([s0, s1], [c]) = (st.remainder(), sp.remainder()) {
+        c.store(pack_pair(*s0, *s1), Ordering::Relaxed);
+    }
 }
 
 /// Draw a positive sample for `src` under the chosen similarity.
@@ -137,27 +255,80 @@ pub fn positive_sample(
     }
 }
 
+/// The fused Algorithm 1 update between a staged source row (padded to
+/// the paired-lane width, pads zero) and an in-place atomic sample-row
+/// view: one pass accumulates the dot product, a second applies both
+/// sides' axpy with pre-update values — the reference-code semantics of
+/// [`crate::update::update_embedding`], same 4-lane dot accumulation
+/// order, same sigmoid, so the two stay bit-identical. Each sample pair
+/// is loaded twice and stored once, two lanes per atomic op, with no
+/// scratch copy and no per-element indexing; the source side is plain
+/// `f32`, where the compiler vectorizes. Zero pad lanes update to
+/// exactly zero (`0 + score·0`), preserving the padding invariant.
 #[inline]
-fn one_update(
-    shared: &SharedMatrix,
-    u: u32,
-    src_row: &mut [f32],
-    tmp: &mut [f32],
-    b: f32,
-    lr: f32,
-) {
-    shared.read_row(u, tmp);
-    let dot: f32 = src_row.iter().zip(tmp.iter()).map(|(x, y)| x * y).sum();
-    let score = (b - sigmoid(dot)) * lr;
-    shared.axpy_row(u, score, src_row);
-    for (s, &t) in src_row.iter_mut().zip(tmp.iter()) {
-        *s += score * t;
+pub fn fused_update(src: &mut [f32], sample: &[AtomicU64], b: f32, lr: f32) {
+    debug_assert_eq!(src.len(), 2 * sample.len());
+    #[inline(always)]
+    fn ld(c: &AtomicU64) -> (f32, f32) {
+        unpack_pair(c.load(Ordering::Relaxed))
+    }
+    // Four-lane dot — the exact accumulation order of
+    // [`crate::update::dot4`] over the zero-padded vectors. Two pairs
+    // per iteration keeps every accumulator chain independent without
+    // spilling xmm registers.
+    let mut acc = [0.0f32; 4];
+    let mut cs = src.chunks_exact(4);
+    let mut cu = sample.chunks_exact(2);
+    for (xs, ws) in (&mut cs).zip(&mut cu) {
+        let (y0, y1) = ld(&ws[0]);
+        let (y2, y3) = ld(&ws[1]);
+        acc[0] += xs[0] * y0;
+        acc[1] += xs[1] * y1;
+        acc[2] += xs[2] * y2;
+        acc[3] += xs[3] * y3;
+    }
+    if let ([x0, x1], [w]) = (cs.remainder(), cu.remainder()) {
+        let (y0, y1) = ld(w);
+        acc[0] += x0 * y0;
+        acc[1] += x1 * y1;
+    }
+    let dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let score = (b - fast_sigmoid(dot)) * lr;
+    // Two pairs per iteration: the two load→store chains are
+    // independent, so they pipeline.
+    let mut us = src.chunks_exact_mut(4);
+    let mut uw = sample.chunks_exact(2);
+    for (xs, ws) in (&mut us).zip(&mut uw) {
+        let (u0, u1) = ld(&ws[0]);
+        let (u2, u3) = ld(&ws[1]);
+        ws[0].store(
+            pack_pair(u0 + score * xs[0], u1 + score * xs[1]),
+            Ordering::Relaxed,
+        );
+        ws[1].store(
+            pack_pair(u2 + score * xs[2], u3 + score * xs[3]),
+            Ordering::Relaxed,
+        );
+        xs[0] += score * u0;
+        xs[1] += score * u1;
+        xs[2] += score * u2;
+        xs[3] += score * u3;
+    }
+    if let ([x0, x1], [w]) = (us.into_remainder(), uw.remainder()) {
+        let (u0, u1) = ld(w);
+        w.store(
+            pack_pair(u0 + score * *x0, u1 + score * *x1),
+            Ordering::Relaxed,
+        );
+        *x0 += score * u0;
+        *x1 += score * u1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::update::update_embedding;
     use gosh_graph::builder::csr_from_edges;
 
     type CliquePairs = (Csr, Vec<(u32, u32)>, Vec<(u32, u32)>);
@@ -271,6 +442,149 @@ mod tests {
             }
         }
         assert!(saw_two);
+    }
+
+    // ---- shard coverage -------------------------------------------------
+
+    #[test]
+    fn shards_cover_every_source_exactly_once() {
+        for (sources, threads) in [(1usize, 1usize), (7, 3), (100, 8), (8, 8), (5, 16)] {
+            let shards = shard_ranges(sources, threads);
+            assert_eq!(shards.len(), threads);
+            let mut seen = vec![0usize; sources];
+            for r in &shards {
+                for s in r.clone() {
+                    seen[s] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "sources {sources} threads {threads}: {seen:?}"
+            );
+            // Contiguous, ordered, balanced within one.
+            for w in shards.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let lens: Vec<usize> = shards.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(max - min <= 1, "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn every_shard_is_visited_each_epoch() {
+        // Instrumented run: a graph whose arc list maps shard positions to
+        // distinct sources, trained with as many threads as shards. Every
+        // source must move away from its initial row in a single epoch,
+        // proving no shard was dropped by the work distribution.
+        let (g, _, _) = two_cliques();
+        let mut m = Embedding::random(16, 8, 9);
+        let before = m.clone();
+        let p = TrainParams {
+            threads: 4,
+            epochs: 1,
+            lr: 0.1,
+            negative_samples: 3,
+            ..Default::default()
+        };
+        train_cpu(&g, &mut m, &p);
+        let shards = shard_ranges((g.num_edges() / 2).max(1), 4);
+        let mut arc_src: Vec<u32> = Vec::new();
+        for v in 0..16u32 {
+            arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+        }
+        for (t, r) in shards.iter().enumerate() {
+            let touched = r
+                .clone()
+                .map(|s| arc_src[2 * s % arc_src.len()])
+                .any(|src| m.row(src) != before.row(src));
+            assert!(touched, "shard {t} ({r:?}) left every source untouched");
+        }
+    }
+
+    // ---- seed-semantics equivalence -------------------------------------
+
+    /// The seed engine's semantics, re-expressed through the Algorithm 1
+    /// reference update: stage the source row, update against each
+    /// sample with pre-update values (the sample row read from the
+    /// matrix, so a self-pair sees the pre-stage source), write the
+    /// source back. With one thread this is bit-identical to the new
+    /// engine — the only change of representation is atomics vs plain
+    /// floats.
+    fn reference_train(g: &Csr, m: &mut Embedding, params: &TrainParams) {
+        let n = g.num_vertices() as u32;
+        let mut arc_src: Vec<u32> = Vec::new();
+        for v in 0..n {
+            arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+        }
+        let num_arcs = arc_src.len();
+        let sources = (num_arcs / 2).max(1);
+        for epoch in 0..params.epochs {
+            let lr = decayed_lr(params.lr, epoch, params.epochs);
+            let mut rng = Xorshift128Plus::new(mix64(params.seed ^ ((epoch as u64) << 20)));
+            for s in 0..sources {
+                let src = arc_src[(2 * s + epoch as usize) % num_arcs];
+                let mut src_row = m.row(src).to_vec();
+                // RNG draw order matches the engine: positive first, then
+                // every negative, then the updates.
+                let pos = positive_sample(g, src, params.similarity, &mut rng);
+                let negs: Vec<u32> = (0..params.negative_samples).map(|_| rng.below(n)).collect();
+                if let Some(u) = pos {
+                    update_embedding(&mut src_row, m.row_mut(u), 1.0, lr);
+                }
+                for &u in &negs {
+                    update_embedding(&mut src_row, m.row_mut(u), 0.0, lr);
+                }
+                m.row_mut(src).copy_from_slice(&src_row);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_seed_update_semantics_bit_exactly() {
+        let (g, _, _) = two_cliques();
+        let p = TrainParams {
+            threads: 1,
+            epochs: 7,
+            lr: 0.05,
+            negative_samples: 3,
+            seed: 0xBEEF,
+            ..Default::default()
+        };
+        let mut m_new = Embedding::random(16, 16, 11);
+        let mut m_ref = m_new.clone();
+        train_cpu(&g, &mut m_new, &p);
+        reference_train(&g, &mut m_ref, &p);
+        assert_eq!(
+            m_new.as_slice(),
+            m_ref.as_slice(),
+            "in-place engine diverged from the scratch-discipline reference"
+        );
+    }
+
+    #[test]
+    fn fused_update_matches_reference_update_bitwise() {
+        let mut rng = Xorshift128Plus::new(21);
+        for d in [1usize, 2, 5, 7, 8, 31, 32, 128] {
+            for b in [0.0f32, 1.0] {
+                let src: Vec<f32> = (0..d).map(|_| rng.next_f32() - 0.5).collect();
+                let smp: Vec<f32> = (0..d).map(|_| rng.next_f32() - 0.5).collect();
+                let mut src_ref = src.clone();
+                let mut smp_ref = smp.clone();
+                update_embedding(&mut src_ref, &mut smp_ref, b, 0.025);
+
+                // Staged source padded to the paired-lane width.
+                let mut src_new = src.clone();
+                src_new.resize(2 * d.div_ceil(2), 0.0);
+                let m = Embedding::from_vec(smp, 1, d);
+                let s = SharedMatrix::from_embedding(&m);
+                fused_update(&mut src_new, s.row_atomics(0), b, 0.025);
+                assert_eq!(&src_new[..d], &src_ref[..], "d={d} b={b} src");
+                assert_eq!(s.to_embedding().row(0), &smp_ref[..], "d={d} b={b} sample");
+                // Padding invariant: pad lanes stay exactly zero.
+                assert!(src_new[d..].iter().all(|&x| x == 0.0));
+            }
+        }
     }
 
     use gosh_graph::csr::Csr;

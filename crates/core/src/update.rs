@@ -7,7 +7,75 @@
 //! we follow the code (see DESIGN.md §6). [`update_embedding_literal`]
 //! implements the printed order for comparison.
 
-use gosh_gpu::warp::sigmoid;
+use std::sync::OnceLock;
+
+/// Table resolution for [`fast_sigmoid`] (513 knots over `[-8, 8]`).
+const SIGMOID_TABLE: usize = 512;
+/// Saturation bound: `σ(±8)` is within `3.4e-4` of `1`/`0`.
+const SIGMOID_BOUND: f32 = 8.0;
+
+fn sigmoid_table() -> &'static [f32; SIGMOID_TABLE + 1] {
+    static TABLE: OnceLock<[f32; SIGMOID_TABLE + 1]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0f32; SIGMOID_TABLE + 1];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let x = -SIGMOID_BOUND + 2.0 * SIGMOID_BOUND * i as f32 / SIGMOID_TABLE as f32;
+            *slot = gosh_gpu::warp::sigmoid(x);
+        }
+        t
+    })
+}
+
+/// Sigmoid via a 2 KB interpolated lookup table — the word2vec/VERSE
+/// trick the paper's CPU lineage uses. `exp` costs ~20 ns per call and
+/// sits on the critical path of *every* update; the table with linear
+/// interpolation is a few cycles at ~1e-5 absolute error inside the
+/// bound (3.4e-4 worst case at the ±8 clamp), far below Hogwild race
+/// noise. This is the sigmoid of the CPU trainer;
+/// device kernels keep the exact [`gosh_gpu::warp::sigmoid`].
+#[inline]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    if x >= SIGMOID_BOUND {
+        return 1.0;
+    }
+    if x <= -SIGMOID_BOUND {
+        return 0.0;
+    }
+    let t = (x + SIGMOID_BOUND) * (SIGMOID_TABLE as f32 / (2.0 * SIGMOID_BOUND));
+    // Clamp the knot index: for x just below the bound, `x + 8.0` can
+    // round up to exactly 16.0, which would index one past the table.
+    let i = (t as usize).min(SIGMOID_TABLE - 1);
+    let frac = t - i as f32;
+    let tab = sigmoid_table();
+    tab[i] + (tab[i + 1] - tab[i]) * frac
+}
+
+/// Dot product with four independent accumulator lanes.
+///
+/// A sequentially-summed dot is latency-bound: `d` chained FMAs at 4–5
+/// cycles each dominate the whole Algorithm 1 update once `d ≥ 32`. Four
+/// lanes break the dependency chain. This is **the** dot-product
+/// accumulation order of the CPU trainer — [`update_embedding`] and the
+/// in-place Hogwild engine ([`crate::train_cpu::fused_update`]) both use
+/// it, which keeps them bit-identical.
+#[inline]
+pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for k in 0..4 {
+            acc[k] += xs[k] * ys[k];
+        }
+    }
+    // Remainder elements land in lanes 0..3 too — equivalent to
+    // zero-padding the vectors to a multiple of four, which is exactly
+    // what the paired-lane layout of `SharedMatrix` produces.
+    for (k, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[k] += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
 
 /// One logistic update between a source row and a sample row, using
 /// pre-update values on both sides (the reference-code semantics).
@@ -18,8 +86,8 @@ use gosh_gpu::warp::sigmoid;
 #[inline]
 pub fn update_embedding(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
     debug_assert_eq!(src.len(), sample.len());
-    let dot: f32 = src.iter().zip(sample.iter()).map(|(x, y)| x * y).sum();
-    let score = (b - sigmoid(dot)) * lr;
+    let dot = dot4(src, sample);
+    let score = (b - fast_sigmoid(dot)) * lr;
     for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
         let s_old = *s;
         *s += score * *m;
@@ -33,8 +101,8 @@ pub fn update_embedding(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
 #[inline]
 pub fn update_embedding_literal(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
     debug_assert_eq!(src.len(), sample.len());
-    let dot: f32 = src.iter().zip(sample.iter()).map(|(x, y)| x * y).sum();
-    let score = (b - sigmoid(dot)) * lr;
+    let dot = dot4(src, sample);
+    let score = (b - fast_sigmoid(dot)) * lr;
     for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
         *s += score * *m;
         *m += score * *s; // note: *s is the new value
@@ -47,6 +115,41 @@ mod tests {
 
     fn dot(a: &[f32], b: &[f32]) -> f32 {
         a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn fast_sigmoid_tracks_exact_sigmoid() {
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let exact = gosh_gpu::warp::sigmoid(x);
+            let fast = fast_sigmoid(x);
+            assert!(
+                (exact - fast).abs() < 3.5e-4,
+                "x={x}: exact {exact} vs fast {fast}"
+            );
+            x += 0.013;
+        }
+        assert_eq!(fast_sigmoid(100.0), 1.0);
+        assert_eq!(fast_sigmoid(-100.0), 0.0);
+        // Regression: the largest f32 below the bound rounds `x + 8.0`
+        // up to exactly 16.0 — must not index past the table.
+        let just_below = f32::from_bits(8.0f32.to_bits() - 1);
+        assert!(just_below < 8.0);
+        let y = fast_sigmoid(just_below);
+        assert!((y - 1.0).abs() < 1e-3, "{y}");
+        let just_above_neg = f32::from_bits((-8.0f32).to_bits() - 1);
+        assert!(fast_sigmoid(just_above_neg) < 1e-3);
+    }
+
+    #[test]
+    fn dot4_matches_naive_dot_for_all_remainders() {
+        for d in 1..=18usize {
+            let a: Vec<f32> = (0..d).map(|i| 0.1 * i as f32 - 0.4).collect();
+            let b: Vec<f32> = (0..d).map(|i| 0.03 * i as f32 + 0.2).collect();
+            let naive = dot(&a, &b);
+            let lanes = dot4(&a, &b);
+            assert!((naive - lanes).abs() < 1e-5, "d={d}: {naive} vs {lanes}");
+        }
     }
 
     #[test]

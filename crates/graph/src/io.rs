@@ -112,6 +112,12 @@ pub fn write_binary<P: AsRef<Path>>(path: P, graph: &Csr) -> io::Result<()> {
 }
 
 /// Load a graph written by [`write_binary`].
+///
+/// The header is untrusted: sizes are computed with checked arithmetic
+/// (a crafted `|V|` near `u64::MAX` must return `InvalidData`, not
+/// overflow), `xadj` must start at 0, be monotone, and end at `|arcs|`,
+/// and every `adj` entry must be a valid vertex id — so a malicious file
+/// can never make a later neighbour lookup index out of bounds.
 pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
     let data = std::fs::read(path)?;
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
@@ -119,12 +125,21 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
         return Err(bad("not a gosh binary CSR file"));
     }
     let read_u64 = |off: usize| u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-    let n = read_u64(8) as usize;
-    let arcs = read_u64(16) as usize;
-    let expect = 24 + (n + 1) * 8 + arcs * 4;
-    if data.len() != expect {
+    let n64 = read_u64(8);
+    let arcs64 = read_u64(16);
+    // Checked: 24 + (n + 1) * 8 + arcs * 4, all in u64.
+    let expect = n64
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(8))
+        .and_then(|x| x.checked_add(arcs64.checked_mul(4)?))
+        .and_then(|x| x.checked_add(24));
+    if expect != Some(data.len() as u64) {
         return Err(bad("truncated or oversized binary CSR file"));
     }
+    // The size check bounds both counts by the actual file length, so the
+    // usize conversions below cannot truncate.
+    let n = n64 as usize;
+    let arcs = arcs64 as usize;
     let mut xadj = Vec::with_capacity(n + 1);
     let mut off = 24;
     for _ in 0..=n {
@@ -136,8 +151,14 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
         adj.push(u32::from_le_bytes(data[off..off + 4].try_into().unwrap()));
         off += 4;
     }
-    if *xadj.last().unwrap() != arcs {
+    if xadj[0] != 0 || *xadj.last().unwrap() != arcs {
         return Err(bad("inconsistent xadj/adj lengths"));
+    }
+    if xadj.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad("xadj is not monotone"));
+    }
+    if adj.iter().any(|&u| u as usize >= n) {
+        return Err(bad("adj entry out of vertex range"));
     }
     Ok(Csr::from_raw(xadj, adj))
 }
@@ -214,6 +235,64 @@ mod tests {
         write_binary(&path, &g).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        assert!(load_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_header() {
+        // |V| near u64::MAX must fail cleanly, not overflow-panic while
+        // computing the expected file size.
+        let dir = std::env::temp_dir().join("gosh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("overflow.csr");
+        let mut bytes = BINARY_MAGIC.to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // |V|
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // arcs
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn raw_csr_file(name: &str, xadj: &[u64], adj: &[u32]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gosh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut bytes = BINARY_MAGIC.to_vec();
+        bytes.extend_from_slice(&((xadj.len() - 1) as u64).to_le_bytes());
+        bytes.extend_from_slice(&(adj.len() as u64).to_le_bytes());
+        for &x in xadj {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        for &u in adj {
+            bytes.extend_from_slice(&u.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn binary_rejects_nonmonotone_xadj() {
+        // Right length, last entry matches |arcs| — but the middle offset
+        // points past the adj array, which the seed loader accepted.
+        let path = raw_csr_file("nonmono.csr", &[0, 3, 2], &[1, 0]);
+        let err = load_binary(&path).unwrap_err();
+        assert!(err.to_string().contains("monotone"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_adj() {
+        let path = raw_csr_file("badadj.csr", &[0, 1, 2], &[5, 0]);
+        let err = load_binary(&path).unwrap_err();
+        assert!(err.to_string().contains("vertex range"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_nonzero_xadj_start() {
+        let path = raw_csr_file("badstart.csr", &[1, 1, 2], &[1, 0]);
         assert!(load_binary(&path).is_err());
         std::fs::remove_file(&path).ok();
     }

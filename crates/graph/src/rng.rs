@@ -89,6 +89,22 @@ impl Xorshift128Plus {
         ((x * bound as u64) >> 32) as u32
     }
 
+    /// Uniform integer in `[0, bound)` for 64-bit bounds, via the 128-bit
+    /// multiply-shift. [`Self::below`] keeps only the low 32 bits of the
+    /// stream, so it silently truncates (and biases) once `bound` exceeds
+    /// `u32::MAX` — billion-edge shuffles must use this instead.
+    #[inline]
+    pub fn below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// [`Self::below_u64`] for `usize` bounds (indexing convenience).
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below_u64(bound as u64) as usize
+    }
+
     /// Uniform `f32` in `[0, 1)`.
     #[inline]
     pub fn next_f32(&mut self) -> f32 {
@@ -155,6 +171,34 @@ mod tests {
             seen[r.below(8) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_u64_respects_bound() {
+        let mut r = Xorshift128Plus::new(13);
+        for bound in [1u64, 2, 1000, u32::MAX as u64 + 1, 1 << 40, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.below_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_u64_covers_small_range() {
+        let mut r = Xorshift128Plus::new(17);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below_usize(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_u64_reaches_beyond_u32() {
+        // A 2^40 bound must produce values the 32-bit sampler never could.
+        let mut r = Xorshift128Plus::new(19);
+        let max = (0..1000).map(|_| r.below_u64(1 << 40)).max().unwrap();
+        assert!(max > u32::MAX as u64, "max draw {max}");
     }
 
     #[test]

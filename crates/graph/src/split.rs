@@ -54,9 +54,11 @@ pub fn train_test_split(g: &Csr, cfg: &SplitConfig) -> TrainTestSplit {
     );
     let mut edges: Vec<(VertexId, VertexId)> = g.undirected_edges().collect();
     let mut rng = Xorshift128Plus::new(cfg.seed);
-    // Fisher–Yates shuffle.
+    // Fisher–Yates shuffle. The 64-bit-bound sampler matters here: the
+    // 32-bit `below` would truncate `i + 1` once the edge list passes
+    // `u32::MAX`, silently biasing billion-edge splits.
     for i in (1..edges.len()).rev() {
-        let j = rng.below(i as u32 + 1) as usize;
+        let j = rng.below_usize(i + 1);
         edges.swap(i, j);
     }
     let n_train_edges = (edges.len() as f64 * cfg.train_fraction).round() as usize;
