@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks of the hot paths behind every table:
 //! the Algorithm 1 update, the fused in-place trainer update, the full
-//! sharded-vs-seed trainer core, one coarsening step (sequential and
-//! parallel), coarse-graph construction, positive sampling, AUCROC, and
-//! CSR builds.
+//! sharded-vs-seed trainer core, the pipelined-vs-sync Algorithm 5
+//! large-graph engine, one coarsening step (sequential and parallel),
+//! coarse-graph construction, positive sampling, AUCROC, and CSR
+//! builds.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gosh_bench::hotpath::train_cpu_seed;
@@ -130,6 +131,47 @@ fn bench_sampling(c: &mut Criterion) {
     });
 }
 
+fn bench_large_path(c: &mut Criterion) {
+    // The whole Algorithm 5 engine: stream-overlapped pipeline vs the
+    // frozen synchronous baseline, same workload (see gosh_bench::large).
+    use gosh_bench::large::train_large_sync;
+    use gosh_core::backend::PartitionedOpts;
+    use gosh_core::large::train_large;
+    use gosh_gpu::{Device, DeviceConfig};
+
+    let g = community_graph(&CommunityConfig::new(2048, 8), 21);
+    let params = TrainParams::adjacency(64, 1, 0.025, 6)
+        .with_threads(2)
+        .with_seed(21);
+    let opts = PartitionedOpts {
+        batch_b: 2,
+        ..Default::default()
+    };
+    let device = || {
+        Device::new(DeviceConfig {
+            pcie_gbps: 0.5,
+            ..DeviceConfig::tiny(128 * 1024)
+        })
+    };
+    let mut group = c.benchmark_group("large_path_epoch6_d64");
+    group.sample_size(10);
+    group.bench_function("pipelined", |b| {
+        b.iter(|| {
+            let dev = device();
+            let mut m = Embedding::random(2048, 64, 9);
+            train_large(&dev, black_box(&g), &mut m, &params, &opts).unwrap();
+        });
+    });
+    group.bench_function("sync", |b| {
+        b.iter(|| {
+            let dev = device();
+            let mut m = Embedding::random(2048, 64, 9);
+            train_large_sync(&dev, black_box(&g), &mut m, &params, &opts).unwrap();
+        });
+    });
+    group.finish();
+}
+
 fn bench_auc(c: &mut Criterion) {
     let mut rng = Xorshift128Plus::new(5);
     let n = 100_000;
@@ -161,6 +203,7 @@ criterion_group!(
     benches,
     bench_update,
     bench_hotpath,
+    bench_large_path,
     bench_coarsening,
     bench_sampling,
     bench_auc,

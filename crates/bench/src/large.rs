@@ -1,0 +1,704 @@
+//! Large-graph-path throughput harness (`gosh bench-large` and the
+//! criterion `large_path` micro-bench).
+//!
+//! Measures kernels/sec of the stream-overlapped Algorithm 5 pipeline on
+//! a synthetic community graph squeezed through a deliberately small
+//! device, and — for the perf trajectory — the same workload on a frozen
+//! copy of the *pre-pipeline* engine (synchronous inline bin loads and
+//! eviction write-backs, no prefetch, no per-bin fencing), so every
+//! report carries its own baseline ratio. The trajectory deliverable is
+//! the recurring measurement, not a point number: CI runs this on every
+//! push and uploads `BENCH_large.json`.
+//!
+//! ## `BENCH_large.json` schema
+//!
+//! One flat JSON object per run:
+//!
+//! ```json
+//! {
+//!   "bench": "large",
+//!   "vertices": 16000, "arcs": 247938,
+//!   "dim": 128, "threads": 4, "epochs": 8,
+//!   "batch_b": 1, "negative_samples": 1,
+//!   "device_bytes": 1781760, "num_parts": 16, "bins": 3,
+//!   "rotations": 2, "kernels": 272, "loads": 268, "prefetches": 240,
+//!   "evictions": 268,
+//!   "seconds": 0.41, "kernels_per_sec": 663.4,
+//!   "transfer_stall_seconds": 0.013, "pool_stall_seconds": 0.002,
+//!   "sync_seconds": 0.71, "sync_kernels_per_sec": 383.1,
+//!   "speedup_vs_sync": 1.73
+//! }
+//! ```
+//!
+//! Both engines dispatch exactly the same kernel sequence, so
+//! `speedup_vs_sync` is a pure time ratio. `transfer_stall_seconds` is
+//! the sub-matrix traffic the pipeline *failed* to hide behind kernels
+//! (0 = perfect overlap); the synchronous baseline pays the whole
+//! transfer volume as stall by construction. The three `sync_*` fields
+//! are omitted when the baseline run is skipped.
+
+use std::time::Instant;
+
+use gosh_core::backend::{PartitionedOpts, TrainParams};
+use gosh_core::large::pools::NO_SAMPLE;
+use gosh_core::large::{
+    choose_num_parts, generate_pool, inside_out_pairs, train_large, LargeReport, Partition,
+    SamplePool,
+};
+use gosh_core::model::Embedding;
+use gosh_core::schedule::decayed_lr;
+use gosh_gpu::{Access, Device, DeviceConfig, DeviceError, FloatBuffer, LaunchConfig, PlainBuffer};
+use gosh_graph::csr::Csr;
+use gosh_graph::gen::{community_graph, CommunityConfig};
+
+/// Workload shape for one large-path measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeBenchConfig {
+    /// Vertices of the synthetic community graph.
+    pub vertices: usize,
+    /// Average degree of the community graph.
+    pub degree: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Simulated device memory in bytes (small: forces many parts).
+    pub device_bytes: usize,
+    /// Modeled interconnect bandwidth in GB/s. The simulator executes
+    /// kernels orders of magnitude slower than a Titan X, so the real
+    /// 12 GB/s would make transfers look free and erase the phenomenon
+    /// Algorithm 5 exists for; this scales the link down by roughly the
+    /// same factor as compute, restoring the paper's transfer:compute
+    /// ratio.
+    pub pcie_gbps: f64,
+    /// Warp-executor threads of the simulated device (0 = all cores).
+    pub host_threads: usize,
+    /// SampleManager worker threads.
+    pub threads: usize,
+    /// Epoch budget (converted to rotations by Algorithm 5).
+    pub epochs: u32,
+    /// Positive samples per vertex per pool (B).
+    pub batch_b: usize,
+    /// Negative samples per positive batch entry.
+    pub negative_samples: usize,
+    /// Sub-matrix bins (P_GPU).
+    pub p_gpu: usize,
+    /// Sample pools in flight (S_GPU).
+    pub s_gpu: usize,
+    /// Seed for graph, matrix, and sampling.
+    pub seed: u64,
+    /// Also time the frozen synchronous engine for the speedup ratio.
+    pub baseline: bool,
+    /// Timed repetitions per engine; the best run is reported.
+    pub repetitions: u32,
+}
+
+impl Default for LargeBenchConfig {
+    fn default() -> Self {
+        // The transfer-bound regime Algorithm 5 exists for: d = 128
+        // (§4.3) and a device holding ~1/9 of the matrix, so every pair
+        // moves a sub-matrix and the kernels are short enough that a
+        // synchronous engine stalls on PCIe. B = 1, ns = 1 keeps the
+        // per-pair compute small relative to the traffic — the regime
+        // where Figure 2's overlap pays (bigger B amortizes transfers
+        // and shrinks the gap; that trade-off is Figure 3's sweep).
+        Self {
+            vertices: 16_000,
+            degree: 8,
+            dim: 128,
+            device_bytes: 1_781_760,
+            pcie_gbps: 0.5,
+            host_threads: 0,
+            threads: 4,
+            epochs: 12,
+            batch_b: 3,
+            negative_samples: 1,
+            p_gpu: 3,
+            s_gpu: 4,
+            seed: 0x1A46E,
+            baseline: true,
+            repetitions: 3,
+        }
+    }
+}
+
+/// What one large-path run measured.
+#[derive(Clone, Debug)]
+pub struct LargeBenchReport {
+    /// Graph shape actually generated.
+    pub vertices: usize,
+    /// Directed arcs of the generated graph.
+    pub arcs: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// SampleManager threads.
+    pub threads: usize,
+    /// Epoch budget.
+    pub epochs: u32,
+    /// Positive batch size B.
+    pub batch_b: usize,
+    /// Negative samples.
+    pub negative_samples: usize,
+    /// Simulated device memory in bytes.
+    pub device_bytes: usize,
+    /// The pipelined engine's report (kernels, bins, loads, stalls, …).
+    pub pipelined: LargeReport,
+    /// Wall-clock seconds of the frozen synchronous engine (if run).
+    pub sync_seconds: Option<f64>,
+}
+
+impl LargeBenchReport {
+    /// Kernels/sec of the pipelined engine.
+    pub fn kernels_per_sec(&self) -> f64 {
+        self.pipelined.kernels as f64 / self.pipelined.seconds.max(1e-9)
+    }
+
+    /// Kernels/sec of the frozen synchronous engine, if it ran.
+    pub fn sync_kernels_per_sec(&self) -> Option<f64> {
+        self.sync_seconds
+            .map(|s| self.pipelined.kernels as f64 / s.max(1e-9))
+    }
+
+    /// Speedup of the pipelined engine over the synchronous one.
+    pub fn speedup_vs_sync(&self) -> Option<f64> {
+        self.sync_seconds.map(|s| s / self.pipelined.seconds)
+    }
+
+    /// Serialize to the `BENCH_large.json` schema (see module docs).
+    pub fn to_json(&self) -> String {
+        let p = &self.pipelined;
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"large\",\n");
+        s.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        s.push_str(&format!("  \"arcs\": {},\n", self.arcs));
+        s.push_str(&format!("  \"dim\": {},\n", self.dim));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        s.push_str(&format!("  \"batch_b\": {},\n", self.batch_b));
+        s.push_str(&format!(
+            "  \"negative_samples\": {},\n",
+            self.negative_samples
+        ));
+        s.push_str(&format!("  \"device_bytes\": {},\n", self.device_bytes));
+        s.push_str(&format!("  \"num_parts\": {},\n", p.num_parts));
+        s.push_str(&format!("  \"bins\": {},\n", p.bins));
+        s.push_str(&format!("  \"rotations\": {},\n", p.rotations));
+        s.push_str(&format!("  \"kernels\": {},\n", p.kernels));
+        s.push_str(&format!("  \"loads\": {},\n", p.loads));
+        s.push_str(&format!("  \"prefetches\": {},\n", p.prefetches));
+        s.push_str(&format!("  \"evictions\": {},\n", p.evictions));
+        s.push_str(&format!("  \"seconds\": {:.6},\n", p.seconds));
+        s.push_str(&format!(
+            "  \"kernels_per_sec\": {:.1},\n",
+            self.kernels_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"transfer_stall_seconds\": {:.6},\n",
+            p.transfer_stall_seconds
+        ));
+        s.push_str(&format!(
+            "  \"pool_stall_seconds\": {:.6}",
+            p.pool_stall_seconds
+        ));
+        if let (Some(ss), Some(sk), Some(x)) = (
+            self.sync_seconds,
+            self.sync_kernels_per_sec(),
+            self.speedup_vs_sync(),
+        ) {
+            s.push_str(&format!(",\n  \"sync_seconds\": {ss:.6},\n"));
+            s.push_str(&format!("  \"sync_kernels_per_sec\": {sk:.1},\n"));
+            s.push_str(&format!("  \"speedup_vs_sync\": {x:.2}"));
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+fn device_for(cfg: &LargeBenchConfig) -> Device {
+    Device::new(DeviceConfig {
+        host_threads: cfg.host_threads,
+        pcie_gbps: cfg.pcie_gbps,
+        ..DeviceConfig::tiny(cfg.device_bytes)
+    })
+}
+
+fn params_for(cfg: &LargeBenchConfig) -> TrainParams {
+    TrainParams::adjacency(cfg.dim, cfg.negative_samples, 0.025, cfg.epochs)
+        .with_threads(cfg.threads)
+        .with_seed(cfg.seed)
+}
+
+fn opts_for(cfg: &LargeBenchConfig) -> PartitionedOpts {
+    PartitionedOpts {
+        p_gpu: cfg.p_gpu,
+        s_gpu: cfg.s_gpu,
+        batch_b: cfg.batch_b,
+    }
+}
+
+/// Run the large-path measurement described by `cfg`. Fails cleanly
+/// (instead of panicking) when the configured device cannot even hold
+/// its bins — e.g. a `--device-kb` too small for one vertex row.
+pub fn run_large_bench(cfg: &LargeBenchConfig) -> Result<LargeBenchReport, DeviceError> {
+    let g = community_graph(&CommunityConfig::new(cfg.vertices, cfg.degree), cfg.seed);
+    let params = params_for(cfg);
+    let opts = opts_for(cfg);
+
+    // Warm-up pass (spin the thread pools and page the graph in).
+    {
+        let device = device_for(cfg);
+        let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+        let warm = TrainParams {
+            epochs: 1,
+            ..params
+        };
+        train_large(&device, &g, &mut m, &warm, &opts)?;
+    }
+
+    // Best-of-N timing for both engines: the minimum is the standard
+    // low-noise estimator on shared machines, and applying it to both
+    // sides keeps the ratio fair.
+    let reps = cfg.repetitions.max(1);
+    let mut best: Option<LargeReport> = None;
+    for _ in 0..reps {
+        let device = device_for(cfg);
+        let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+        let r = train_large(&device, &g, &mut m, &params, &opts)?;
+        if best.is_none_or(|b: LargeReport| r.seconds < b.seconds) {
+            best = Some(r);
+        }
+    }
+    let pipelined = best.expect("at least one repetition");
+
+    let sync_seconds = if cfg.baseline {
+        let mut fastest = f64::INFINITY;
+        for _ in 0..reps {
+            let device = device_for(cfg);
+            let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+            let t0 = Instant::now();
+            train_large_sync(&device, &g, &mut m, &params, &opts)?;
+            fastest = fastest.min(t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        Some(fastest)
+    } else {
+        None
+    };
+
+    Ok(LargeBenchReport {
+        vertices: g.num_vertices(),
+        arcs: g.num_edges(),
+        dim: cfg.dim,
+        threads: cfg.threads,
+        epochs: cfg.epochs,
+        batch_b: cfg.batch_b,
+        negative_samples: cfg.negative_samples,
+        device_bytes: cfg.device_bytes,
+        pipelined,
+        sync_seconds,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The frozen synchronous engine: the pre-pipeline Algorithm 5 main loop,
+// kept verbatim-in-spirit as the trajectory baseline. Every bin load and
+// eviction write-back happens inline on the main thread, serialized with
+// kernel dispatch — the behaviour `speedup_vs_sync` is measured against.
+// ---------------------------------------------------------------------------
+
+/// A pool resident on the device (baseline copy).
+struct DevicePool {
+    pair: (usize, usize),
+    fwd: PlainBuffer<u32>,
+    rev: Option<PlainBuffer<u32>>,
+}
+
+/// The frozen synchronous `train_large`: the baseline every
+/// `BENCH_large.json` speedup is measured against. Dispatches exactly
+/// the same kernel sequence as the pipelined engine — with a
+/// single-threaded warp executor the two produce bit-identical
+/// matrices (enforced by test).
+pub fn train_large_sync(
+    device: &Device,
+    g: &Csr,
+    m: &mut Embedding,
+    params: &TrainParams,
+    opts: &PartitionedOpts,
+) -> Result<LargeReport, DeviceError> {
+    let start = Instant::now();
+    let n = g.num_vertices();
+    let d = params.dim;
+    assert_eq!(m.num_vertices(), n, "graph/matrix mismatch");
+    assert_eq!(m.dim(), d, "dimension mismatch");
+
+    let avail = device.available_bytes() / 10 * 9;
+    let k = choose_num_parts(n, d, avail, opts.p_gpu, opts.s_gpu, opts.batch_b);
+    let partition = Partition::new(n, k);
+    let pairs = inside_out_pairs(k);
+    let e_und = g.num_undirected_edges().max(1);
+    let rotations = ((params.epochs as f64 * e_und as f64)
+        / (opts.batch_b as f64 * k as f64 * n as f64))
+        .round()
+        .max(1.0) as u32;
+
+    let num_bins = opts.p_gpu.clamp(2, k);
+    let max_part = partition.max_part_len();
+    let bins: Vec<FloatBuffer> = (0..num_bins)
+        .map(|_| device.alloc_floats(max_part * d))
+        .collect::<Result<_, _>>()?;
+
+    let mut loads = 0u64;
+    let mut evictions = 0u64;
+    let mut kernels = 0u64;
+
+    std::thread::scope(|scope| -> Result<(), DeviceError> {
+        let (host_tx, host_rx) = crossbeam::channel::bounded::<SamplePool>(opts.s_gpu);
+        let sm_pairs = pairs.clone();
+        let sm_partition = partition.clone();
+        let sm = scope.spawn(move || {
+            'outer: for r in 0..rotations {
+                for &pair in &sm_pairs {
+                    let seed =
+                        params.seed ^ ((r as u64) << 40) ^ ((pair.0 as u64) << 20) ^ pair.1 as u64;
+                    let pool =
+                        generate_pool(g, &sm_partition, pair, opts.batch_b, params.threads, seed);
+                    if host_tx.send(pool).is_err() {
+                        break 'outer;
+                    }
+                }
+            }
+        });
+
+        let dev_channel_cap = opts.s_gpu.saturating_sub(2).max(1);
+        let (dev_tx, dev_rx) = crossbeam::channel::bounded::<DevicePool>(dev_channel_cap);
+        let pm_device = device.clone();
+        let pm = scope.spawn(move || -> Result<(), DeviceError> {
+            for pool in host_rx {
+                let fwd = pm_device.upload_plain(&pool.fwd)?;
+                let rev = if pool.rev.is_empty() {
+                    None
+                } else {
+                    Some(pm_device.upload_plain(&pool.rev)?)
+                };
+                if dev_tx
+                    .send(DevicePool {
+                        pair: pool.pair,
+                        fwd,
+                        rev,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(())
+        });
+
+        // Main thread: synchronous bin management + kernel dispatch.
+        let mut holds: Vec<Option<usize>> = vec![None; num_bins];
+        'rotations: for r in 0..rotations {
+            let lr_now = decayed_lr(params.lr, r, rotations);
+            for (step, &(a, b)) in pairs.iter().enumerate() {
+                let Ok(pool) = dev_rx.recv() else {
+                    break 'rotations;
+                };
+                debug_assert_eq!(pool.pair, (a, b));
+                let bin_a = ensure_resident_sync(
+                    m,
+                    &partition,
+                    &bins,
+                    &mut holds,
+                    a,
+                    (a, b),
+                    &pairs[step + 1..],
+                    &mut loads,
+                    &mut evictions,
+                );
+                let bin_b = if a == b {
+                    bin_a
+                } else {
+                    ensure_resident_sync(
+                        m,
+                        &partition,
+                        &bins,
+                        &mut holds,
+                        b,
+                        (a, b),
+                        &pairs[step + 1..],
+                        &mut loads,
+                        &mut evictions,
+                    )
+                };
+                kernel_pair_sync(
+                    device,
+                    &bins[bin_a],
+                    &bins[bin_b],
+                    &partition,
+                    (a, b),
+                    &pool,
+                    lr_now,
+                    params,
+                    opts.batch_b,
+                );
+                kernels += 1;
+            }
+        }
+        drop(dev_rx);
+        sm.join().expect("SampleManager panicked");
+        pm.join().expect("PoolManager panicked")?;
+
+        for (bin, hold) in holds.iter().enumerate() {
+            if let Some(part) = hold {
+                write_back_sync(m, &partition, &bins[bin], *part);
+                evictions += 1;
+            }
+        }
+        Ok(())
+    })?;
+
+    Ok(LargeReport {
+        num_parts: k,
+        bins: num_bins,
+        rotations,
+        kernels,
+        loads,
+        prefetches: 0,
+        evictions,
+        transfer_stall_seconds: 0.0,
+        pool_stall_seconds: 0.0,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Make `part` resident with a blocking inline copy; returns its bin.
+#[allow(clippy::too_many_arguments)]
+fn ensure_resident_sync(
+    m: &mut Embedding,
+    partition: &Partition,
+    bins: &[FloatBuffer],
+    holds: &mut [Option<usize>],
+    part: usize,
+    pinned: (usize, usize),
+    future: &[(usize, usize)],
+    loads: &mut u64,
+    evictions: &mut u64,
+) -> usize {
+    if let Some(bin) = holds.iter().position(|h| *h == Some(part)) {
+        return bin;
+    }
+    let victim = holds.iter().position(|h| h.is_none()).unwrap_or_else(|| {
+        gosh_core::large::farthest_future_victim(holds, &[pinned.0, pinned.1], future)
+            .expect("no free bin and every bin pinned")
+    });
+    if let Some(old) = holds[victim] {
+        write_back_sync(m, partition, &bins[victim], old);
+        *evictions += 1;
+    }
+    let range = partition.range(part);
+    let d = m.dim();
+    let span = (range.start as usize * d)..(range.end as usize * d);
+    bins[victim].copy_from_host_at(0, &m.as_slice()[span]);
+    holds[victim] = Some(part);
+    *loads += 1;
+    victim
+}
+
+/// Blocking device → host copy of a bin's sub-matrix.
+fn write_back_sync(m: &mut Embedding, partition: &Partition, bin: &FloatBuffer, part: usize) {
+    let range = partition.range(part);
+    let d = m.dim();
+    let span = (range.start as usize * d)..(range.end as usize * d);
+    bin.copy_to_host_at(0, &mut m.as_mut_slice()[span]);
+}
+
+/// The embedding kernel (identical math to the pipelined engine).
+#[allow(clippy::too_many_arguments)]
+fn kernel_pair_sync(
+    device: &Device,
+    bin_a: &FloatBuffer,
+    bin_b: &FloatBuffer,
+    partition: &Partition,
+    (a, b): (usize, usize),
+    pool: &DevicePool,
+    lr: f32,
+    params: &TrainParams,
+    batch_b: usize,
+) {
+    let d = params.dim;
+    let ns = params.negative_samples;
+    let bb = batch_b;
+    let range_a = partition.range(a);
+    let range_b = partition.range(b);
+    let len_a = (range_a.end - range_a.start) as usize;
+    let len_b = (range_b.end - range_b.start) as usize;
+    let diagonal = a == b;
+    let warps = if diagonal { len_a } else { len_a + len_b };
+    let fwd = pool.fwd.as_slice();
+    let rev = pool.rev.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
+
+    device.launch(LaunchConfig::new(warps, 2 * d), |w, scratch| {
+        let (src_row, tmp) = scratch.split_at_mut(d);
+        let (src_local, src_bin, other_bin, other_len, other_start, samples) = if w.id() < len_a {
+            (w.id(), bin_a, bin_b, len_b, range_b.start, fwd)
+        } else {
+            (w.id() - len_a, bin_b, bin_a, len_a, range_a.start, rev)
+        };
+        w.global_read_row(src_bin, src_local * d, src_row, Access::Coalesced);
+        w.shared_store(d);
+        for i in 0..bb {
+            let t = samples[src_local * bb + i];
+            if t != NO_SAMPLE {
+                let t_local = (t - other_start) as usize;
+                one_update_sync(w, other_bin, t_local, d, src_row, tmp, 1.0, lr);
+            }
+            for _ in 0..ns {
+                let u = w.rand_below(other_len as u32) as usize;
+                one_update_sync(w, other_bin, u, d, src_row, tmp, 0.0, lr);
+            }
+        }
+        w.global_write_row(src_bin, src_local * d, src_row, Access::Coalesced);
+    });
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn one_update_sync(
+    w: &gosh_gpu::Warp,
+    buf: &FloatBuffer,
+    local: usize,
+    d: usize,
+    src_row: &mut [f32],
+    tmp: &mut [f32],
+    b: f32,
+    lr: f32,
+) {
+    w.global_read_row(buf, local * d, tmp, Access::Coalesced);
+    let dot = w.dot(src_row, tmp);
+    let score = (b - w.sigmoid(dot)) * lr;
+    w.global_axpy_row(buf, local * d, score, src_row, Access::Coalesced);
+    w.shared_axpy(score, tmp, src_row);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LargeBenchConfig {
+        LargeBenchConfig {
+            vertices: 512,
+            degree: 6,
+            dim: 16,
+            device_bytes: 24 * 1024,
+            host_threads: 2,
+            threads: 2,
+            epochs: 8,
+            batch_b: 2,
+            negative_samples: 2,
+            seed: 11,
+            repetitions: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_measures_and_serializes() {
+        let r = run_large_bench(&tiny()).unwrap();
+        assert!(r.pipelined.seconds > 0.0 && r.pipelined.kernels > 0);
+        assert!(r.kernels_per_sec() > 0.0);
+        assert!(r.sync_seconds.is_some());
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"large\"",
+            "\"kernels_per_sec\"",
+            "\"transfer_stall_seconds\"",
+            "\"num_parts\"",
+            "\"prefetches\"",
+            "\"speedup_vs_sync\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn baseline_can_be_skipped() {
+        let r = run_large_bench(&LargeBenchConfig {
+            baseline: false,
+            ..tiny()
+        })
+        .unwrap();
+        assert!(r.sync_seconds.is_none());
+        assert!(!r.to_json().contains("speedup_vs_sync"));
+    }
+
+    #[test]
+    fn pipelined_matches_sync_bit_for_bit_single_stream() {
+        // With a single-threaded warp executor both engines are fully
+        // deterministic and dispatch the same kernel sequence over the
+        // same bin contents — the final matrices must be identical.
+        // This is the "seeded single-stream mode" equivalence gate: the
+        // pipeline may only move *when* transfers happen, never what any
+        // kernel reads or writes.
+        let cfg = LargeBenchConfig {
+            host_threads: 1,
+            threads: 1,
+            ..tiny()
+        };
+        let g = community_graph(&CommunityConfig::new(cfg.vertices, cfg.degree), cfg.seed);
+        let params = params_for(&cfg);
+        let opts = opts_for(&cfg);
+
+        let mut m_sync = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+        let dev_sync = device_for(&cfg);
+        let r_sync = train_large_sync(&dev_sync, &g, &mut m_sync, &params, &opts).unwrap();
+
+        let mut m_pipe = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+        let dev_pipe = device_for(&cfg);
+        let r_pipe = train_large(&dev_pipe, &g, &mut m_pipe, &params, &opts).unwrap();
+
+        assert_eq!(r_sync.kernels, r_pipe.kernels);
+        assert_eq!(r_sync.num_parts, r_pipe.num_parts);
+        assert_eq!(
+            m_sync.as_slice(),
+            m_pipe.as_slice(),
+            "pipelined engine diverged from the synchronous baseline"
+        );
+    }
+
+    #[test]
+    fn sync_engine_still_learns() {
+        // The frozen baseline must stay a *correct* trainer, or the
+        // speedup ratio measures against garbage.
+        let mut edges = vec![];
+        for x in 0..8u32 {
+            for y in 0..x {
+                edges.push((x, y));
+                edges.push((x + 8, y + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = gosh_graph::builder::csr_from_edges(16, &edges);
+        let device = Device::new(DeviceConfig::tiny(4096));
+        let mut m = Embedding::random(16, 16, 1);
+        let params = TrainParams::adjacency(16, 3, 0.05, 400)
+            .with_threads(2)
+            .with_seed(0xA5);
+        train_large_sync(&device, &g, &mut m, &params, &PartitionedOpts::default()).unwrap();
+        let intra = (m.cosine(0, 1) + m.cosine(8, 9)) / 2.0;
+        let inter = (m.cosine(0, 9) + m.cosine(1, 10)) / 2.0;
+        assert!(intra > inter + 0.25, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn unsatisfiable_device_is_a_clean_error() {
+        let r = run_large_bench(&LargeBenchConfig {
+            device_bytes: 64, // cannot hold one d=16 vertex row per bin
+            ..tiny()
+        });
+        assert!(r.is_err(), "expected OutOfMemory, got {r:?}");
+    }
+
+    #[test]
+    #[ignore = "perf assertion; run explicitly with --ignored"]
+    fn pipelined_engine_is_at_least_1_3x_the_sync_engine() {
+        let r = run_large_bench(&LargeBenchConfig::default()).unwrap();
+        let x = r.speedup_vs_sync().unwrap();
+        assert!(x >= 1.3, "speedup {x:.2} < 1.3 ({r:?})");
+    }
+}

@@ -7,7 +7,10 @@
 //!
 //! The trainer-core throughput harness lives in [`hotpath`]: it backs
 //! the `gosh bench-train` CLI subcommand and the criterion hot-path
-//! bench, and documents the `BENCH_hotpath.json` schema both emit.
+//! bench, and documents the `BENCH_hotpath.json` schema both emit. The
+//! large-graph-path harness lives in [`large`]: it backs `gosh
+//! bench-large`, freezes the pre-pipeline synchronous Algorithm 5
+//! engine as the baseline, and documents the `BENCH_large.json` schema.
 //!
 //! ## Scaling
 //!
@@ -20,6 +23,7 @@
 //! wall-clock is not comparable to the paper's testbed.
 
 pub mod hotpath;
+pub mod large;
 
 use std::time::Instant;
 

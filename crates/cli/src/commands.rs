@@ -4,6 +4,7 @@ use std::io::Write;
 use std::time::Instant;
 
 use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
+use gosh_bench::large::{run_large_bench, LargeBenchConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_core::backend::BackendChoice;
@@ -262,6 +263,84 @@ pub fn bench_train(args: &[String]) -> Result<(), String> {
     );
     if let (Some(b), Some(x)) = (report.seed_updates_per_sec(), report.speedup_vs_seed()) {
         println!("seed engine: {b:.0} updates/sec — speedup {x:.2}x");
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh bench-large [...]`: time the stream-overlapped Algorithm 5
+/// pipeline against the frozen synchronous engine and write the
+/// `BENCH_large.json` perf-trajectory report (schema documented in
+/// `gosh_bench::large`).
+pub fn bench_large(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices",
+            "degree",
+            "dim",
+            "device-kb",
+            "pcie-gbps",
+            "host-threads",
+            "threads",
+            "epochs",
+            "batch",
+            "negatives",
+            "pgpu",
+            "sgpu",
+            "seed",
+            "baseline",
+            "reps",
+            "out",
+        ],
+    )?;
+    let defaults = LargeBenchConfig::default();
+    let cfg = LargeBenchConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        dim: p.flag::<usize>("dim")?.unwrap_or(defaults.dim),
+        device_bytes: p
+            .flag::<usize>("device-kb")?
+            .map(|kb| kb << 10)
+            .unwrap_or(defaults.device_bytes),
+        pcie_gbps: p.flag::<f64>("pcie-gbps")?.unwrap_or(defaults.pcie_gbps),
+        host_threads: p
+            .flag::<usize>("host-threads")?
+            .unwrap_or(defaults.host_threads),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        epochs: p.flag::<u32>("epochs")?.unwrap_or(defaults.epochs),
+        batch_b: p.flag::<usize>("batch")?.unwrap_or(defaults.batch_b),
+        negative_samples: p
+            .flag::<usize>("negatives")?
+            .unwrap_or(defaults.negative_samples),
+        p_gpu: p.flag::<usize>("pgpu")?.unwrap_or(defaults.p_gpu),
+        s_gpu: p.flag::<usize>("sgpu")?.unwrap_or(defaults.s_gpu),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.vertices < 4 || cfg.batch_b == 0 || cfg.p_gpu < 2 || cfg.s_gpu < 1 {
+        return Err(
+            "bench-large needs --vertices >= 4, --batch >= 1, --pgpu >= 2, --sgpu >= 1".into(),
+        );
+    }
+    let report = run_large_bench(&cfg).map_err(|e| format!("bench-large: {e}"))?;
+    let out = p.flag_str("out").unwrap_or("BENCH_large.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    let r = &report.pipelined;
+    println!(
+        "large path: {:.1} kernels/sec ({} kernels, K = {}, {} bins, {:.3}s; {:.3}s transfer stall, {} of {} loads prefetched)",
+        report.kernels_per_sec(),
+        r.kernels,
+        r.num_parts,
+        r.bins,
+        r.seconds,
+        r.transfer_stall_seconds,
+        r.prefetches,
+        r.loads,
+    );
+    if let (Some(b), Some(x)) = (report.sync_kernels_per_sec(), report.speedup_vs_sync()) {
+        println!("sync engine: {b:.1} kernels/sec — speedup {x:.2}x");
     }
     println!("wrote {out}");
     Ok(())

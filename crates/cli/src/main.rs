@@ -12,6 +12,10 @@
 //! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
 //!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
 //!                  [--baseline true|false] [--out FILE]
+//! gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
+//!                  [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
+//!                  [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
+//!                  [--seed S] [--reps R] [--baseline true|false] [--out FILE]
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension) or the
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         Some("embed") => commands::embed(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
+        Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -63,6 +68,10 @@ USAGE:
   gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
                    [--epochs E] [--negatives NS] [--seed S] [--reps R]
                    [--baseline true|false] [--out FILE]
+  gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
+                   [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
+                   [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
+                   [--seed S] [--reps R] [--baseline true|false] [--out FILE]
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
@@ -76,4 +85,9 @@ USAGE:
   bench-train times the sharded CPU trainer hot path on a synthetic
   community graph and writes BENCH_hotpath.json (updates/sec, threads,
   dim, plus the frozen-seed-engine baseline unless --baseline false).
+  bench-large squeezes a synthetic graph through the partitioned
+  Algorithm 5 pipeline on a small simulated device and writes
+  BENCH_large.json (kernels/sec, transfer-stall seconds, plus the
+  frozen synchronous-engine baseline unless --baseline false);
+  --pcie-gbps scales the modeled interconnect, --device-kb the device.
 ";

@@ -170,6 +170,55 @@ fn bench_train_emits_hotpath_json() {
 }
 
 #[test]
+fn bench_large_emits_large_json() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_bl_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_large.json");
+    let (ok, text) = run(&[
+        "bench-large",
+        "--vertices",
+        "512",
+        "--degree",
+        "6",
+        "--dim",
+        "16",
+        "--device-kb",
+        "24",
+        "--threads",
+        "2",
+        "--epochs",
+        "8",
+        "--batch",
+        "2",
+        "--negatives",
+        "2",
+        "--reps",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("kernels/sec"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"bench\": \"large\"",
+        "\"kernels_per_sec\"",
+        "\"transfer_stall_seconds\"",
+        "\"speedup_vs_sync\"",
+        "\"num_parts\"",
+        "\"dim\": 16",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    let (ok, text) = run(&["bench-large", "--pgpu", "1"]);
+    assert!(!ok);
+    assert!(text.contains("--pgpu >= 2"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn backend_flag_selects_engines() {
     let dir = std::env::temp_dir().join(format!("gosh_cli_be_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

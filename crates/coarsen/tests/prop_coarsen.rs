@@ -97,4 +97,79 @@ proptest! {
             prop_assert!(cg.has_no_self_loops());
         }
     }
+
+    #[test]
+    fn parallel_mapping_valid_across_thread_counts(
+        (n, edges) in edge_list(),
+        threads in 1usize..9,
+    ) {
+        // The full validity contract in one place: every vertex mapped,
+        // cluster ids dense (every id in 0..k used, none out of range),
+        // no matter how many threads raced over the claim CAS loop.
+        let g = csr_from_edges(n, &edges);
+        let m = map_parallel(&g, threads);
+        prop_assert_eq!(m.num_fine(), n);
+        let k = m.num_clusters();
+        prop_assert!(k >= 1 || n == 0);
+        let mut used = vec![false; k];
+        for v in 0..n as u32 {
+            let c = m.cluster_of(v);
+            prop_assert!(c != UNMAPPED, "vertex {} unmapped", v);
+            prop_assert!((c as usize) < k, "vertex {} has cluster {} >= {}", v, c, k);
+            used[c as usize] = true;
+        }
+        prop_assert!(used.iter().all(|&u| u), "cluster ids not dense");
+    }
+
+    #[test]
+    fn parallel_mapping_never_merges_two_hubs(
+        (n, edges) in edge_list(),
+        threads in 1usize..9,
+    ) {
+        // The density rule of Algorithm 4 line 12, under races: a merge
+        // only happens through an edge whose endpoints are not both
+        // above δ. So whenever a cluster holds two hubs, the founder
+        // must have been small — i.e. some member with degree ≤ δ is
+        // adjacent to every other member. A cluster of hubs only, with
+        // no small founder, would mean a hub claimed a hub directly.
+        let g = csr_from_edges(n, &edges);
+        let delta = g.density();
+        let m = map_parallel(&g, threads);
+        let (offsets, members) = m.members();
+        for c in 0..m.num_clusters() {
+            let mem = &members[offsets[c]..offsets[c + 1]];
+            let hubs = mem.iter().filter(|&&v| g.degree(v) as f64 > delta).count();
+            if hubs >= 2 {
+                let small_founder = mem.iter().any(|&f| {
+                    (g.degree(f) as f64) <= delta
+                        && mem
+                            .iter()
+                            .filter(|&&x| x != f)
+                            .all(|&x| g.neighbors(f).contains(&x))
+                });
+                prop_assert!(
+                    small_founder,
+                    "cluster {} holds {} hubs with no small founder: {:?}",
+                    c, hubs, mem
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_builders_agree_on_parallel_mappings(
+        (n, edges) in edge_list(),
+        map_threads in 1usize..5,
+        build_threads in 1usize..5,
+    ) {
+        // Bit-identical CSRs from both builders on the *same* mapping,
+        // including mappings produced by the racy parallel mapper — the
+        // build phase must be deterministic given its input even when
+        // the input itself came from a nondeterministic race.
+        let g = csr_from_edges(n, &edges);
+        let m = map_parallel(&g, map_threads);
+        let seq = build_coarse_sequential(&g, &m);
+        let par = build_coarse_parallel(&g, &m, build_threads);
+        prop_assert_eq!(seq, par);
+    }
 }

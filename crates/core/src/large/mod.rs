@@ -9,10 +9,12 @@
 
 pub mod partition;
 pub mod pools;
+pub mod residency;
 pub mod rotation;
 pub mod run;
 
 pub use partition::{choose_num_parts, Partition};
 pub use pools::{generate_pool, SamplePool};
+pub use residency::{farthest_future_victim, place, Placement};
 pub use rotation::inside_out_pairs;
 pub use run::{train_large, LargeReport};

@@ -1,0 +1,159 @@
+//! Bin residency planning for the large-graph path (§3.3.2).
+//!
+//! Pure decisions, no I/O: given which part each device bin currently
+//! holds, which parts the in-flight kernels pin, and the future pair
+//! sequence, decide where a part should live. The actual transfers are
+//! driven by [`crate::large::run`]; keeping the policy side-effect-free
+//! is what makes it testable against a brute-force oracle.
+//!
+//! The eviction policy is Belady's: among the unpinned bins, evict the
+//! one whose held part is next used farthest in the future (never, if it
+//! does not appear again). This is the role `P_GPU > 2` plays in the
+//! paper — the spare bin keeps the soon-needed sub-matrix resident
+//! instead of bouncing it over PCIe.
+
+/// What [`place`] decided for a part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// The part is already resident in this bin; no transfer needed.
+    Resident(usize),
+    /// Load into this currently empty bin.
+    Fill(usize),
+    /// Evict `old_part` from `bin`, then load into it.
+    Evict {
+        /// The bin to reuse.
+        bin: usize,
+        /// The part currently held there (must be written back).
+        old_part: usize,
+    },
+    /// Every candidate bin is pinned; the part cannot be placed now.
+    /// Only reachable from prefetch (a demand load always has an
+    /// unpinned candidate — at most two parts are pinned and they are
+    /// never both resident when a demand load happens).
+    Blocked,
+}
+
+/// Steps until `part` is next used in `future`, `usize::MAX` if never.
+#[inline]
+fn next_use(part: usize, future: &[(usize, usize)]) -> usize {
+    future
+        .iter()
+        .position(|&(x, y)| x == part || y == part)
+        .unwrap_or(usize::MAX)
+}
+
+/// The bin whose held part is used farthest in the future, skipping
+/// pinned parts. Ties break toward the lowest bin index. `None` when
+/// every bin holds a pinned part.
+pub fn farthest_future_victim(
+    holds: &[Option<usize>],
+    pinned: &[usize],
+    future: &[(usize, usize)],
+) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (bin, distance)
+    for (bin, hold) in holds.iter().enumerate() {
+        let held = hold.expect("victim search requires all bins full");
+        if pinned.contains(&held) {
+            continue;
+        }
+        let dist = next_use(held, future);
+        if best.is_none_or(|(_, d)| dist > d) {
+            best = Some((bin, dist));
+        }
+    }
+    best.map(|(bin, _)| bin)
+}
+
+/// Decide where `part` should live. `pinned` lists the parts that may
+/// not be displaced (the pair a kernel is about to touch, plus — during
+/// prefetch — the pair being fetched); `future` is the remaining pair
+/// sequence the Belady distance is measured against.
+pub fn place(
+    holds: &[Option<usize>],
+    part: usize,
+    pinned: &[usize],
+    future: &[(usize, usize)],
+) -> Placement {
+    if let Some(bin) = holds.iter().position(|h| *h == Some(part)) {
+        return Placement::Resident(bin);
+    }
+    if let Some(bin) = holds.iter().position(|h| h.is_none()) {
+        return Placement::Fill(bin);
+    }
+    match farthest_future_victim(holds, pinned, future) {
+        Some(bin) => Placement::Evict {
+            bin,
+            old_part: holds[bin].expect("full bin"),
+        },
+        None => Placement::Blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_part_is_found() {
+        let holds = [Some(3), Some(1), None];
+        assert_eq!(place(&holds, 1, &[1, 3], &[]), Placement::Resident(1));
+    }
+
+    #[test]
+    fn free_bin_preferred_over_eviction() {
+        let holds = [Some(3), None, Some(1)];
+        assert_eq!(place(&holds, 2, &[2, 3], &[(1, 0)]), Placement::Fill(1));
+    }
+
+    #[test]
+    fn belady_evicts_the_farthest_part() {
+        // Bins hold 0, 1, 2; loading 3 with 2 pinned. Future uses 0 then
+        // 1 — part 1 is farther, so bin 1 is the victim.
+        let holds = [Some(0), Some(1), Some(2)];
+        let future = [(0, 3), (1, 3)];
+        assert_eq!(
+            place(&holds, 3, &[3, 2], &future),
+            Placement::Evict {
+                bin: 1,
+                old_part: 1
+            }
+        );
+    }
+
+    #[test]
+    fn never_used_again_beats_any_distance() {
+        let holds = [Some(0), Some(1), Some(2)];
+        let future = [(1, 0), (2, 0), (2, 1)];
+        // Part 4 pinned with nothing; 0, 1, 2 all reappear — 0 first, so
+        // not the victim; distances are 0, 0(!)... pick via oracle below.
+        let v = farthest_future_victim(&holds, &[], &future).unwrap();
+        // next_use: 0 → 0, 1 → 0, 2 → 1. Farthest is part 2 in bin 2.
+        assert_eq!(v, 2);
+        // Now make part 1 vanish from the future entirely.
+        let future = [(2, 0), (2, 0)];
+        let v = farthest_future_victim(&holds, &[], &future).unwrap();
+        assert_eq!(v, 1, "a part never used again is the ideal victim");
+    }
+
+    #[test]
+    fn pinned_parts_are_never_victims() {
+        let holds = [Some(0), Some(1)];
+        let v = farthest_future_victim(&holds, &[0], &[(0, 1)]).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(farthest_future_victim(&holds, &[0, 1], &[]), None);
+    }
+
+    #[test]
+    fn fully_pinned_prefetch_is_blocked() {
+        let holds = [Some(0), Some(1)];
+        assert_eq!(place(&holds, 2, &[0, 1], &[]), Placement::Blocked);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_bin() {
+        // Parts 5 and 6 both never reappear: bin 0 wins the tie, keeping
+        // the decision deterministic across runs.
+        let holds = [Some(5), Some(6)];
+        assert_eq!(farthest_future_victim(&holds, &[], &[(1, 0)]), Some(0));
+    }
+}

@@ -53,16 +53,24 @@ mod tests {
     }
 
     #[test]
-    fn counts_all_unordered_pairs() {
-        for k in 1..10 {
+    fn counts_all_unordered_pairs_exhaustively() {
+        // Exhaustive over every part count the path will realistically
+        // see: each unordered pair (a, b) with a >= b appears exactly
+        // once — no pair missed (a vertex pair whose negatives are
+        // never sampled), none repeated (a double epoch share).
+        for k in 1..=16 {
             let pairs = inside_out_pairs(k);
-            assert_eq!(pairs.len(), k * (k + 1) / 2);
-            // Each unordered pair appears exactly once with a >= b.
+            assert_eq!(pairs.len(), k * (k + 1) / 2, "k = {k}");
             let mut seen = std::collections::HashSet::new();
             for (a, b) in pairs {
-                assert!(a >= b);
-                assert!(a < k);
-                assert!(seen.insert((a, b)));
+                assert!(a >= b, "k = {k}: ({a},{b}) not ordered");
+                assert!(a < k, "k = {k}: part {a} out of range");
+                assert!(seen.insert((a, b)), "k = {k}: ({a},{b}) repeated");
+            }
+            for a in 0..k {
+                for b in 0..=a {
+                    assert!(seen.contains(&(a, b)), "k = {k}: ({a},{b}) missing");
+                }
             }
         }
     }

@@ -1,29 +1,44 @@
 //! The orchestrated large-graph training loop — Algorithm 5 and Figure 2.
 //!
-//! Three actors cooperate, as in §3.3.3:
+//! Four actors cooperate, as in §3.3.2–§3.3.3:
 //!
 //! * the **SampleManager** thread walks the (rotation, pair) sequence and
 //!   fills positive-sample pools on the host with a team of worker
 //!   threads, keeping at most `S_GPU` pools in flight;
 //! * the **PoolManager** thread ships ready pools to the device;
+//! * the **transfer stream** carries every sub-matrix movement: bin
+//!   loads are asynchronous host→device copies, evictions are
+//!   asynchronous device→host readbacks, both enqueued FIFO on one
+//!   dedicated [`Stream`] so they overlap with kernel execution;
 //! * the **main thread** keeps `P_GPU` embedding sub-matrices resident in
-//!   device bins, swaps them in the inside-out pair order (evicting the
-//!   bin whose part is needed farthest in the future), and dispatches the
-//!   embedding kernel for each pair.
+//!   device bins, prefetches the *next* pair's parts while the current
+//!   kernel runs (the copy/compute overlap of Figure 2), and dispatches
+//!   the embedding kernel for each pair, fencing only on the transfer
+//!   events of the two bins that kernel touches — never on the whole
+//!   device.
+//!
+//! Residency decisions (which bin, which victim) are the pure functions
+//! of [`super::residency`]; this module adds the I/O: staging host spans
+//! into owned buffers for async upload, and parking eviction readbacks
+//! per part until the part is next needed (or training ends), at which
+//! point they are applied to the host matrix.
 //!
 //! A full rotation applies `B` positive (and `B·ns` negative) updates per
 //! vertex per counterpart part, so rotations are counted to match the
 //! epoch budget: `e' = round(e_i · |E| / (B · K_i · |V_i|))` — the same
 //! total positive-sample budget as `e_i` epochs of the in-memory path.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
-use gosh_gpu::{Access, Device, DeviceError, FloatBuffer, LaunchConfig, PlainBuffer};
+use gosh_gpu::{
+    Access, Device, DeviceError, Event, FloatBuffer, LaunchConfig, PlainBuffer, Readback, Stream,
+};
 use gosh_graph::csr::Csr;
 
 use super::partition::{choose_num_parts, Partition};
 use super::pools::{generate_pool, SamplePool, NO_SAMPLE};
+use super::residency::{place, Placement};
 use super::rotation::inside_out_pairs;
 use crate::backend::{PartitionedOpts, TrainParams};
 use crate::model::Embedding;
@@ -34,14 +49,25 @@ use crate::schedule::decayed_lr;
 pub struct LargeReport {
     /// Parts the matrix was cut into (K_i).
     pub num_parts: usize,
+    /// Device bins actually used (P_GPU clamped to [2, K_i]).
+    pub bins: usize,
     /// Rotations executed (e').
     pub rotations: u32,
     /// Embedding kernels dispatched.
     pub kernels: u64,
     /// Sub-matrix loads into bins.
     pub loads: u64,
+    /// Loads issued ahead of need by the one-pair-lookahead prefetcher
+    /// (a subset of `loads`).
+    pub prefetches: u64,
     /// Sub-matrix evictions (device → host write-backs).
     pub evictions: u64,
+    /// Seconds the main thread spent blocked on transfer events — the
+    /// portion of sub-matrix traffic the pipeline failed to hide behind
+    /// kernels. 0 means perfect overlap.
+    pub transfer_stall_seconds: f64,
+    /// Seconds the main thread spent waiting for sample pools.
+    pub pool_stall_seconds: f64,
     /// Wall-clock seconds.
     pub seconds: f64,
 }
@@ -51,6 +77,195 @@ struct DevicePool {
     pair: (usize, usize),
     fwd: PlainBuffer<u32>,
     rev: Option<PlainBuffer<u32>>,
+}
+
+/// The bins, their transfer state, and the parked eviction readbacks —
+/// everything the main thread mutates while planning residency.
+struct BinManager<'a> {
+    partition: &'a Partition,
+    dim: usize,
+    bins: Vec<FloatBuffer>,
+    stream: Stream,
+    /// Part held by each bin (post any in-flight load).
+    holds: Vec<Option<usize>>,
+    /// Completion event of the last load targeting each bin; a kernel
+    /// touching the bin fences on this (and nothing else).
+    pending: Vec<Option<Event>>,
+    /// In-flight eviction readback per part, applied to the host matrix
+    /// lazily — right before the part is reloaded, or at the end.
+    readbacks: Vec<Option<Readback>>,
+    loads: u64,
+    prefetches: u64,
+    evictions: u64,
+    transfer_stall: Duration,
+}
+
+impl<'a> BinManager<'a> {
+    fn new(
+        device: &Device,
+        partition: &'a Partition,
+        dim: usize,
+        num_bins: usize,
+    ) -> Result<Self, DeviceError> {
+        let max_part = partition.max_part_len();
+        let bins: Vec<FloatBuffer> = (0..num_bins)
+            .map(|_| device.alloc_floats(max_part * dim))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            partition,
+            dim,
+            bins,
+            stream: device.create_stream(),
+            holds: vec![None; num_bins],
+            pending: vec![None; num_bins],
+            readbacks: (0..partition.num_parts()).map(|_| None).collect(),
+            loads: 0,
+            prefetches: 0,
+            evictions: 0,
+            transfer_stall: Duration::ZERO,
+        })
+    }
+
+    /// Host-matrix element span of `part`.
+    fn span(&self, part: usize) -> std::ops::Range<usize> {
+        let r = self.partition.range(part);
+        (r.start as usize * self.dim)..(r.end as usize * self.dim)
+    }
+
+    /// Apply a parked eviction readback of `part` to the host matrix, if
+    /// one is in flight. Must run before `m`'s span for the part is read
+    /// (reload staging) and before the final report.
+    fn settle_readback(&mut self, m: &mut Embedding, part: usize) {
+        if let Some(rb) = self.readbacks[part].take() {
+            let t0 = Instant::now();
+            let span = self.span(part);
+            rb.wait_into(&mut m.as_mut_slice()[span]);
+            self.transfer_stall += t0.elapsed();
+        }
+    }
+
+    /// Enqueue the transfers that make `part` resident in `bin`,
+    /// evicting `old_part` first if the bin is occupied. FIFO order on
+    /// the single transfer stream guarantees the eviction readback sees
+    /// the bin before the load overwrites it.
+    fn issue_load(&mut self, m: &mut Embedding, part: usize, bin: usize, old_part: Option<usize>) {
+        if let Some(old) = old_part {
+            let len = self.partition.len(old) * self.dim;
+            let rb = self.bins[bin].copy_to_host_at_async(&self.stream, 0, len);
+            self.readbacks[old] = Some(rb);
+            self.evictions += 1;
+        }
+        // The staging copy must carry the part's freshest values.
+        self.settle_readback(m, part);
+        let span = self.span(part);
+        let staged = m.as_slice()[span].to_vec();
+        let event = self.bins[bin].copy_from_host_at_async(&self.stream, 0, staged);
+        self.pending[bin] = Some(event);
+        self.holds[bin] = Some(part);
+        self.loads += 1;
+    }
+
+    /// Make `part` resident and return its bin, planning with
+    /// [`place`]. A demand load always finds a bin (see
+    /// [`Placement::Blocked`]).
+    fn ensure_resident(
+        &mut self,
+        m: &mut Embedding,
+        part: usize,
+        pinned: &[usize],
+        future: &[(usize, usize)],
+    ) -> usize {
+        match place(&self.holds, part, pinned, future) {
+            Placement::Resident(bin) => bin,
+            Placement::Fill(bin) => {
+                self.issue_load(m, part, bin, None);
+                bin
+            }
+            Placement::Evict { bin, old_part } => {
+                self.issue_load(m, part, bin, Some(old_part));
+                bin
+            }
+            Placement::Blocked => unreachable!("demand load with every bin pinned"),
+        }
+    }
+
+    /// Best-effort early load of `part` (the lookahead of Figure 2): like
+    /// [`Self::ensure_resident`] but quietly does nothing when every bin
+    /// is pinned (P_GPU = 2 with a disjoint next pair).
+    fn prefetch(
+        &mut self,
+        m: &mut Embedding,
+        part: usize,
+        pinned: &[usize],
+        future: &[(usize, usize)],
+    ) {
+        match place(&self.holds, part, pinned, future) {
+            Placement::Resident(_) | Placement::Blocked => {}
+            Placement::Fill(bin) => {
+                self.issue_load(m, part, bin, None);
+                self.prefetches += 1;
+            }
+            Placement::Evict { bin, old_part } => {
+                self.issue_load(m, part, bin, Some(old_part));
+                self.prefetches += 1;
+            }
+        }
+    }
+
+    /// Block until the last transfer targeting `bin` retires — the
+    /// per-bin fence a kernel takes instead of a device-wide barrier.
+    fn fence(&mut self, bin: usize) {
+        if let Some(event) = self.pending[bin].take() {
+            let t0 = Instant::now();
+            event.wait();
+            self.transfer_stall += t0.elapsed();
+        }
+    }
+
+    /// Drain the stream and put every part back in the host matrix:
+    /// parked readbacks first, then the still-resident bins.
+    fn flush(mut self, m: &mut Embedding) -> (u64, u64, u64, Duration) {
+        self.stream.synchronize();
+        for part in 0..self.partition.num_parts() {
+            self.settle_readback(m, part);
+        }
+        for (bin, hold) in self.holds.iter().enumerate() {
+            if let Some(part) = *hold {
+                let r = self.partition.range(part);
+                let span = (r.start as usize * self.dim)..(r.end as usize * self.dim);
+                self.bins[bin].copy_to_host_at(0, &mut m.as_mut_slice()[span]);
+                self.evictions += 1;
+            }
+        }
+        (
+            self.loads,
+            self.prefetches,
+            self.evictions,
+            self.transfer_stall,
+        )
+    }
+}
+
+/// The next pair to visit plus the Belady horizon beyond it.
+type Lookahead<'p> = ((usize, usize), &'p [(usize, usize)]);
+
+/// The pair the rotation visits after position `step`, plus the pair
+/// sequence beyond it (the Belady horizon for the prefetch's victim
+/// choice), looking across the rotation boundary. `None` only at the
+/// very end of training.
+fn lookahead(
+    pairs: &[(usize, usize)],
+    step: usize,
+    rotation: u32,
+    rotations: u32,
+) -> Option<Lookahead<'_>> {
+    if step + 1 < pairs.len() {
+        Some((pairs[step + 1], &pairs[step + 2..]))
+    } else if rotation + 1 < rotations {
+        Some((pairs[0], &pairs[1..]))
+    } else {
+        None
+    }
 }
 
 /// Train `m` on `g` with the partitioned pipeline. The caller has already
@@ -81,14 +296,9 @@ pub fn train_large(
         .max(1.0) as u32;
 
     let num_bins = opts.p_gpu.clamp(2, k);
-    let max_part = partition.max_part_len();
-    let bins: Vec<FloatBuffer> = (0..num_bins)
-        .map(|_| device.alloc_floats(max_part * d))
-        .collect::<Result<_, _>>()?;
-
-    let mut loads = 0u64;
-    let mut evictions = 0u64;
     let mut kernels = 0u64;
+    let mut pool_stall = Duration::ZERO;
+    let mut bin_mgr = BinManager::new(device, &partition, d, num_bins)?;
 
     std::thread::scope(|scope| -> Result<(), DeviceError> {
         // SampleManager: host-side pool generation, S_GPU pools buffered.
@@ -137,48 +347,50 @@ pub fn train_large(
             Ok(())
         });
 
-        // Main thread: bin management + kernel dispatch.
-        let mut holds: Vec<Option<usize>> = vec![None; num_bins];
+        // Main thread: residency planning + kernel dispatch.
         'rotations: for r in 0..rotations {
             let lr_now = decayed_lr(params.lr, r, rotations);
             for (step, &(a, b)) in pairs.iter().enumerate() {
+                // Demand loads for the current pair — usually already
+                // resident thanks to the prefetch issued last step.
+                let future = &pairs[step + 1..];
+                let bin_a = bin_mgr.ensure_resident(m, a, &[a, b], future);
+                let bin_b = if a == b {
+                    bin_a
+                } else {
+                    bin_mgr.ensure_resident(m, b, &[a, b], future)
+                };
+
+                // Prefetch the next pair on the transfer stream *before*
+                // dispatching this kernel: the copies run while the
+                // kernel computes (Figure 2). The next pair's parts are
+                // pinned alongside the current pair's so the prefetch
+                // never displaces what the imminent kernels need.
+                if let Some(((na, nb), far)) = lookahead(&pairs, step, r, rotations) {
+                    let pinned = [a, b, na, nb];
+                    bin_mgr.prefetch(m, na, &pinned, far);
+                    if nb != na {
+                        bin_mgr.prefetch(m, nb, &pinned, far);
+                    }
+                }
+
+                let t0 = Instant::now();
                 let Ok(pool) = dev_rx.recv() else {
                     // PoolManager hit a device error; surface it below.
                     break 'rotations;
                 };
+                pool_stall += t0.elapsed();
                 debug_assert_eq!(pool.pair, (a, b));
-                let bin_a = ensure_resident(
-                    device,
-                    m,
-                    &partition,
-                    &bins,
-                    &mut holds,
-                    a,
-                    (a, b),
-                    &pairs[step + 1..],
-                    &mut loads,
-                    &mut evictions,
-                );
-                let bin_b = if a == b {
-                    bin_a
-                } else {
-                    ensure_resident(
-                        device,
-                        m,
-                        &partition,
-                        &bins,
-                        &mut holds,
-                        b,
-                        (a, b),
-                        &pairs[step + 1..],
-                        &mut loads,
-                        &mut evictions,
-                    )
-                };
+
+                // Fence on exactly the bins this kernel touches.
+                bin_mgr.fence(bin_a);
+                if bin_b != bin_a {
+                    bin_mgr.fence(bin_b);
+                }
                 kernel_pair(
                     device,
-                    &bins[bin_a],
-                    &bins[bin_b],
+                    &bin_mgr.bins[bin_a],
+                    &bin_mgr.bins[bin_b],
                     &partition,
                     (a, b),
                     &pool,
@@ -192,88 +404,22 @@ pub fn train_large(
         drop(dev_rx); // unblock PoolManager if it is still sending
         sm.join().expect("SampleManager panicked");
         pm.join().expect("PoolManager panicked")?;
-
-        // Flush every resident part back to the host matrix.
-        for (bin, hold) in holds.iter().enumerate() {
-            if let Some(part) = hold {
-                write_back(m, &partition, &bins[bin], *part);
-                evictions += 1;
-            }
-        }
         Ok(())
     })?;
 
+    let (loads, prefetches, evictions, transfer_stall) = bin_mgr.flush(m);
     Ok(LargeReport {
         num_parts: k,
+        bins: num_bins,
         rotations,
         kernels,
         loads,
+        prefetches,
         evictions,
+        transfer_stall_seconds: transfer_stall.as_secs_f64(),
+        pool_stall_seconds: pool_stall.as_secs_f64(),
         seconds: start.elapsed().as_secs_f64(),
     })
-}
-
-/// Make `part` resident; returns its bin. Evicts, if needed, the
-/// unpinned bin whose held part is used farthest in the future (the
-/// role P_GPU > 2 plays in §3.3.2: the extra bin keeps the soon-needed
-/// sub-matrix on the device instead of bouncing it).
-#[allow(clippy::too_many_arguments)]
-fn ensure_resident(
-    _device: &Device,
-    m: &mut Embedding,
-    partition: &Partition,
-    bins: &[FloatBuffer],
-    holds: &mut [Option<usize>],
-    part: usize,
-    pinned: (usize, usize),
-    future: &[(usize, usize)],
-    loads: &mut u64,
-    evictions: &mut u64,
-) -> usize {
-    if let Some(bin) = holds.iter().position(|h| *h == Some(part)) {
-        return bin;
-    }
-    // Free bin if any; otherwise Belady: evict the unpinned part whose next
-    // use is farthest away.
-    let victim = holds.iter().position(|h| h.is_none()).unwrap_or_else(|| {
-        let mut best = usize::MAX;
-        let mut best_dist = 0usize;
-        for (bin, hold) in holds.iter().enumerate() {
-            let held = hold.expect("no free bin means all hold parts");
-            if held == pinned.0 || held == pinned.1 {
-                continue;
-            }
-            let dist = future
-                .iter()
-                .position(|&(x, y)| x == held || y == held)
-                .unwrap_or(usize::MAX);
-            if best == usize::MAX || dist > best_dist {
-                best = bin;
-                best_dist = dist;
-            }
-        }
-        best
-    });
-    if let Some(old) = holds[victim] {
-        write_back(m, partition, &bins[victim], old);
-        *evictions += 1;
-    }
-    // Load the new part (host → device).
-    let range = partition.range(part);
-    let d = m.dim();
-    let span = (range.start as usize * d)..(range.end as usize * d);
-    bins[victim].copy_from_host_at(0, &m.as_slice()[span]);
-    holds[victim] = Some(part);
-    *loads += 1;
-    victim
-}
-
-/// Copy a bin's sub-matrix back into the host matrix (device → host).
-fn write_back(m: &mut Embedding, partition: &Partition, bin: &FloatBuffer, part: usize) {
-    let range = partition.range(part);
-    let d = m.dim();
-    let span = (range.start as usize * d)..(range.end as usize * d);
-    bin.copy_to_host_at(0, &mut m.as_mut_slice()[span]);
 }
 
 /// The embedding kernel for one part pair (the `EmbeddingKernel` of
@@ -491,5 +637,30 @@ mod tests {
                 r2.evictions
             );
         }
+    }
+
+    #[test]
+    fn prefetcher_issues_ahead_with_spare_bins() {
+        // With P_GPU = 3 and several parts, most loads should be issued
+        // by the lookahead, not by demand misses.
+        let g = erdos_renyi(256, 2048, 13);
+        let device = Device::new(DeviceConfig::tiny(24 * 1024));
+        let mut m = Embedding::random(256, 16, 8);
+        let r = train_large(&device, &g, &mut m, &params(16, 40), &opts()).unwrap();
+        if r.num_parts > r.bins {
+            assert!(r.prefetches > 0, "lookahead never fired: {r:?}");
+            assert!(r.prefetches <= r.loads);
+        }
+    }
+
+    #[test]
+    fn stall_accounting_is_sane() {
+        let g = erdos_renyi(128, 1024, 15);
+        let device = Device::new(DeviceConfig::tiny(16 * 1024));
+        let mut m = Embedding::random(128, 16, 9);
+        let r = train_large(&device, &g, &mut m, &params(16, 20), &opts()).unwrap();
+        assert!(r.transfer_stall_seconds >= 0.0);
+        assert!(r.pool_stall_seconds >= 0.0);
+        assert!(r.transfer_stall_seconds + r.pool_stall_seconds <= r.seconds * 1.5);
     }
 }

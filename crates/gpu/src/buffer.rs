@@ -11,18 +11,49 @@
 //!
 //! Every allocation is charged against the owning device's memory budget
 //! and refunded on drop; host↔device copies bump the PCIe byte counters.
+//!
+//! `FloatBuffer` is a cheap-to-clone *handle* (the CUDA device-pointer
+//! model): clones alias the same device storage, and the allocation is
+//! refunded when the last handle drops. That is what lets a copy be
+//! enqueued on a [`Stream`] — the stream worker holds its own handle for
+//! the duration of the transfer, exactly like an async CUDA memcpy keeps
+//! the device allocation alive until it retires.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::device::DeviceShared;
 use crate::error::DeviceError;
+use crate::stream::{Event, Stream};
 
-/// A mutable `f32` buffer in simulated device global memory.
-pub struct FloatBuffer {
+/// The storage behind a [`FloatBuffer`]; dropped (and the device memory
+/// refunded) when the last aliasing handle goes away.
+struct FloatStorage {
     data: Box<[AtomicU32]>,
     device: Arc<DeviceShared>,
     bytes: usize,
+}
+
+impl Drop for FloatStorage {
+    fn drop(&mut self) {
+        self.device.free(self.bytes);
+    }
+}
+
+/// A mutable `f32` buffer in simulated device global memory. Cloning
+/// produces an aliasing handle to the same storage.
+pub struct FloatBuffer {
+    storage: Arc<FloatStorage>,
+}
+
+impl Clone for FloatBuffer {
+    fn clone(&self) -> Self {
+        Self {
+            storage: self.storage.clone(),
+        }
+    }
 }
 
 impl FloatBuffer {
@@ -31,9 +62,11 @@ impl FloatBuffer {
         device.try_alloc(bytes)?;
         let data = (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
         Ok(Self {
-            data,
-            device,
-            bytes,
+            storage: Arc::new(FloatStorage {
+                data,
+                device,
+                bytes,
+            }),
         })
     }
 
@@ -46,28 +79,33 @@ impl FloatBuffer {
         Ok(buf)
     }
 
+    #[inline]
+    fn data(&self) -> &[AtomicU32] {
+        &self.storage.data
+    }
+
     /// Number of `f32` elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data().len()
     }
 
     /// True if the buffer holds no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data().is_empty()
     }
 
     /// Relaxed load of one element.
     #[inline]
     pub fn load(&self, i: usize) -> f32 {
-        f32::from_bits(self.data[i].load(Ordering::Relaxed))
+        f32::from_bits(self.data()[i].load(Ordering::Relaxed))
     }
 
     /// Relaxed store of one element.
     #[inline]
     pub fn store(&self, i: usize, v: f32) {
-        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+        self.data()[i].store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Racy read-modify-write: `buf[i] += v`. Lost updates are possible —
@@ -96,13 +134,17 @@ impl FloatBuffer {
     }
 
     /// Host→device copy into `[offset, offset + src.len())`; counted
-    /// against the interconnect.
+    /// against the interconnect and charged its modeled PCIe occupancy
+    /// (idle wall-clock a concurrent kernel can hide — see
+    /// [`crate::config::DeviceConfig::pcie_gbps`]).
     pub fn copy_from_host_at(&self, offset: usize, src: &[f32]) {
         self.write_row(offset, src);
-        self.device
+        self.storage
+            .device
             .counters
             .h2d_bytes
             .fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
+        self.storage.device.dma_delay(src.len() * 4);
     }
 
     /// Host→device copy of the whole buffer.
@@ -111,13 +153,16 @@ impl FloatBuffer {
         self.copy_from_host_at(0, src);
     }
 
-    /// Device→host copy of `[offset, offset + out.len())`.
+    /// Device→host copy of `[offset, offset + out.len())`; charged like
+    /// [`Self::copy_from_host_at`].
     pub fn copy_to_host_at(&self, offset: usize, out: &mut [f32]) {
         self.read_row(offset, out);
-        self.device
+        self.storage
+            .device
             .counters
             .d2h_bytes
             .fetch_add(out.len() as u64 * 4, Ordering::Relaxed);
+        self.storage.device.dma_delay(out.len() * 4);
     }
 
     /// Device→host copy of the whole buffer.
@@ -126,17 +171,80 @@ impl FloatBuffer {
         self.copy_to_host_at(0, &mut v);
         v
     }
-}
 
-impl Drop for FloatBuffer {
-    fn drop(&mut self) {
-        self.device.free(self.bytes);
+    /// Asynchronous host→device copy, enqueued on `stream`. `src` plays
+    /// the role of a pinned staging buffer: it is owned by the transfer
+    /// until it retires (the semantics `cudaMemcpyAsync` demands of its
+    /// host pointer). The returned [`Event`] signals when the data is
+    /// visible on the device — a kernel touching this buffer must fence
+    /// on it, and on nothing else (§3.3.2's per-transfer dependency,
+    /// instead of a whole-device synchronize).
+    pub fn copy_from_host_at_async(&self, stream: &Stream, offset: usize, src: Vec<f32>) -> Event {
+        let buf = self.clone();
+        let event = Event::new();
+        let done = event.clone();
+        stream.enqueue(move || {
+            buf.copy_from_host_at(offset, &src);
+            done.signal();
+        });
+        event
+    }
+
+    /// Asynchronous device→host copy of `len` elements starting at
+    /// `offset`, enqueued on `stream`. The data lands in a staging buffer
+    /// owned by the returned [`Readback`]; the caller claims it with
+    /// [`Readback::wait_into`] when (and only when) the host actually
+    /// needs the bytes — the write-back half of the copy/compute overlap.
+    pub fn copy_to_host_at_async(&self, stream: &Stream, offset: usize, len: usize) -> Readback {
+        let buf = self.clone();
+        let event = Event::new();
+        let done = event.clone();
+        let staging = Arc::new(Mutex::new(vec![0f32; len]));
+        let slot = staging.clone();
+        stream.enqueue(move || {
+            buf.copy_to_host_at(offset, &mut slot.lock());
+            done.signal();
+        });
+        Readback { event, staging }
     }
 }
 
 impl std::fmt::Debug for FloatBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "FloatBuffer(len={})", self.len())
+    }
+}
+
+/// An in-flight device→host transfer: an [`Event`] plus the host staging
+/// buffer the stream worker fills. Produced by
+/// [`FloatBuffer::copy_to_host_at_async`].
+pub struct Readback {
+    event: Event,
+    staging: Arc<Mutex<Vec<f32>>>,
+}
+
+impl Readback {
+    /// True once the transfer has retired (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.event.is_signaled()
+    }
+
+    /// The completion event (for fencing without consuming the data).
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// Block until the transfer retires, then move the data into `out`.
+    pub fn wait_into(self, out: &mut [f32]) {
+        self.event.wait();
+        let staging = self.staging.lock();
+        out.copy_from_slice(&staging);
+    }
+}
+
+impl std::fmt::Debug for Readback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Readback(ready={})", self.is_ready())
     }
 }
 
@@ -159,6 +267,7 @@ impl<T: Copy + Send + Sync> PlainBuffer<T> {
             .counters
             .h2d_bytes
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        device.dma_delay(bytes);
         Ok(Self {
             data: host.to_vec().into_boxed_slice(),
             device,
@@ -202,6 +311,7 @@ mod tests {
     use crate::config::DeviceConfig;
     use crate::device::Device;
     use crate::error::DeviceError;
+    use crate::stream::Stream;
 
     #[test]
     fn alloc_and_free_accounting() {
@@ -211,6 +321,29 @@ mod tests {
         assert_eq!(dev.allocated_bytes(), 512);
         drop(buf);
         assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn aliasing_handles_refund_once() {
+        let dev = Device::new(DeviceConfig::tiny(1024));
+        let buf = dev.alloc_floats(64).unwrap(); // 256 bytes
+        let alias = buf.clone();
+        assert_eq!(dev.allocated_bytes(), 256);
+        drop(buf);
+        // The alias keeps the storage (and the charge) alive.
+        assert_eq!(dev.allocated_bytes(), 256);
+        alias.store(0, 3.0);
+        drop(alias);
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn aliases_see_each_others_writes() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let a = dev.alloc_floats(4).unwrap();
+        let b = a.clone();
+        a.store(2, 9.5);
+        assert_eq!(b.load(2), 9.5);
     }
 
     #[test]
@@ -267,6 +400,96 @@ mod tests {
         let s = dev.snapshot();
         assert_eq!(s.h2d_bytes, 64);
         assert_eq!(s.d2h_bytes, 64);
+    }
+
+    #[test]
+    fn async_h2d_lands_after_event() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.alloc_floats(8).unwrap();
+        let stream = dev.create_stream();
+        let ev = buf.copy_from_host_at_async(&stream, 2, vec![5.0, 6.0, 7.0]);
+        ev.wait();
+        assert_eq!(buf.load(2), 5.0);
+        assert_eq!(buf.load(4), 7.0);
+        assert_eq!(dev.snapshot().h2d_bytes, 12);
+    }
+
+    #[test]
+    fn async_d2h_readback_roundtrip() {
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let stream = dev.create_stream();
+        let rb = buf.copy_to_host_at_async(&stream, 1, 2);
+        let mut out = [0f32; 2];
+        rb.wait_into(&mut out);
+        assert_eq!(out, [2.0, 3.0]);
+        assert_eq!(dev.snapshot().d2h_bytes, 8);
+    }
+
+    #[test]
+    fn async_copies_on_one_stream_stay_fifo() {
+        // d2h of the old contents enqueued before h2d of new contents on
+        // the same stream must read the *old* data — the eviction/load
+        // hazard the large-graph pipeline relies on.
+        let dev = Device::new(DeviceConfig::titan_x());
+        let buf = dev.upload_floats(&[1.0; 16]).unwrap();
+        let stream = dev.create_stream();
+        let rb = buf.copy_to_host_at_async(&stream, 0, 16);
+        let ev = buf.copy_from_host_at_async(&stream, 0, vec![2.0; 16]);
+        ev.wait();
+        let mut old = [0f32; 16];
+        rb.wait_into(&mut old);
+        assert!(old.iter().all(|&x| x == 1.0), "d2h saw the overwrite");
+        assert!((0..16).all(|i| buf.load(i) == 2.0));
+    }
+
+    #[test]
+    fn stream_worker_keeps_allocation_alive() {
+        let dev = Device::new(DeviceConfig::tiny(4096));
+        let stream = Stream::new();
+        let buf = dev.alloc_floats(16).unwrap();
+        let ev = buf.copy_from_host_at_async(&stream, 0, vec![1.0; 16]);
+        drop(buf); // the enqueued copy still holds a handle
+        ev.wait();
+        stream.synchronize();
+        assert_eq!(dev.allocated_bytes(), 0, "handle leaked past the copy");
+    }
+
+    #[test]
+    fn big_copies_take_modeled_interconnect_time() {
+        // 3 MB at a modeled 1 GB/s must occupy the link ≥ 3 ms; sleep
+        // never returns early, so the lower bound is deterministic.
+        let dev = Device::new(DeviceConfig {
+            pcie_gbps: 1.0,
+            ..DeviceConfig::tiny(16 << 20)
+        });
+        let buf = dev.alloc_floats(750_000).unwrap();
+        let t0 = std::time::Instant::now();
+        buf.copy_from_host_at(0, &vec![1.0; 750_000]);
+        assert!(t0.elapsed().as_secs_f64() >= 3e-3, "DMA time not modeled");
+    }
+
+    #[test]
+    fn stream_copies_overlap_with_host_work() {
+        // Two 20 ms transfers enqueued on a stream run while the
+        // "kernel" (here: a 40 ms main-thread sleep) executes: the
+        // modeled DMA time is idle, so the wall-clock must land well
+        // under the 80 ms serialized sum even on a single-core host.
+        // Margins are wide (30 ms of scheduling slack) to stay stable
+        // on loaded CI runners.
+        let dev = Device::new(DeviceConfig {
+            pcie_gbps: 0.4,
+            ..DeviceConfig::tiny(32 << 20)
+        });
+        let buf = dev.alloc_floats(4_000_000).unwrap();
+        let stream = dev.create_stream();
+        let t0 = std::time::Instant::now();
+        let _rb = buf.copy_to_host_at_async(&stream, 0, 2_000_000);
+        let ev = buf.copy_from_host_at_async(&stream, 0, vec![1.0; 2_000_000]);
+        std::thread::sleep(std::time::Duration::from_millis(40)); // the kernel
+        ev.wait();
+        let total = t0.elapsed().as_secs_f64();
+        assert!(total < 70e-3, "no overlap: {total}s for 40ms + 2×20ms");
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub struct DeviceConfig {
     /// Resident warps per SM assumed for latency hiding.
     pub occupancy: usize,
     /// Host-device interconnect bandwidth in GB/s (PCIe 3.0 x16 ≈ 12).
+    /// Copies occupy the link for `bytes / pcie_gbps` of *idle*
+    /// wall-clock (a modeled DMA engine): blocking copies serialize
+    /// behind it, stream copies hide it behind kernels. Set to
+    /// `f64::INFINITY` (or ≤ 0) to disable the occupancy modeling;
+    /// transfers below the sleep granularity (20 µs) are free either
+    /// way.
     pub pcie_gbps: f64,
     /// Host worker threads that execute warps. 0 = all available cores.
     pub host_threads: usize,

@@ -46,6 +46,23 @@ impl DeviceShared {
     pub(crate) fn free(&self, bytes: usize) {
         self.allocated.fetch_sub(bytes, Ordering::Relaxed);
     }
+
+    /// Model the interconnect: a host↔device copy occupies the PCIe link
+    /// for `bytes / pcie_gbps` of wall-clock — *idle* time (the DMA
+    /// engine moves the data, not a core), so a copy riding a [`crate::stream::Stream`]
+    /// genuinely overlaps with kernel execution while a blocking copy
+    /// serializes behind it. Transfers too small for the sleep
+    /// granularity are treated as latency-hidden and cost nothing.
+    pub(crate) fn dma_delay(&self, bytes: usize) {
+        let gbps = self.cfg.pcie_gbps;
+        if gbps <= 0.0 || !gbps.is_finite() {
+            return; // modeling disabled
+        }
+        let secs = bytes as f64 / (gbps * 1e9);
+        if secs >= 20e-6 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        }
+    }
 }
 
 /// Handle to a simulated device. Cheap to clone.
@@ -127,6 +144,15 @@ impl Device {
         host: &[T],
     ) -> Result<PlainBuffer<T>, DeviceError> {
         PlainBuffer::new_from_slice(self.shared.clone(), host)
+    }
+
+    /// Create an asynchronous work queue on this device (the
+    /// `cudaStreamCreate` of the simulation). Streams created here are
+    /// independent: operations on different streams overlap, which is
+    /// what hides sub-matrix transfers behind embedding kernels
+    /// (§3.3.2).
+    pub fn create_stream(&self) -> crate::stream::Stream {
+        crate::stream::Stream::new()
     }
 
     /// Snapshot of the cost counters.

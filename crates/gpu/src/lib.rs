@@ -36,10 +36,10 @@ mod pool;
 pub mod stream;
 pub mod warp;
 
-pub use buffer::{FloatBuffer, PlainBuffer};
+pub use buffer::{FloatBuffer, PlainBuffer, Readback};
 pub use config::DeviceConfig;
 pub use cost::{CostModel, CostSnapshot};
 pub use device::{Device, LaunchConfig};
 pub use error::DeviceError;
-pub use stream::Stream;
+pub use stream::{Event, Stream};
 pub use warp::{Access, Warp};

@@ -71,6 +71,66 @@ fn cpu_and_gpu_both_learn_structured_graphs() {
 }
 
 #[test]
+fn partitioned_path_matches_in_memory_quality() {
+    // A small graph forced through Algorithm 5 by a device whose memory
+    // cannot hold the matrix (32 KB of embeddings vs a 12 KB device) must
+    // reach link-prediction AUC within tolerance of the one-shot
+    // in-memory path: the partitioned pipeline changes *where* updates
+    // happen, not what is learned. Both engines start from the same
+    // seeded matrix and spend the same epoch budget (the rotation count
+    // e' = round(e·|E| / (B·K·|V|)) matches the positive-sample budget
+    // by construction).
+    use gosh::core::backend::{
+        GpuInMemory, GpuPartitioned, LevelSchedule, PartitionedOpts, TrainBackend, TrainParams,
+    };
+    use gosh::core::model::Embedding;
+    use gosh::core::KernelVariant;
+
+    let g = community_graph(&CommunityConfig::new(512, 8), 42);
+    let s = train_test_split(
+        &g,
+        &SplitConfig {
+            train_fraction: 0.8,
+            seed: 5,
+        },
+    );
+    let n = s.train.num_vertices();
+    let params = TrainParams::adjacency(16, 3, 0.05, 150)
+        .with_threads(2)
+        .with_seed(9);
+
+    let auc_of = |m: &Embedding| {
+        evaluate_link_prediction(m, &s.train, &s.test_edges, &EvalConfig::default())
+    };
+
+    let in_memory = GpuInMemory::new(
+        Device::new(DeviceConfig::titan_x()),
+        params,
+        KernelVariant::Auto,
+    );
+    assert!(in_memory.fits(&s.train));
+    let mut m_mem = Embedding::random(n, 16, 31);
+    in_memory.train_level(&s.train, &mut m_mem, LevelSchedule::single(150, 9));
+
+    let tiny = Device::new(DeviceConfig::tiny(12 * 1024));
+    let partitioned = GpuPartitioned::new(tiny.clone(), params, PartitionedOpts::default());
+    let mut m_part = Embedding::random(n, 16, 31);
+    let stats = partitioned.train_level(&s.train, &mut m_part, LevelSchedule::single(150, 9));
+    let report = stats.large.expect("partitioned backend must report");
+    assert!(report.num_parts >= 2, "device big enough to skip Alg. 5?");
+    assert_eq!(tiny.allocated_bytes(), 0, "partitioned path leaked");
+
+    let auc_mem = auc_of(&m_mem);
+    let auc_part = auc_of(&m_part);
+    assert!(auc_mem > 0.75, "in-memory failed to learn: {auc_mem}");
+    assert!(auc_part > 0.75, "partitioned failed to learn: {auc_part}");
+    assert!(
+        (auc_mem - auc_part).abs() < 0.08,
+        "in-memory {auc_mem} vs partitioned {auc_part}"
+    );
+}
+
+#[test]
 fn same_seed_gives_identical_level_schedule() {
     let g = remove_isolated(&erdos_renyi(500, 3000, 7)).graph;
     let cfg = GoshConfig::preset(Preset::Fast, false)
