@@ -6,8 +6,11 @@
 //! builds.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gosh_bench::coarsen::coarsen_hierarchy_frozen;
 use gosh_bench::hotpath::train_cpu_seed;
 use gosh_coarsen::build::build_coarse_sequential;
+use gosh_coarsen::fused::{build_fused, CoarsenWorkspace};
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_coarsen::parallel::map_parallel;
 use gosh_coarsen::sequential::map_sequential;
 use gosh_core::model::{Embedding, SharedMatrix};
@@ -100,6 +103,31 @@ fn bench_coarsening(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| build_coarse_sequential(black_box(&g), black_box(&mapping)));
+    });
+    group.bench_function("fused_4t", |b| {
+        let mut ws = CoarsenWorkspace::new();
+        b.iter(|| build_fused(black_box(&g), black_box(&mapping), 4, &mut ws));
+    });
+    group.finish();
+
+    // The whole multi-level pipeline: fused lock-free engine vs the
+    // frozen seed sequential path, same workload (see
+    // gosh_bench::coarsen).
+    let mut group = c.benchmark_group("coarsen_hierarchy");
+    group.sample_size(10);
+    group.bench_function("fused_4t", |b| {
+        b.iter(|| {
+            coarsen_hierarchy(
+                black_box(g.clone()),
+                &CoarsenConfig {
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function("frozen_sequential", |b| {
+        b.iter(|| coarsen_hierarchy_frozen(black_box(g.clone()), 100));
     });
     group.finish();
 }

@@ -1,0 +1,74 @@
+//! `bench_check <baseline_dir> <current_dir> [--tolerance F]` — the CI
+//! perf-regression gate.
+//!
+//! Compares every committed `BENCH_*.json` trajectory baseline in
+//! `<baseline_dir>` against the same-named freshly emitted report in
+//! `<current_dir>` and exits nonzero when any `speedup_vs_*` ratio falls
+//! more than the tolerance (default 15%) below its baseline, or when a
+//! report/key the baseline promises is missing. See `gosh_bench::check`
+//! for the comparison rules.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use gosh_bench::check::{compare_dirs, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance expects a value")?;
+                tolerance = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad tolerance `{v}`"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err(format!("tolerance {tolerance} must be in [0, 1)"));
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_check <baseline_dir> <current_dir> [--tolerance F]\n\
+                     Fails when any speedup_vs_* in a current BENCH_*.json report\n\
+                     drops more than F (default {DEFAULT_TOLERANCE}) below the committed baseline."
+                );
+                return Ok(());
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline_dir, current_dir] = positional.as_slice() else {
+        return Err("usage: bench_check <baseline_dir> <current_dir> [--tolerance F]".into());
+    };
+
+    let (checked, regressions) =
+        compare_dirs(Path::new(baseline_dir), Path::new(current_dir), tolerance)?;
+    if regressions.is_empty() {
+        println!(
+            "bench_check: OK — {checked} speedup ratio(s) within {:.0}% of baseline",
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION {r}");
+        }
+        Err(format!(
+            "{} of {checked} speedup ratio(s) regressed beyond the {:.0}% tolerance",
+            regressions.len(),
+            tolerance * 100.0
+        ))
+    }
+}

@@ -1,0 +1,314 @@
+//! The perf-regression gate over the `BENCH_*.json` trajectory reports
+//! (the `bench_check` binary CI runs after the bench steps).
+//!
+//! Every harness report carries one or more `speedup_vs_*` ratios (the
+//! sharded trainer vs the frozen seed engine, the pipelined Algorithm 5
+//! vs the frozen synchronous engine, the fused coarsener vs the frozen
+//! sequential path). Absolute seconds shift with the runner, but the
+//! ratios are engine-vs-engine on the same machine in the same process —
+//! that is the quantity the trajectory promises, and the quantity this
+//! gate protects: for every `speedup_vs_*` key in a committed baseline
+//! report, the freshly emitted report must stay within `tolerance`
+//! (default 15%) of the baseline value, or the check fails.
+//!
+//! The reports are flat JSON objects emitted by our own harnesses, so a
+//! minimal scanner (string keys, numeric values) is all the parsing this
+//! needs — no JSON dependency in an offline build environment.
+
+/// Default allowed relative drop before a speedup counts as regressed.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// The three trajectory reports the CI gate compares by default.
+pub const REPORT_FILES: [&str; 3] = [
+    "BENCH_hotpath.json",
+    "BENCH_large.json",
+    "BENCH_coarsen.json",
+];
+
+/// One confirmed regression: `current < baseline * (1 - tolerance)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Report file the key came from.
+    pub file: String,
+    /// The `speedup_vs_*` key that regressed.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// The floor the current value had to clear.
+    pub floor: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed to {:.3} (baseline {:.3}, floor {:.3})",
+            self.file, self.key, self.current, self.baseline, self.floor
+        )
+    }
+}
+
+/// Extract every `"key": <number>` pair from a flat JSON object. String
+/// values are skipped; nested objects are not supported (none of the
+/// report schemas nest).
+pub fn extract_numbers(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = json.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        // Read the quoted key.
+        let start = i + 1;
+        let Some(end) = json[start..].find('"').map(|o| start + o) else {
+            break;
+        };
+        let key = &json[start..end];
+        i = end + 1;
+        // Expect a colon (else the quoted text was a value, not a key).
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] == b'"' {
+            // String value: skip it so its content is not mistaken for
+            // a key on the next round.
+            let vstart = i + 1;
+            match json[vstart..].find('"') {
+                Some(o) => i = vstart + o + 1,
+                None => break,
+            }
+            continue;
+        }
+        // Numeric value: take the maximal number-shaped run.
+        let vstart = i;
+        while i < bytes.len() && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            i += 1;
+        }
+        if let Ok(x) = json[vstart..i].parse::<f64>() {
+            out.push((key.to_string(), x));
+        }
+    }
+    out
+}
+
+/// The `speedup_vs_*` ratios of one report.
+pub fn speedups(json: &str) -> Vec<(String, f64)> {
+    extract_numbers(json)
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("speedup_vs_"))
+        .collect()
+}
+
+/// Compare one freshly emitted report against its committed baseline.
+///
+/// Returns the regressions (empty = pass). Structural problems — a
+/// baseline with no `speedup_vs_*` keys, or a current report missing a
+/// key the baseline has — are errors: a gate that silently compares
+/// nothing protects nothing.
+pub fn compare_report(
+    file: &str,
+    baseline_json: &str,
+    current_json: &str,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let baseline = speedups(baseline_json);
+    if baseline.is_empty() {
+        return Err(format!(
+            "{file}: baseline has no speedup_vs_* keys — not a trajectory report?"
+        ));
+    }
+    let current = speedups(current_json);
+    let mut regressions = Vec::new();
+    for (key, base) in baseline {
+        let Some((_, cur)) = current.iter().find(|(k, _)| *k == key) else {
+            return Err(format!(
+                "{file}: current report is missing `{key}` (baseline has {base:.3}); \
+                 was the baseline run skipped?"
+            ));
+        };
+        let floor = base * (1.0 - tolerance);
+        if *cur < floor {
+            regressions.push(Regression {
+                file: file.to_string(),
+                key,
+                baseline: base,
+                current: *cur,
+                floor,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+/// Compare every report file present in `baseline_dir` from
+/// [`REPORT_FILES`] against the same-named file in `current_dir`.
+/// Returns `(checked_keys, regressions)`.
+pub fn compare_dirs(
+    baseline_dir: &std::path::Path,
+    current_dir: &std::path::Path,
+    tolerance: f64,
+) -> Result<(usize, Vec<Regression>), String> {
+    let mut checked = 0usize;
+    let mut regressions = Vec::new();
+    let mut found_any = false;
+    for file in REPORT_FILES {
+        let base_path = baseline_dir.join(file);
+        if !base_path.exists() {
+            continue;
+        }
+        found_any = true;
+        let cur_path = current_dir.join(file);
+        let baseline = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("reading {}: {e}", base_path.display()))?;
+        let current = std::fs::read_to_string(&cur_path).map_err(|e| {
+            format!(
+                "reading {}: {e} — did the bench step that emits {file} run?",
+                cur_path.display()
+            )
+        })?;
+        checked += speedups(&baseline).len();
+        regressions.extend(compare_report(file, &baseline, &current, tolerance)?);
+    }
+    if !found_any {
+        return Err(format!(
+            "no baseline reports found in {} (expected any of {:?})",
+            baseline_dir.display(),
+            REPORT_FILES
+        ));
+    }
+    Ok((checked, regressions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "bench": "coarsen",
+  "vertices": 120000,
+  "seconds": 0.31,
+  "levels_per_sec": 29.0,
+  "speedup_vs_seq": 1.80
+}
+"#;
+
+    #[test]
+    fn extracts_numbers_and_skips_strings() {
+        let nums = extract_numbers(BASELINE);
+        assert!(nums.contains(&("vertices".into(), 120000.0)));
+        assert!(nums.contains(&("speedup_vs_seq".into(), 1.80)));
+        // The string value "coarsen" is neither a key nor a number.
+        assert!(!nums.iter().any(|(k, _)| k == "coarsen" || k == "bench"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        // 1.80 → 1.60 is a 11% drop: inside the 15% band.
+        let current = BASELINE.replace("1.80", "1.60");
+        let regs = compare_report("BENCH_coarsen.json", BASELINE, &current, 0.15).unwrap();
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let current = BASELINE.replace("1.80", "2.40");
+        let regs = compare_report("BENCH_coarsen.json", BASELINE, &current, 0.15).unwrap();
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        // 1.80 → 1.20 is a 33% drop: the gate must flag it.
+        let current = BASELINE.replace("1.80", "1.20");
+        let regs = compare_report("BENCH_coarsen.json", BASELINE, &current, 0.15).unwrap();
+        assert_eq!(regs.len(), 1);
+        let r = &regs[0];
+        assert_eq!(r.key, "speedup_vs_seq");
+        assert!((r.baseline - 1.80).abs() < 1e-9);
+        assert!((r.current - 1.20).abs() < 1e-9);
+        assert!((r.floor - 1.53).abs() < 1e-9);
+        assert!(r.to_string().contains("speedup_vs_seq regressed"));
+    }
+
+    #[test]
+    fn exactly_at_floor_passes() {
+        let current = BASELINE.replace("1.80", "1.53");
+        let regs = compare_report("f", BASELINE, &current, 0.15).unwrap();
+        assert!(regs.is_empty(), "floor is inclusive: {regs:?}");
+    }
+
+    #[test]
+    fn missing_key_is_an_error_not_a_pass() {
+        let current = BASELINE.replace("\"speedup_vs_seq\"", "\"other\"");
+        let err = compare_report("f", BASELINE, &current, 0.15).unwrap_err();
+        assert!(err.contains("missing `speedup_vs_seq`"), "{err}");
+    }
+
+    #[test]
+    fn baseline_without_speedups_is_an_error() {
+        let err = compare_report("f", "{\"x\": 1}", BASELINE, 0.15).unwrap_err();
+        assert!(err.contains("no speedup_vs_*"), "{err}");
+    }
+
+    #[test]
+    fn multiple_speedup_keys_are_all_checked() {
+        let base = r#"{"speedup_vs_seed": 2.4, "speedup_vs_sync": 1.5}"#;
+        let cur = r#"{"speedup_vs_seed": 2.3, "speedup_vs_sync": 0.9}"#;
+        let regs = compare_report("f", base, cur, 0.15).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "speedup_vs_sync");
+    }
+
+    #[test]
+    fn dirs_comparison_end_to_end_with_injected_regression() {
+        let dir = std::env::temp_dir().join(format!("gosh_check_{}", std::process::id()));
+        let base_dir = dir.join("baseline");
+        let cur_dir = dir.join("current");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+        std::fs::write(base_dir.join("BENCH_coarsen.json"), BASELINE).unwrap();
+        std::fs::write(
+            cur_dir.join("BENCH_coarsen.json"),
+            BASELINE.replace("1.80", "1.20"),
+        )
+        .unwrap();
+        let (checked, regs) = compare_dirs(&base_dir, &cur_dir, 0.15).unwrap();
+        assert_eq!(checked, 1);
+        assert_eq!(regs.len(), 1);
+
+        // And the healthy case passes over the same plumbing.
+        std::fs::write(cur_dir.join("BENCH_coarsen.json"), BASELINE).unwrap();
+        let (_, regs) = compare_dirs(&base_dir, &cur_dir, 0.15).unwrap();
+        assert!(regs.is_empty());
+
+        // A missing current report is an error, not a silent pass.
+        std::fs::remove_file(cur_dir.join("BENCH_coarsen.json")).unwrap();
+        assert!(compare_dirs(&base_dir, &cur_dir, 0.15).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_baseline_dir_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("gosh_check_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = compare_dirs(&dir, &dir, 0.15).unwrap_err();
+        assert!(err.contains("no baseline reports"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

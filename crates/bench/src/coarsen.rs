@@ -1,0 +1,452 @@
+//! Coarsening throughput harness (`gosh bench-coarsen` and the criterion
+//! `coarsen_*` micro-benches).
+//!
+//! Measures whole-hierarchy construction speed of the fused lock-free
+//! coarsening pipeline (`gosh_coarsen::fused`) on a synthetic community
+//! graph, and — for the perf trajectory — the same workload on a frozen
+//! copy of the *seed* sequential path (degree sort, Algorithm 4 mapping,
+//! `members()` counting sort, member-indirected gather with sort+dedup of
+//! duplicate-laden candidate lists, every buffer reallocated per level),
+//! so every report carries its own baseline ratio. Like the trainer and
+//! large-path harnesses, the deliverable is the recurring measurement: CI
+//! runs this on every push, uploads `BENCH_coarsen.json`, and the
+//! `bench_check` gate fails the job if `speedup_vs_seq` regresses.
+//!
+//! ## `BENCH_coarsen.json` schema
+//!
+//! One flat JSON object per run:
+//!
+//! ```json
+//! {
+//!   "bench": "coarsen",
+//!   "vertices": 120000, "arcs": 1862964,
+//!   "threads": 4, "threshold": 100,
+//!   "levels": 9, "coarsest_vertices": 87, "vertices_collapsed": 119913,
+//!   "seconds": 0.31, "levels_per_sec": 29.0,
+//!   "vertices_collapsed_per_sec": 386816.0,
+//!   "seq_seconds": 0.57, "seq_levels": 9, "seq_levels_per_sec": 15.8,
+//!   "speedup_vs_seq": 1.84
+//! }
+//! ```
+//!
+//! `levels` counts produced coarse levels (D − 1); `vertices_collapsed`
+//! is `|V_0| − |V_{D-1}|`, the total shrink the hierarchy achieved, so
+//! `vertices_collapsed_per_sec` is the throughput number that tracks the
+//! paper's "ultra-fast coarsening" claim. Both engines coarsen the same
+//! graph to the same threshold; the parallel mapping is racy, so the two
+//! level counts may differ by a level or two (§4.4 reports the same) —
+//! `speedup_vs_seq` stays a fair wall-clock ratio for the identical
+//! job-to-be-done. The three `seq_*` fields and the ratio are omitted
+//! when the baseline run is skipped.
+
+use std::time::Instant;
+
+use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh_graph::csr::{Csr, VertexId};
+use gosh_graph::gen::{community_graph, CommunityConfig};
+
+/// Workload shape for one coarsening measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct CoarsenBenchConfig {
+    /// Vertices of the synthetic community graph.
+    pub vertices: usize,
+    /// Average degree of the community graph.
+    pub degree: usize,
+    /// Worker threads for the fused pipeline.
+    pub threads: usize,
+    /// Coarsening stops once a level has at most this many vertices.
+    pub threshold: usize,
+    /// Seed for the generated graph.
+    pub seed: u64,
+    /// Also time the frozen sequential path for the speedup ratio.
+    pub baseline: bool,
+    /// Timed repetitions per engine; the best run is reported.
+    pub repetitions: u32,
+}
+
+impl Default for CoarsenBenchConfig {
+    fn default() -> Self {
+        // The regime the fused pipeline is built for: a graph whose CSR
+        // (~15 MB with the map arrays) is well out of cache, with the
+        // dense communities that make MultiEdgeCollapse collapse many
+        // multi-edges per coarse vertex — the duplicate-heavy candidate
+        // lists where stamp-dedup beats the seed's sort-everything — at
+        // a size that still finishes in CI seconds.
+        Self {
+            vertices: 120_000,
+            degree: 16,
+            threads: 4,
+            threshold: 100,
+            seed: 0xC0A26,
+            baseline: true,
+            repetitions: 3,
+        }
+    }
+}
+
+/// What one coarsening run measured.
+#[derive(Clone, Debug)]
+pub struct CoarsenBenchReport {
+    /// Graph shape actually generated.
+    pub vertices: usize,
+    /// Directed arcs of the generated graph.
+    pub arcs: usize,
+    /// Worker threads of the fused pipeline.
+    pub threads: usize,
+    /// Stopping threshold used by both engines.
+    pub threshold: usize,
+    /// Coarse levels the fused pipeline produced (D − 1).
+    pub levels: usize,
+    /// Vertices of the coarsest level.
+    pub coarsest_vertices: usize,
+    /// Total shrink: `vertices - coarsest_vertices`.
+    pub vertices_collapsed: usize,
+    /// Wall-clock seconds of the fused pipeline (best of N).
+    pub seconds: f64,
+    /// Wall-clock seconds of the frozen sequential path (if measured).
+    pub seq_seconds: Option<f64>,
+    /// Coarse levels the frozen sequential path produced.
+    pub seq_levels: Option<usize>,
+}
+
+impl CoarsenBenchReport {
+    /// Levels per second of the fused pipeline.
+    pub fn levels_per_sec(&self) -> f64 {
+        self.levels as f64 / self.seconds
+    }
+
+    /// Collapsed vertices per second of the fused pipeline.
+    pub fn vertices_collapsed_per_sec(&self) -> f64 {
+        self.vertices_collapsed as f64 / self.seconds
+    }
+
+    /// Levels per second of the frozen sequential path, if measured.
+    pub fn seq_levels_per_sec(&self) -> Option<f64> {
+        match (self.seq_seconds, self.seq_levels) {
+            (Some(s), Some(l)) => Some(l as f64 / s),
+            _ => None,
+        }
+    }
+
+    /// Speedup of the fused pipeline over the frozen sequential path.
+    pub fn speedup_vs_seq(&self) -> Option<f64> {
+        self.seq_seconds.map(|s| s / self.seconds)
+    }
+
+    /// Serialize to the `BENCH_coarsen.json` schema (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"coarsen\",\n");
+        s.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        s.push_str(&format!("  \"arcs\": {},\n", self.arcs));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"threshold\": {},\n", self.threshold));
+        s.push_str(&format!("  \"levels\": {},\n", self.levels));
+        s.push_str(&format!(
+            "  \"coarsest_vertices\": {},\n",
+            self.coarsest_vertices
+        ));
+        s.push_str(&format!(
+            "  \"vertices_collapsed\": {},\n",
+            self.vertices_collapsed
+        ));
+        s.push_str(&format!("  \"seconds\": {:.6},\n", self.seconds));
+        s.push_str(&format!(
+            "  \"levels_per_sec\": {:.1},\n",
+            self.levels_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"vertices_collapsed_per_sec\": {:.1}",
+            self.vertices_collapsed_per_sec()
+        ));
+        if let (Some(bs), Some(bl), Some(blps), Some(x)) = (
+            self.seq_seconds,
+            self.seq_levels,
+            self.seq_levels_per_sec(),
+            self.speedup_vs_seq(),
+        ) {
+            s.push_str(&format!(",\n  \"seq_seconds\": {bs:.6},\n"));
+            s.push_str(&format!("  \"seq_levels\": {bl},\n"));
+            s.push_str(&format!("  \"seq_levels_per_sec\": {blps:.1},\n"));
+            s.push_str(&format!("  \"speedup_vs_seq\": {x:.2}"));
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Run the coarsening measurement described by `cfg`.
+///
+/// # Panics
+/// Panics if `cfg.threads < 2`: the measured engine is the fused
+/// parallel pipeline, and `threads == 1` would silently select the
+/// exact sequential Algorithm 4 reference path instead.
+pub fn run_coarsen_bench(cfg: &CoarsenBenchConfig) -> CoarsenBenchReport {
+    assert!(
+        cfg.threads >= 2,
+        "bench-coarsen measures the fused parallel pipeline: threads must be >= 2 \
+         (1 selects the sequential reference path)"
+    );
+    let g = community_graph(&CommunityConfig::new(cfg.vertices, cfg.degree), cfg.seed);
+    let coarsen_cfg = CoarsenConfig {
+        threshold: cfg.threshold,
+        threads: cfg.threads,
+        ..Default::default()
+    };
+
+    // Warm-up pass (page in the graph, fault in the allocator arenas).
+    let h = coarsen_hierarchy(g.clone(), &coarsen_cfg);
+    drop(h);
+
+    // Interleaved best-of-N timing: the two engines alternate within
+    // every repetition, so frequency scaling and noisy-neighbour epochs
+    // hit both samples alike, and the minimum — the standard low-noise
+    // estimator — is taken over the same machine states for both sides.
+    // Timing them as two back-to-back blocks instead lets one engine
+    // land entirely inside a slow epoch and skews the ratio either way.
+    // The input clone happens *before* each clock starts: the ratio the
+    // CI gate watches must not carry allocator noise from either side.
+    // The reported hierarchy shape is the one of the best-timed fused
+    // run (the parallel matcher is racy, so shapes can differ by a
+    // level between runs).
+    let reps = cfg.repetitions.max(1);
+    let mut seconds = f64::INFINITY;
+    let mut levels = 0usize;
+    let mut coarsest_vertices = 0usize;
+    let mut seq_seconds_best = f64::INFINITY;
+    let mut seq_levels = None;
+    for _ in 0..reps {
+        let input = g.clone();
+        let t0 = Instant::now();
+        let h = coarsen_hierarchy(input, &coarsen_cfg);
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        if elapsed < seconds {
+            seconds = elapsed;
+            levels = h.depth() - 1;
+            coarsest_vertices = h.coarsest().num_vertices();
+        }
+        drop(h);
+        if cfg.baseline {
+            let input = g.clone();
+            let t0 = Instant::now();
+            let (graphs, _) = coarsen_hierarchy_frozen(input, cfg.threshold);
+            let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+            if elapsed < seq_seconds_best {
+                seq_seconds_best = elapsed;
+                seq_levels = Some(graphs.len() - 1);
+            }
+        }
+    }
+    let seq_seconds = cfg.baseline.then_some(seq_seconds_best);
+
+    CoarsenBenchReport {
+        vertices: g.num_vertices(),
+        arcs: g.num_edges(),
+        threads: cfg.threads,
+        threshold: cfg.threshold,
+        levels,
+        coarsest_vertices,
+        vertices_collapsed: g.num_vertices() - coarsest_vertices,
+        seconds,
+        seq_seconds,
+        seq_levels,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The frozen seed-era sequential path, kept verbatim-in-spirit for the
+// trajectory: per-level allocations, a full `members()` counting sort
+// between mapping and construction, member-indirected gathers, and
+// sort+dedup over candidate lists that still contain every duplicate.
+// ---------------------------------------------------------------------------
+
+const FROZEN_MAX_LEVELS: usize = 32;
+const FROZEN_MIN_SHRINK: f64 = 0.005;
+
+/// The seed `coarsen_hierarchy` sequential path: the baseline every
+/// `BENCH_coarsen.json` speedup is measured against. Returns the graph
+/// set and the total mapped-vertex count (a checksum for tests).
+pub fn coarsen_hierarchy_frozen(g0: Csr, threshold: usize) -> (Vec<Csr>, usize) {
+    let mut graphs = vec![g0];
+    let mut mapped_total = 0usize;
+    let mut level = 0usize;
+    while graphs[level].num_vertices() > threshold && graphs.len() < FROZEN_MAX_LEVELS {
+        let g = &graphs[level];
+        let (map, k) = frozen_map_sequential(g);
+        let shrink = 1.0 - k as f64 / g.num_vertices().max(1) as f64;
+        if shrink < FROZEN_MIN_SHRINK {
+            break;
+        }
+        let coarse = frozen_build_sequential(g, &map, k);
+        mapped_total += map.len();
+        graphs.push(coarse);
+        level += 1;
+    }
+    (graphs, mapped_total)
+}
+
+/// Seed degree ordering: counting sort, buffers allocated per call.
+fn frozen_order(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_d = g.max_degree();
+    let mut counts = vec![0usize; max_d + 2];
+    for v in 0..n as VertexId {
+        counts[max_d - g.degree(v) + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let mut order = vec![0 as VertexId; n];
+    for v in 0..n as VertexId {
+        let bucket = max_d - g.degree(v);
+        order[counts[bucket]] = v;
+        counts[bucket] += 1;
+    }
+    order
+}
+
+const FROZEN_UNMAPPED: VertexId = VertexId::MAX;
+
+/// Seed Algorithm 4 mapping: hubs-first claim with the density rule.
+fn frozen_map_sequential(g: &Csr) -> (Vec<VertexId>, usize) {
+    let n = g.num_vertices();
+    let order = frozen_order(g);
+    let mut map = vec![FROZEN_UNMAPPED; n];
+    let delta = g.density();
+    let mut cluster = 0 as VertexId;
+    for &v in &order {
+        if map[v as usize] != FROZEN_UNMAPPED {
+            continue;
+        }
+        map[v as usize] = cluster;
+        let v_small = (g.degree(v) as f64) <= delta;
+        for &u in g.neighbors(v) {
+            if (v_small || (g.degree(u) as f64) <= delta) && map[u as usize] == FROZEN_UNMAPPED {
+                map[u as usize] = cluster;
+            }
+        }
+        cluster += 1;
+    }
+    (map, cluster as usize)
+}
+
+/// Seed coarse-graph construction: `members()` counting sort, then a
+/// member-indirected gather with sort+dedup per cluster.
+fn frozen_build_sequential(g: &Csr, map: &[VertexId], k: usize) -> Csr {
+    // The seed's Mapping::members(): offsets + member lists by counting
+    // sort, three fresh allocations.
+    let mut counts = vec![0usize; k + 1];
+    for &c in map {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 0..k {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut members = vec![0 as VertexId; map.len()];
+    let mut cursor = counts;
+    for (v, &c) in map.iter().enumerate() {
+        members[cursor[c as usize]] = v as VertexId;
+        cursor[c as usize] += 1;
+    }
+
+    let mut xadj = Vec::with_capacity(k + 1);
+    xadj.push(0usize);
+    let mut adj: Vec<VertexId> = Vec::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    for c in 0..k {
+        scratch.clear();
+        for &v in &members[offsets[c]..offsets[c + 1]] {
+            for &u in g.neighbors(v) {
+                let cu = map[u as usize];
+                if cu as usize != c {
+                    scratch.push(cu);
+                }
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        adj.extend_from_slice(&scratch);
+        xadj.push(adj.len());
+    }
+    Csr::from_raw(xadj, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosh_coarsen::build::build_coarse_sequential;
+    use gosh_coarsen::sequential::map_sequential;
+
+    fn tiny() -> CoarsenBenchConfig {
+        CoarsenBenchConfig {
+            vertices: 2000,
+            degree: 8,
+            threads: 2,
+            threshold: 50,
+            seed: 5,
+            baseline: true,
+            repetitions: 1,
+        }
+    }
+
+    #[test]
+    fn report_measures_and_serializes() {
+        let r = run_coarsen_bench(&tiny());
+        assert!(r.seconds > 0.0);
+        assert!(r.levels >= 1);
+        assert!(r.coarsest_vertices >= 2);
+        assert!(r.vertices_collapsed > 0);
+        assert!(r.seq_seconds.is_some());
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"coarsen\"",
+            "\"levels_per_sec\"",
+            "\"vertices_collapsed_per_sec\"",
+            "\"threads\": 2",
+            "\"speedup_vs_seq\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn baseline_can_be_skipped() {
+        let r = run_coarsen_bench(&CoarsenBenchConfig {
+            baseline: false,
+            ..tiny()
+        });
+        assert!(r.seq_seconds.is_none());
+        assert!(!r.to_json().contains("speedup_vs_seq"));
+    }
+
+    #[test]
+    fn frozen_path_still_matches_the_live_sequential_oracle() {
+        // The frozen baseline must keep producing *correct* coarsenings,
+        // or the speedup ratio measures against garbage: its per-step
+        // output must equal the live sequential implementation's.
+        let g = community_graph(&CommunityConfig::new(3000, 10), 9);
+        let (map, k) = frozen_map_sequential(&g);
+        let live = map_sequential(&g);
+        assert_eq!(map, live.as_slice());
+        assert_eq!(k, live.num_clusters());
+        let frozen = frozen_build_sequential(&g, &map, k);
+        assert_eq!(frozen, build_coarse_sequential(&g, &live));
+    }
+
+    #[test]
+    fn frozen_hierarchy_reaches_threshold() {
+        let g = community_graph(&CommunityConfig::new(4000, 8), 3);
+        let (graphs, mapped) = coarsen_hierarchy_frozen(g, 100);
+        assert!(graphs.len() >= 2);
+        assert!(mapped > 0);
+        // The loop only continues above the threshold, so only the last
+        // level may sit at or below it.
+        for g in &graphs[..graphs.len() - 1] {
+            assert!(g.num_vertices() > 100 || g.num_vertices() == graphs[0].num_vertices());
+        }
+    }
+}

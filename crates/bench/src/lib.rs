@@ -11,6 +11,11 @@
 //! large-graph-path harness lives in [`large`]: it backs `gosh
 //! bench-large`, freezes the pre-pipeline synchronous Algorithm 5
 //! engine as the baseline, and documents the `BENCH_large.json` schema.
+//! The coarsening harness lives in [`coarsen`]: it backs `gosh
+//! bench-coarsen`, freezes the seed sequential coarsening path as the
+//! baseline, and documents the `BENCH_coarsen.json` schema. The
+//! [`check`] module is the CI regression gate over all three reports
+//! (the `bench_check` binary).
 //!
 //! ## Scaling
 //!
@@ -22,6 +27,8 @@
 //! what relative factor, where crossovers sit — are preserved; absolute
 //! wall-clock is not comparable to the paper's testbed.
 
+pub mod check;
+pub mod coarsen;
 pub mod hotpath;
 pub mod large;
 

@@ -1,8 +1,9 @@
-//! The six CLI commands.
+//! The CLI commands.
 
 use std::io::Write;
 use std::time::Instant;
 
+use gosh_bench::coarsen::{run_coarsen_bench, CoarsenBenchConfig};
 use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
 use gosh_bench::large::{run_large_bench, LargeBenchConfig};
 
@@ -263,6 +264,59 @@ pub fn bench_train(args: &[String]) -> Result<(), String> {
     );
     if let (Some(b), Some(x)) = (report.seed_updates_per_sec(), report.speedup_vs_seed()) {
         println!("seed engine: {b:.0} updates/sec — speedup {x:.2}x");
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh bench-coarsen [...]`: time the fused coarsening pipeline
+/// against the frozen seed sequential path and write the
+/// `BENCH_coarsen.json` perf-trajectory report (schema documented in
+/// `gosh_bench::coarsen`).
+pub fn bench_coarsen(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices",
+            "degree",
+            "threads",
+            "threshold",
+            "seed",
+            "baseline",
+            "reps",
+            "out",
+        ],
+    )?;
+    let defaults = CoarsenBenchConfig::default();
+    let cfg = CoarsenBenchConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        threshold: p.flag::<usize>("threshold")?.unwrap_or(defaults.threshold),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.vertices < 4 || cfg.threads < 2 || cfg.threshold < 2 {
+        return Err(
+            "bench-coarsen needs --vertices >= 4, --threads >= 2 (1 selects the \
+             sequential reference path, not the fused pipeline), --threshold >= 2"
+                .into(),
+        );
+    }
+    let report = run_coarsen_bench(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_coarsen.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "coarsen: {} levels to {} vertices in {:.4}s ({:.0} collapsed vertices/sec, {} threads)",
+        report.levels,
+        report.coarsest_vertices,
+        report.seconds,
+        report.vertices_collapsed_per_sec(),
+        report.threads,
+    );
+    if let (Some(s), Some(x)) = (report.seq_seconds, report.speedup_vs_seq()) {
+        println!("frozen sequential path: {s:.4}s — speedup {x:.2}x");
     }
     println!("wrote {out}");
     Ok(())

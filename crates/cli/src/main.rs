@@ -12,6 +12,9 @@
 //! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
 //!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
 //!                  [--baseline true|false] [--out FILE]
+//! gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
+//!                    [--threshold V] [--seed S] [--reps R]
+//!                    [--baseline true|false] [--out FILE]
 //! gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
 //!                  [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
 //!                  [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         Some("embed") => commands::embed(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
+        Some("bench-coarsen") => commands::bench_coarsen(&argv[1..]),
         Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -68,6 +72,9 @@ USAGE:
   gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
                    [--epochs E] [--negatives NS] [--seed S] [--reps R]
                    [--baseline true|false] [--out FILE]
+  gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
+                     [--threshold V] [--seed S] [--reps R]
+                     [--baseline true|false] [--out FILE]
   gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
                    [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
                    [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
@@ -85,6 +92,10 @@ USAGE:
   bench-train times the sharded CPU trainer hot path on a synthetic
   community graph and writes BENCH_hotpath.json (updates/sec, threads,
   dim, plus the frozen-seed-engine baseline unless --baseline false).
+  bench-coarsen times the fused multi-level coarsening pipeline on a
+  synthetic community graph and writes BENCH_coarsen.json (levels/sec,
+  collapsed vertices/sec, plus the frozen sequential-path baseline
+  unless --baseline false).
   bench-large squeezes a synthetic graph through the partitioned
   Algorithm 5 pipeline on a small simulated device and writes
   BENCH_large.json (kernels/sec, transfer-stall seconds, plus the

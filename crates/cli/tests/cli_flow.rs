@@ -170,6 +170,53 @@ fn bench_train_emits_hotpath_json() {
 }
 
 #[test]
+fn bench_coarsen_emits_coarsen_json() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_bc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_coarsen.json");
+    let (ok, text) = run(&[
+        "bench-coarsen",
+        "--vertices",
+        "3000",
+        "--degree",
+        "8",
+        "--threads",
+        "2",
+        "--threshold",
+        "50",
+        "--reps",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("collapsed vertices/sec"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"bench\": \"coarsen\"",
+        "\"levels_per_sec\"",
+        "\"vertices_collapsed_per_sec\"",
+        "\"speedup_vs_seq\"",
+        "\"threads\": 2",
+        "\"threshold\": 50",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    let (ok, text) = run(&["bench-coarsen", "--threshold", "1"]);
+    assert!(!ok);
+    assert!(text.contains("--threshold >= 2"), "{text}");
+
+    // --threads 1 would silently measure the sequential reference path
+    // instead of the fused pipeline: rejected, not coerced.
+    let (ok, text) = run(&["bench-coarsen", "--threads", "1"]);
+    assert!(!ok);
+    assert!(text.contains("--threads >= 2"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_large_emits_large_json() {
     let dir = std::env::temp_dir().join(format!("gosh_cli_bl_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -4,21 +4,16 @@
 //! clusters `c != c'` iff some fine edge crosses them (multi-edges
 //! collapsed, self-loops dropped — the "MultiEdgeCollapse" in the name).
 //!
-//! The parallel version follows §3.2.2: threads take dynamic batches of
-//! clusters, write edge lists into private regions, and the regions are
-//! stitched together with a prefix scan. Because batches are contiguous
-//! cluster ranges, the merged CSR is identical no matter which thread
-//! processed which batch.
+//! The parallel version is the count/fill half of the fused pipeline in
+//! [`crate::fused`]: a prefix-summed provisional `xadj`, a per-thread
+//! adjacency scatter over vertex ranges, and stamp-dedup + sort per
+//! coarse vertex. It produces a CSR byte-identical to the sequential
+//! builder for any thread count (the sequential builder below is kept as
+//! the oracle that equality is tested against).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
+use crate::fused::{build_fused, CoarsenWorkspace};
 use crate::mapping::Mapping;
 use gosh_graph::csr::{Csr, VertexId};
-
-/// Clusters per dynamic batch in the parallel builder.
-const BATCH: usize = 64;
 
 /// Sequential coarse-graph construction.
 pub fn build_coarse_sequential(g: &Csr, mapping: &Mapping) -> Csr {
@@ -47,72 +42,11 @@ pub fn build_coarse_sequential(g: &Csr, mapping: &Mapping) -> Csr {
     Csr::from_raw(xadj, adj)
 }
 
-/// Parallel coarse-graph construction with thread-private edge regions.
+/// Parallel coarse-graph construction — the fused count/fill builder with
+/// a one-shot workspace. Hierarchy-building callers should use
+/// [`crate::fused::build_fused`] directly to reuse scratch across levels.
 pub fn build_coarse_parallel(g: &Csr, mapping: &Mapping, threads: usize) -> Csr {
-    assert!(threads >= 1);
-    let k = mapping.num_clusters();
-    if k == 0 {
-        return Csr::empty(0);
-    }
-    let (offsets, members) = mapping.members();
-    let num_batches = k.div_ceil(BATCH);
-    let cursor = AtomicUsize::new(0);
-    // Private region per processed batch: (batch_idx, per-cluster degrees,
-    // edge list). Collected under a mutex; order restored afterwards.
-    type Region = (usize, Vec<usize>, Vec<u32>);
-    let regions: Mutex<Vec<Region>> = Mutex::new(Vec::with_capacity(num_batches));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut scratch: Vec<VertexId> = Vec::new();
-                loop {
-                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_batches {
-                        break;
-                    }
-                    let c_start = b * BATCH;
-                    let c_end = ((b + 1) * BATCH).min(k);
-                    let mut degrees = Vec::with_capacity(c_end - c_start);
-                    let mut edges: Vec<VertexId> = Vec::new();
-                    for c in c_start..c_end {
-                        scratch.clear();
-                        for &v in &members[offsets[c]..offsets[c + 1]] {
-                            for &u in g.neighbors(v) {
-                                let cu = mapping.cluster_of(u);
-                                if cu as usize != c {
-                                    scratch.push(cu);
-                                }
-                            }
-                        }
-                        scratch.sort_unstable();
-                        scratch.dedup();
-                        degrees.push(scratch.len());
-                        edges.extend_from_slice(&scratch);
-                    }
-                    regions.lock().push((b, degrees, edges));
-                }
-            });
-        }
-    });
-
-    let mut regions = regions.into_inner();
-    regions.sort_unstable_by_key(|(b, _, _)| *b);
-
-    // Sequential scan to find each region's place, then copy (the paper's
-    // "first a sequential scan operation is performed to find the region in
-    // E_{i+1} for each thread; then the private information is copied").
-    let total_edges: usize = regions.iter().map(|(_, _, e)| e.len()).sum();
-    let mut xadj = Vec::with_capacity(k + 1);
-    xadj.push(0usize);
-    let mut adj = Vec::with_capacity(total_edges);
-    for (_, degrees, edges) in &regions {
-        for &d in degrees {
-            xadj.push(xadj.last().unwrap() + d);
-        }
-        adj.extend_from_slice(edges);
-    }
-    Csr::from_raw(xadj, adj)
+    build_fused(g, mapping, threads, &mut CoarsenWorkspace::new())
 }
 
 #[cfg(test)]

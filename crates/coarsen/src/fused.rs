@@ -1,0 +1,516 @@
+//! The fused lock-free coarsening pipeline.
+//!
+//! One coarsening step used to be two passes with an intermediate
+//! representation: `map_parallel` produced a [`Mapping`], then
+//! `build_coarse_parallel` materialized per-cluster member lists
+//! (`Mapping::members`, a full counting sort of |V|), gathered neighbour
+//! lists through that indirection into thread-private edge regions, and
+//! stitched the regions together under a mutex. Every level also
+//! reallocated every buffer from scratch.
+//!
+//! This module fuses the step into a single allocation-free pipeline over
+//! the CSR:
+//!
+//! 1. **Match** — threads claim dynamic vertex ranges of the hubs-first
+//!    order and label clusters with their hub id via relaxed
+//!    compare-and-swap (each map entry is its own lock, as in §3.2.2; the
+//!    hub–hub density rule is unchanged). No fences: a cell only ever
+//!    transitions `UNMAPPED → hub` once, and the labels are not read
+//!    until after the scope join, which is the synchronization point.
+//! 2. **Compact** — hub labels become dense cluster ids in two O(|V|)
+//!    sweeps (hubs numbered in increasing id order, then a rewrite), the
+//!    only sequential part of the step.
+//! 3. **Scatter** — a member counting sort onto reused scratch: counts
+//!    per cluster in one O(|V|) sweep, prefix-summed offsets, then a
+//!    parallel member-id scatter with one relaxed `fetch_add` per
+//!    vertex. The intermediate is |V| ids, a tenth of the old
+//!    thread-private edge regions.
+//! 4. **Gather + dedup + sort** — clusters are split into one
+//!    contiguous range per thread (balanced by member mass); each
+//!    thread walks a cluster's members, maps every fine arc's target
+//!    once, and sets one bit per target in a two-level bitmap
+//!    accumulator (bit per cluster id + summary bit per word) —
+//!    self-loops and multi-edges collapse for free. Sweeping the
+//!    summary's touched range lowest-first visits exactly the non-zero
+//!    words and emits the unique targets *already sorted* into the
+//!    thread's private output run, zeroing both levels on the way out:
+//!    no comparison sort of candidate lists and no clear pass anywhere.
+//! 5. **Assemble** — the unique degrees prefix-sum into the final
+//!    `xadj` and the per-thread runs concatenate with plain memcpys.
+//!    The result is byte-identical to
+//!    [`crate::build::build_coarse_sequential`] on the same mapping.
+//!
+//! All level-sized scratch lives in a [`CoarsenWorkspace`] that the
+//! hierarchy loop reuses across levels: because coarse graphs only
+//! shrink, the whole hierarchy runs on the buffers sized by `G_0`.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use crate::mapping::{Mapping, UNMAPPED};
+use crate::order::sort_by_degree_desc_into;
+use gosh_graph::csr::{Csr, VertexId};
+
+/// Vertices per dynamic batch in the match and fill phases.
+const VERTEX_BATCH: usize = 512;
+
+/// Per-thread scratch for the gather phase: a two-level bitmap
+/// accumulator over cluster ids plus the thread's output run.
+///
+/// `bits` holds one bit per possible target (`k/8` bytes, L1/L2-resident
+/// for typical levels); `summary` holds one bit per *word* of `bits`.
+/// Setting both bits per gathered arc deduplicates for free, and the
+/// emission sweep walks only the summary's touched range, visiting
+/// exactly the non-zero words: targets come out *already sorted*, and
+/// both levels are zeroed on the way out (`take`), so no clear pass and
+/// no per-cluster cost proportional to `k`. Invariant: both levels are
+/// all-zero between clusters.
+#[derive(Default)]
+struct ThreadScratch {
+    /// Bit per target cluster id.
+    bits: Vec<u64>,
+    /// Bit per word of `bits` that holds at least one set bit.
+    summary: Vec<u64>,
+    /// The thread's finished adjacency run: deduplicated, sorted target
+    /// lists of its contiguous cluster range, back to back. Assembly
+    /// concatenates these runs in range order with plain memcpys.
+    out: Vec<VertexId>,
+}
+
+/// Reusable level-sized scratch for [`coarsen_step_fused`]. Create once,
+/// pass to every level: buffers grow to the finest level's size and are
+/// reused (never reallocated) for all coarser levels.
+#[derive(Default)]
+pub struct CoarsenWorkspace {
+    /// Cluster labels (hub vertex ids) — the per-entry locks.
+    labels: Vec<AtomicU32>,
+    /// Hubs-first processing order.
+    order: Vec<VertexId>,
+    /// Degree buckets for the counting sort behind `order`.
+    buckets: Vec<usize>,
+    /// Bitmap: vertex degree ≤ δ (the density rule's "small" side). One
+    /// bit per vertex keeps the per-neighbour rule check L1-resident
+    /// instead of two random `xadj` loads.
+    small: Vec<u64>,
+    /// Hub vertex id → dense cluster id.
+    dense: Vec<VertexId>,
+    /// Per-cluster member offsets (counting sort, prefix-summed).
+    offsets: Vec<usize>,
+    /// Per-cluster scatter cursor; after the gather, the unique degree.
+    cursors: Vec<AtomicUsize>,
+    /// Member-id scatter arena (relaxed stores only; a slot is written
+    /// by exactly one thread and read after the scope join).
+    arena: Vec<AtomicU32>,
+    /// Per-thread scratch; one entry per worker.
+    threads: Vec<ThreadScratch>,
+}
+
+impl CoarsenWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_vertices(&mut self, n: usize) {
+        if self.labels.len() < n {
+            self.labels.resize_with(n, || AtomicU32::new(UNMAPPED));
+        }
+        if self.dense.len() < n {
+            self.dense.resize(n, UNMAPPED);
+        }
+        if self.small.len() < n.div_ceil(64) {
+            self.small.resize(n.div_ceil(64), 0);
+        }
+    }
+
+    fn ensure_clusters(&mut self, k: usize) {
+        if self.offsets.len() < k + 1 {
+            self.offsets.resize(k + 1, 0);
+        }
+        if self.cursors.len() < k {
+            self.cursors.resize_with(k, || AtomicUsize::new(0));
+        }
+    }
+
+    fn ensure_arena(&mut self, arcs: usize) {
+        if self.arena.len() < arcs {
+            self.arena.resize_with(arcs, || AtomicU32::new(0));
+        }
+    }
+
+    fn ensure_threads(&mut self, threads: usize) {
+        if self.threads.len() < threads {
+            self.threads.resize_with(threads, ThreadScratch::default);
+        }
+    }
+}
+
+/// One fused coarsening step: mapping and coarse graph in a single
+/// pipeline, reusing `ws` for all scratch. `threads == 1` still runs the
+/// lock-free path (use [`crate::sequential::map_sequential`] +
+/// [`crate::build::build_coarse_sequential`] for the exact Algorithm 4).
+pub fn coarsen_step_fused(g: &Csr, threads: usize, ws: &mut CoarsenWorkspace) -> (Mapping, Csr) {
+    let mapping = map_fused(g, threads, ws);
+    let coarse = build_fused(g, &mapping, threads, ws);
+    (mapping, coarse)
+}
+
+/// Phases 1–2: lock-free matching plus label compaction.
+pub fn map_fused(g: &Csr, threads: usize, ws: &mut CoarsenWorkspace) -> Mapping {
+    assert!(threads >= 1, "need at least one thread");
+    let n = g.num_vertices();
+    if n == 0 {
+        return Mapping::new(Vec::new(), 0);
+    }
+    ws.ensure_vertices(n);
+    sort_by_degree_desc_into(g, &mut ws.order, &mut ws.buckets);
+    for l in &ws.labels[..n] {
+        l.store(UNMAPPED, Ordering::Relaxed);
+    }
+
+    // Phase 1: match. Threads grab dynamic vertex ranges of the order;
+    // every claim is a relaxed CAS against the entry's own lock.
+    let labels = &ws.labels[..n];
+    let order = &ws.order[..n];
+    // Integer form of Algorithm 4's δ: `deg as f64 <= delta` for integer
+    // degrees is exactly `deg <= floor(delta)`. The outcome is
+    // precomputed as one bit per vertex so the claim loop's rule check
+    // reads a ~|V|/8-byte bitmap (L1/L2-resident) instead of two random
+    // `xadj` entries per neighbour.
+    let small_max = g.density().floor() as usize;
+    let small = &mut ws.small[..n.div_ceil(64)];
+    small.fill(0);
+    for v in 0..n {
+        if g.degree(v as VertexId) <= small_max {
+            small[v / 64] |= 1u64 << (v % 64);
+        }
+    }
+    let small = &ws.small[..n.div_ceil(64)];
+    let is_small = |v: VertexId| small[v as usize / 64] >> (v % 64) & 1 == 1;
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                loop {
+                    let start = cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + VERTEX_BATCH).min(n);
+                    for &v in &order[start..end] {
+                        // Claim v as the hub of a new cluster. The cheap
+                        // load filters already-claimed vertices without
+                        // paying for a locked instruction.
+                        if labels[v as usize].load(Ordering::Relaxed) != UNMAPPED
+                            || labels[v as usize]
+                                .compare_exchange(UNMAPPED, v, Ordering::Relaxed, Ordering::Relaxed)
+                                .is_err()
+                        {
+                            continue;
+                        }
+                        let v_small = is_small(v);
+                        for &u in g.neighbors(v) {
+                            // Algorithm 4 line 12: at least one endpoint
+                            // must be below the density threshold δ.
+                            if (v_small || is_small(u))
+                                && labels[u as usize].load(Ordering::Relaxed) == UNMAPPED
+                            {
+                                // Best-effort: losing the race means u
+                                // joined another cluster, which is fine.
+                                let _ = labels[u as usize].compare_exchange(
+                                    UNMAPPED,
+                                    v,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 2: compact hub labels to dense cluster ids (§3.2.2's two
+    // sequential traversals), writing straight into the Mapping's vector.
+    //
+    // Ids are handed out by hub *position in the degree order*, not by
+    // hub id: coarse vertex degree correlates strongly with hub degree,
+    // so the next level's hubs-first processing order becomes almost the
+    // identity permutation — its claim loop then walks `xadj`/`adj`/the
+    // map nearly sequentially instead of hopping across the address
+    // space. Measured on the bench workload this keeps every level of
+    // the hierarchy ~4x faster to traverse than id-ordered numbering
+    // (which, under racy membership, scatters the degree order).
+    let dense = &mut ws.dense[..n];
+    if cfg!(debug_assertions) {
+        dense.fill(UNMAPPED);
+    }
+    let mut next = 0 as VertexId;
+    for &v in order {
+        if labels[v as usize].load(Ordering::Relaxed) == v {
+            dense[v as usize] = next;
+            next += 1;
+        }
+    }
+    let mut map = Vec::with_capacity(n);
+    for l in labels {
+        let hub = l.load(Ordering::Relaxed) as usize;
+        debug_assert!(dense[hub] != UNMAPPED, "label points at non-hub {hub}");
+        map.push(dense[hub]);
+    }
+    Mapping::new(map, next as usize)
+}
+
+/// Phases 3–6: parallel two-phase count/fill coarse-CSR construction.
+/// Byte-identical to [`crate::build::build_coarse_sequential`] on the
+/// same mapping, for any thread count.
+pub fn build_fused(g: &Csr, mapping: &Mapping, threads: usize, ws: &mut CoarsenWorkspace) -> Csr {
+    assert!(threads >= 1, "need at least one thread");
+    let n = g.num_vertices();
+    let k = mapping.num_clusters();
+    if k == 0 {
+        return Csr::empty(0);
+    }
+    // Hard precondition even in release: the gather's unchecked indexing
+    // is sound only for a mapping of exactly this graph (`Mapping::new`
+    // enforces the companion `map[u] < k` invariant).
+    assert_eq!(mapping.num_fine(), n, "mapping does not match the graph");
+    let map = mapping.as_slice();
+    ws.ensure_clusters(k);
+    ws.ensure_arena(n);
+    ws.ensure_threads(threads);
+
+    // Phase 3: member counting sort onto reused scratch — counts per
+    // cluster (one O(|V|) sweep), prefix-summed offsets, then a parallel
+    // scatter of member vertex ids (one relaxed fetch_add per vertex).
+    // Scattering |V| member ids instead of |E| arc targets keeps the
+    // intermediate a tenth of the old edge-region arena, and the gather
+    // below then touches each fine arc exactly once.
+    let offsets = &mut ws.offsets[..k + 1];
+    offsets.fill(0);
+    for &c in map {
+        offsets[c as usize + 1] += 1;
+    }
+    for c in 0..k {
+        offsets[c + 1] += offsets[c];
+    }
+    let offsets = &ws.offsets[..k + 1];
+    let cursors = &ws.cursors[..k];
+    for c in cursors {
+        c.store(0, Ordering::Relaxed);
+    }
+    let members = &ws.arena[..n];
+    let fill_cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let fill_cursor = &fill_cursor;
+            scope.spawn(move || loop {
+                let start = fill_cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + VERTEX_BATCH).min(n);
+                for (v, &c) in map.iter().enumerate().take(end).skip(start) {
+                    let c = c as usize;
+                    let slot = offsets[c] + cursors[c].fetch_add(1, Ordering::Relaxed);
+                    members[slot].store(v as VertexId, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // Phase 4+5: fused gather + dedup + sort per coarse vertex. Clusters
+    // are split into one contiguous range per thread, balanced by member
+    // mass. Each thread walks a cluster's members and *sets one bit per
+    // mapped arc target* in its two-level bitmap accumulator (dedup for
+    // free), then sweeps the summary's touched range lowest-first: only
+    // non-zero bitmap words are visited, the emitted targets come out
+    // already sorted, and the sweep zeroes both levels behind itself,
+    // restoring the all-zero invariant without a clear pass. The cursor
+    // is repurposed to hold the unique degree.
+    let words = k.div_ceil(64);
+    let summary_words = words.div_ceil(64);
+    for scratch in ws.threads[..threads].iter_mut() {
+        if scratch.bits.len() < words {
+            scratch.bits.resize(words, 0);
+        }
+        if scratch.summary.len() < summary_words {
+            scratch.summary.resize(summary_words, 0);
+        }
+    }
+    let bounds = range_bounds(offsets, k, threads);
+    std::thread::scope(|scope| {
+        for (t, scratch) in ws.threads[..threads].iter_mut().enumerate() {
+            let (c_start, c_end) = (bounds[t], bounds[t + 1]);
+            scope.spawn(move || {
+                scratch.out.clear();
+                let bits = &mut scratch.bits[..words];
+                let summary = &mut scratch.summary[..summary_words];
+                for c in c_start..c_end {
+                    let run_start = scratch.out.len();
+                    // Pre-set the cluster's own bit: intra-cluster arcs
+                    // then cost nothing extra, and emission skips it.
+                    bits[c / 64] |= 1u64 << (c % 64);
+                    summary[c / 4096] |= 1u64 << (c / 64 % 64);
+                    let (mut lo, mut hi) = (c / 4096, c / 4096);
+                    for slot in &members[offsets[c]..offsets[c + 1]] {
+                        let v = slot.load(Ordering::Relaxed);
+                        for &u in g.neighbors(v) {
+                            // SAFETY: `u < n = map.len()` is a CSR
+                            // invariant (`Csr::from_raw` validates every
+                            // neighbour id) and `map[u] < k ≤ words·64`
+                            // is the `Mapping` compactness invariant;
+                            // both keep data-dependent bounds checks out
+                            // of the per-arc hot loop.
+                            let cu = unsafe { *map.get_unchecked(u as usize) } as usize;
+                            let w = cu / 64;
+                            unsafe {
+                                *bits.get_unchecked_mut(w) |= 1u64 << (cu % 64);
+                                *summary.get_unchecked_mut(w / 64) |= 1u64 << (w % 64);
+                            }
+                            lo = lo.min(w / 64);
+                            hi = hi.max(w / 64);
+                        }
+                    }
+                    // Sweep the summary's touched range lowest-first,
+                    // visiting exactly the non-zero bitmap words and
+                    // zeroing both levels on the way out: ascending
+                    // unique targets, no sort, no clear pass.
+                    for (s, sslot) in summary.iter_mut().enumerate().take(hi + 1).skip(lo) {
+                        let mut sword = std::mem::take(sslot);
+                        while sword != 0 {
+                            let w = s * 64 + sword.trailing_zeros() as usize;
+                            sword &= sword - 1;
+                            let mut word = std::mem::take(&mut bits[w]);
+                            while word != 0 {
+                                let cu = w * 64 + word.trailing_zeros() as usize;
+                                word &= word - 1;
+                                if cu != c {
+                                    scratch.out.push(cu as VertexId);
+                                }
+                            }
+                        }
+                    }
+                    cursors[c].store(scratch.out.len() - run_start, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // Phase 6: assemble. Prefix-sum the unique degrees into the final
+    // xadj and concatenate the per-thread runs — contiguous cluster
+    // ranges in order, so the result is the same cluster-major CSR the
+    // sequential builder emits, bit for bit, for any thread count.
+    let mut xadj = Vec::with_capacity(k + 1);
+    xadj.push(0usize);
+    for c in cursors {
+        xadj.push(xadj.last().unwrap() + c.load(Ordering::Relaxed));
+    }
+    let mut adj: Vec<VertexId> = Vec::with_capacity(xadj[k]);
+    for scratch in &ws.threads[..threads] {
+        adj.extend_from_slice(&scratch.out);
+    }
+    // Construction proves the invariants: `xadj` is a prefix sum (so
+    // monotone, starting at 0) whose total is exactly the concatenated
+    // run length, and every entry is a compact cluster id < k. Debug
+    // builds re-validate via `from_raw`.
+    Csr::from_raw_trusted(xadj, adj)
+}
+
+/// Split `0..k` into one contiguous cluster range per thread with
+/// roughly equal arena mass (`offsets` prefix sums), so the dedup phase
+/// balances even when a few hub clusters dominate.
+fn range_bounds(offsets: &[usize], k: usize, threads: usize) -> Vec<usize> {
+    let total = offsets[k];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    let mut c = 0usize;
+    for t in 1..threads {
+        let target = total * t / threads;
+        while c < k && offsets[c] < target {
+            c += 1;
+        }
+        bounds.push(c.min(k));
+    }
+    bounds.push(k);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_coarse_sequential;
+    use crate::sequential::map_sequential;
+    use gosh_graph::builder::csr_from_edges;
+    use gosh_graph::gen::{erdos_renyi, rmat, RmatConfig};
+
+    #[test]
+    fn fused_build_matches_sequential_on_sequential_mapping() {
+        let g = rmat(&RmatConfig::graph500(11, 6.0), 13);
+        let m = map_sequential(&g);
+        let seq = build_coarse_sequential(&g, &m);
+        let mut ws = CoarsenWorkspace::new();
+        for threads in [1, 2, 4, 8] {
+            let fused = build_fused(&g, &m, threads, &mut ws);
+            assert_eq!(seq, fused, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_step_produces_consistent_pair() {
+        let g = erdos_renyi(2000, 12_000, 3);
+        let mut ws = CoarsenWorkspace::new();
+        let (m, coarse) = coarsen_step_fused(&g, 4, &mut ws);
+        assert_eq!(m.num_fine(), g.num_vertices());
+        assert_eq!(coarse.num_vertices(), m.num_clusters());
+        assert_eq!(coarse, build_coarse_sequential(&g, &m));
+        assert!(coarse.is_symmetric());
+        assert!(coarse.has_no_self_loops());
+    }
+
+    #[test]
+    fn workspace_reuse_across_levels_is_clean() {
+        // Run a whole shrinking sequence through one workspace; every
+        // level must still agree with the sequential oracle.
+        let mut g = rmat(&RmatConfig::graph500(11, 8.0), 17);
+        let mut ws = CoarsenWorkspace::new();
+        for _ in 0..6 {
+            let (m, coarse) = coarsen_step_fused(&g, 3, &mut ws);
+            assert_eq!(coarse, build_coarse_sequential(&g, &m));
+            if coarse.num_vertices() < 2 || coarse.num_vertices() == g.num_vertices() {
+                break;
+            }
+            g = coarse;
+        }
+    }
+
+    #[test]
+    fn fused_map_respects_hub_hub_rule() {
+        let mut edges = vec![];
+        for leaf in 2..16u32 {
+            edges.push((0, leaf));
+        }
+        for leaf in 16..30u32 {
+            edges.push((1, leaf));
+        }
+        edges.push((0, 1));
+        let g = csr_from_edges(30, &edges);
+        let mut ws = CoarsenWorkspace::new();
+        for _ in 0..8 {
+            let m = map_fused(&g, 4, &mut ws);
+            assert_ne!(m.cluster_of(0), m.cluster_of(1));
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let mut ws = CoarsenWorkspace::new();
+        let (m, c) = coarsen_step_fused(&Csr::empty(0), 4, &mut ws);
+        assert_eq!(m.num_clusters(), 0);
+        assert_eq!(c.num_vertices(), 0);
+        let (m, c) = coarsen_step_fused(&Csr::empty(7), 3, &mut ws);
+        assert_eq!(m.num_clusters(), 7);
+        assert_eq!(c.num_vertices(), 7);
+        assert_eq!(c.num_edges(), 0);
+    }
+}

@@ -3,24 +3,29 @@
 
 use std::time::Instant;
 
-use crate::build::{build_coarse_parallel, build_coarse_sequential};
+use crate::build::build_coarse_sequential;
+use crate::fused::{build_fused, map_fused, CoarsenWorkspace};
 use crate::mapping::Mapping;
-use crate::parallel::map_parallel;
 use crate::sequential::map_sequential;
 use gosh_graph::csr::Csr;
 
 /// Configuration for [`coarsen_hierarchy`].
 #[derive(Clone, Copy, Debug)]
 pub struct CoarsenConfig {
-    /// Stop once a level has fewer vertices than this (paper default: 100).
+    /// The `min_vertices` stopping bound: coarsening continues only while
+    /// the current level has *more* vertices than this (paper default:
+    /// 100). The coarsest level may undershoot it by one step's shrink.
     pub threshold: usize,
-    /// Worker threads; 1 selects the exact sequential Algorithm 4.
+    /// Worker threads; 1 selects the exact sequential Algorithm 4,
+    /// anything larger the fused lock-free pipeline of [`crate::fused`].
     pub threads: usize,
     /// Hard cap on the number of levels (D), a safety net for graphs that
     /// stop shrinking (e.g. perfect matchings of hubs).
     pub max_levels: usize,
-    /// Abort a step if it shrinks the vertex count by less than this
-    /// fraction — prevents infinite loops on pathological inputs.
+    /// Stall bound: stop (discarding the candidate level) if a step would
+    /// shrink the vertex count by less than this fraction — prevents
+    /// infinite loops and useless near-copy levels on pathological
+    /// inputs.
     pub min_shrink: f64,
 }
 
@@ -104,30 +109,49 @@ impl Hierarchy {
     }
 }
 
+/// The stopping rule, audited against the paper: a candidate mapping is
+/// only accepted when it (a) still has at least two clusters — a level
+/// with zero or one vertex can neither be trained nor expanded from
+/// meaningfully, so it is never emitted — and (b) shrinks the vertex
+/// count by at least `min_shrink` (the stall bound; Algorithm 4 assumes
+/// progress every round, which adversarial inputs like hub matchings and
+/// isolated-vertex graphs violate).
+fn accept_mapping(n_fine: usize, mapping: &Mapping, cfg: &CoarsenConfig) -> bool {
+    if mapping.num_clusters() < 2 {
+        return false;
+    }
+    let shrink = 1.0 - mapping.num_clusters() as f64 / n_fine.max(1) as f64;
+    shrink >= cfg.min_shrink
+}
+
 /// Run `MultiEdgeCollapse` to completion (Algorithm 4).
 pub fn coarsen_hierarchy(g0: Csr, cfg: &CoarsenConfig) -> Hierarchy {
     assert!(cfg.threads >= 1, "need at least one thread");
     let mut graphs = vec![g0];
     let mut maps = Vec::new();
     let mut stats = Vec::new();
+    // One workspace for the whole hierarchy: scratch sized by G_0 serves
+    // every coarser level without reallocating.
+    let mut ws = CoarsenWorkspace::new();
 
     let mut level = 0usize;
     while graphs[level].num_vertices() > cfg.threshold && graphs.len() < cfg.max_levels {
         let start = Instant::now();
         let g = &graphs[level];
-        let mapping = if cfg.threads == 1 {
-            map_sequential(g)
+        let (mapping, coarse) = if cfg.threads == 1 {
+            let mapping = map_sequential(g);
+            if !accept_mapping(g.num_vertices(), &mapping, cfg) {
+                break; // stalled or degenerate: stop with what we have
+            }
+            let coarse = build_coarse_sequential(g, &mapping);
+            (mapping, coarse)
         } else {
-            map_parallel(g, cfg.threads)
-        };
-        let shrink = 1.0 - mapping.num_clusters() as f64 / g.num_vertices().max(1) as f64;
-        if shrink < cfg.min_shrink {
-            break; // not making progress; stop with what we have
-        }
-        let coarse = if cfg.threads == 1 {
-            build_coarse_sequential(g, &mapping)
-        } else {
-            build_coarse_parallel(g, &mapping, cfg.threads)
+            let mapping = map_fused(g, cfg.threads, &mut ws);
+            if !accept_mapping(g.num_vertices(), &mapping, cfg) {
+                break;
+            }
+            let coarse = build_fused(g, &mapping, cfg.threads, &mut ws);
+            (mapping, coarse)
         };
         let seconds = start.elapsed().as_secs_f64();
         stats.push(LevelStats {
@@ -218,6 +242,74 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn never_emits_a_single_vertex_level() {
+        // A star above the threshold collapses to one cluster in a single
+        // step; the old rule emitted that 1-vertex level. The audited
+        // rule must refuse it and keep the original graph trainable.
+        let edges: Vec<(u32, u32)> = (1..300u32).map(|leaf| (0, leaf)).collect();
+        let g = csr_from_edges(300, &edges);
+        for threads in [1, 4] {
+            let h = coarsen_hierarchy(
+                g.clone(),
+                &CoarsenConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                h.graphs.iter().all(|g| g.num_vertices() >= 2),
+                "emitted a degenerate level (threads = {threads}): {:?}",
+                h.graphs
+                    .iter()
+                    .map(|g| g.num_vertices())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(h.depth(), 1, "star must be left alone, not collapsed");
+            assert!(h.maps.is_empty());
+        }
+    }
+
+    #[test]
+    fn stalls_on_isolated_vertices_instead_of_looping() {
+        // All-isolated graphs never shrink (every vertex is its own
+        // cluster): the stall bound must stop at depth 1 even though the
+        // vertex count stays above the threshold.
+        let g = Csr::empty(500);
+        for threads in [1, 4] {
+            let h = coarsen_hierarchy(
+                g.clone(),
+                &CoarsenConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(h.depth(), 1, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_emitted_level_supports_expansion() {
+        // The contract the trainer's expand step relies on: every map
+        // connects consecutive levels and no level is empty.
+        let g = rmat(&RmatConfig::graph500(11, 6.0), 41);
+        for threads in [1, 4] {
+            let h = coarsen_hierarchy(
+                g.clone(),
+                &CoarsenConfig {
+                    threshold: 2,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            for i in 0..h.maps.len() {
+                assert!(h.graphs[i + 1].num_vertices() >= 2);
+                assert_eq!(h.maps[i].num_fine(), h.graphs[i].num_vertices());
+                assert_eq!(h.maps[i].num_clusters(), h.graphs[i + 1].num_vertices());
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,15 @@
 //! scheduling) are implemented, plus a MILE-style matching coarsener used
 //! as the baseline in Table 5.
 
+//! The parallel path is the fused lock-free pipeline of [`fused`]: one
+//! pass produces the mapping *and* the coarse CSR on reusable level-sized
+//! scratch ([`fused::CoarsenWorkspace`]), replacing the old
+//! match-then-rebuild two-pass design. [`parallel::map_parallel`] and
+//! [`build::build_coarse_parallel`] remain as one-shot wrappers around
+//! its two halves.
+
 pub mod build;
+pub mod fused;
 pub mod hierarchy;
 pub mod mapping;
 pub mod mile;
@@ -17,5 +25,6 @@ pub mod order;
 pub mod parallel;
 pub mod sequential;
 
+pub use fused::{coarsen_step_fused, CoarsenWorkspace};
 pub use hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy, LevelStats};
 pub use mapping::{Mapping, UNMAPPED};

@@ -18,9 +18,16 @@ pub struct Mapping {
 }
 
 impl Mapping {
-    /// Wrap a compact mapping. Panics if an entry is out of range.
+    /// Wrap a compact mapping. Panics if an entry is out of range — in
+    /// release builds too: the fused builder elides per-arc bounds
+    /// checks on the strength of this invariant, so it must hold for
+    /// every `Mapping` that exists (one O(|V|) sweep here buys |E|
+    /// checks there).
     pub fn new(map: Vec<VertexId>, num_clusters: usize) -> Self {
-        debug_assert!(map.iter().all(|&c| (c as usize) < num_clusters));
+        assert!(
+            map.iter().all(|&c| (c as usize) < num_clusters),
+            "mapping entry out of range (num_clusters = {num_clusters})"
+        );
         Self { map, num_clusters }
     }
 
@@ -29,6 +36,11 @@ impl Mapping {
     /// the hubs (`labels[v] == v`), assigns them dense ids in increasing
     /// hub-id order, then rewrites all entries — the two sequential
     /// traversals described in §3.2.2.
+    ///
+    /// Note: the fused pipeline ([`crate::fused::map_fused`]) numbers
+    /// clusters by hub *degree-order position* instead (a cache-locality
+    /// optimization for the next level); both numberings are valid
+    /// compact mappings, they just permute cluster ids.
     pub fn from_hub_labels(labels: &[VertexId]) -> Self {
         let n = labels.len();
         let mut dense = vec![UNMAPPED; n];
@@ -42,7 +54,7 @@ impl Mapping {
         let mut map = vec![UNMAPPED; n];
         for v in 0..n {
             let hub = labels[v] as usize;
-            debug_assert!(
+            assert!(
                 dense[hub] != UNMAPPED,
                 "vertex {v} labelled by non-hub {hub}"
             );
@@ -139,8 +151,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_entry_is_rejected_in_all_builds() {
+        // A hard assert, not a debug_assert: the fused builder's
+        // unchecked indexing relies on it in release builds.
+        Mapping::new(vec![0, 5], 2);
+    }
+
+    #[test]
     #[should_panic]
-    #[cfg(debug_assertions)]
     fn non_hub_label_is_rejected() {
         // 2 points at 1, but 1 is not a hub (1 points at 0).
         Mapping::from_hub_labels(&[0, 0, 1]);

@@ -1,12 +1,37 @@
 //! Property-based tests: coarsening invariants over randomized graphs.
 
 use gosh_coarsen::build::{build_coarse_parallel, build_coarse_sequential};
+use gosh_coarsen::fused::{build_fused, coarsen_step_fused, CoarsenWorkspace};
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_coarsen::mapping::UNMAPPED;
 use gosh_coarsen::parallel::map_parallel;
 use gosh_coarsen::sequential::map_sequential;
 use gosh_graph::builder::csr_from_edges;
+use gosh_graph::csr::Csr;
 use proptest::prelude::*;
+
+/// The CSR validity contract every hierarchy level must satisfy:
+/// monotone `xadj` anchored at 0 and |adj|, neighbour ids in range, no
+/// self-loops, and no duplicate entry within a neighbour list.
+fn assert_valid_level_csr(g: &Csr) {
+    let (xadj, adj) = g.clone().into_raw();
+    assert_eq!(xadj[0], 0);
+    assert_eq!(*xadj.last().unwrap(), adj.len());
+    for w in xadj.windows(2) {
+        assert!(w[0] <= w[1], "xadj not monotone");
+    }
+    let n = xadj.len() - 1;
+    for &u in &adj {
+        assert!((u as usize) < n, "neighbour {u} out of range {n}");
+    }
+    for v in 0..n as u32 {
+        let nbrs = g.neighbors(v);
+        for w in nbrs.windows(2) {
+            assert!(w[0] < w[1], "vertex {v} list not strictly sorted");
+        }
+        assert!(!nbrs.contains(&v), "self-loop at {v}");
+    }
+}
 
 fn edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (4usize..80).prop_flat_map(|n| {
@@ -154,6 +179,64 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fused_build_byte_identical_to_sequential_across_thread_counts(
+        (n, edges) in edge_list(),
+        map_threads in 1usize..5,
+    ) {
+        // The satellite contract: the fused parallel coarse-CSR
+        // construction is byte-identical to `build_coarse_sequential`
+        // on the same mapping for threads 1/2/4/8 — including mappings
+        // produced by the racy parallel matcher, and including
+        // workspace reuse between differently-shaped calls.
+        let g = csr_from_edges(n, &edges);
+        let m = map_parallel(&g, map_threads);
+        let oracle = build_coarse_sequential(&g, &m);
+        let mut ws = CoarsenWorkspace::new();
+        for threads in [1usize, 2, 4, 8] {
+            let fused = build_fused(&g, &m, threads, &mut ws);
+            prop_assert_eq!(&oracle, &fused, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn fused_hierarchy_levels_are_valid_csrs(
+        (n, edges) in edge_list(),
+        threads in 2usize..6,
+    ) {
+        // Every level a full fused hierarchy produces must be a valid
+        // CSR: monotone xadj, in-range adj, no self-loops, no duplicate
+        // neighbours — and each level must agree with the sequential
+        // oracle applied to the same (graph, mapping) pair.
+        let g = csr_from_edges(n, &edges);
+        let h = coarsen_hierarchy(
+            g,
+            &CoarsenConfig { threshold: 2, threads, ..Default::default() },
+        );
+        for cg in &h.graphs {
+            assert_valid_level_csr(cg);
+        }
+        for i in 0..h.maps.len() {
+            prop_assert_eq!(
+                &h.graphs[i + 1],
+                &build_coarse_sequential(&h.graphs[i], &h.maps[i])
+            );
+        }
+    }
+
+    #[test]
+    fn fused_step_pair_is_consistent((n, edges) in edge_list(), threads in 1usize..5) {
+        // One fused step returns a (mapping, coarse) pair that is
+        // internally consistent and matches the oracle builder.
+        let g = csr_from_edges(n, &edges);
+        let mut ws = CoarsenWorkspace::new();
+        let (m, coarse) = coarsen_step_fused(&g, threads, &mut ws);
+        prop_assert_eq!(m.num_fine(), g.num_vertices());
+        prop_assert_eq!(coarse.num_vertices(), m.num_clusters());
+        assert_valid_level_csr(&coarse);
+        prop_assert_eq!(&coarse, &build_coarse_sequential(&g, &m));
     }
 
     #[test]

@@ -42,6 +42,22 @@ impl Csr {
         Self { xadj, adj }
     }
 
+    /// Build from raw CSR arrays the caller guarantees are valid: the
+    /// invariants of [`Csr::from_raw`] are checked only in debug builds.
+    ///
+    /// For internal builders whose construction proves validity (e.g.
+    /// the coarsening pipeline's prefix-summed `xadj` over compact
+    /// cluster ids), where the O(|V| + |E|) validation pass is
+    /// measurable. External or untrusted data must go through
+    /// [`Csr::from_raw`].
+    pub fn from_raw_trusted(xadj: Vec<usize>, adj: Vec<VertexId>) -> Self {
+        if cfg!(debug_assertions) {
+            Self::from_raw(xadj, adj)
+        } else {
+            Self { xadj, adj }
+        }
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         Self {
@@ -283,5 +299,19 @@ mod tests {
         let (xadj, adj) = g.clone().into_raw();
         let g2 = Csr::from_raw(xadj, adj);
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn trusted_constructor_matches_checked_on_valid_input() {
+        let g = path3();
+        let (xadj, adj) = g.clone().into_raw();
+        assert_eq!(g, Csr::from_raw_trusted(xadj, adj));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn trusted_constructor_still_validates_in_debug() {
+        Csr::from_raw_trusted(vec![0, 1], vec![5]);
     }
 }
