@@ -4,7 +4,8 @@
 //! Every harness report carries one or more `speedup_vs_*` ratios (the
 //! sharded trainer vs the frozen seed engine, the pipelined Algorithm 5
 //! vs the frozen synchronous engine, the fused coarsener vs the frozen
-//! sequential path). Absolute seconds shift with the runner, but the
+//! sequential path, the parallel streaming parser vs the sequential
+//! reference parser). Absolute seconds shift with the runner, but the
 //! ratios are engine-vs-engine on the same machine in the same process —
 //! that is the quantity the trajectory promises, and the quantity this
 //! gate protects: for every `speedup_vs_*` key in a committed baseline
@@ -18,11 +19,12 @@
 /// Default allowed relative drop before a speedup counts as regressed.
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
 
-/// The three trajectory reports the CI gate compares by default.
-pub const REPORT_FILES: [&str; 3] = [
+/// The trajectory reports the CI gate compares by default.
+pub const REPORT_FILES: [&str; 4] = [
     "BENCH_hotpath.json",
     "BENCH_large.json",
     "BENCH_coarsen.json",
+    "BENCH_ingest.json",
 ];
 
 /// One confirmed regression: `current < baseline * (1 - tolerance)`.

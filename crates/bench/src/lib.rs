@@ -14,7 +14,10 @@
 //! The coarsening harness lives in [`coarsen`]: it backs `gosh
 //! bench-coarsen`, freezes the seed sequential coarsening path as the
 //! baseline, and documents the `BENCH_coarsen.json` schema. The
-//! [`check`] module is the CI regression gate over all three reports
+//! ingestion harness lives in [`ingest`]: it backs `gosh bench-ingest`,
+//! measures the parallel streaming parser against the sequential
+//! reference parser, and documents the `BENCH_ingest.json` schema. The
+//! [`check`] module is the CI regression gate over all four reports
 //! (the `bench_check` binary).
 //!
 //! ## Scaling
@@ -30,6 +33,7 @@
 pub mod check;
 pub mod coarsen;
 pub mod hotpath;
+pub mod ingest;
 pub mod large;
 
 use std::time::Instant;

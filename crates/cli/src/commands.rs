@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use gosh_bench::coarsen::{run_coarsen_bench, CoarsenBenchConfig};
 use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
+use gosh_bench::ingest::{run_ingest_bench, IngestBenchConfig};
 use gosh_bench::large::{run_large_bench, LargeBenchConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
@@ -17,7 +18,8 @@ use gosh_gpu::{Device, DeviceConfig};
 use gosh_graph::components::connected_components;
 use gosh_graph::csr::Csr;
 use gosh_graph::gen::{community_graph, sampled_clustering, CommunityConfig};
-use gosh_graph::io;
+use gosh_graph::ingest::{load_edge_list_parallel, IngestConfig};
+use gosh_graph::io::{self, LoadedGraph};
 use gosh_graph::split::{train_test_split, SplitConfig};
 use gosh_graph::stats::GraphStats;
 
@@ -33,15 +35,48 @@ fn default_threads() -> usize {
         .min(16)
 }
 
-/// Load a graph: `.csr` binary or edge-list text.
-fn load_graph(path: &str) -> Result<Csr, String> {
+/// A loaded input file: binary CSRs carry only the graph, text edge
+/// lists also carry the original-id mapping and parse statistics.
+enum LoadedInput {
+    Binary(Csr),
+    Text(LoadedGraph),
+}
+
+impl LoadedInput {
+    fn graph(&self) -> &Csr {
+        match self {
+            LoadedInput::Binary(g) => g,
+            LoadedInput::Text(l) => &l.graph,
+        }
+    }
+
+    fn into_graph(self) -> Csr {
+        match self {
+            LoadedInput::Binary(g) => g,
+            LoadedInput::Text(l) => l.graph,
+        }
+    }
+}
+
+/// Load an input file: `.csr` binary (streaming-validated) or edge-list
+/// text (parallel ingestion path with `threads` workers).
+fn load_input(path: &str, threads: usize) -> Result<LoadedInput, String> {
     if path.ends_with(".csr") {
-        io::load_binary(path).map_err(|e| format!("loading {path}: {e}"))
+        io::load_binary(path)
+            .map(LoadedInput::Binary)
+            .map_err(|e| format!("loading {path}: {e}"))
     } else {
-        io::load_edge_list(path)
-            .map(|l| l.graph)
+        load_edge_list_parallel(path, &IngestConfig::with_threads(threads))
+            .map(LoadedInput::Text)
             .map_err(|e| format!("loading {path}: {e}"))
     }
+}
+
+/// Load a graph: `.csr` binary or edge-list text, honouring the
+/// command's `--threads` flag (commands without one use the default).
+fn load_graph(path: &str, p: &Parsed) -> Result<Csr, String> {
+    let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
+    load_input(path, threads).map(LoadedInput::into_graph)
 }
 
 /// Save a graph: `.csr` binary or edge-list text.
@@ -110,31 +145,78 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `gosh stats <graph>`.
+/// `gosh stats <graph> [--threads N]`.
 pub fn stats(args: &[String]) -> Result<(), String> {
-    let p = parse(args, &[])?;
-    let g = load_graph(p.positional(0, "graph")?)?;
-    let s = GraphStats::compute(&g);
-    let comps = connected_components(&g);
+    let p = parse(args, &["threads"])?;
+    let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
+    let input = load_input(p.positional(0, "graph")?, threads)?;
+    let g = input.graph();
+    let s = GraphStats::compute(g);
+    let comps = connected_components(g);
     println!("vertices        {}", s.num_vertices);
     println!("edges           {}", s.num_edges);
     println!("density |E|/|V| {:.3}", s.density);
     println!("max degree      {}", s.max_degree);
     println!("isolated        {}", s.isolated);
     println!("hub mass (top1%) {:.3}", s.hub_mass);
-    println!("clustering est. {:.3}", sampled_clustering(&g, 4000, 7));
+    println!("clustering est. {:.3}", sampled_clustering(g, 4000, 7));
     println!("components      {}", comps.count);
     println!(
         "giant component {:.1}%",
         100.0 * comps.giant_fraction(s.num_vertices)
     );
+    if let LoadedInput::Text(l) = &input {
+        println!("edge lines      {}", l.stats.edge_lines);
+        println!("weighted lines  {}", l.stats.weighted_lines);
+        println!("self loops dropped {}", l.stats.self_loops_dropped);
+        println!("duplicates dropped {}", l.stats.duplicates_dropped);
+    }
+    Ok(())
+}
+
+/// `gosh convert <in> <out> [--threads N]`: re-encode a graph between
+/// the edge-list and binary CSR formats. Text inputs keep their original
+/// vertex ids when written back as text (binary CSRs have no id mapping,
+/// so text written from `.csr` uses the dense ids).
+pub fn convert(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["threads"])?;
+    let input_path = p.positional(0, "input graph")?;
+    let out = p.positional(1, "output file")?;
+    let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
+    let input = load_input(input_path, threads)?;
+    let to_csr = out.ends_with(".csr");
+    let result = match (&input, to_csr) {
+        (_, true) => io::write_binary(out, input.graph()),
+        (LoadedInput::Text(l), false) => l.write_edge_list(out),
+        (LoadedInput::Binary(g), false) => io::write_edge_list(out, g),
+    };
+    result.map_err(|e| format!("writing {out}: {e}"))?;
+    let g = input.graph();
+    println!(
+        "wrote {} ({} vertices, {} edges{})",
+        out,
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        match (&input, to_csr) {
+            (LoadedInput::Text(_), false) => ", original ids preserved",
+            _ => "",
+        }
+    );
+    if let LoadedInput::Text(l) = &input {
+        if l.stats.self_loops_dropped + l.stats.duplicates_dropped > 0 {
+            println!(
+                "cleaned: {} self loops, {} duplicate edges dropped",
+                l.stats.self_loops_dropped, l.stats.duplicates_dropped
+            );
+        }
+    }
     Ok(())
 }
 
 /// `gosh coarsen <graph> [--threads N] [--threshold T]`.
 pub fn coarsen(args: &[String]) -> Result<(), String> {
     let p = parse(args, &["threads", "threshold"])?;
-    let g = load_graph(p.positional(0, "graph")?)?;
+    let g = load_graph(p.positional(0, "graph")?, &p)?;
     let cfg = CoarsenConfig {
         threads: p.flag::<usize>("threads")?.unwrap_or_else(default_threads),
         threshold: p.flag::<usize>("threshold")?.unwrap_or(100),
@@ -182,7 +264,7 @@ fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
 /// `gosh embed <graph> <out.emb> [...]`.
 pub fn embed(args: &[String]) -> Result<(), String> {
     let p = parse(args, PIPELINE_FLAGS)?;
-    let g = load_graph(p.positional(0, "graph")?)?;
+    let g = load_graph(p.positional(0, "graph")?, &p)?;
     let out = p.positional(1, "output file")?;
     let (m, _) = run_gosh(&g, &p)?;
 
@@ -201,7 +283,7 @@ pub fn embed(args: &[String]) -> Result<(), String> {
 /// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
 pub fn eval(args: &[String]) -> Result<(), String> {
     let p = parse(args, PIPELINE_FLAGS)?;
-    let g = load_graph(p.positional(0, "graph")?)?;
+    let g = load_graph(p.positional(0, "graph")?, &p)?;
     let split = train_test_split(&g, &SplitConfig::default());
     println!(
         "split: train |V| = {}, |E| = {}; test edges = {}",
@@ -317,6 +399,48 @@ pub fn bench_coarsen(args: &[String]) -> Result<(), String> {
     );
     if let (Some(s), Some(x)) = (report.seq_seconds, report.speedup_vs_seq()) {
         println!("frozen sequential path: {s:.4}s — speedup {x:.2}x");
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh bench-ingest [...]`: time the parallel streaming edge-list
+/// parser against the sequential reference parser and write the
+/// `BENCH_ingest.json` perf-trajectory report (schema documented in
+/// `gosh_bench::ingest`).
+pub fn bench_ingest(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices", "degree", "threads", "seed", "baseline", "reps", "out",
+        ],
+    )?;
+    let defaults = IngestBenchConfig::default();
+    let cfg = IngestBenchConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.threads == 0 || cfg.vertices < 2 {
+        return Err("bench-ingest needs --threads >= 1 and --vertices >= 2".into());
+    }
+    let report = run_ingest_bench(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_ingest.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "ingest: {:.0} edges/sec ({} edge lines, {:.1} MB, {} threads, {:.4}s, {:.1} MB/s)",
+        report.edges_per_sec(),
+        report.edge_lines,
+        report.bytes as f64 / (1024.0 * 1024.0),
+        report.threads,
+        report.seconds,
+        report.mb_per_sec(),
+    );
+    if let (Some(b), Some(x)) = (report.seq_edges_per_sec(), report.speedup_vs_seq()) {
+        println!("frozen seed parser: {b:.0} edges/sec — speedup {x:.2}x");
     }
     println!("wrote {out}");
     Ok(())

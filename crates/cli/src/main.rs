@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! gosh generate <dataset|N:K> <out.{txt,csr}>    synthesize a graph
-//! gosh stats <graph>                             structural statistics
+//! gosh stats <graph> [--threads N]               structural statistics
+//! gosh convert <in> <out> [--threads N]          re-encode txt <-> csr
 //! gosh coarsen <graph> [--threads N] [--threshold T]
 //! gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
 //!                              [--device-mb M] [--threads N]
@@ -15,16 +16,21 @@
 //! gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
 //!                    [--threshold V] [--seed S] [--reps R]
 //!                    [--baseline true|false] [--out FILE]
+//! gosh bench-ingest [--vertices N] [--degree K] [--threads T]
+//!                   [--seed S] [--reps R] [--baseline true|false]
+//!                   [--out FILE]
 //! gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
 //!                  [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
 //!                  [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
 //!                  [--seed S] [--reps R] [--baseline true|false] [--out FILE]
 //! ```
 //!
-//! Graphs load from SNAP-style edge lists (`.txt`, any extension) or the
-//! binary CSR format (`.csr`). `eval` runs the paper's full §4.1
-//! link-prediction pipeline: 80/20 split, embed the train graph, report
-//! AUCROC on the held-out edges.
+//! Graphs load from SNAP-style edge lists (`.txt`, any extension; a
+//! weighted KONECT third column is accepted and discarded) through the
+//! parallel streaming ingestion path, or from the binary CSR format
+//! (`.csr`) through the chunked streaming-validated loader. `eval` runs
+//! the paper's full §4.1 link-prediction pipeline: 80/20 split, embed
+//! the train graph, report AUCROC on the held-out edges.
 
 use std::process::ExitCode;
 
@@ -36,11 +42,13 @@ fn main() -> ExitCode {
     let result = match argv.first().map(|s| s.as_str()) {
         Some("generate") => commands::generate(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
+        Some("convert") => commands::convert(&argv[1..]),
         Some("coarsen") => commands::coarsen(&argv[1..]),
         Some("embed") => commands::embed(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
         Some("bench-coarsen") => commands::bench_coarsen(&argv[1..]),
+        Some("bench-ingest") => commands::bench_ingest(&argv[1..]),
         Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -62,7 +70,8 @@ gosh — GOSH graph embedding (ICPP 2020 reproduction)
 
 USAGE:
   gosh generate <dataset|N:K> <out.{txt,csr}>   synthesize a graph
-  gosh stats <graph>                            structural statistics
+  gosh stats <graph> [--threads N]              structural statistics
+  gosh convert <in> <out> [--threads N]         re-encode txt <-> csr
   gosh coarsen <graph> [--threads N] [--threshold T]
   gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
                                [--device-mb M] [--threads N]
@@ -75,6 +84,9 @@ USAGE:
   gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
                      [--threshold V] [--seed S] [--reps R]
                      [--baseline true|false] [--out FILE]
+  gosh bench-ingest [--vertices N] [--degree K] [--threads T]
+                    [--seed S] [--reps R] [--baseline true|false]
+                    [--out FILE]
   gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
                    [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
                    [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
@@ -83,6 +95,12 @@ USAGE:
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
   <graph> is an edge-list file, or binary CSR if it ends in .csr.
+  Edge lists parse through the parallel streaming ingestion path
+  (--threads workers where accepted); `u v w` weighted KONECT lines are
+  accepted (the weight is validated and discarded), and dropped
+  self-loop/duplicate counts are reported by stats and convert.
+  convert re-encodes between the formats; text-to-text conversions
+  keep the original vertex ids of the input file.
   P is one of fast | normal | slow | nocoarse (Table 3).
   --device-mb simulates a device with that much memory (default: 12288,
   the paper's Titan X); small values force the partitioned Algorithm 5.
@@ -96,6 +114,10 @@ USAGE:
   synthetic community graph and writes BENCH_coarsen.json (levels/sec,
   collapsed vertices/sec, plus the frozen sequential-path baseline
   unless --baseline false).
+  bench-ingest times the parallel streaming edge-list parser on a
+  frozen-seed synthetic SNAP-style file and writes BENCH_ingest.json
+  (edges/sec, MB/sec, plus the frozen seed-parser baseline unless
+  --baseline false).
   bench-large squeezes a synthetic graph through the partitioned
   Algorithm 5 pipeline on a small simulated device and writes
   BENCH_large.json (kernels/sec, transfer-stall seconds, plus the

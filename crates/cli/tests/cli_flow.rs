@@ -102,10 +102,10 @@ fn flag_validation_catches_typos_and_misuse() {
     assert!(!ok);
     assert!(text.contains("expects a value"), "{text}");
 
-    // A command with no flags rejects any flag.
+    // A flag from another command's vocabulary is rejected by name.
     let (ok, text) = run(&["stats", "g.csr", "--dim", "8"]);
     assert!(!ok);
-    assert!(text.contains("takes no flags"), "{text}");
+    assert!(text.contains("unknown flag --dim"), "{text}");
 }
 
 #[test]
@@ -213,6 +213,96 @@ fn bench_coarsen_emits_coarsen_json() {
     let (ok, text) = run(&["bench-coarsen", "--threads", "1"]);
     assert!(!ok);
     assert!(text.contains("--threads >= 2"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_round_trips_formats_and_original_ids() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_cv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A SNAP-style text file with sparse ids, a weight column, a self
+    // loop, and a duplicate line.
+    let txt = dir.join("g.txt");
+    std::fs::write(
+        &txt,
+        "# snap-ish\n9000001 17\n17 400 2.5\n400 9000001\n400 400\n17 400\n",
+    )
+    .unwrap();
+    let txt_s = txt.to_str().unwrap();
+
+    // stats on a text file reports the ingestion counts.
+    let (ok, text) = run(&["stats", txt_s, "--threads", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("self loops dropped 1"), "{text}");
+    assert!(text.contains("duplicates dropped 1"), "{text}");
+    assert!(text.contains("weighted lines  1"), "{text}");
+
+    // Text -> text preserves original ids.
+    let txt2 = dir.join("g2.txt");
+    let (ok, text) = run(&["convert", txt_s, txt2.to_str().unwrap(), "--threads", "2"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("original ids preserved"), "{text}");
+    assert!(
+        text.contains("1 self loops, 1 duplicate edges dropped"),
+        "{text}"
+    );
+    let round = std::fs::read_to_string(&txt2).unwrap();
+    assert!(round.contains("9000001"), "ids were relabelled: {round}");
+
+    // Text -> binary -> text flows through both loaders.
+    let csr = dir.join("g.csr");
+    let (ok, text) = run(&["convert", txt_s, csr.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    let txt3 = dir.join("g3.txt");
+    let (ok, text) = run(&["convert", csr.to_str().unwrap(), txt3.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(!text.contains("original ids preserved"), "{text}");
+    let (ok, text) = run(&["stats", csr.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains("vertices        3"), "{text}");
+
+    let (ok, text) = run(&["convert", txt_s]);
+    assert!(!ok);
+    assert!(text.contains("missing <output file>"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_ingest_emits_ingest_json() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_bi_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_ingest.json");
+    let (ok, text) = run(&[
+        "bench-ingest",
+        "--vertices",
+        "2000",
+        "--degree",
+        "6",
+        "--threads",
+        "2",
+        "--reps",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("edges/sec"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"bench\": \"ingest\"",
+        "\"edges_per_sec\"",
+        "\"mb_per_sec\"",
+        "\"speedup_vs_seq\"",
+        "\"threads\": 2",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    let (ok, text) = run(&["bench-ingest", "--threads", "0"]);
+    assert!(!ok);
+    assert!(text.contains("--threads >= 1"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

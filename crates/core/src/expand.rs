@@ -1,18 +1,32 @@
 //! Embedding projection between levels — `ExpandEmbedding` (Algorithm 2,
 //! line 11): every fine vertex starts from its super-vertex's trained row,
 //! `M_{i-1}[v] = M_i[map_{i-1}[v]]`.
+//!
+//! The projection at the finest level is an O(|V| · d) copy that sits
+//! *between* two parallel training levels — left single-threaded it is a
+//! serial stall in the middle of the pipeline, so
+//! [`expand_embedding_parallel`] shards the copy over the worker team:
+//! fine rows split into contiguous ranges, each thread fills its own
+//! disjoint slice of the output matrix. The result is bit-identical to
+//! the sequential [`expand_embedding`] for any thread count (it is a pure
+//! gather — no arithmetic, no races), which the tests enforce.
 
 use gosh_coarsen::mapping::Mapping;
 
 use crate::model::Embedding;
 
-/// Project a coarse matrix down one level through `mapping`.
-pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
+fn check_shapes(coarse: &Embedding, mapping: &Mapping) {
     assert_eq!(
         coarse.num_vertices(),
         mapping.num_clusters(),
         "matrix rows must match cluster count"
     );
+}
+
+/// Project a coarse matrix down one level through `mapping` (sequential
+/// reference).
+pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
+    check_shapes(coarse, mapping);
     let d = coarse.dim();
     let n = mapping.num_fine();
     let mut fine = Embedding::zeros(n, d);
@@ -20,6 +34,46 @@ pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
         let c = mapping.cluster_of(v);
         fine.row_mut(v).copy_from_slice(coarse.row(c));
     }
+    fine
+}
+
+/// Project a coarse matrix down one level with a worker team.
+/// Bit-identical to [`expand_embedding`] for any `threads >= 1`.
+pub fn expand_embedding_parallel(
+    coarse: &Embedding,
+    mapping: &Mapping,
+    threads: usize,
+) -> Embedding {
+    check_shapes(coarse, mapping);
+    let threads = threads.max(1);
+    if threads == 1 {
+        return expand_embedding(coarse, mapping);
+    }
+    let d = coarse.dim();
+    let n = mapping.num_fine();
+    let mut fine = Embedding::zeros(n, d);
+    if n == 0 || d == 0 {
+        return fine;
+    }
+    // Contiguous row ranges, one per thread: each worker owns a disjoint
+    // `&mut` slab of the output, so the copy needs no synchronization at
+    // all beyond the scope join.
+    let rows_per_shard = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slab) in fine
+            .as_mut_slice()
+            .chunks_mut(rows_per_shard * d)
+            .enumerate()
+        {
+            scope.spawn(move || {
+                let v0 = (t * rows_per_shard) as u32;
+                for (i, row) in slab.chunks_mut(d).enumerate() {
+                    let c = mapping.cluster_of(v0 + i as u32);
+                    row.copy_from_slice(coarse.row(c));
+                }
+            });
+        }
+    });
     fine
 }
 
@@ -51,10 +105,51 @@ mod tests {
     }
 
     #[test]
+    fn parallel_expansion_is_bit_identical_to_sequential() {
+        // Sizes straddle the shard boundaries: empty tail shards, ragged
+        // last shard, single row, more threads than rows.
+        for (k, n, d) in [
+            (3usize, 7usize, 5usize),
+            (16, 1000, 17),
+            (1, 1, 4),
+            (2, 3, 8),
+        ] {
+            let coarse = Embedding::random(k, d, 0xE0 + n as u64);
+            let map: Vec<u32> = (0..n).map(|v| (v * 2654435761) as u32 % k as u32).collect();
+            let mapping = Mapping::new(map, k);
+            let seq = expand_embedding(&coarse, &mapping);
+            for threads in [1, 2, 3, 4, 8, 16] {
+                let par = expand_embedding_parallel(&coarse, &mapping, threads);
+                assert_eq!(
+                    seq.as_slice(),
+                    par.as_slice(),
+                    "k={k} n={n} d={d} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_expansion_handles_empty_mapping() {
+        let coarse = Embedding::random(0, 4, 3);
+        let mapping = Mapping::new(vec![], 0);
+        let fine = expand_embedding_parallel(&coarse, &mapping, 4);
+        assert_eq!(fine.num_vertices(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "rows must match")]
     fn shape_mismatch_panics() {
         let coarse = Embedding::zeros(2, 3);
         let mapping = Mapping::new(vec![0, 1, 2], 3);
         expand_embedding(&coarse, &mapping);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must match")]
+    fn parallel_shape_mismatch_panics() {
+        let coarse = Embedding::zeros(2, 3);
+        let mapping = Mapping::new(vec![0, 1, 2], 3);
+        expand_embedding_parallel(&coarse, &mapping, 4);
     }
 }

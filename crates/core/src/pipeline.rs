@@ -17,7 +17,7 @@ use crate::backend::{
     backends_for, BackendKind, LevelSchedule, PartitionedOpts, TrainBackend, TrainParams,
 };
 use crate::config::GoshConfig;
-use crate::expand::expand_embedding;
+use crate::expand::expand_embedding_parallel;
 use crate::model::Embedding;
 use crate::schedule::epoch_distribution;
 use crate::train_gpu::KernelVariant;
@@ -140,7 +140,9 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
             used_large_path: stats.backend == BackendKind::GpuPartitioned,
         });
         if i > 0 {
-            matrix = expand_embedding(&matrix, &hierarchy.maps[i - 1]);
+            // Sharded projection: the between-level copy rides the same
+            // worker budget as training instead of stalling on one core.
+            matrix = expand_embedding_parallel(&matrix, &hierarchy.maps[i - 1], cfg.threads);
         }
     }
 

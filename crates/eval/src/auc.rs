@@ -8,6 +8,16 @@
 ///
 /// Returns 0.5 when either class is empty (the metric is undefined; 0.5 is
 /// the chance level and keeps pipelines total).
+///
+/// NaN scores are ordered by the IEEE 754 total order ([`f32::total_cmp`]):
+/// positive NaN ranks above every number, negative NaN below. A diverged
+/// embedding that emits a NaN therefore yields a well-defined,
+/// deterministic AUC instead of killing the whole evaluation run — the
+/// seed implementation panicked on the first NaN. Note the ranking is
+/// deterministic, not pessimistic: a positive-labelled +NaN ranks *high*
+/// (sign and payload come from whatever op diverged), so callers that
+/// must treat divergence as failure should check their scores for NaN —
+/// this function's contract is totality, not divergence detection.
 pub fn auc_roc(scores: &[f32], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let pos = labels.iter().filter(|&&l| l).count();
@@ -15,9 +25,13 @@ pub fn auc_roc(scores: &[f32], labels: &[bool]) -> f64 {
     if pos == 0 || neg == 0 {
         return 0.5;
     }
-    // Sort indices by score; average ranks over tie groups.
+    // Sort indices by score; average ranks over tie groups. `total_cmp`
+    // is total on NaN, so the sort (and thus the result) is
+    // deterministic for any input. NaNs never form tie groups below
+    // (`==` is false for NaN), which only means each NaN carries its own
+    // exact rank.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_unstable_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]));
 
     let mut rank_sum_pos = 0f64; // 1-based ranks of positives
     let mut i = 0usize;
@@ -112,5 +126,39 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         auc_roc(&[0.1], &[true, false]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_rank_by_total_order() {
+        // Positive NaN ranks above every number: both positives outrank
+        // both negatives, so AUC is exactly 1.
+        let scores = [0.1, f32::NAN, 0.5, 0.9];
+        let labels = [false, true, false, true];
+        assert_eq!(auc_roc(&scores, &labels), 1.0);
+        // Negative NaN ranks below every number.
+        let scores = [0.1, -f32::NAN, 0.5, 0.9];
+        assert_eq!(auc_roc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn nan_scores_are_deterministic() {
+        let scores = [f32::NAN, 0.2, f32::NAN, 0.8, -f32::NAN, 0.4];
+        let labels = [true, false, false, true, true, false];
+        let first = auc_roc(&scores, &labels);
+        assert!(first.is_finite());
+        assert!((0.0..=1.0).contains(&first));
+        for _ in 0..10 {
+            assert_eq!(auc_roc(&scores, &labels), first);
+        }
+        // Spelled out: ascending total order is -NaN, 0.2, 0.4, 0.8,
+        // NaN, NaN. Positives hold ranks 1, 4, and one of {5, 6} (the
+        // two NaNs compare equal under total order, so the unstable sort
+        // may put either first — deterministically for a given input).
+        let rank_sum_low = (1.0 + 4.0 + 5.0) - 3.0 * 4.0 / 2.0;
+        let rank_sum_high = (1.0 + 4.0 + 6.0) - 3.0 * 4.0 / 2.0;
+        assert!(
+            first == rank_sum_low / 9.0 || first == rank_sum_high / 9.0,
+            "{first}"
+        );
     }
 }

@@ -144,6 +144,274 @@ impl GraphBuilder {
     }
 }
 
+impl GraphBuilder {
+    /// Finalize into a [`Csr`] with a worker team. Byte-identical to
+    /// [`GraphBuilder::build`] for any thread count; only the default
+    /// configuration (symmetrized, deduplicated, loop-free) is
+    /// supported — the non-default modes keep the sequential path.
+    pub fn build_parallel(self, threads: usize) -> Csr {
+        assert!(
+            self.symmetrize && self.dedup && self.drop_self_loops,
+            "build_parallel supports the default (symmetric, dedup, loop-free) configuration"
+        );
+        build_csr_parallel(self.num_vertices, &[&self.edges], threads)
+    }
+}
+
+/// Parallel counting-sort CSR construction over pre-chunked edge lists —
+/// the scatter/gather discipline of `gosh-coarsen::fused`, minus every
+/// atomic: the arc list is split into one *static* span set per worker,
+/// each worker counts its spans into a private per-vertex array, a
+/// lexicographic (vertex, worker) prefix sum turns those counts into
+/// private scatter cursors (so the shared arena is written without a
+/// single locked instruction), and per-thread contiguous vertex ranges
+/// (balanced by arc mass) then sort + dedup each neighbour list *in
+/// place* before a memcpy assembly pass.
+///
+/// The result is byte-identical to the sequential
+/// [`GraphBuilder::build`] (default configuration) on the concatenation
+/// of `chunks`, for any thread count: workers interleave differently in
+/// the arena, but every per-vertex slice holds the same multiset, and
+/// sort + dedup is order-insensitive.
+pub(crate) fn build_csr_parallel(
+    n: usize,
+    chunks: &[&[(VertexId, VertexId)]],
+    threads: usize,
+) -> Csr {
+    assert!(threads >= 1, "need at least one thread");
+    if n == 0 {
+        return Csr::empty(0);
+    }
+    let spans = partition_spans(chunks, threads);
+
+    // Pass 1: private per-vertex counts per worker. The safe indexing
+    // here is also the range check for every endpoint — by the time the
+    // unchecked scatter below runs, `u < n` and `v < n` are proven for
+    // the exact same arc set.
+    let mut counts: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|sp| {
+                scope.spawn(move || {
+                    let mut c = vec![0usize; n];
+                    for &(ci, a, b) in sp {
+                        for &(u, v) in &chunks[ci][a..b] {
+                            if u != v {
+                                c[u as usize] += 1;
+                                c[v as usize] += 1;
+                            }
+                        }
+                    }
+                    c
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("csr count worker panicked"))
+            .collect()
+    });
+
+    // Prefix sum in lexicographic (vertex, worker) order: `xadj0[v]` is
+    // where vertex v's region starts, and `counts[t][v]` becomes worker
+    // t's private write cursor inside that region. Each (worker, vertex)
+    // pair owns a disjoint sub-range, so the scatter needs no
+    // synchronization at all.
+    let mut xadj0 = vec![0usize; n + 1];
+    let mut running = 0usize;
+    for v in 0..n {
+        xadj0[v] = running;
+        for c in counts.iter_mut() {
+            let k = c[v];
+            c[v] = running;
+            running += k;
+        }
+    }
+    xadj0[n] = running;
+
+    // Pass 2: scatter both arc directions through the private cursors.
+    let mut arena: Vec<VertexId> = vec![0; running];
+    {
+        let shared = SharedArena::new(&mut arena);
+        std::thread::scope(|scope| {
+            for (sp, mut cur) in spans.iter().zip(std::mem::take(&mut counts)) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for &(ci, a, b) in sp {
+                        for &(u, v) in &chunks[ci][a..b] {
+                            if u != v {
+                                // SAFETY: pass 1 proved `u, v < n` for
+                                // this very span set, and each cursor
+                                // walks a sub-range no other (worker,
+                                // vertex) pair overlaps, exactly
+                                // `counts` entries long.
+                                unsafe {
+                                    shared.write(cur[u as usize], v);
+                                    shared.write(cur[v as usize], u);
+                                }
+                                cur[u as usize] += 1;
+                                cur[v as usize] += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Pass 3: sort + dedup every neighbour list in place, over
+    // contiguous vertex ranges balanced by arc mass. `split_at_mut`
+    // hands each worker its own arena window — back to fully safe code.
+    let bounds = arc_mass_bounds(&xadj0, n, threads);
+    let mut uniq = vec![0usize; n];
+    {
+        let mut arena_rest = arena.as_mut_slice();
+        let mut uniq_rest = uniq.as_mut_slice();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (vs, ve) = (bounds[t], bounds[t + 1]);
+                let (mine, rest) = arena_rest.split_at_mut(xadj0[ve] - xadj0[vs]);
+                arena_rest = rest;
+                let (uniq_mine, rest) = uniq_rest.split_at_mut(ve - vs);
+                uniq_rest = rest;
+                let xadj0 = &xadj0;
+                scope.spawn(move || {
+                    let off = xadj0[vs];
+                    for v in vs..ve {
+                        let list = &mut mine[xadj0[v] - off..xadj0[v + 1] - off];
+                        list.sort_unstable();
+                        uniq_mine[v - vs] = dedup_prefix(list);
+                    }
+                });
+            }
+        });
+    }
+
+    // Pass 4: assemble — prefix-sum the unique degrees, then copy each
+    // vertex's deduplicated prefix into its final slot, again over
+    // disjoint per-worker output windows.
+    let mut xadj = vec![0usize; n + 1];
+    for v in 0..n {
+        xadj[v + 1] = xadj[v] + uniq[v];
+    }
+    let mut adj: Vec<VertexId> = vec![0; xadj[n]];
+    {
+        let mut adj_rest = adj.as_mut_slice();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (vs, ve) = (bounds[t], bounds[t + 1]);
+                let (mine, rest) = adj_rest.split_at_mut(xadj[ve] - xadj[vs]);
+                adj_rest = rest;
+                let (arena, xadj0, xadj, uniq) = (&arena, &xadj0, &xadj, &uniq);
+                scope.spawn(move || {
+                    let off = xadj[vs];
+                    for v in vs..ve {
+                        mine[xadj[v] - off..xadj[v + 1] - off]
+                            .copy_from_slice(&arena[xadj0[v]..xadj0[v] + uniq[v]]);
+                    }
+                });
+            }
+        });
+    }
+    // Construction proves the invariants: `xadj` is a prefix sum whose
+    // total is exactly the copied length, and pass 1 range-checked every
+    // entry. Debug builds re-validate.
+    Csr::from_raw_trusted(xadj, adj)
+}
+
+/// Sort-assuming in-place dedup: compact the unique prefix of a sorted
+/// slice and return its length (`slice::partition_dedup` without the
+/// nightly feature).
+fn dedup_prefix(list: &mut [VertexId]) -> usize {
+    if list.is_empty() {
+        return 0;
+    }
+    let mut w = 1usize;
+    for r in 1..list.len() {
+        if list[r] != list[w - 1] {
+            list[w] = list[r];
+            w += 1;
+        }
+    }
+    w
+}
+
+/// Statically split the concatenation of `chunks` into `threads` span
+/// groups of near-equal arc count. Each span is `(chunk, start, end)`.
+/// The partition must be identical across the count and scatter passes —
+/// the private-cursor discipline depends on both passes walking the same
+/// arcs per worker — which is why claims are not dynamic here.
+fn partition_spans(
+    chunks: &[&[(VertexId, VertexId)]],
+    threads: usize,
+) -> Vec<Vec<(usize, usize, usize)>> {
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let mut out = vec![Vec::new(); threads];
+    let mut t = 0usize;
+    let mut consumed = 0usize;
+    for (ci, chunk) in chunks.iter().enumerate() {
+        let mut start = 0usize;
+        while start < chunk.len() {
+            let group_end = total * (t + 1) / threads;
+            if group_end <= consumed && t + 1 < threads {
+                t += 1;
+                continue;
+            }
+            let take = (group_end - consumed).min(chunk.len() - start).max(1);
+            out[t].push((ci, start, start + take));
+            start += take;
+            consumed += take;
+        }
+    }
+    out
+}
+
+/// A `&mut [T]` writable concurrently by the scoped scatter workers at
+/// provably disjoint indices (each index is written exactly once, by
+/// exactly one worker, per the private-cursor prefix sums). Reads wait
+/// until the scope join.
+struct SharedArena<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SharedArena<T> {}
+
+impl<T> SharedArena<T> {
+    fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and no other write to `i` may race with this one.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = value }
+    }
+}
+
+/// Split `0..n` into one contiguous vertex range per thread with roughly
+/// equal arc mass (`xadj0` prefix sums), so the sort/dedup and assembly
+/// passes balance even when a few hubs dominate.
+fn arc_mass_bounds(xadj0: &[usize], n: usize, threads: usize) -> Vec<usize> {
+    let total = xadj0[n];
+    let mut bounds = Vec::with_capacity(threads + 1);
+    bounds.push(0);
+    let mut v = 0usize;
+    for t in 1..threads {
+        let target = total * t / threads;
+        while v < n && xadj0[v] < target {
+            v += 1;
+        }
+        bounds.push(v.min(n));
+    }
+    bounds.push(n);
+    bounds
+}
+
 /// Convenience: build a symmetric, deduplicated, loop-free CSR from an edge list.
 pub fn csr_from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Csr {
     let mut b = GraphBuilder::new(n);
@@ -223,6 +491,46 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        use crate::rng::Xorshift128Plus;
+        let mut rng = Xorshift128Plus::new(41);
+        let n = 500usize;
+        // Duplicate-laden list with self loops and reverse duplicates.
+        let edges: Vec<(u32, u32)> = (0..8_000)
+            .map(|_| {
+                (
+                    (rng.next_u64() % n as u64) as u32,
+                    (rng.next_u64() % n as u64) as u32,
+                )
+            })
+            .collect();
+        let seq = csr_from_edges(n, &edges);
+        for threads in [1, 2, 3, 4, 8] {
+            let mut b = GraphBuilder::new(n);
+            b.extend(edges.iter().copied());
+            assert_eq!(b.build_parallel(threads), seq, "threads = {threads}");
+        }
+        // The chunked entry point agrees too, for any chunking.
+        let (a, bpart) = edges.split_at(1234);
+        let (b1, b2) = bpart.split_at(17);
+        assert_eq!(build_csr_parallel(n, &[a, b1, b2], 4), seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "default")]
+    fn parallel_build_rejects_non_default_modes() {
+        GraphBuilder::new(2).directed().build_parallel(2);
+    }
+
+    #[test]
+    fn parallel_build_empty_inputs() {
+        assert_eq!(GraphBuilder::new(0).build_parallel(4), Csr::empty(0));
+        let g = GraphBuilder::new(3).build_parallel(2);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -1,0 +1,751 @@
+//! Parallel streaming edge-list ingestion.
+//!
+//! [`crate::io::read_edge_list`] is the sequential reference: one thread,
+//! one line at a time, one global interner. This module is the production
+//! path for multi-million-edge SNAP/KONECT files — a worker team over
+//! newline-aligned chunks whose output is **byte-identical** to the
+//! sequential parser (graph, `original_ids`, and [`ParseStats`]),
+//! enforced by proptest across thread counts and chunk sizes:
+//!
+//! 1. **Chunk** — the input splits into newline-aligned byte ranges of
+//!    roughly [`IngestConfig::chunk_bytes`] each; workers claim chunks
+//!    through an atomic cursor.
+//! 2. **Parse** — each chunk is scanned as raw bytes (no per-line
+//!    `String`, no UTF-8 pass) by a single-pass fast scanner for the hot
+//!    `u v` / `u v w` shapes; anything else falls back to the shared
+//!    [`crate::io::parse_edge_line`] grammar, so format (and error)
+//!    semantics live in one place. Sparse vertex ids intern into a
+//!    *chunk-local* open-addressed map (multiply-shift hashing — much
+//!    cheaper than the reference parser's SipHash `HashMap`), producing
+//!    local arcs plus the chunk's raw ids in local first-seen order.
+//! 3. **Shard merge** — raw ids hash-partition across one shard map per
+//!    worker; each shard records the earliest `(chunk, position)`
+//!    occurrence of its ids. No locks: a shard is owned by one worker.
+//! 4. **Stable resolution** — an id's global dense id is determined by
+//!    its earliest occurrence: chunks are numbered in document order and
+//!    positions in local first-seen order, so ranking winners by
+//!    `(chunk, position)` reproduces the sequential first-seen order
+//!    exactly. A prefix sum over per-chunk win counts turns ranks into
+//!    dense ids, per-chunk translation tables rewrite the local arcs,
+//!    and `original_ids` concatenates the winners.
+//! 5. **Build** — the remapped arc chunks feed the parallel
+//!    counting-sort CSR build ([`crate::builder`]): an atomic-free
+//!    scatter/gather in the spirit of the fused coarsener, with static
+//!    arc spans, private per-worker counts turned into private scatter
+//!    cursors by a (vertex, worker) prefix sum, in-place sort + dedup
+//!    over arc-mass-balanced vertex ranges, and memcpy assembly.
+//!
+//! Errors are deterministic too: the first malformed line in document
+//! order is reported with the same message and line number the
+//! sequential parser would produce.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::builder::build_csr_parallel;
+use crate::csr::VertexId;
+use crate::io::{bad_line, parse_edge_line, EdgeLine, LoadedGraph, ParseStats};
+use crate::rng::mix64;
+
+/// Knobs for the parallel ingestion path.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestConfig {
+    /// Worker threads for every phase.
+    pub threads: usize,
+    /// Target bytes per newline-aligned chunk (actual chunks extend to
+    /// the next newline). Small values exist for tests; the default
+    /// keeps per-chunk interners L2-resident while giving the team
+    /// enough chunks to balance.
+    pub chunk_bytes: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            chunk_bytes: 1 << 20,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// A config with `threads` workers and the default chunk size.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// Parse an in-memory edge list with a worker team. Output is
+/// byte-identical to [`crate::io::read_edge_list`] on the same bytes.
+pub fn read_edge_list_parallel(data: &[u8], cfg: &IngestConfig) -> io::Result<LoadedGraph> {
+    let threads = cfg.threads.max(1);
+    let bounds = chunk_bounds(data, cfg.chunk_bytes.max(1));
+    let nc = bounds.len();
+
+    // Phase 2: parse chunks.
+    let mut chunks: Vec<ChunkParse> = map_jobs(threads, nc, |c| {
+        parse_chunk(&data[bounds[c].0..bounds[c].1])
+    });
+
+    // The first malformed line in document order wins, with the global
+    // line number the sequential parser would report.
+    let mut line_base = 0usize;
+    for ch in &chunks {
+        if let Some((local, msg)) = ch.error {
+            return Err(bad_line(line_base + local, msg));
+        }
+        line_base += ch.lines;
+    }
+
+    // Phase 3: shard merge. Each shard map records the earliest
+    // (chunk, position) occurrence of the raw ids that hash to it.
+    let num_shards = threads.next_power_of_two();
+    let shards: Vec<RawMap> = map_jobs(threads, num_shards, |sh| {
+        let mut m = RawMap::with_capacity(64);
+        for (c, ch) in chunks.iter().enumerate() {
+            for (p, &raw) in ch.firsts.iter().enumerate() {
+                if shard_of(raw, num_shards) == sh {
+                    m.insert_if_absent(raw, pack(c, p));
+                }
+            }
+        }
+        m
+    });
+    let owner_of = |raw: u64| {
+        shards[shard_of(raw, num_shards)]
+            .get(raw)
+            .expect("interned id missing from its shard")
+    };
+
+    // Phase 4a: per chunk, which first-seen entries are global wins, and
+    // their rank among the chunk's wins (in position order).
+    let wins: Vec<WinInfo> = map_jobs(threads, nc, |c| {
+        let ch = &chunks[c];
+        let mut rank = vec![NOT_A_WIN; ch.firsts.len()];
+        let mut w = 0u32;
+        for (p, &raw) in ch.firsts.iter().enumerate() {
+            if owner_of(raw) == pack(c, p) {
+                rank[p] = w;
+                w += 1;
+            }
+        }
+        WinInfo {
+            rank,
+            wins: w as usize,
+        }
+    });
+    let mut base = vec![0usize; nc + 1];
+    for c in 0..nc {
+        base[c + 1] = base[c] + wins[c].wins;
+    }
+    let n = base[nc];
+    if n > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{n} distinct vertex ids exceed the u32 vertex-id space"),
+        ));
+    }
+
+    // Phase 4b: per-chunk original-id runs and local→global translation
+    // tables. Winners take `base[chunk] + rank`; losers resolve through
+    // their owning chunk's rank.
+    let parts: Vec<(Vec<u64>, Vec<VertexId>)> = map_jobs(threads, nc, |c| {
+        let ch = &chunks[c];
+        let rank = &wins[c].rank;
+        let mut ids: Vec<u64> = Vec::with_capacity(wins[c].wins);
+        let mut trans: Vec<VertexId> = Vec::with_capacity(ch.firsts.len());
+        for (p, &raw) in ch.firsts.iter().enumerate() {
+            let g = if rank[p] != NOT_A_WIN {
+                ids.push(raw);
+                base[c] + rank[p] as usize
+            } else {
+                let (oc, op) = unpack(owner_of(raw));
+                base[oc] + wins[oc].rank[op] as usize
+            };
+            trans.push(g as VertexId);
+        }
+        (ids, trans)
+    });
+
+    // Phase 4c: remap each chunk's local arcs to global dense ids — in
+    // place, so arc storage is never duplicated (the lists are moved out
+    // of the chunks and rewritten where they sit). Chunk groups are
+    // contiguous, so each worker owns a disjoint `&mut` window.
+    let mut arc_lists: Vec<Vec<(VertexId, VertexId)>> = chunks
+        .iter_mut()
+        .map(|ch| std::mem::take(&mut ch.arcs))
+        .collect();
+    let group = nc.div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (lists, trs) in arc_lists.chunks_mut(group).zip(parts.chunks(group)) {
+            scope.spawn(move || {
+                for (arcs, (_, trans)) in lists.iter_mut().zip(trs) {
+                    for a in arcs.iter_mut() {
+                        *a = (trans[a.0 as usize], trans[a.1 as usize]);
+                    }
+                }
+            });
+        }
+    });
+
+    // Phase 5: parallel counting-sort CSR build over the arc chunks.
+    let refs: Vec<&[(VertexId, VertexId)]> = arc_lists.iter().map(|v| v.as_slice()).collect();
+    let graph = build_csr_parallel(n, &refs, threads);
+
+    let mut original_ids: Vec<u64> = Vec::with_capacity(n);
+    for (ids, _) in &parts {
+        original_ids.extend_from_slice(ids);
+    }
+
+    let mut stats = ParseStats::default();
+    for ch in &chunks {
+        stats.edge_lines += ch.edge_lines;
+        stats.weighted_lines += ch.weighted_lines;
+        stats.self_loops_dropped += ch.self_loops;
+    }
+    stats.duplicates_dropped =
+        stats.edge_lines - stats.self_loops_dropped - graph.num_undirected_edges();
+
+    Ok(LoadedGraph {
+        graph,
+        original_ids,
+        stats,
+    })
+}
+
+/// Load an edge-list file through the parallel path.
+///
+/// The file is read into memory once and then processed at chunk
+/// granularity — newline-aligned chunking needs random access, so
+/// "streaming" here means the *work* (parse, validate, intern, build)
+/// flows through bounded per-chunk state, not that the input bytes do.
+/// Peak memory is the file plus one `(u32, u32)` arc per edge line.
+pub fn load_edge_list_parallel<P: AsRef<Path>>(
+    path: P,
+    cfg: &IngestConfig,
+) -> io::Result<LoadedGraph> {
+    let data = std::fs::read(path)?;
+    read_edge_list_parallel(&data, cfg)
+}
+
+/// One chunk's parse result: locally interned arcs plus raw ids in local
+/// first-seen order.
+struct ChunkParse {
+    /// Raw ids in local first-seen order.
+    firsts: Vec<u64>,
+    /// Arcs over local ids (indices into `firsts`).
+    arcs: Vec<(u32, u32)>,
+    /// Lines in this chunk (for global line numbers).
+    lines: usize,
+    /// Edge lines parsed.
+    edge_lines: usize,
+    /// Lines with a validated weight column.
+    weighted_lines: usize,
+    /// Edge lines with `u == v`.
+    self_loops: usize,
+    /// First malformed line: (chunk-local 0-based line, message).
+    error: Option<(usize, &'static str)>,
+}
+
+/// Rank sentinel: this first-seen entry lost to an earlier chunk.
+const NOT_A_WIN: u32 = u32::MAX;
+
+/// Per-chunk win bookkeeping for the stable resolution pass.
+struct WinInfo {
+    /// For winning positions, the rank among the chunk's wins; else
+    /// [`NOT_A_WIN`].
+    rank: Vec<u32>,
+    /// Number of wins (new dense ids this chunk introduces).
+    wins: usize,
+}
+
+#[inline]
+fn pack(chunk: usize, pos: usize) -> u64 {
+    (chunk as u64) << 32 | pos as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+}
+
+#[inline]
+fn shard_of(raw: u64, num_shards: usize) -> usize {
+    // High mix bits pick the shard; the shard maps index with the low
+    // bits, so the two decisions stay independent.
+    (mix64(raw) >> 33) as usize & (num_shards - 1)
+}
+
+/// Split `data` into newline-aligned `(start, end)` ranges of roughly
+/// `target` bytes: every chunk but the last ends just past a `'\n'`.
+fn chunk_bounds(data: &[u8], target: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < data.len() {
+        let mut end = start.saturating_add(target).min(data.len());
+        if end < data.len() && data[end - 1] != b'\n' {
+            end = match data[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end + i + 1,
+                None => data.len(),
+            };
+        }
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Byte-scan one chunk: fast-path scanner with the shared grammar as
+/// the fallback oracle, feeding the local interner.
+fn parse_chunk(data: &[u8]) -> ChunkParse {
+    let mut cp = ChunkParse {
+        firsts: Vec::new(),
+        arcs: Vec::new(),
+        lines: 0,
+        edge_lines: 0,
+        weighted_lines: 0,
+        self_loops: 0,
+        error: None,
+    };
+    let mut map = RawMap::with_capacity(256);
+    let intern = |map: &mut RawMap, firsts: &mut Vec<u64>, raw: u64| -> u32 {
+        let (val, inserted) = map.get_or_insert(raw, firsts.len() as u64);
+        if inserted {
+            firsts.push(raw);
+        }
+        val as u32
+    };
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let scanned = match scan_line(data, pos) {
+            Scan::Skip { next } => {
+                cp.lines += 1;
+                pos = next;
+                continue;
+            }
+            Scan::Edge {
+                u,
+                v,
+                weighted,
+                next,
+            } => {
+                pos = next;
+                Ok(EdgeLine::Edge { u, v, weighted })
+            }
+            Scan::Fallback { line_end, next } => {
+                let line = &data[pos..line_end];
+                pos = next;
+                parse_edge_line(line)
+            }
+        };
+        match scanned {
+            Ok(EdgeLine::Skip) => {}
+            Ok(EdgeLine::Edge { u, v, weighted }) => {
+                cp.edge_lines += 1;
+                cp.weighted_lines += usize::from(weighted);
+                cp.self_loops += usize::from(u == v);
+                let ui = intern(&mut map, &mut cp.firsts, u);
+                let vi = intern(&mut map, &mut cp.firsts, v);
+                cp.arcs.push((ui, vi));
+            }
+            Err(msg) => {
+                if cp.error.is_none() {
+                    cp.error = Some((cp.lines, msg));
+                }
+            }
+        }
+        cp.lines += 1;
+    }
+    cp
+}
+
+/// One fast-scanned line.
+enum Scan {
+    /// Blank or comment; `next` is the start of the following line.
+    Skip { next: usize },
+    /// A proven `u v` / `u v w` line.
+    Edge {
+        u: u64,
+        v: u64,
+        weighted: bool,
+        next: usize,
+    },
+    /// Anything the fast path does not prove — exotic number forms,
+    /// malformed fields — re-parsed by [`parse_edge_line`] so semantics
+    /// (and error messages) stay defined in exactly one place.
+    Fallback { line_end: usize, next: usize },
+}
+
+/// ASCII whitespace that can appear *inside* a line (everything
+/// `u8::is_ascii_whitespace` accepts except `\n`, which terminates it).
+#[inline]
+fn is_line_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\r' | 0x0C)
+}
+
+/// Scan one line starting at `pos` in a single left-to-right pass. The
+/// hot case — optionally padded `digits ws digits`, with an optional
+/// numeric third column — is decided without the generic trim/split
+/// machinery of [`parse_edge_line`]; every other shape falls back to it.
+fn scan_line(data: &[u8], pos: usize) -> Scan {
+    let len = data.len();
+    let fallback = |from: usize| {
+        let line_end = from
+            + data[from..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap_or(len - from);
+        Scan::Fallback {
+            line_end,
+            next: (line_end + 1).min(len),
+        }
+    };
+    let mut i = pos;
+    while i < len && is_line_ws(data[i]) {
+        i += 1;
+    }
+    if i >= len {
+        return Scan::Skip { next: len };
+    }
+    match data[i] {
+        b'\n' => return Scan::Skip { next: i + 1 },
+        b'#' | b'%' => {
+            while i < len && data[i] != b'\n' {
+                i += 1;
+            }
+            return Scan::Skip {
+                next: (i + 1).min(len),
+            };
+        }
+        _ => {}
+    }
+    let Some((u, j)) = scan_u64(data, i) else {
+        return fallback(pos);
+    };
+    let mut i = j;
+    if i >= len || !is_line_ws(data[i]) {
+        // Lone token, `12x`-style junk, or `u\n`: all grammar errors.
+        return fallback(pos);
+    }
+    while i < len && is_line_ws(data[i]) {
+        i += 1;
+    }
+    let Some((v, j)) = scan_u64(data, i) else {
+        return fallback(pos);
+    };
+    let mut i = j;
+    if i < len && !is_line_ws(data[i]) && data[i] != b'\n' {
+        return fallback(pos);
+    }
+    while i < len && is_line_ws(data[i]) {
+        i += 1;
+    }
+    if i >= len || data[i] == b'\n' {
+        return Scan::Edge {
+            u,
+            v,
+            weighted: false,
+            next: (i + 1).min(len),
+        };
+    }
+    // Third column: must be a number, and must be the last field.
+    let w_start = i;
+    while i < len && !is_line_ws(data[i]) && data[i] != b'\n' {
+        i += 1;
+    }
+    let weight_ok = std::str::from_utf8(&data[w_start..i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .is_some();
+    if !weight_ok {
+        return fallback(pos);
+    }
+    while i < len && is_line_ws(data[i]) {
+        i += 1;
+    }
+    if i < len && data[i] != b'\n' {
+        return fallback(pos); // fourth field: grammar error
+    }
+    Scan::Edge {
+        u,
+        v,
+        weighted: true,
+        next: (i + 1).min(len),
+    }
+}
+
+/// Scan a plain decimal run at `pos`: returns the value and the index
+/// one past the digits, or `None` when the token does not start with a
+/// digit or overflows `u64` (the fallback path decides what that means).
+#[inline]
+fn scan_u64(data: &[u8], pos: usize) -> Option<(u64, usize)> {
+    let mut i = pos;
+    let mut x: u64 = 0;
+    while i < data.len() && data[i].is_ascii_digit() {
+        x = x.checked_mul(10)?.checked_add(u64::from(data[i] - b'0'))?;
+        i += 1;
+    }
+    (i > pos).then_some((x, i))
+}
+
+/// Run `f(0..jobs)` on a team of scoped workers claiming job indices
+/// through an atomic cursor; results are returned in job order.
+fn map_jobs<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("ingest worker panicked") {
+                out[i] = Some(t);
+            }
+        }
+    });
+    out.into_iter().map(|t| t.expect("job completed")).collect()
+}
+
+/// Value slot marking an empty [`RawMap`] bucket. Safe as a sentinel:
+/// interner values are local ids `< 2^32`, and shard values are
+/// `pack(chunk, pos)` with `chunk` far below `2^32`, so a stored value
+/// never equals `u64::MAX` (keys, in contrast, may be any `u64` —
+/// `u64::MAX` is a legal vertex id — which is why the sentinel lives on
+/// the value side).
+const VACANT: u64 = u64::MAX;
+
+/// Open-addressed `u64 → u64` map with multiply-shift hashing and linear
+/// probing. The reference parser's `HashMap` pays SipHash per token;
+/// this is the ingestion-grade replacement (one `mix64`, one probe in
+/// the common case).
+struct RawMap {
+    /// `(key, value)` slots; a slot is empty iff `value == VACANT`.
+    slots: Vec<(u64, u64)>,
+    mask: usize,
+    len: usize,
+}
+
+impl RawMap {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(16);
+        Self {
+            slots: vec![(0, VACANT); cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Existing value, or insert `new_val`; the flag reports insertion.
+    fn get_or_insert(&mut self, key: u64, new_val: u64) -> (u64, bool) {
+        debug_assert_ne!(new_val, VACANT, "VACANT is reserved");
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = (mix64(key) as usize) & self.mask;
+        loop {
+            let (k, v) = self.slots[i];
+            if v == VACANT {
+                self.slots[i] = (key, new_val);
+                self.len += 1;
+                return (new_val, true);
+            }
+            if k == key {
+                return (v, false);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert_if_absent(&mut self, key: u64, val: u64) {
+        let _ = self.get_or_insert(key, val);
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let mut i = (mix64(key) as usize) & self.mask;
+        loop {
+            let (k, v) = self.slots[i];
+            if v == VACANT {
+                return None;
+            }
+            if k == key {
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = vec![(0, VACANT); self.slots.len() * 2];
+        let old = std::mem::replace(&mut self.slots, doubled);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for (k, v) in old {
+            if v != VACANT {
+                let mut i = (mix64(k) as usize) & self.mask;
+                while self.slots[i].1 != VACANT {
+                    i = (i + 1) & self.mask;
+                }
+                self.slots[i] = (k, v);
+                self.len += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::read_edge_list;
+    use std::io::Cursor;
+
+    fn assert_matches_sequential(text: &str, threads: usize, chunk_bytes: usize) {
+        let seq = read_edge_list(Cursor::new(text)).unwrap();
+        let cfg = IngestConfig {
+            threads,
+            chunk_bytes,
+        };
+        let par = read_edge_list_parallel(text.as_bytes(), &cfg).unwrap();
+        assert_eq!(par.graph, seq.graph, "t={threads} cb={chunk_bytes}");
+        assert_eq!(par.original_ids, seq.original_ids);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn matches_sequential_on_messy_input() {
+        let text = "# header\n% konect\n1000000 5\n5 7\n\n7 7\n5 1000000 2.5\r\n9 5\n5 9\n42 5\n";
+        for threads in [1, 2, 4, 8] {
+            for chunk_bytes in [1, 7, 64, 1 << 20] {
+                assert_matches_sequential(text, threads, chunk_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_chunk_interning_is_first_seen_stable() {
+        // Ids deliberately recur across many tiny chunks; the winner must
+        // always be the document-order first occurrence.
+        let mut text = String::new();
+        for i in 0..200u64 {
+            let a = (i * 7919) % 31; // heavy reuse from a small pool
+            let b = (i * 104729) % 31;
+            text.push_str(&format!("{} {}\n", a * 1_000_003, b * 1_000_003));
+        }
+        for chunk_bytes in [1, 13, 64, 255] {
+            assert_matches_sequential(&text, 4, chunk_bytes);
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_match_sequential() {
+        let text = "1 2\n2 3\nbogus line here\n3 4\n";
+        let seq_err = read_edge_list(Cursor::new(text)).unwrap_err();
+        for chunk_bytes in [1, 6, 1 << 20] {
+            let cfg = IngestConfig {
+                threads: 4,
+                chunk_bytes,
+            };
+            let par_err = read_edge_list_parallel(text.as_bytes(), &cfg).unwrap_err();
+            assert_eq!(par_err.to_string(), seq_err.to_string(), "cb={chunk_bytes}");
+        }
+        // Two errors: the document-order first one is reported.
+        let text2 = "1 2\nbad\n3 4\nworse worse worse worse\n";
+        let cfg = IngestConfig {
+            threads: 4,
+            chunk_bytes: 4,
+        };
+        let err = read_edge_list_parallel(text2.as_bytes(), &cfg).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_trailing_newline_edge_cases() {
+        for text in ["", "\n", "# only comments\n% more\n", "1 2", "1 2\n"] {
+            for chunk_bytes in [1, 3, 1 << 20] {
+                assert_matches_sequential(text, 3, chunk_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn u64_max_is_a_legal_vertex_id() {
+        let text = format!("{} 7\n7 {}\n{0} {0}\n", u64::MAX, u64::MAX - 1);
+        for chunk_bytes in [1, 1 << 20] {
+            assert_matches_sequential(&text, 2, chunk_bytes);
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_are_newline_aligned_and_exhaustive() {
+        let data = b"aa\nbbbb\nc\n\ndddddd\nee";
+        for target in 1..=data.len() + 1 {
+            let bounds = chunk_bounds(data, target);
+            assert_eq!(bounds.first().map(|b| b.0), Some(0));
+            assert_eq!(bounds.last().map(|b| b.1), Some(data.len()));
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                assert_eq!(data[w[0].1 - 1], b'\n', "aligned at {:?}", w[0]);
+            }
+        }
+        assert!(chunk_bounds(b"", 8).is_empty());
+    }
+
+    #[test]
+    fn raw_map_behaves_like_a_map() {
+        let mut m = RawMap::with_capacity(4);
+        let mut reference = std::collections::HashMap::new();
+        let mut x = 0x12345u64;
+        for i in 0..10_000u64 {
+            x = mix64(x);
+            let key = x % 4096; // force collisions and repeats
+            let (v, inserted) = m.get_or_insert(key, i);
+            match reference.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert!(!inserted);
+                    assert_eq!(v, *e.get());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    assert!(inserted);
+                    assert_eq!(v, i);
+                    e.insert(i);
+                }
+            }
+        }
+        for (&k, &v) in &reference {
+            assert_eq!(m.get(k), Some(v));
+        }
+        assert_eq!(m.get(999_999_999), None);
+        assert_eq!(m.len, reference.len());
+    }
+}

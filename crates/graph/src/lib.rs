@@ -15,6 +15,7 @@ pub mod compact;
 pub mod components;
 pub mod csr;
 pub mod gen;
+pub mod ingest;
 pub mod io;
 pub mod rng;
 pub mod split;

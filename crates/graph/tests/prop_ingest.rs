@@ -1,0 +1,116 @@
+//! Determinism proptests for the parallel ingestion path: for any input
+//! the worker-team parser must be byte-identical to the sequential
+//! reference `read_edge_list` — same CSR, same `original_ids`, same
+//! reported counts — across thread counts and chunk sizes, including
+//! comment/blank/CRLF-heavy inputs with sparse recurring ids, weight
+//! columns, self loops, and duplicates.
+
+use std::io::Cursor;
+
+use gosh_graph::ingest::{read_edge_list_parallel, IngestConfig};
+use gosh_graph::io::read_edge_list;
+use proptest::prelude::*;
+
+/// One encoded line: `kind` 0 = blank, 1–2 = comment, otherwise an edge
+/// `u v` (ids drawn from a small pool then sparsified so the same id
+/// recurs across chunks), optionally weighted (`w >= 40`, rendered as
+/// `w - 40` so negative weights appear too), optionally padded with
+/// leading whitespace.
+type LineSpec = ((usize, u64), (u64, u64), bool);
+
+fn line_specs() -> impl Strategy<Value = Vec<LineSpec>> {
+    prop::collection::vec(
+        (
+            (0usize..16, 0u64..24),
+            (0u64..24, 0u64..140),
+            prop::bool::ANY,
+        ),
+        0..64,
+    )
+}
+
+fn render(lines: &[LineSpec], crlf: bool, trailing: bool) -> String {
+    let sep = if crlf { "\r\n" } else { "\n" };
+    let mut text = String::new();
+    for (i, &((kind, u), (v, w), pad)) in lines.iter().enumerate() {
+        if i > 0 {
+            text.push_str(sep);
+        }
+        match kind {
+            0 => {}
+            1 => text.push_str(&format!("# comment {u} {v}")),
+            2 => text.push_str(&format!("% konect header {w}")),
+            _ => {
+                if pad {
+                    text.push_str("  \t");
+                }
+                // Sparsify: SNAP-style non-contiguous ids.
+                text.push_str(&format!("{} {}", u * 1_000_003 + 17, v * 1_000_003 + 17));
+                if w >= 40 {
+                    text.push_str(&format!("\t{}.25", w as i64 - 80));
+                }
+            }
+        }
+    }
+    if trailing && !text.is_empty() {
+        text.push_str(sep);
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_parse_is_byte_identical_to_sequential(
+        lines in line_specs(),
+        crlf in prop::bool::ANY,
+        trailing in prop::bool::ANY,
+    ) {
+        let text = render(&lines, crlf, trailing);
+        let seq = read_edge_list(Cursor::new(text.as_bytes())).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            for chunk_bytes in [1usize, 9, 57, 1 << 16] {
+                let cfg = IngestConfig { threads, chunk_bytes };
+                let par = read_edge_list_parallel(text.as_bytes(), &cfg).unwrap();
+                prop_assert_eq!(&par.graph, &seq.graph,
+                    "graph diverged at threads={} chunk_bytes={}", threads, chunk_bytes);
+                prop_assert_eq!(&par.original_ids, &seq.original_ids,
+                    "ids diverged at threads={} chunk_bytes={}", threads, chunk_bytes);
+                prop_assert_eq!(par.stats, seq.stats,
+                    "stats diverged at threads={} chunk_bytes={}", threads, chunk_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_errors_match_sequential(
+        lines in line_specs(),
+        bad_at in 0usize..64,
+        bad_kind in 0usize..4,
+    ) {
+        // Splice a malformed line into the document: both parsers must
+        // reject it with the same message and line number.
+        let text = render(&lines, false, true);
+        let bad = match bad_kind {
+            0 => "bogus",
+            1 => "12 noninteger",
+            2 => "1 2 not-a-weight",
+            _ => "1 2 3.0 too many",
+        };
+        let mut doc_lines: Vec<&str> = text.lines().collect();
+        let at = bad_at.min(doc_lines.len());
+        doc_lines.insert(at, bad);
+        let broken = doc_lines.join("\n");
+        let seq_msg = read_edge_list(Cursor::new(broken.as_bytes()))
+            .unwrap_err()
+            .to_string();
+        for threads in [1usize, 3, 8] {
+            for chunk_bytes in [1usize, 23, 1 << 16] {
+                let cfg = IngestConfig { threads, chunk_bytes };
+                let err = read_edge_list_parallel(broken.as_bytes(), &cfg).unwrap_err();
+                prop_assert_eq!(err.to_string(), seq_msg.clone());
+            }
+        }
+    }
+}
