@@ -1,11 +1,23 @@
 //! Trainer-core throughput harness (`gosh bench-train` and the criterion
 //! hot-path micro-bench).
 //!
-//! Measures updates/sec of the copy-free sharded CPU Hogwild engine on a
-//! synthetic community graph, and — for the perf trajectory — the same
-//! workload on a frozen copy of the *seed* engine (scratch-buffer row
-//! copies + global atomic batch cursor + per-epoch thread spawns), so
-//! every report carries its own baseline ratio.
+//! Measures updates/sec of the 8-lane SIMD sharded CPU Hogwild engine on
+//! a synthetic community graph, and — for the perf trajectory — the same
+//! workload on two frozen engines:
+//!
+//! * the *seed* engine (scratch-buffer row copies + global atomic batch
+//!   cursor + per-epoch thread spawns), the original baseline;
+//! * the *scalar* engine: the pre-SIMD sharded trainer with its 4-lane
+//!   accumulation, frozen here verbatim when the hot path moved to the
+//!   8-wide `gosh_core::simd` lanes — so `speedup_vs_scalar` isolates
+//!   the lane-width rewrite from the earlier scheduling work.
+//!
+//! Quantized rows (`--precision f16|i8`) are measured alongside f32, and
+//! every row carries an `updates_per_sec_per_byte` dimension —
+//! updates/sec divided by the precision's true row byte width
+//! ([`gosh_core::Precision::row_bytes`]) — the capacity-adjusted
+//! throughput that makes a 2-4x denser format win even at a lower raw
+//! update rate.
 //!
 //! ## `BENCH_hotpath.json` schema
 //!
@@ -18,23 +30,36 @@
 //!   "dim": 128, "threads": 8, "epochs": 6, "negative_samples": 3,
 //!   "updates": 11141304,
 //!   "seconds": 1.89, "updates_per_sec": 5900089.0,
+//!   "updates_per_sec_per_byte": 11523.6,
+//!   "scalar_seconds": 2.60, "scalar_updates_per_sec": 4285117.0,
+//!   "speedup_vs_scalar": 1.38,
 //!   "seed_seconds": 4.59, "seed_updates_per_sec": 2428186.0,
-//!   "speedup_vs_seed": 2.43
+//!   "speedup_vs_seed": 2.43,
+//!   "f16_seconds": 3.1, "f16_updates_per_sec": 3594000.0,
+//!   "f16_updates_per_sec_per_byte": 14039.1,
+//!   "speedup_vs_f32_per_byte_f16": 1.22,
+//!   "i8_seconds": 3.4, "i8_updates_per_sec": 3276854.0,
+//!   "i8_updates_per_sec_per_byte": 24094.5,
+//!   "speedup_vs_f32_per_byte_i8": 2.09
 //! }
 //! ```
 //!
 //! `updates` is the nominal count `epochs · sources · (1 + ns)` (sources
-//! = arcs/2, matching the edge-frequency epoch definition); both engines
-//! process exactly that many, so `speedup_vs_seed` is a pure time ratio.
-//! The two `seed_*` fields and the ratio are omitted when the baseline
-//! run is skipped.
+//! = arcs/2, matching the edge-frequency epoch definition); every engine
+//! processes exactly that many, so all `speedup_vs_*` values are pure
+//! ratios. The `seed_*`/`scalar_*` fields and their ratios are omitted
+//! when the baseline runs are skipped; the per-precision rows are
+//! omitted when quantized measurement is off.
 
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
-use gosh_core::model::Embedding;
-use gosh_core::train_cpu::{positive_sample, train_cpu};
-use gosh_core::TrainParams;
+use gosh_core::model::{pack_pair, unpack_pair, Embedding, SharedMatrix};
+use gosh_core::schedule::decayed_lr;
+use gosh_core::train_cpu::{positive_sample, shard_ranges, train_cpu};
+use gosh_core::update::fast_sigmoid;
+use gosh_core::{Precision, TrainParams};
 use gosh_graph::csr::Csr;
 use gosh_graph::gen::{community_graph, CommunityConfig};
 use gosh_graph::rng::{mix64, Xorshift128Plus};
@@ -56,8 +81,11 @@ pub struct HotpathConfig {
     pub negative_samples: usize,
     /// Seed for graph, matrix, and sampling.
     pub seed: u64,
-    /// Also time the frozen seed engine for the speedup ratio.
+    /// Also time the frozen seed and scalar engines for the speedup
+    /// ratios.
     pub baseline: bool,
+    /// Also time the quantized (f16, i8) engines for the per-byte rows.
+    pub precisions: bool,
     /// Timed repetitions per engine; the best run is reported.
     pub repetitions: u32,
 }
@@ -77,6 +105,7 @@ impl Default for HotpathConfig {
             negative_samples: 3,
             seed: 0xB0A7,
             baseline: true,
+            precisions: true,
             repetitions: 3,
         }
     }
@@ -99,12 +128,19 @@ pub struct HotpathReport {
     pub negative_samples: usize,
     /// Nominal updates: `epochs · sources · (1 + ns)`.
     pub updates: u64,
-    /// Wall-clock seconds of the sharded engine.
+    /// Wall-clock seconds of the SIMD f32 engine.
     pub seconds: f64,
     /// `updates / seconds`.
     pub updates_per_sec: f64,
     /// Wall-clock seconds of the frozen seed engine (if measured).
     pub seed_seconds: Option<f64>,
+    /// Wall-clock seconds of the frozen pre-SIMD scalar engine (if
+    /// measured).
+    pub scalar_seconds: Option<f64>,
+    /// Wall-clock seconds of the f16 engine (if measured).
+    pub f16_seconds: Option<f64>,
+    /// Wall-clock seconds of the i8 engine (if measured).
+    pub i8_seconds: Option<f64>,
 }
 
 impl HotpathReport {
@@ -116,6 +152,29 @@ impl HotpathReport {
     /// Speedup of the sharded engine over the seed engine.
     pub fn speedup_vs_seed(&self) -> Option<f64> {
         self.seed_seconds.map(|s| s / self.seconds)
+    }
+
+    /// Speedup of the 8-lane SIMD engine over the frozen 4-lane scalar
+    /// engine — the lane-width rewrite in isolation.
+    pub fn speedup_vs_scalar(&self) -> Option<f64> {
+        self.scalar_seconds.map(|s| s / self.seconds)
+    }
+
+    /// Updates/sec divided by the precision's true row byte width.
+    pub fn updates_per_sec_per_byte(&self, precision: Precision, seconds: f64) -> f64 {
+        self.updates as f64 / seconds / precision.row_bytes(self.dim) as f64
+    }
+
+    /// Capacity-adjusted speedup of a quantized engine over f32:
+    /// per-byte throughput ratio.
+    pub fn speedup_vs_f32_per_byte(&self, precision: Precision) -> Option<f64> {
+        let secs = match precision {
+            Precision::F16 => self.f16_seconds?,
+            Precision::I8 => self.i8_seconds?,
+            Precision::F32 => self.seconds,
+        };
+        let f32_rate = self.updates_per_sec_per_byte(Precision::F32, self.seconds);
+        Some(self.updates_per_sec_per_byte(precision, secs) / f32_rate)
     }
 
     /// Serialize to the `BENCH_hotpath.json` schema (see module docs).
@@ -134,9 +193,21 @@ impl HotpathReport {
         s.push_str(&format!("  \"updates\": {},\n", self.updates));
         s.push_str(&format!("  \"seconds\": {:.6},\n", self.seconds));
         s.push_str(&format!(
-            "  \"updates_per_sec\": {:.1}",
+            "  \"updates_per_sec\": {:.1},\n",
             self.updates_per_sec
         ));
+        s.push_str(&format!(
+            "  \"updates_per_sec_per_byte\": {:.1}",
+            self.updates_per_sec_per_byte(Precision::F32, self.seconds)
+        ));
+        if let (Some(ss), Some(x)) = (self.scalar_seconds, self.speedup_vs_scalar()) {
+            s.push_str(&format!(",\n  \"scalar_seconds\": {ss:.6},\n"));
+            s.push_str(&format!(
+                "  \"scalar_updates_per_sec\": {:.1},\n",
+                self.updates as f64 / ss
+            ));
+            s.push_str(&format!("  \"speedup_vs_scalar\": {x:.2}"));
+        }
         if let (Some(bs), Some(bups), Some(x)) = (
             self.seed_seconds,
             self.seed_updates_per_sec(),
@@ -145,6 +216,24 @@ impl HotpathReport {
             s.push_str(&format!(",\n  \"seed_seconds\": {bs:.6},\n"));
             s.push_str(&format!("  \"seed_updates_per_sec\": {bups:.1},\n"));
             s.push_str(&format!("  \"speedup_vs_seed\": {x:.2}"));
+        }
+        for (name, precision, secs) in [
+            ("f16", Precision::F16, self.f16_seconds),
+            ("i8", Precision::I8, self.i8_seconds),
+        ] {
+            let (Some(ps), Some(x)) = (secs, self.speedup_vs_f32_per_byte(precision)) else {
+                continue;
+            };
+            s.push_str(&format!(",\n  \"{name}_seconds\": {ps:.6},\n"));
+            s.push_str(&format!(
+                "  \"{name}_updates_per_sec\": {:.1},\n",
+                self.updates as f64 / ps
+            ));
+            s.push_str(&format!(
+                "  \"{name}_updates_per_sec_per_byte\": {:.1},\n",
+                self.updates_per_sec_per_byte(precision, ps)
+            ));
+            s.push_str(&format!("  \"speedup_vs_f32_per_byte_{name}\": {x:.2}"));
         }
         s.push_str("\n}\n");
         s
@@ -190,12 +279,34 @@ pub fn run_hotpath(cfg: &HotpathConfig) -> HotpathReport {
         train_cpu(&g, &mut m, &params);
     });
 
+    let scalar_seconds = cfg.baseline.then(|| {
+        time_best(&mut || {
+            let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+            train_cpu_scalar4(&g, &mut m, &params);
+        })
+    });
+
     let seed_seconds = cfg.baseline.then(|| {
         time_best(&mut || {
             let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
             train_cpu_seed(&g, &mut m, &params);
         })
     });
+
+    let quantized = |precision| {
+        cfg.precisions.then(|| {
+            let p = TrainParams {
+                precision,
+                ..params
+            };
+            time_best(&mut || {
+                let mut m = Embedding::random(g.num_vertices(), cfg.dim, cfg.seed);
+                train_cpu(&g, &mut m, &p);
+            })
+        })
+    };
+    let f16_seconds = quantized(Precision::F16);
+    let i8_seconds = quantized(Precision::I8);
 
     HotpathReport {
         vertices: g.num_vertices(),
@@ -208,6 +319,9 @@ pub fn run_hotpath(cfg: &HotpathConfig) -> HotpathReport {
         seconds,
         updates_per_sec: updates as f64 / seconds,
         seed_seconds,
+        scalar_seconds,
+        f16_seconds,
+        i8_seconds,
     }
 }
 
@@ -347,6 +461,226 @@ fn seed_one_update(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The frozen pre-SIMD scalar engine: the sharded trainer exactly as it
+// stood before the hot path moved to the 8-wide `gosh_core::simd` lanes
+// — same scheduling (contiguous shards, epoch barrier, source-row
+// staging, sample prefetch), but the 4-lane accumulation order and
+// pairwise atomic loops of that generation. `speedup_vs_scalar` measures
+// the lane-width rewrite against this, with scheduling held constant.
+// ---------------------------------------------------------------------------
+
+/// Negative draws batched ahead per source (the frozen engine's bound).
+const SCALAR_PREFETCH_AHEAD: usize = 8;
+
+#[inline(always)]
+fn scalar_prefetch_row(row: &[AtomicU64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `_mm_prefetch` is an architectural hint; it performs no
+        // memory access and is valid for any pointer.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let p = row.as_ptr() as *const i8;
+            for off in (0..row.len() * 8).step_by(64) {
+                _mm_prefetch(p.add(off), _MM_HINT_T0);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        if let Some(c) = row.first() {
+            std::hint::black_box(c.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// The pre-SIMD sharded `train_cpu`, frozen for the perf trajectory.
+pub fn train_cpu_scalar4(g: &Csr, m: &mut Embedding, params: &TrainParams) {
+    assert_eq!(g.num_vertices(), m.num_vertices(), "graph/matrix mismatch");
+    if g.num_edges() == 0 || params.epochs == 0 {
+        return;
+    }
+    let n = g.num_vertices() as u32;
+    let shared = SharedMatrix::from_embedding(m);
+    let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
+    for v in 0..n {
+        arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+    }
+    let num_arcs = arc_src.len();
+    let sources = (num_arcs / 2).max(1);
+    let threads = params.threads.min(sources);
+    let shards = shard_ranges(sources, threads);
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for (t, shard) in shards.into_iter().enumerate() {
+            let arc_src = &arc_src;
+            let shared = &shared;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut src_row = vec![0f32; 2 * shared.pairs_per_row()];
+                for epoch in 0..params.epochs {
+                    let lr_now = decayed_lr(params.lr, epoch, params.epochs);
+                    let mut rng = Xorshift128Plus::new(mix64(
+                        params.seed ^ ((epoch as u64) << 20) ^ t as u64,
+                    ));
+                    let offset = epoch as usize % num_arcs;
+                    let arc_at = |s: usize| {
+                        let mut idx = 2 * s + offset;
+                        if idx >= num_arcs {
+                            idx -= num_arcs;
+                        }
+                        arc_src[idx]
+                    };
+                    let mut src_next = if shard.is_empty() {
+                        0
+                    } else {
+                        arc_at(shard.start)
+                    };
+                    for s in shard.clone() {
+                        let src = src_next;
+                        if s + 1 < shard.end {
+                            src_next = arc_at(s + 1);
+                            scalar_prefetch_row(shared.row_atomics(src_next));
+                        }
+                        scalar_process_source(
+                            g,
+                            shared,
+                            src,
+                            n,
+                            params,
+                            lr_now,
+                            &mut rng,
+                            &mut src_row,
+                        );
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    *m = shared.to_embedding();
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scalar_process_source(
+    g: &Csr,
+    shared: &SharedMatrix,
+    src: u32,
+    n: u32,
+    params: &TrainParams,
+    lr: f32,
+    rng: &mut Xorshift128Plus,
+    src_row: &mut [f32],
+) {
+    let pos = positive_sample(g, src, params.similarity, rng);
+    let ns = params.negative_samples;
+    let ahead = ns.min(SCALAR_PREFETCH_AHEAD);
+    let mut negs = [0u32; SCALAR_PREFETCH_AHEAD];
+    for slot in negs.iter_mut().take(ahead) {
+        *slot = rng.below(n);
+    }
+    if let Some(u) = pos {
+        scalar_prefetch_row(shared.row_atomics(u));
+    }
+    for &u in negs.iter().take(ahead) {
+        scalar_prefetch_row(shared.row_atomics(u));
+    }
+    let src_pairs = shared.row_atomics(src);
+    let mut st = src_row.chunks_exact_mut(4);
+    let mut sp = src_pairs.chunks_exact(2);
+    for (slot, cs) in (&mut st).zip(&mut sp) {
+        let (a0, a1) = unpack_pair(cs[0].load(Ordering::Relaxed));
+        let (a2, a3) = unpack_pair(cs[1].load(Ordering::Relaxed));
+        slot[0] = a0;
+        slot[1] = a1;
+        slot[2] = a2;
+        slot[3] = a3;
+    }
+    if let ([s0, s1], [c]) = (st.into_remainder(), sp.remainder()) {
+        let (a0, a1) = unpack_pair(c.load(Ordering::Relaxed));
+        *s0 = a0;
+        *s1 = a1;
+    }
+    if let Some(u) = pos {
+        scalar_fused_update(src_row, shared.row_atomics(u), 1.0, lr);
+    }
+    for &u in negs.iter().take(ahead) {
+        scalar_fused_update(src_row, shared.row_atomics(u), 0.0, lr);
+    }
+    for _ in ahead..ns {
+        let u = rng.below(n);
+        scalar_fused_update(src_row, shared.row_atomics(u), 0.0, lr);
+    }
+    let mut st = src_row.chunks_exact(4);
+    let mut sp = src_pairs.chunks_exact(2);
+    for (slot, cs) in (&mut st).zip(&mut sp) {
+        cs[0].store(pack_pair(slot[0], slot[1]), Ordering::Relaxed);
+        cs[1].store(pack_pair(slot[2], slot[3]), Ordering::Relaxed);
+    }
+    if let ([s0, s1], [c]) = (st.remainder(), sp.remainder()) {
+        c.store(pack_pair(*s0, *s1), Ordering::Relaxed);
+    }
+}
+
+/// The frozen 4-lane fused update (dot with the 4-lane accumulation tree,
+/// then both axpys with pre-update values, two pairs per iteration).
+#[inline]
+fn scalar_fused_update(src: &mut [f32], sample: &[AtomicU64], b: f32, lr: f32) {
+    debug_assert_eq!(src.len(), 2 * sample.len());
+    #[inline(always)]
+    fn ld(c: &AtomicU64) -> (f32, f32) {
+        unpack_pair(c.load(Ordering::Relaxed))
+    }
+    let mut acc = [0.0f32; 4];
+    let mut cs = src.chunks_exact(4);
+    let mut cu = sample.chunks_exact(2);
+    for (xs, ws) in (&mut cs).zip(&mut cu) {
+        let (y0, y1) = ld(&ws[0]);
+        let (y2, y3) = ld(&ws[1]);
+        acc[0] += xs[0] * y0;
+        acc[1] += xs[1] * y1;
+        acc[2] += xs[2] * y2;
+        acc[3] += xs[3] * y3;
+    }
+    if let ([x0, x1], [w]) = (cs.remainder(), cu.remainder()) {
+        let (y0, y1) = ld(w);
+        acc[0] += x0 * y0;
+        acc[1] += x1 * y1;
+    }
+    let dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let score = (b - fast_sigmoid(dot)) * lr;
+    let mut us = src.chunks_exact_mut(4);
+    let mut uw = sample.chunks_exact(2);
+    for (xs, ws) in (&mut us).zip(&mut uw) {
+        let (u0, u1) = ld(&ws[0]);
+        let (u2, u3) = ld(&ws[1]);
+        ws[0].store(
+            pack_pair(u0 + score * xs[0], u1 + score * xs[1]),
+            Ordering::Relaxed,
+        );
+        ws[1].store(
+            pack_pair(u2 + score * xs[2], u3 + score * xs[3]),
+            Ordering::Relaxed,
+        );
+        xs[0] += score * u0;
+        xs[1] += score * u1;
+        xs[2] += score * u2;
+        xs[3] += score * u3;
+    }
+    if let ([x0, x1], [w]) = (us.into_remainder(), uw.remainder()) {
+        let (u0, u1) = ld(w);
+        w.store(
+            pack_pair(u0 + score * *x0, u1 + score * *x1),
+            Ordering::Relaxed,
+        );
+        *x0 += score * u0;
+        *x1 += score * u1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +695,7 @@ mod tests {
             negative_samples: 3,
             seed: 7,
             baseline: true,
+            precisions: true,
             repetitions: 1,
         }
     }
@@ -371,13 +706,21 @@ mod tests {
         assert!(r.seconds > 0.0 && r.updates > 0);
         assert!(r.updates_per_sec > 0.0);
         assert!(r.seed_seconds.is_some());
+        assert!(r.scalar_seconds.is_some());
+        assert!(r.f16_seconds.is_some() && r.i8_seconds.is_some());
         let json = r.to_json();
         for key in [
             "\"bench\": \"hotpath\"",
             "\"updates_per_sec\"",
+            "\"updates_per_sec_per_byte\"",
             "\"threads\": 2",
             "\"dim\": 8",
             "\"speedup_vs_seed\"",
+            "\"speedup_vs_scalar\"",
+            "\"f16_updates_per_sec_per_byte\"",
+            "\"speedup_vs_f32_per_byte_f16\"",
+            "\"i8_updates_per_sec_per_byte\"",
+            "\"speedup_vs_f32_per_byte_i8\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -387,10 +730,82 @@ mod tests {
     fn baseline_can_be_skipped() {
         let r = run_hotpath(&HotpathConfig {
             baseline: false,
+            precisions: false,
             ..tiny()
         });
         assert!(r.seed_seconds.is_none());
-        assert!(!r.to_json().contains("speedup_vs_seed"));
+        assert!(r.scalar_seconds.is_none());
+        assert!(r.f16_seconds.is_none());
+        let json = r.to_json();
+        for key in ["speedup_vs_seed", "speedup_vs_scalar", "f16_", "i8_"] {
+            assert!(!json.contains(key), "unexpected {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn per_byte_dimension_reflects_row_width() {
+        // Same seconds at every width: the per-byte ratio must equal the
+        // byte-width ratio exactly (512/256 for f16, 512/136 for i8 at
+        // d = 128; i8 rows carry 8 bytes of scale metadata).
+        let r = HotpathReport {
+            vertices: 10,
+            arcs: 10,
+            dim: 128,
+            threads: 1,
+            epochs: 1,
+            negative_samples: 3,
+            updates: 1_000_000,
+            seconds: 2.0,
+            updates_per_sec: 500_000.0,
+            seed_seconds: None,
+            scalar_seconds: None,
+            f16_seconds: Some(2.0),
+            i8_seconds: Some(2.0),
+        };
+        let f32_rate = r.updates_per_sec_per_byte(Precision::F32, r.seconds);
+        assert!((f32_rate - 500_000.0 / 512.0).abs() < 1e-6);
+        let x_f16 = r.speedup_vs_f32_per_byte(Precision::F16).unwrap();
+        let x_i8 = r.speedup_vs_f32_per_byte(Precision::I8).unwrap();
+        assert!((x_f16 - 512.0 / 256.0).abs() < 1e-9, "{x_f16}");
+        assert!((x_i8 - 512.0 / 136.0).abs() < 1e-9, "{x_i8}");
+    }
+
+    #[test]
+    fn scalar_engine_tracks_simd_engine_closely() {
+        // The frozen 4-lane engine uses a different dot accumulation
+        // tree than the 8-lane rewrite, so outputs are not bitwise equal
+        // — but single-threaded (no Hogwild races) the same schedule and
+        // RNG streams must keep them numerically on top of each other.
+        let g = community_graph(&CommunityConfig::new(96, 5), 11);
+        for d in [8usize, 16, 31, 33] {
+            let params = TrainParams::adjacency(d, 3, 0.05, 5)
+                .with_threads(1)
+                .with_seed(0xF00D);
+            let mut a = Embedding::random(96, d, 9);
+            let mut b = a.clone();
+            train_cpu(&g, &mut a, &params);
+            train_cpu_scalar4(&g, &mut b, &params);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() <= 1e-4, "d={d}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_engine_still_learns() {
+        let g = community_graph(&CommunityConfig::new(256, 6), 3);
+        let mut m = Embedding::random(256, 16, 5);
+        let params = TrainParams::adjacency(16, 3, 0.05, 60).with_threads(4);
+        train_cpu_scalar4(&g, &mut m, &params);
+        let edges: Vec<_> = g.undirected_edges().take(200).collect();
+        let edge_cos: f32 =
+            edges.iter().map(|&(u, v)| m.cosine(u, v)).sum::<f32>() / edges.len() as f32;
+        let n = g.num_vertices() as u32;
+        let rand_cos: f32 = (0..200u32)
+            .map(|i| m.cosine(i % n, (i * 7 + 13) % n))
+            .sum::<f32>()
+            / 200.0;
+        assert!(edge_cos - rand_cos > 0.2, "{edge_cos} vs {rand_cos}");
     }
 
     #[test]

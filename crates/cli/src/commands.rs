@@ -26,7 +26,15 @@ use gosh_graph::stats::GraphStats;
 use crate::args::{parse, Parsed};
 
 /// Flags shared by `embed` and `eval` (the GOSH pipeline knobs).
-const PIPELINE_FLAGS: &[&str] = &["dim", "preset", "epochs", "device-mb", "threads", "backend"];
+const PIPELINE_FLAGS: &[&str] = &[
+    "dim",
+    "preset",
+    "epochs",
+    "device-mb",
+    "threads",
+    "backend",
+    "precision",
+];
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -111,6 +119,9 @@ fn build_config(p: &Parsed) -> Result<(GoshConfig, Device), String> {
     }
     if let Some(backend) = p.flag::<BackendChoice>("backend")? {
         cfg = cfg.with_backend(backend);
+    }
+    if let Some(precision) = p.flag::<gosh_core::Precision>("precision")? {
+        cfg = cfg.with_precision(precision);
     }
     let device_mb = p.flag::<usize>("device-mb")?.unwrap_or(12 * 1024);
     let device = Device::new(DeviceConfig::tiny(device_mb << 20));
@@ -316,6 +327,7 @@ pub fn bench_train(args: &[String]) -> Result<(), String> {
             "negatives",
             "seed",
             "baseline",
+            "precisions",
             "reps",
             "out",
         ],
@@ -332,6 +344,7 @@ pub fn bench_train(args: &[String]) -> Result<(), String> {
             .unwrap_or(defaults.negative_samples),
         seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
         baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        precisions: p.flag::<bool>("precisions")?.unwrap_or(defaults.precisions),
         repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
     };
     if cfg.threads == 0 || cfg.vertices < 2 {
@@ -344,8 +357,25 @@ pub fn bench_train(args: &[String]) -> Result<(), String> {
         "hotpath: {:.0} updates/sec ({} updates, {} threads, d = {}, {:.3}s)",
         report.updates_per_sec, report.updates, report.threads, report.dim, report.seconds
     );
+    if let (Some(s), Some(x)) = (report.scalar_seconds, report.speedup_vs_scalar()) {
+        println!(
+            "scalar engine: {:.0} updates/sec — SIMD speedup {x:.2}x",
+            report.updates as f64 / s
+        );
+    }
     if let (Some(b), Some(x)) = (report.seed_updates_per_sec(), report.speedup_vs_seed()) {
         println!("seed engine: {b:.0} updates/sec — speedup {x:.2}x");
+    }
+    for (name, precision, secs) in [
+        ("f16", gosh_core::Precision::F16, report.f16_seconds),
+        ("i8", gosh_core::Precision::I8, report.i8_seconds),
+    ] {
+        if let (Some(s), Some(x)) = (secs, report.speedup_vs_f32_per_byte(precision)) {
+            println!(
+                "{name}: {:.0} updates/sec — per-byte speedup {x:.2}x",
+                report.updates as f64 / s
+            );
+        }
     }
     println!("wrote {out}");
     Ok(())

@@ -8,11 +8,13 @@
 //! gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
 //!                              [--device-mb M] [--threads N]
 //!                              [--backend cpu|gpu|auto]
+//!                              [--precision f32|f16|i8]
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
-//!                   [--backend cpu|gpu|auto]
+//!                   [--backend cpu|gpu|auto] [--precision f32|f16|i8]
 //! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
 //!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
-//!                  [--baseline true|false] [--out FILE]
+//!                  [--baseline true|false] [--precisions true|false]
+//!                  [--out FILE]
 //! gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
 //!                    [--threshold V] [--seed S] [--reps R]
 //!                    [--baseline true|false] [--out FILE]
@@ -76,11 +78,13 @@ USAGE:
   gosh embed <graph> <out.emb> [--dim D] [--preset P] [--epochs E]
                                [--device-mb M] [--threads N]
                                [--backend cpu|gpu|auto]
+                               [--precision f32|f16|i8]
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
-                    [--backend cpu|gpu|auto]
+                    [--backend cpu|gpu|auto] [--precision f32|f16|i8]
   gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
                    [--epochs E] [--negatives NS] [--seed S] [--reps R]
-                   [--baseline true|false] [--out FILE]
+                   [--baseline true|false] [--precisions true|false]
+                   [--out FILE]
   gosh bench-coarsen [--vertices N] [--degree K] [--threads T]
                      [--threshold V] [--seed S] [--reps R]
                      [--baseline true|false] [--out FILE]
@@ -107,9 +111,15 @@ USAGE:
   --backend selects the training engine chain: cpu forces the Hogwild
   CPU trainer, gpu uses the device only, auto (default) prefers the
   device and falls back per level.
+  --precision stores embedding rows as f32 (default, the bit-exact
+  reference), f16, or i8 with a per-row scale; quantized rows are
+  priced at their true byte width, so 2-4x larger graphs fit on the
+  same device at a small, documented AUC cost.
   bench-train times the sharded CPU trainer hot path on a synthetic
   community graph and writes BENCH_hotpath.json (updates/sec, threads,
-  dim, plus the frozen-seed-engine baseline unless --baseline false).
+  dim, plus the frozen scalar- and seed-engine baselines unless
+  --baseline false, and per-precision f16/i8 rows with bytes-normalized
+  throughput unless --precisions false).
   bench-coarsen times the fused multi-level coarsening pipeline on a
   synthetic community graph and writes BENCH_coarsen.json (levels/sec,
   collapsed vertices/sec, plus the frozen sequential-path baseline

@@ -33,6 +33,7 @@ use gosh_graph::csr::Csr;
 
 use crate::large::run::{train_large, LargeReport};
 use crate::model::Embedding;
+use crate::quant::Precision;
 use crate::train_cpu::train_cpu;
 use crate::train_gpu::{train_level_on_device, KernelVariant};
 
@@ -74,6 +75,11 @@ pub struct TrainParams {
     pub threads: usize,
     /// RNG seed for host-side sampling.
     pub seed: u64,
+    /// Embedding row storage width ([`crate::quant`]). `F32` is the
+    /// bit-exact reference path; `F16`/`I8` train through
+    /// dequantize-on-load/requantize-on-store rows and let the capacity
+    /// math fit 2–4x larger graphs per device.
+    pub precision: Precision,
 }
 
 impl Default for TrainParams {
@@ -86,6 +92,7 @@ impl Default for TrainParams {
             similarity: Similarity::Adjacency,
             threads: 16,
             seed: 0xCEC5,
+            precision: Precision::F32,
         }
     }
 }
@@ -117,6 +124,12 @@ impl TrainParams {
     /// Override the similarity measure.
     pub fn with_similarity(mut self, similarity: Similarity) -> Self {
         self.similarity = similarity;
+        self
+    }
+
+    /// Override the row storage precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -210,9 +223,23 @@ pub trait TrainBackend {
 
 /// Device bytes needed to train graph + matrix resident on the device
 /// (Algorithm 2, line 5): the matrix, xadj, adj, and the arc-source
-/// schedule used by the edge-frequency epoch definition.
+/// schedule used by the edge-frequency epoch definition. Prices the
+/// matrix at full f32 width; see [`device_bytes_needed_prec`].
 pub fn device_bytes_needed(dim: usize, num_vertices: usize, num_arcs: usize) -> usize {
-    let matrix = num_vertices * dim * 4;
+    device_bytes_needed_prec(dim, num_vertices, num_arcs, Precision::F32)
+}
+
+/// [`device_bytes_needed`] with the embedding matrix priced at its true
+/// storage width: quantized rows shrink only the matrix term (the graph
+/// arrays stay full width), which is exactly what lets `--precision i8`
+/// keep a 4x-larger matrix resident.
+pub fn device_bytes_needed_prec(
+    dim: usize,
+    num_vertices: usize,
+    num_arcs: usize,
+    precision: Precision,
+) -> usize {
+    let matrix = num_vertices * precision.row_bytes(dim);
     let xadj = (num_vertices + 1) * 8;
     let adj = num_arcs * 4;
     let arc_src = num_arcs * 4;
@@ -286,8 +313,12 @@ impl TrainBackend for GpuInMemory {
     }
 
     fn fits(&self, g: &Csr) -> bool {
-        device_bytes_needed(self.params.dim, g.num_vertices(), g.num_edges())
-            <= self.device.available_bytes()
+        device_bytes_needed_prec(
+            self.params.dim,
+            g.num_vertices(),
+            g.num_edges(),
+            self.params.precision,
+        ) <= self.device.available_bytes()
     }
 
     fn train_level(&self, g: &Csr, emb: &mut Embedding, lvl: LevelSchedule) -> LevelStats {

@@ -3,6 +3,7 @@
 use gosh_gpu::DeviceConfig;
 
 use crate::backend::BackendChoice;
+use crate::quant::Precision;
 
 /// The named configurations of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,8 @@ pub struct GoshConfig {
     pub seed: u64,
     /// Which training-backend chain the pipeline uses per level.
     pub backend: BackendChoice,
+    /// Embedding row storage width (`--precision f32|f16|i8`).
+    pub precision: Precision,
 }
 
 impl Default for GoshConfig {
@@ -77,6 +80,7 @@ impl GoshConfig {
             batch_b: 5,
             seed: 0x905E,
             backend: BackendChoice::Auto,
+            precision: Precision::F32,
         }
     }
 
@@ -105,12 +109,19 @@ impl GoshConfig {
         self
     }
 
+    /// Override the row storage precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Bytes needed to train graph+matrix resident on the device
-    /// (Algorithm 2, line 5). Delegates to
-    /// [`crate::backend::device_bytes_needed`], the check behind
+    /// (Algorithm 2, line 5), with the matrix priced at the configured
+    /// precision's true byte width. Delegates to
+    /// [`crate::backend::device_bytes_needed_prec`], the check behind
     /// `GpuInMemory::fits`.
     pub fn device_bytes_needed(&self, num_vertices: usize, num_arcs: usize) -> usize {
-        crate::backend::device_bytes_needed(self.dim, num_vertices, num_arcs)
+        crate::backend::device_bytes_needed_prec(self.dim, num_vertices, num_arcs, self.precision)
     }
 }
 
@@ -153,6 +164,18 @@ mod tests {
         let c = GoshConfig::default().with_dim(8);
         // 10 vertices, 20 arcs: 10*8*4 + 11*8 + 20*4 + 20*4 = 320+88+160 = 568.
         assert_eq!(c.device_bytes_needed(10, 20), 568);
+    }
+
+    #[test]
+    fn quantized_precision_shrinks_only_the_matrix_term() {
+        let c = GoshConfig::default().with_dim(8);
+        let full = c.device_bytes_needed(10, 20);
+        let f16 = c.with_precision(Precision::F16).device_bytes_needed(10, 20);
+        let i8 = c.with_precision(Precision::I8).device_bytes_needed(10, 20);
+        // Matrix terms: f32 10*8*4=320, f16 10*8*2=160, i8 10*(8+8)=160;
+        // the graph arrays (248 bytes) are precision-independent.
+        assert_eq!(full - f16, 160);
+        assert_eq!(full - i8, 160);
     }
 
     #[test]

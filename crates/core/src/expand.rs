@@ -23,6 +23,38 @@ fn check_shapes(coarse: &Embedding, mapping: &Mapping) {
     );
 }
 
+/// Fill one shard of the fine matrix: `slab` holds the rows for fine
+/// vertices `v0 .. v0 + slab.len()/d`.
+///
+/// Coarsening assigns sibling vertices contiguous fine ids often enough
+/// that the cluster sequence is run-heavy, so the gather is batched by
+/// run: the coarse row is copied into the run's first row, then doubled
+/// across the run with whole-slice `copy_from_slice` — wide memcpys
+/// instead of `d`-element strided copies. Pure copies, so the output is
+/// bitwise the same as the row-at-a-time loop for any run structure.
+fn project_rows(slab: &mut [f32], d: usize, v0: u32, coarse: &Embedding, mapping: &Mapping) {
+    let rows = slab.len() / d;
+    let mut i = 0;
+    while i < rows {
+        let c = mapping.cluster_of(v0 + i as u32);
+        let mut run = 1;
+        while i + run < rows && mapping.cluster_of(v0 + (i + run) as u32) == c {
+            run += 1;
+        }
+        let region = &mut slab[i * d..(i + run) * d];
+        region[..d].copy_from_slice(coarse.row(c));
+        // Double the filled prefix until the run is covered.
+        let mut filled = d;
+        while filled < region.len() {
+            let (done, rest) = region.split_at_mut(filled);
+            let take = filled.min(rest.len());
+            rest[..take].copy_from_slice(&done[..take]);
+            filled += take;
+        }
+        i += run;
+    }
+}
+
 /// Project a coarse matrix down one level through `mapping` (sequential
 /// reference).
 pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
@@ -30,9 +62,8 @@ pub fn expand_embedding(coarse: &Embedding, mapping: &Mapping) -> Embedding {
     let d = coarse.dim();
     let n = mapping.num_fine();
     let mut fine = Embedding::zeros(n, d);
-    for v in 0..n as u32 {
-        let c = mapping.cluster_of(v);
-        fine.row_mut(v).copy_from_slice(coarse.row(c));
+    if n > 0 && d > 0 {
+        project_rows(fine.as_mut_slice(), d, 0, coarse, mapping);
     }
     fine
 }
@@ -67,10 +98,7 @@ pub fn expand_embedding_parallel(
         {
             scope.spawn(move || {
                 let v0 = (t * rows_per_shard) as u32;
-                for (i, row) in slab.chunks_mut(d).enumerate() {
-                    let c = mapping.cluster_of(v0 + i as u32);
-                    row.copy_from_slice(coarse.row(c));
-                }
+                project_rows(slab, d, v0, coarse, mapping);
             });
         }
     });
@@ -123,6 +151,40 @@ mod tests {
                 assert_eq!(
                     seq.as_slice(),
                     par.as_slice(),
+                    "k={k} n={n} d={d} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_batched_fill_matches_row_at_a_time() {
+        // Run-heavy mappings (long sibling runs, runs crossing shard
+        // boundaries, a run covering the whole matrix) against the naive
+        // per-row gather.
+        for (k, d, map) in [
+            (2usize, 7usize, vec![0u32; 9]),
+            (3, 5, vec![0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 0]),
+            (4, 16, (0..64).map(|v| (v / 13) as u32 % 4).collect()),
+            (2, 1, vec![0, 1, 1, 0, 0, 0, 1]),
+        ] {
+            let n = map.len();
+            let coarse = Embedding::random(k, d, 0x51 + n as u64);
+            let mapping = Mapping::new(map, k);
+            let mut naive = Embedding::zeros(n, d);
+            for v in 0..n as u32 {
+                naive
+                    .row_mut(v)
+                    .copy_from_slice(coarse.row(mapping.cluster_of(v)));
+            }
+            assert_eq!(
+                expand_embedding(&coarse, &mapping).as_slice(),
+                naive.as_slice()
+            );
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    expand_embedding_parallel(&coarse, &mapping, threads).as_slice(),
+                    naive.as_slice(),
                     "k={k} n={n} d={d} threads={threads}"
                 );
             }

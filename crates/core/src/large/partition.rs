@@ -84,10 +84,36 @@ pub fn choose_num_parts(
     s_gpu: usize,
     batch_b: usize,
 ) -> usize {
+    choose_num_parts_prec(
+        n,
+        dim,
+        available_bytes,
+        p_gpu,
+        s_gpu,
+        batch_b,
+        crate::quant::Precision::F32,
+    )
+}
+
+/// [`choose_num_parts`] with the sub-matrix bins priced at `precision`'s
+/// true row byte width (`Precision::row_bytes`): quantized bins hold 2-4x
+/// more vertices per device byte, so fewer parts — and shorter rotations —
+/// fit the same budget. The sample-pool term is `u32` indices and does not
+/// shrink with the embedding precision.
+pub fn choose_num_parts_prec(
+    n: usize,
+    dim: usize,
+    available_bytes: usize,
+    p_gpu: usize,
+    s_gpu: usize,
+    batch_b: usize,
+    precision: crate::quant::Precision,
+) -> usize {
     assert!(n >= 2, "graph too small to partition");
-    // Per-part bytes: a sub-matrix bin is part_len·d floats; a pool slot
-    // holds B targets for both sides of a pair (2·part_len·B u32).
-    let per_vertex = (p_gpu * dim * 4 + s_gpu * batch_b * 2 * 4).max(1);
+    // Per-part bytes: a sub-matrix bin is part_len rows at the storage
+    // width; a pool slot holds B targets for both sides of a pair
+    // (2·part_len·B u32).
+    let per_vertex = (p_gpu * precision.row_bytes(dim) + s_gpu * batch_b * 2 * 4).max(1);
     // Largest part length whose bins fit; K = ceil(n / max_len) then
     // guarantees ceil(n/K) <= max_len. With max_len == 0 nothing fits —
     // fall through to K = n (one vertex per part) and let the device
@@ -180,6 +206,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn quantized_bins_need_fewer_parts() {
+        use crate::quant::Precision;
+        // Large dim so the matrix term dominates the pool term: narrower
+        // rows must never need more parts, and strictly fewer here.
+        let budget = 8 << 20;
+        let k = |p| choose_num_parts_prec(1_000_000, 128, budget, 3, 4, 5, p);
+        let (kf32, kf16, ki8) = (k(Precision::F32), k(Precision::F16), k(Precision::I8));
+        assert!(kf16 < kf32, "f16 {kf16} vs f32 {kf32}");
+        assert!(ki8 < kf16, "i8 {ki8} vs f16 {kf16}");
+        // F32 delegation is exact.
+        assert_eq!(kf32, choose_num_parts(1_000_000, 128, budget, 3, 4, 5));
+        // The chosen K still fits at the quantized width.
+        let part = 1_000_000usize.div_ceil(ki8);
+        let bytes = 3 * part * Precision::I8.row_bytes(128) + 4 * 5 * 2 * part * 4;
+        assert!(bytes <= budget, "i8 bins {bytes}");
     }
 
     #[test]

@@ -36,12 +36,13 @@ use gosh_gpu::{
 };
 use gosh_graph::csr::Csr;
 
-use super::partition::{choose_num_parts, Partition};
+use super::partition::{choose_num_parts_prec, Partition};
 use super::pools::{generate_pool, SamplePool, NO_SAMPLE};
 use super::residency::{place, Placement};
 use super::rotation::inside_out_pairs;
 use crate::backend::{PartitionedOpts, TrainParams};
 use crate::model::Embedding;
+use crate::quant::{quantize_roundtrip, Precision};
 use crate::schedule::decayed_lr;
 
 /// What happened during a [`train_large`] run.
@@ -84,6 +85,11 @@ struct DevicePool {
 struct BinManager<'a> {
     partition: &'a Partition,
     dim: usize,
+    /// Storage width the bins are modeled at; quantized runs stage spans
+    /// through a quantize→dequantize round trip at the load and
+    /// write-back boundaries (the same mixed-precision model as
+    /// `train_level_on_device`).
+    precision: Precision,
     bins: Vec<FloatBuffer>,
     stream: Stream,
     /// Part held by each bin (post any in-flight load).
@@ -106,14 +112,19 @@ impl<'a> BinManager<'a> {
         partition: &'a Partition,
         dim: usize,
         num_bins: usize,
+        precision: Precision,
     ) -> Result<Self, DeviceError> {
         let max_part = partition.max_part_len();
+        // Bins are charged at the storage width's bytes per element (the
+        // i8 per-row scale metadata is priced by `choose_num_parts_prec`,
+        // so the fit check is the conservative side of this charge).
         let bins: Vec<FloatBuffer> = (0..num_bins)
-            .map(|_| device.alloc_floats(max_part * dim))
+            .map(|_| device.alloc_floats_prec(max_part * dim, precision.bytes_per_element()))
             .collect::<Result<_, _>>()?;
         Ok(Self {
             partition,
             dim,
+            precision,
             bins,
             stream: device.create_stream(),
             holds: vec![None; num_bins],
@@ -139,7 +150,10 @@ impl<'a> BinManager<'a> {
         if let Some(rb) = self.readbacks[part].take() {
             let t0 = Instant::now();
             let span = self.span(part);
-            rb.wait_into(&mut m.as_mut_slice()[span]);
+            rb.wait_into(&mut m.as_mut_slice()[span.clone()]);
+            if self.precision != Precision::F32 {
+                quantize_roundtrip(&mut m.as_mut_slice()[span], self.dim, self.precision);
+            }
             self.transfer_stall += t0.elapsed();
         }
     }
@@ -158,7 +172,10 @@ impl<'a> BinManager<'a> {
         // The staging copy must carry the part's freshest values.
         self.settle_readback(m, part);
         let span = self.span(part);
-        let staged = m.as_slice()[span].to_vec();
+        let mut staged = m.as_slice()[span].to_vec();
+        if self.precision != Precision::F32 {
+            quantize_roundtrip(&mut staged, self.dim, self.precision);
+        }
         let event = self.bins[bin].copy_from_host_at_async(&self.stream, 0, staged);
         self.pending[bin] = Some(event);
         self.holds[bin] = Some(part);
@@ -233,7 +250,10 @@ impl<'a> BinManager<'a> {
             if let Some(part) = *hold {
                 let r = self.partition.range(part);
                 let span = (r.start as usize * self.dim)..(r.end as usize * self.dim);
-                self.bins[bin].copy_to_host_at(0, &mut m.as_mut_slice()[span]);
+                self.bins[bin].copy_to_host_at(0, &mut m.as_mut_slice()[span.clone()]);
+                if self.precision != Precision::F32 {
+                    quantize_roundtrip(&mut m.as_mut_slice()[span], self.dim, self.precision);
+                }
                 self.evictions += 1;
             }
         }
@@ -284,9 +304,18 @@ pub fn train_large(
     assert_eq!(m.num_vertices(), n, "graph/matrix mismatch");
     assert_eq!(m.dim(), d, "dimension mismatch");
 
-    // Budget 90% of free device memory for bins + pools.
+    // Budget 90% of free device memory for bins + pools, with sub-matrix
+    // rows priced at the configured precision's true byte width.
     let avail = device.available_bytes() / 10 * 9;
-    let k = choose_num_parts(n, d, avail, opts.p_gpu, opts.s_gpu, opts.batch_b);
+    let k = choose_num_parts_prec(
+        n,
+        d,
+        avail,
+        opts.p_gpu,
+        opts.s_gpu,
+        opts.batch_b,
+        params.precision,
+    );
     let partition = Partition::new(n, k);
     let pairs = inside_out_pairs(k);
     let e_und = g.num_undirected_edges().max(1);
@@ -298,7 +327,7 @@ pub fn train_large(
     let num_bins = opts.p_gpu.clamp(2, k);
     let mut kernels = 0u64;
     let mut pool_stall = Duration::ZERO;
-    let mut bin_mgr = BinManager::new(device, &partition, d, num_bins)?;
+    let mut bin_mgr = BinManager::new(device, &partition, d, num_bins, params.precision)?;
 
     std::thread::scope(|scope| -> Result<(), DeviceError> {
         // SampleManager: host-side pool generation, S_GPU pools buffered.
@@ -497,6 +526,7 @@ fn one_update(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::large::partition::choose_num_parts;
     use gosh_gpu::DeviceConfig;
     use gosh_graph::builder::csr_from_edges;
     use gosh_graph::gen::erdos_renyi;
@@ -651,6 +681,39 @@ mod tests {
             assert!(r.prefetches > 0, "lookahead never fired: {r:?}");
             assert!(r.prefetches <= r.loads);
         }
+    }
+
+    #[test]
+    fn quantized_large_path_cuts_parts_and_still_learns() {
+        let mut edges = vec![];
+        for x in 0..8u32 {
+            for y in 0..x {
+                edges.push((x, y));
+                edges.push((x + 8, y + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = csr_from_edges(16, &edges);
+        let run = |precision| {
+            let device = Device::new(DeviceConfig::tiny(4096));
+            let mut m = Embedding::random(16, 16, 1);
+            let p = TrainParams {
+                precision,
+                ..params(16, 400)
+            };
+            let report = train_large(&device, &g, &mut m, &p, &opts()).unwrap();
+            assert_eq!(device.allocated_bytes(), 0);
+            let intra = (m.cosine(0, 1) + m.cosine(8, 9)) / 2.0;
+            let inter = (m.cosine(0, 9) + m.cosine(1, 10)) / 2.0;
+            assert!(
+                intra > inter + 0.2,
+                "{precision}: intra {intra} vs inter {inter}"
+            );
+            report.num_parts
+        };
+        let k_f32 = run(Precision::F32);
+        let k_i8 = run(Precision::I8);
+        assert!(k_i8 <= k_f32, "i8 {k_i8} parts vs f32 {k_f32}");
     }
 
     #[test]

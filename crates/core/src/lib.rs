@@ -7,6 +7,12 @@
 //!   `GpuInMemory` and `GpuPartitioned` engines the pipeline selects
 //!   between per level.
 //! * [`model`] — embedding matrices, host- and shared-(atomic-)side.
+//! * [`simd`] — the explicit 8-wide f32 lane operations of the hot path:
+//!   autovectorization-shaped scalar cores with runtime-detected AVX2
+//!   intrinsic twins, bit-identical by construction.
+//! * [`quant`] — reduced-precision row storage (f16, per-row-scaled i8)
+//!   behind the `--precision` knob, with the quantized Hogwild engine's
+//!   row codecs.
 //! * [`update`] — the single positive/negative update (Algorithm 1).
 //! * [`schedule`] — the smoothing-ratio epoch distribution across levels
 //!   and the per-epoch learning-rate decay.
@@ -30,7 +36,9 @@ pub mod large;
 pub mod model;
 pub mod multi_gpu;
 pub mod pipeline;
+pub mod quant;
 pub mod schedule;
+pub mod simd;
 pub mod train_cpu;
 pub mod train_gpu;
 pub mod update;
@@ -42,4 +50,5 @@ pub use backend::{
 pub use config::{GoshConfig, Preset};
 pub use model::Embedding;
 pub use pipeline::{embed, GoshReport};
+pub use quant::Precision;
 pub use train_gpu::KernelVariant;

@@ -104,6 +104,7 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
         similarity: crate::backend::Similarity::Adjacency,
         threads: cfg.threads,
         seed: cfg.seed,
+        precision: cfg.precision,
     };
     let opts = PartitionedOpts {
         p_gpu: cfg.p_gpu,

@@ -1,0 +1,591 @@
+//! Explicit 8-wide f32 lanes for the training hot path.
+//!
+//! The pinned toolchain is **stable**, so there is no `std::simd`. Instead
+//! every operation here exists twice with one shared contract:
+//!
+//! * a **scalar core** written as chunked loops over `[f32; 8]` lane
+//!   groups — the shape LLVM's autovectorizer reliably turns into
+//!   `vmulps`/`vaddps` on any target, and the semantic reference on
+//!   targets without hand-written intrinsics;
+//! * an **intrinsic path** (`core::arch::x86_64`, AVX2) selected at
+//!   runtime via [`is_x86_feature_detected!`] and cached in an atomic, for
+//!   the loops whose load/store structure (atomic pair cells) defeats
+//!   autovectorization.
+//!
+//! Both paths are **bit-identical** by construction: the intrinsic code
+//! uses `_mm256_mul_ps` + `_mm256_add_ps` (never a fused
+//! multiply-add — Rust does not contract scalar `a * b + c` either, so
+//! fusing would change results), keeps one vector accumulator whose lanes
+//! mirror the scalar `[f32; 8]` accumulator exactly, and funnels through
+//! the same fixed horizontal-sum tree [`hsum8`]. Loads are unaligned
+//! (`loadu`): row storage comes from ordinary `Vec` allocations with no
+//! 32-byte guarantee, and unaligned vector loads have carried no penalty
+//! on anything that also has AVX2. A proptest in `prop_core.rs` enforces
+//! scalar/intrinsic equality across lane counts and unaligned row lengths.
+//!
+//! The 8-lane accumulation order defined here is **the** dot-product
+//! order of the CPU trainer: [`crate::update::update_embedding`] (plain
+//! rows), [`crate::train_cpu::fused_update`] (staged source against an
+//! atomic pair row) and the quantized engine all use [`dot8`] /
+//! [`dot_pairs`], which keeps every path bit-identical to the scalar
+//! reference. Remainder elements land in lanes `0..r`, so a row
+//! zero-padded to the paired-lane width produces exactly the same lane
+//! sums as the unpadded row.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::model::{pack_pair, unpack_pair};
+use crate::update::{SIGMOID_BOUND, SIGMOID_TABLE};
+
+/// Lane width of the trainer's vector operations.
+pub const LANES: usize = 8;
+/// Atomic pair cells per lane group (each cell holds two f32 lanes).
+const GROUP_PAIRS: usize = LANES / 2;
+
+/// The fixed horizontal-sum tree shared by every dot-product path.
+///
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — changing this order changes
+/// the bits of every trained embedding, so it exists exactly once.
+#[inline(always)]
+pub fn hsum8(lanes: &[f32; LANES]) -> f32 {
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Whether the intrinsic paths are available, detected once at runtime.
+#[inline(always)]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 0 = unknown, 1 = yes, 2 = no. A racy double-detect is harmless.
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("avx2");
+                STATE.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the F16C half-precision conversion instructions are
+/// available, detected once at runtime. Used by the quantized storage
+/// paths in [`crate::quant`]; `vcvtps2ph`/`vcvtph2ps` with static RNE
+/// rounding match the software converters bit for bit on every non-NaN
+/// value.
+#[inline(always)]
+pub fn f16c_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // 0 = unknown, 1 = yes, 2 = no. A racy double-detect is harmless.
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("f16c");
+                STATE.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain-f32 rows
+// ---------------------------------------------------------------------------
+
+/// 8-lane dot product — the canonical accumulation order of the trainer.
+#[inline]
+pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        return unsafe { dot8_avx2(a, b) };
+    }
+    dot8_scalar(a, b)
+}
+
+/// Scalar core of [`dot8`]: chunked lane groups the autovectorizer turns
+/// into `vmulps`/`vaddps`, remainder elements into lanes `0..r`.
+#[inline]
+pub fn dot8_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        for k in 0..LANES {
+            acc[k] += xs[k] * ys[k];
+        }
+    }
+    for (k, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[k] += x * y;
+    }
+    hsum8(&acc)
+}
+
+/// AVX2 path of [`dot8`]: one vector accumulator whose lanes mirror the
+/// scalar accumulator, `mul` + `add` (no fma contraction), the shared
+/// [`hsum8`] tree at the end.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot8_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let chunks = n / LANES;
+    let mut acc = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let xs = _mm256_loadu_ps(a.as_ptr().add(LANES * c));
+        let ys = _mm256_loadu_ps(b.as_ptr().add(LANES * c));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xs, ys));
+    }
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let done = chunks * LANES;
+    for (k, (x, y)) in a[done..n].iter().zip(&b[done..n]).enumerate() {
+        lanes[k] += x * y;
+    }
+    hsum8(&lanes)
+}
+
+/// The fused two-sided axpy of Algorithm 1 over plain rows: per element,
+/// `src += score·smp` and `smp += score·src_old` with pre-update values
+/// on both sides. Purely lanewise, so the chunked scalar loop is already
+/// the vector semantics; LLVM autovectorizes it.
+#[inline]
+pub fn fused_axpy8(src: &mut [f32], smp: &mut [f32], score: f32) {
+    let mut cs = src.chunks_exact_mut(LANES);
+    let mut cm = smp.chunks_exact_mut(LANES);
+    for (xs, ys) in (&mut cs).zip(&mut cm) {
+        for k in 0..LANES {
+            let s_old = xs[k];
+            xs[k] += score * ys[k];
+            ys[k] += score * s_old;
+        }
+    }
+    for (x, y) in cs.into_remainder().iter_mut().zip(cm.into_remainder()) {
+        let s_old = *x;
+        *x += score * *y;
+        *y += score * s_old;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lanewise sigmoid
+// ---------------------------------------------------------------------------
+
+/// Eight sigmoids at once: the affine transform and clamps compute
+/// lanewise (autovectorized), then the knot values gather from the shared
+/// table per lane. Bit-identical to eight [`crate::update::fast_sigmoid`]
+/// calls, including saturation at `±8` and NaN propagation.
+#[inline]
+pub fn fast_sigmoid8(xs: &[f32; LANES]) -> [f32; LANES] {
+    let tab = crate::update::sigmoid_table();
+    let mut idx = [0usize; LANES];
+    let mut frac = [0.0f32; LANES];
+    for k in 0..LANES {
+        let t = (xs[k] + SIGMOID_BOUND) * (SIGMOID_TABLE as f32 / (2.0 * SIGMOID_BOUND));
+        idx[k] = (t as usize).min(SIGMOID_TABLE - 1);
+        frac[k] = t - idx[k] as f32;
+    }
+    let mut out = [0.0f32; LANES];
+    for k in 0..LANES {
+        // The per-lane table gather; interpolation is lanewise again.
+        let lo = tab[idx[k]];
+        let hi = tab[idx[k] + 1];
+        let interp = lo + (hi - lo) * frac[k];
+        out[k] = if xs[k] >= SIGMOID_BOUND {
+            1.0
+        } else if xs[k] <= -SIGMOID_BOUND {
+            0.0
+        } else {
+            interp
+        };
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Atomic pair rows (the SharedMatrix cell format)
+// ---------------------------------------------------------------------------
+
+/// Load a group of four pair cells into eight f32 lanes.
+#[inline(always)]
+fn load_group(ws: &[AtomicU64]) -> [f32; LANES] {
+    debug_assert_eq!(ws.len(), GROUP_PAIRS);
+    let mut out = [0.0f32; LANES];
+    for k in 0..GROUP_PAIRS {
+        let (lo, hi) = unpack_pair(ws[k].load(Ordering::Relaxed));
+        out[2 * k] = lo;
+        out[2 * k + 1] = hi;
+    }
+    out
+}
+
+/// Dot product between a staged (padded) source row and an atomic pair
+/// row. `src.len()` must be `2 * sample.len()`.
+#[inline]
+pub fn dot_pairs(src: &[f32], sample: &[AtomicU64]) -> f32 {
+    debug_assert_eq!(src.len(), 2 * sample.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        return unsafe { dot_pairs_avx2(src, sample) };
+    }
+    dot_pairs_scalar(src, sample)
+}
+
+/// Scalar core of [`dot_pairs`] — same lane assignment as [`dot8_scalar`]
+/// over the unpacked row.
+#[inline]
+pub fn dot_pairs_scalar(src: &[f32], sample: &[AtomicU64]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut cs = src.chunks_exact(LANES);
+    let mut cu = sample.chunks_exact(GROUP_PAIRS);
+    for (xs, ws) in (&mut cs).zip(&mut cu) {
+        let ys = load_group(ws);
+        for k in 0..LANES {
+            acc[k] += xs[k] * ys[k];
+        }
+    }
+    let xs = cs.remainder();
+    for (i, w) in cu.remainder().iter().enumerate() {
+        let (y0, y1) = unpack_pair(w.load(Ordering::Relaxed));
+        acc[2 * i] += xs[2 * i] * y0;
+        acc[2 * i + 1] += xs[2 * i + 1] * y1;
+    }
+    hsum8(&acc)
+}
+
+/// AVX2 path of [`dot_pairs`]. Pair cells are staged into a `[u64; 4]`
+/// via relaxed loads, then reinterpreted as eight f32 lanes — on
+/// little-endian x86 the low word of `pack_pair` is the even lane, so the
+/// cast is exactly [`load_group`] without the shifts. Going through the
+/// staging array keeps every atomic access a plain `load` (no vector
+/// access aliases the atomics, so there is no tearing and no UB).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_pairs_avx2(src: &[f32], sample: &[AtomicU64]) -> f32 {
+    use core::arch::x86_64::*;
+    let groups = sample.len() / GROUP_PAIRS;
+    let mut acc = _mm256_setzero_ps();
+    for g in 0..groups {
+        let mut bits = [0u64; GROUP_PAIRS];
+        for k in 0..GROUP_PAIRS {
+            bits[k] = sample[GROUP_PAIRS * g + k].load(Ordering::Relaxed);
+        }
+        let ys = _mm256_loadu_ps(bits.as_ptr().cast::<f32>());
+        let xs = _mm256_loadu_ps(src.as_ptr().add(LANES * g));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(xs, ys));
+    }
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let done = GROUP_PAIRS * groups;
+    for (i, w) in sample[done..].iter().enumerate() {
+        let (y0, y1) = unpack_pair(w.load(Ordering::Relaxed));
+        lanes[2 * i] += src[LANES * groups + 2 * i] * y0;
+        lanes[2 * i + 1] += src[LANES * groups + 2 * i + 1] * y1;
+    }
+    hsum8(&lanes)
+}
+
+/// The two-sided axpy of [`crate::train_cpu::fused_update`]: store
+/// `u + score·x` back into each pair cell and update the staged source
+/// with `x + score·u`, pre-update values on both sides.
+#[inline]
+pub fn update_pairs(src: &mut [f32], sample: &[AtomicU64], score: f32) {
+    debug_assert_eq!(src.len(), 2 * sample.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 presence was just verified at runtime.
+        unsafe { update_pairs_avx2(src, sample, score) };
+        return;
+    }
+    update_pairs_scalar(src, sample, score);
+}
+
+/// Scalar core of [`update_pairs`].
+#[inline]
+pub fn update_pairs_scalar(src: &mut [f32], sample: &[AtomicU64], score: f32) {
+    let mut cs = src.chunks_exact_mut(LANES);
+    let mut cu = sample.chunks_exact(GROUP_PAIRS);
+    for (xs, ws) in (&mut cs).zip(&mut cu) {
+        let us = load_group(ws);
+        for k in 0..GROUP_PAIRS {
+            ws[k].store(
+                pack_pair(
+                    us[2 * k] + score * xs[2 * k],
+                    us[2 * k + 1] + score * xs[2 * k + 1],
+                ),
+                Ordering::Relaxed,
+            );
+        }
+        for k in 0..LANES {
+            xs[k] += score * us[k];
+        }
+    }
+    let xs = cs.into_remainder();
+    for (i, w) in cu.remainder().iter().enumerate() {
+        let (u0, u1) = unpack_pair(w.load(Ordering::Relaxed));
+        w.store(
+            pack_pair(u0 + score * xs[2 * i], u1 + score * xs[2 * i + 1]),
+            Ordering::Relaxed,
+        );
+        xs[2 * i] += score * u0;
+        xs[2 * i + 1] += score * u1;
+    }
+}
+
+/// AVX2 path of [`update_pairs`] — same staging-array discipline as
+/// [`dot_pairs`]: relaxed loads into `[u64; 4]`, vector math on the
+/// reinterpreted lanes, vector store back into the staging array, relaxed
+/// stores out. `mul` + `add`, lanewise identical to the scalar core.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn update_pairs_avx2(src: &mut [f32], sample: &[AtomicU64], score: f32) {
+    use core::arch::x86_64::*;
+    let groups = sample.len() / GROUP_PAIRS;
+    let sv = _mm256_set1_ps(score);
+    for g in 0..groups {
+        let mut bits = [0u64; GROUP_PAIRS];
+        for k in 0..GROUP_PAIRS {
+            bits[k] = sample[GROUP_PAIRS * g + k].load(Ordering::Relaxed);
+        }
+        let us = _mm256_loadu_ps(bits.as_ptr().cast::<f32>());
+        let xp = src.as_mut_ptr().add(LANES * g);
+        let xs = _mm256_loadu_ps(xp);
+        let new_u = _mm256_add_ps(us, _mm256_mul_ps(sv, xs));
+        let new_x = _mm256_add_ps(xs, _mm256_mul_ps(sv, us));
+        _mm256_storeu_ps(bits.as_mut_ptr().cast::<f32>(), new_u);
+        for k in 0..GROUP_PAIRS {
+            sample[GROUP_PAIRS * g + k].store(bits[k], Ordering::Relaxed);
+        }
+        _mm256_storeu_ps(xp, new_x);
+    }
+    let done = GROUP_PAIRS * groups;
+    let xs = &mut src[LANES * groups..];
+    for (i, w) in sample[done..].iter().enumerate() {
+        let (u0, u1) = unpack_pair(w.load(Ordering::Relaxed));
+        w.store(
+            pack_pair(u0 + score * xs[2 * i], u1 + score * xs[2 * i + 1]),
+            Ordering::Relaxed,
+        );
+        xs[2 * i] += score * u0;
+        xs[2 * i + 1] += score * u1;
+    }
+}
+
+/// Unpack an atomic pair row into a staged f32 row (`dst.len() == 2 *
+/// pairs.len()`), four cells per iteration so the unpack compiles to
+/// straight vector moves.
+#[inline]
+pub fn load_row_pairs(dst: &mut [f32], pairs: &[AtomicU64]) {
+    debug_assert_eq!(dst.len(), 2 * pairs.len());
+    let mut cd = dst.chunks_exact_mut(LANES);
+    let mut cp = pairs.chunks_exact(GROUP_PAIRS);
+    for (slot, ws) in (&mut cd).zip(&mut cp) {
+        slot.copy_from_slice(&load_group(ws));
+    }
+    for (slot, w) in cd.into_remainder().chunks_exact_mut(2).zip(cp.remainder()) {
+        let (a0, a1) = unpack_pair(w.load(Ordering::Relaxed));
+        slot[0] = a0;
+        slot[1] = a1;
+    }
+}
+
+/// Pack a staged f32 row back into its atomic pair row.
+#[inline]
+pub fn store_row_pairs(pairs: &[AtomicU64], src: &[f32]) {
+    debug_assert_eq!(src.len(), 2 * pairs.len());
+    let mut cs = src.chunks_exact(LANES);
+    let mut cp = pairs.chunks_exact(GROUP_PAIRS);
+    for (slot, ws) in (&mut cs).zip(&mut cp) {
+        for k in 0..GROUP_PAIRS {
+            ws[k].store(pack_pair(slot[2 * k], slot[2 * k + 1]), Ordering::Relaxed);
+        }
+    }
+    for (slot, w) in cs.remainder().chunks_exact(2).zip(cp.remainder()) {
+        w.store(pack_pair(slot[0], slot[1]), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::fast_sigmoid;
+    use gosh_graph::rng::Xorshift128Plus;
+
+    fn random_vec(rng: &mut Xorshift128Plus, d: usize) -> Vec<f32> {
+        (0..d).map(|_| rng.next_f32() - 0.5).collect()
+    }
+
+    fn pairs_from(row: &[f32]) -> Vec<AtomicU64> {
+        row.chunks(2)
+            .map(|c| AtomicU64::new(pack_pair(c[0], *c.get(1).unwrap_or(&0.0))))
+            .collect()
+    }
+
+    fn pairs_to_vec(pairs: &[AtomicU64]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * pairs.len());
+        for p in pairs {
+            let (a, b) = unpack_pair(p.load(Ordering::Relaxed));
+            out.push(a);
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn dot8_intrinsic_matches_scalar_bitwise() {
+        let mut rng = Xorshift128Plus::new(7);
+        for d in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128] {
+            let a = random_vec(&mut rng, d);
+            let b = random_vec(&mut rng, d);
+            assert_eq!(
+                dot8(&a, &b).to_bits(),
+                dot8_scalar(&a, &b).to_bits(),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot8_is_padding_invariant() {
+        // Zero-padding to the paired-lane width must not change the bits:
+        // this is what lets the staged (padded) source row and the plain
+        // reference row produce identical dots.
+        let mut rng = Xorshift128Plus::new(8);
+        for d in 1usize..=33 {
+            let a = random_vec(&mut rng, d);
+            let b = random_vec(&mut rng, d);
+            let mut ap = a.clone();
+            let mut bp = b.clone();
+            ap.resize(2 * d.div_ceil(2), 0.0);
+            bp.resize(2 * d.div_ceil(2), 0.0);
+            assert_eq!(
+                dot8_scalar(&a, &b).to_bits(),
+                dot8_scalar(&ap, &bp).to_bits(),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_pairs_matches_dot8_on_unpacked_row() {
+        let mut rng = Xorshift128Plus::new(9);
+        for d in [1usize, 2, 5, 7, 8, 9, 16, 23, 31, 32, 128] {
+            let padded = 2 * d.div_ceil(2);
+            let mut src = random_vec(&mut rng, d);
+            src.resize(padded, 0.0);
+            let mut smp = random_vec(&mut rng, d);
+            smp.resize(padded, 0.0);
+            let cells = pairs_from(&smp);
+            let expect = dot8_scalar(&src, &smp);
+            assert_eq!(dot_pairs(&src, &cells).to_bits(), expect.to_bits(), "d={d}");
+            assert_eq!(
+                dot_pairs_scalar(&src, &cells).to_bits(),
+                expect.to_bits(),
+                "d={d} scalar"
+            );
+        }
+    }
+
+    #[test]
+    fn update_pairs_intrinsic_matches_scalar_bitwise() {
+        let mut rng = Xorshift128Plus::new(10);
+        for d in [1usize, 2, 5, 8, 9, 16, 31, 32, 100, 128] {
+            let padded = 2 * d.div_ceil(2);
+            let mut src_a = random_vec(&mut rng, padded);
+            let mut src_b = src_a.clone();
+            let smp = random_vec(&mut rng, padded);
+            let cells_a = pairs_from(&smp);
+            let cells_b = pairs_from(&smp);
+            update_pairs(&mut src_a, &cells_a, 0.017);
+            update_pairs_scalar(&mut src_b, &cells_b, 0.017);
+            assert_eq!(src_a, src_b, "d={d} src");
+            assert_eq!(pairs_to_vec(&cells_a), pairs_to_vec(&cells_b), "d={d} smp");
+        }
+    }
+
+    #[test]
+    fn fused_axpy8_matches_elementwise_reference() {
+        let mut rng = Xorshift128Plus::new(11);
+        for d in [1usize, 7, 8, 9, 40] {
+            let mut src = random_vec(&mut rng, d);
+            let mut smp = random_vec(&mut rng, d);
+            let mut src_ref = src.clone();
+            let mut smp_ref = smp.clone();
+            for k in 0..d {
+                let s_old = src_ref[k];
+                src_ref[k] += 0.03 * smp_ref[k];
+                smp_ref[k] += 0.03 * s_old;
+            }
+            fused_axpy8(&mut src, &mut smp, 0.03);
+            assert_eq!(src, src_ref, "d={d}");
+            assert_eq!(smp, smp_ref, "d={d}");
+        }
+    }
+
+    #[test]
+    fn fast_sigmoid8_matches_scalar_including_specials() {
+        let mut x = -12.0f32;
+        while x <= 12.0 {
+            let mut lanes = [0.0f32; LANES];
+            for (k, slot) in lanes.iter_mut().enumerate() {
+                *slot = x + 0.001 * k as f32;
+            }
+            let got = fast_sigmoid8(&lanes);
+            for k in 0..LANES {
+                assert_eq!(
+                    got[k].to_bits(),
+                    fast_sigmoid(lanes[k]).to_bits(),
+                    "x={}",
+                    lanes[k]
+                );
+            }
+            x += 0.37;
+        }
+        let specials = [
+            SIGMOID_BOUND,
+            -SIGMOID_BOUND,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MAX,
+            f32::MIN,
+            0.0,
+            -0.0,
+        ];
+        let got = fast_sigmoid8(&specials);
+        for k in 0..LANES {
+            assert_eq!(got[k].to_bits(), fast_sigmoid(specials[k]).to_bits());
+        }
+        let nans = [f32::NAN; LANES];
+        assert!(fast_sigmoid8(&nans).iter().all(|y| y.is_nan()));
+    }
+
+    #[test]
+    fn row_pairs_round_trip_preserves_bits() {
+        let mut rng = Xorshift128Plus::new(12);
+        for pairs_len in [1usize, 3, 4, 5, 8, 64] {
+            let row = random_vec(&mut rng, 2 * pairs_len);
+            let cells = pairs_from(&row);
+            let mut staged = vec![0.0f32; 2 * pairs_len];
+            load_row_pairs(&mut staged, &cells);
+            assert_eq!(staged, row);
+            let zero: Vec<AtomicU64> = (0..pairs_len).map(|_| AtomicU64::new(0)).collect();
+            store_row_pairs(&zero, &staged);
+            assert_eq!(pairs_to_vec(&zero), row);
+        }
+    }
+}

@@ -28,15 +28,17 @@
 //!   every thread through one contended cache line. Sample rows are
 //!   prefetched as soon as their ids are drawn.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Barrier;
 
 use gosh_graph::csr::Csr;
 use gosh_graph::rng::{mix64, Xorshift128Plus};
 
 use crate::backend::{Similarity, TrainParams};
-use crate::model::{pack_pair, unpack_pair, Embedding, SharedMatrix};
+use crate::model::{Embedding, SharedMatrix};
+use crate::quant::{Precision, QuantizedMatrix};
 use crate::schedule::decayed_lr;
+use crate::simd;
 use crate::update::fast_sigmoid;
 
 /// Split `sources` source processings into one contiguous shard per
@@ -58,6 +60,9 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     assert!(params.threads >= 1);
     if g.num_edges() == 0 || params.epochs == 0 {
         return;
+    }
+    if params.precision != Precision::F32 {
+        return train_cpu_quantized(g, m, params);
     }
     let n = g.num_vertices() as u32;
     let shared = SharedMatrix::from_embedding(m);
@@ -149,7 +154,7 @@ fn prefetch_row(row: &[AtomicU64]) {
     {
         // Portable fallback: a relaxed load warms the first line.
         if let Some(c) = row.first() {
-            std::hint::black_box(c.load(Ordering::Relaxed));
+            std::hint::black_box(c.load(std::sync::atomic::Ordering::Relaxed));
         }
     }
 }
@@ -187,21 +192,7 @@ fn process_source(
         prefetch_row(shared.row_atomics(u));
     }
     let src_pairs = shared.row_atomics(src);
-    let mut st = src_row.chunks_exact_mut(4);
-    let mut sp = src_pairs.chunks_exact(2);
-    for (slot, cs) in (&mut st).zip(&mut sp) {
-        let (a0, a1) = unpack_pair(cs[0].load(Ordering::Relaxed));
-        let (a2, a3) = unpack_pair(cs[1].load(Ordering::Relaxed));
-        slot[0] = a0;
-        slot[1] = a1;
-        slot[2] = a2;
-        slot[3] = a3;
-    }
-    if let ([s0, s1], [c]) = (st.into_remainder(), sp.remainder()) {
-        let (a0, a1) = unpack_pair(c.load(Ordering::Relaxed));
-        *s0 = a0;
-        *s1 = a1;
-    }
+    simd::load_row_pairs(src_row, src_pairs);
     if let Some(u) = pos {
         fused_update(src_row, shared.row_atomics(u), 1.0, lr);
     }
@@ -212,15 +203,7 @@ fn process_source(
         let u = rng.below(n);
         fused_update(src_row, shared.row_atomics(u), 0.0, lr);
     }
-    let mut st = src_row.chunks_exact(4);
-    let mut sp = src_pairs.chunks_exact(2);
-    for (slot, cs) in (&mut st).zip(&mut sp) {
-        cs[0].store(pack_pair(slot[0], slot[1]), Ordering::Relaxed);
-        cs[1].store(pack_pair(slot[2], slot[3]), Ordering::Relaxed);
-    }
-    if let ([s0, s1], [c]) = (st.remainder(), sp.remainder()) {
-        c.store(pack_pair(*s0, *s1), Ordering::Relaxed);
-    }
+    simd::store_row_pairs(src_pairs, src_row);
 }
 
 /// Draw a positive sample for `src` under the chosen similarity.
@@ -259,70 +242,147 @@ pub fn positive_sample(
 /// the paired-lane width, pads zero) and an in-place atomic sample-row
 /// view: one pass accumulates the dot product, a second applies both
 /// sides' axpy with pre-update values — the reference-code semantics of
-/// [`crate::update::update_embedding`], same 4-lane dot accumulation
-/// order, same sigmoid, so the two stay bit-identical. Each sample pair
-/// is loaded twice and stored once, two lanes per atomic op, with no
-/// scratch copy and no per-element indexing; the source side is plain
-/// `f32`, where the compiler vectorizes. Zero pad lanes update to
-/// exactly zero (`0 + score·0`), preserving the padding invariant.
+/// [`crate::update::update_embedding`], same 8-lane dot accumulation
+/// order ([`crate::simd::dot_pairs`]), same sigmoid, so the two stay
+/// bit-identical whether the runtime dispatch lands on the AVX2 or the
+/// scalar path. Each sample pair is loaded twice and stored once, two
+/// lanes per atomic op, with no scratch copy and no per-element
+/// indexing. Zero pad lanes update to exactly zero (`0 + score·0`),
+/// preserving the padding invariant.
 #[inline]
 pub fn fused_update(src: &mut [f32], sample: &[AtomicU64], b: f32, lr: f32) {
     debug_assert_eq!(src.len(), 2 * sample.len());
-    #[inline(always)]
-    fn ld(c: &AtomicU64) -> (f32, f32) {
-        unpack_pair(c.load(Ordering::Relaxed))
-    }
-    // Four-lane dot — the exact accumulation order of
-    // [`crate::update::dot4`] over the zero-padded vectors. Two pairs
-    // per iteration keeps every accumulator chain independent without
-    // spilling xmm registers.
-    let mut acc = [0.0f32; 4];
-    let mut cs = src.chunks_exact(4);
-    let mut cu = sample.chunks_exact(2);
-    for (xs, ws) in (&mut cs).zip(&mut cu) {
-        let (y0, y1) = ld(&ws[0]);
-        let (y2, y3) = ld(&ws[1]);
-        acc[0] += xs[0] * y0;
-        acc[1] += xs[1] * y1;
-        acc[2] += xs[2] * y2;
-        acc[3] += xs[3] * y3;
-    }
-    if let ([x0, x1], [w]) = (cs.remainder(), cu.remainder()) {
-        let (y0, y1) = ld(w);
-        acc[0] += x0 * y0;
-        acc[1] += x1 * y1;
-    }
-    let dot = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let dot = simd::dot_pairs(src, sample);
     let score = (b - fast_sigmoid(dot)) * lr;
-    // Two pairs per iteration: the two load→store chains are
-    // independent, so they pipeline.
-    let mut us = src.chunks_exact_mut(4);
-    let mut uw = sample.chunks_exact(2);
-    for (xs, ws) in (&mut us).zip(&mut uw) {
-        let (u0, u1) = ld(&ws[0]);
-        let (u2, u3) = ld(&ws[1]);
-        ws[0].store(
-            pack_pair(u0 + score * xs[0], u1 + score * xs[1]),
-            Ordering::Relaxed,
-        );
-        ws[1].store(
-            pack_pair(u2 + score * xs[2], u3 + score * xs[3]),
-            Ordering::Relaxed,
-        );
-        xs[0] += score * u0;
-        xs[1] += score * u1;
-        xs[2] += score * u2;
-        xs[3] += score * u3;
+    simd::update_pairs(src, sample, score);
+}
+
+/// The reduced-precision Hogwild engine: identical schedule, sharding,
+/// RNG streams and update math as the f32 engine, but the shared matrix
+/// is a [`QuantizedMatrix`] — every touched row **dequantizes on load**
+/// into f32 lanes, updates there through the same [`simd`] kernels, and
+/// **requantizes on store**. Each sample update is whole-row (an i8 row's
+/// scale pair depends on its min/max), so the engine stages both sides
+/// instead of updating the sample in place; the extra quantize work is
+/// the price of rows that are 2–4x narrower than f32 — the trade
+/// `updates_per_sec_per_byte` in the hotpath bench measures.
+fn train_cpu_quantized(g: &Csr, m: &mut Embedding, params: &TrainParams) {
+    let n = g.num_vertices() as u32;
+    let dim = m.dim();
+    let shared = QuantizedMatrix::from_embedding(m, params.precision);
+    let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
+    for v in 0..n {
+        arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
     }
-    if let ([x0, x1], [w]) = (us.into_remainder(), uw.remainder()) {
-        let (u0, u1) = ld(w);
-        w.store(
-            pack_pair(u0 + score * *x0, u1 + score * *x1),
-            Ordering::Relaxed,
-        );
-        *x0 += score * u0;
-        *x1 += score * u1;
+    let num_arcs = arc_src.len();
+    let sources = (num_arcs / 2).max(1);
+    let threads = params.threads.min(sources);
+    let shards = shard_ranges(sources, threads);
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for (t, shard) in shards.into_iter().enumerate() {
+            let arc_src = &arc_src;
+            let shared = &shared;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut src_row = vec![0f32; dim];
+                let mut smp_row = vec![0f32; dim];
+                let mut codes = vec![0u8; dim];
+                for epoch in 0..params.epochs {
+                    let lr_now = decayed_lr(params.lr, epoch, params.epochs);
+                    let mut rng = Xorshift128Plus::new(mix64(
+                        params.seed ^ ((epoch as u64) << 20) ^ t as u64,
+                    ));
+                    let offset = epoch as usize % num_arcs;
+                    let arc_at = |s: usize| {
+                        let mut idx = 2 * s + offset;
+                        if idx >= num_arcs {
+                            idx -= num_arcs;
+                        }
+                        arc_src[idx]
+                    };
+                    let mut src_next = if shard.is_empty() {
+                        0
+                    } else {
+                        arc_at(shard.start)
+                    };
+                    for s in shard.clone() {
+                        let src = src_next;
+                        if s + 1 < shard.end {
+                            src_next = arc_at(s + 1);
+                            prefetch_row(shared.row_cells(src_next));
+                        }
+                        process_source_quantized(
+                            g,
+                            shared,
+                            src,
+                            n,
+                            params,
+                            lr_now,
+                            &mut rng,
+                            &mut src_row,
+                            &mut smp_row,
+                            &mut codes,
+                        );
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    *m = shared.to_embedding();
+}
+
+/// One source processing of the quantized engine — the same draw order
+/// and sample schedule as [`process_source`], staged through dequantized
+/// f32 rows on both sides.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn process_source_quantized(
+    g: &Csr,
+    shared: &QuantizedMatrix,
+    src: u32,
+    n: u32,
+    params: &TrainParams,
+    lr: f32,
+    rng: &mut Xorshift128Plus,
+    src_row: &mut [f32],
+    smp_row: &mut [f32],
+    codes: &mut [u8],
+) {
+    let pos = positive_sample(g, src, params.similarity, rng);
+    let ns = params.negative_samples;
+    let ahead = ns.min(PREFETCH_AHEAD);
+    let mut negs = [0u32; PREFETCH_AHEAD];
+    for slot in negs.iter_mut().take(ahead) {
+        *slot = rng.below(n);
     }
+    if let Some(u) = pos {
+        prefetch_row(shared.row_cells(u));
+    }
+    for &u in negs.iter().take(ahead) {
+        prefetch_row(shared.row_cells(u));
+    }
+    shared.load_row(src, src_row);
+    let mut one = |u: u32, b: f32| {
+        shared.load_row(u, smp_row);
+        let dot = simd::dot8(src_row, smp_row);
+        let score = (b - fast_sigmoid(dot)) * lr;
+        simd::fused_axpy8(src_row, smp_row, score);
+        shared.store_row_scratch(u, smp_row, codes);
+    };
+    if let Some(u) = pos {
+        one(u, 1.0);
+    }
+    for &u in negs.iter().take(ahead) {
+        one(u, 0.0);
+    }
+    for _ in ahead..ns {
+        let u = rng.below(n);
+        one(u, 0.0);
+    }
+    shared.store_row_scratch(src, src_row, codes);
 }
 
 #[cfg(test)]
@@ -393,6 +453,30 @@ mod tests {
         };
         train_cpu(&g, &mut m, &p);
         assert!(mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.2);
+    }
+
+    #[test]
+    fn quantized_engines_learn_structure() {
+        for precision in [Precision::F16, Precision::I8] {
+            let (g, intra, inter) = two_cliques();
+            let mut m = Embedding::random(16, 16, 3);
+            let p = TrainParams {
+                threads: 4,
+                epochs: 150,
+                lr: 0.05,
+                precision,
+                ..Default::default()
+            };
+            train_cpu(&g, &mut m, &p);
+            assert!(
+                m.as_slice().iter().all(|x| x.is_finite()),
+                "{precision}: non-finite values"
+            );
+            assert!(
+                mean_cos(&m, &intra) > mean_cos(&m, &inter) + 0.25,
+                "{precision} failed to learn"
+            );
+        }
     }
 
     #[test]

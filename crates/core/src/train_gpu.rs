@@ -23,6 +23,7 @@ use gosh_graph::csr::Csr;
 
 use crate::backend::{Similarity, TrainParams};
 use crate::model::Embedding;
+use crate::quant::{quantize_roundtrip, Precision};
 use crate::schedule::decayed_lr;
 
 /// Which embedding kernel to run.
@@ -376,6 +377,13 @@ fn epoch_packed(
 
 /// Upload, train, download: the small-graph path of Algorithm 2 (lines
 /// 6–7) for one level.
+///
+/// With a quantized `params.precision` the matrix buffer is allocated and
+/// transferred at the format's true byte width, and the rows pass through
+/// a quantize→dequantize round trip at the upload and write-back
+/// boundaries — the storage error the quantized format would impose,
+/// while kernel arithmetic stays f32 (mixed-precision style; the CPU
+/// engine requantizes per store and is the stricter model).
 pub fn train_level_on_device(
     device: &Device,
     g: &Csr,
@@ -384,9 +392,18 @@ pub fn train_level_on_device(
     variant: KernelVariant,
 ) -> Result<(), DeviceError> {
     let graph = DeviceGraph::upload(device, g)?;
-    let matrix = device.upload_floats(host.as_slice())?;
+    let matrix = if params.precision == Precision::F32 {
+        device.upload_floats(host.as_slice())?
+    } else {
+        let mut staged = host.as_slice().to_vec();
+        quantize_roundtrip(&mut staged, params.dim, params.precision);
+        device.upload_floats_prec(&staged, params.precision.bytes_per_element())?
+    };
     train_in_gpu(device, &graph, &matrix, params, variant);
-    let out = matrix.to_host_vec();
+    let mut out = matrix.to_host_vec();
+    if params.precision != Precision::F32 {
+        quantize_roundtrip(&mut out, params.dim, params.precision);
+    }
     host.as_mut_slice().copy_from_slice(&out);
     Ok(())
 }
@@ -589,6 +606,35 @@ mod tests {
         let graph = DeviceGraph::upload(&device, &g).unwrap();
         assert_eq!(graph.sources_per_epoch(), 3);
         assert_eq!(graph.num_arcs(), 6);
+    }
+
+    #[test]
+    fn quantized_device_path_prices_and_learns() {
+        let (g, intra, inter) = two_cliques();
+        for precision in [crate::quant::Precision::F16, crate::quant::Precision::I8] {
+            let device = Device::new(DeviceConfig::titan_x());
+            let mut m = Embedding::random(16, 32, 42);
+            let p = TrainParams {
+                precision,
+                ..params(32, 150)
+            };
+            device.reset_counters();
+            train_level_on_device(&device, &g, &mut m, &p, KernelVariant::Optimized).unwrap();
+            // Matrix upload + download move 16*32 elements at the narrow
+            // width; the f32-priced copy would be 2048 bytes.
+            let narrow = 16 * 32 * precision.bytes_per_element() as u64;
+            let s = device.snapshot();
+            assert!(s.h2d_bytes >= narrow, "matrix upload missing");
+            assert!(
+                s.d2h_bytes == narrow,
+                "{precision}: d2h {} != {narrow}",
+                s.d2h_bytes
+            );
+            assert!(m.as_slice().iter().all(|x| x.is_finite()));
+            let (i, o) = (mean_cos(&m, &intra), mean_cos(&m, &inter));
+            assert!(i > o + 0.25, "{precision}: intra {i} vs inter {o}");
+            assert_eq!(device.allocated_bytes(), 0);
+        }
     }
 
     #[test]

@@ -10,11 +10,11 @@
 use std::sync::OnceLock;
 
 /// Table resolution for [`fast_sigmoid`] (513 knots over `[-8, 8]`).
-const SIGMOID_TABLE: usize = 512;
+pub(crate) const SIGMOID_TABLE: usize = 512;
 /// Saturation bound: `σ(±8)` is within `3.4e-4` of `1`/`0`.
-const SIGMOID_BOUND: f32 = 8.0;
+pub(crate) const SIGMOID_BOUND: f32 = 8.0;
 
-fn sigmoid_table() -> &'static [f32; SIGMOID_TABLE + 1] {
+pub(crate) fn sigmoid_table() -> &'static [f32; SIGMOID_TABLE + 1] {
     static TABLE: OnceLock<[f32; SIGMOID_TABLE + 1]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut t = [0f32; SIGMOID_TABLE + 1];
@@ -50,31 +50,22 @@ pub fn fast_sigmoid(x: f32) -> f32 {
     tab[i] + (tab[i + 1] - tab[i]) * frac
 }
 
-/// Dot product with four independent accumulator lanes.
+/// Dot product with eight independent accumulator lanes.
 ///
 /// A sequentially-summed dot is latency-bound: `d` chained FMAs at 4–5
-/// cycles each dominate the whole Algorithm 1 update once `d ≥ 32`. Four
-/// lanes break the dependency chain. This is **the** dot-product
-/// accumulation order of the CPU trainer — [`update_embedding`] and the
-/// in-place Hogwild engine ([`crate::train_cpu::fused_update`]) both use
-/// it, which keeps them bit-identical.
+/// cycles each dominate the whole Algorithm 1 update once `d ≥ 32`. Eight
+/// lanes break the dependency chain and fill a full AVX2 register. This
+/// is **the** dot-product accumulation order of the CPU trainer —
+/// [`update_embedding`] and the in-place Hogwild engine
+/// ([`crate::train_cpu::fused_update`]) both use it, which keeps them
+/// bit-identical. The implementation (scalar chunked core, runtime-
+/// detected AVX2 path, shared horizontal-sum tree) lives in
+/// [`crate::simd`]; remainder elements land in lanes `0..r`, equivalent
+/// to zero-padding the vectors — exactly what the paired-lane layout of
+/// `SharedMatrix` produces.
 #[inline]
-pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for (xs, ys) in (&mut ca).zip(&mut cb) {
-        for k in 0..4 {
-            acc[k] += xs[k] * ys[k];
-        }
-    }
-    // Remainder elements land in lanes 0..3 too — equivalent to
-    // zero-padding the vectors to a multiple of four, which is exactly
-    // what the paired-lane layout of `SharedMatrix` produces.
-    for (k, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
-        acc[k] += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3])
+pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    crate::simd::dot8(a, b)
 }
 
 /// One logistic update between a source row and a sample row, using
@@ -86,13 +77,9 @@ pub fn dot4(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn update_embedding(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
     debug_assert_eq!(src.len(), sample.len());
-    let dot = dot4(src, sample);
+    let dot = dot8(src, sample);
     let score = (b - fast_sigmoid(dot)) * lr;
-    for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
-        let s_old = *s;
-        *s += score * *m;
-        *m += score * s_old;
-    }
+    crate::simd::fused_axpy8(src, sample, score);
 }
 
 /// Algorithm 1 exactly as printed: the sample update reads the already
@@ -101,7 +88,7 @@ pub fn update_embedding(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
 #[inline]
 pub fn update_embedding_literal(src: &mut [f32], sample: &mut [f32], b: f32, lr: f32) {
     debug_assert_eq!(src.len(), sample.len());
-    let dot = dot4(src, sample);
+    let dot = dot8(src, sample);
     let score = (b - fast_sigmoid(dot)) * lr;
     for (s, m) in src.iter_mut().zip(sample.iter_mut()) {
         *s += score * *m;
@@ -142,12 +129,41 @@ mod tests {
     }
 
     #[test]
-    fn dot4_matches_naive_dot_for_all_remainders() {
+    fn fast_sigmoid_clamp_boundaries_are_pinned() {
+        // The clamp must fire *inclusively* at the bound: σ is monotone, so
+        // any future lanewise rewrite that turned `>=` into `>` (or routed
+        // the bound through the table) would show up here.
+        assert_eq!(fast_sigmoid(SIGMOID_BOUND), 1.0);
+        assert_eq!(fast_sigmoid(-SIGMOID_BOUND), 0.0);
+        // Beyond the bound: hard saturation, no table access.
+        assert_eq!(fast_sigmoid(SIGMOID_BOUND + 1.0), 1.0);
+        assert_eq!(fast_sigmoid(-SIGMOID_BOUND - 1.0), 0.0);
+        assert_eq!(fast_sigmoid(f32::MAX), 1.0);
+        assert_eq!(fast_sigmoid(f32::MIN), 0.0);
+        assert_eq!(fast_sigmoid(f32::INFINITY), 1.0);
+        assert_eq!(fast_sigmoid(f32::NEG_INFINITY), 0.0);
+        // NaN fails both clamp comparisons and falls through to the table
+        // path, where the interpolation propagates it. That propagation is
+        // load-bearing: a poisoned dot must not silently become a valid
+        // probability.
+        assert!(fast_sigmoid(f32::NAN).is_nan());
+        // Just inside the bound the table path must stay saturated and
+        // in-range (the `min` clamp on the knot index).
+        let just_below = f32::from_bits(SIGMOID_BOUND.to_bits() - 1);
+        let y = fast_sigmoid(just_below);
+        assert!(y > 0.999 && y <= 1.0, "{y}");
+        let just_above = f32::from_bits((-SIGMOID_BOUND).to_bits() - 1);
+        let z = fast_sigmoid(just_above);
+        assert!((0.0..1e-3).contains(&z), "{z}");
+    }
+
+    #[test]
+    fn dot8_matches_naive_dot_for_all_remainders() {
         for d in 1..=18usize {
             let a: Vec<f32> = (0..d).map(|i| 0.1 * i as f32 - 0.4).collect();
             let b: Vec<f32> = (0..d).map(|i| 0.03 * i as f32 + 0.2).collect();
             let naive = dot(&a, &b);
-            let lanes = dot4(&a, &b);
+            let lanes = dot8(&a, &b);
             assert!((naive - lanes).abs() < 1e-5, "d={d}: {naive} vs {lanes}");
         }
     }

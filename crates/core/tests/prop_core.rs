@@ -2,12 +2,21 @@
 //! the epoch schedule, embedding expansion, and the large-graph path's
 //! host-side machinery (sample pools, Belady eviction).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use gosh_coarsen::mapping::Mapping;
 use gosh_core::expand::expand_embedding;
 use gosh_core::large::pools::NO_SAMPLE;
 use gosh_core::large::{farthest_future_victim, generate_pool, inside_out_pairs, Partition};
-use gosh_core::model::Embedding;
+use gosh_core::model::{pack_pair, unpack_pair, Embedding};
+use gosh_core::quant::{
+    dequantize_row_i8, f16_bits_to_f32, f32_to_f16_bits, quantize_roundtrip, quantize_row_i8,
+    Precision,
+};
 use gosh_core::schedule::{decayed_lr, epoch_distribution};
+use gosh_core::simd::{
+    dot8, dot8_scalar, dot_pairs, dot_pairs_scalar, update_pairs, update_pairs_scalar,
+};
 use gosh_core::update::update_embedding;
 use gosh_graph::builder::csr_from_edges;
 use proptest::prelude::*;
@@ -23,6 +32,20 @@ fn graph_and_partition() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, usize
 
 fn row(d: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1.0f32..1.0, d..=d)
+}
+
+/// Rows of every length around the 8-lane boundaries (1..=40 covers
+/// sub-lane, exact-group, and ragged-remainder shapes), values spanning
+/// several orders of magnitude so accumulation order actually matters.
+fn ragged_row() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..=40)
+}
+
+/// Pack an f32 slice (even length) into SharedMatrix pair cells.
+fn to_pairs(xs: &[f32]) -> Vec<AtomicU64> {
+    xs.chunks(2)
+        .map(|p| AtomicU64::new(pack_pair(p[0], p[1])))
+        .collect()
 }
 
 proptest! {
@@ -215,5 +238,200 @@ proptest! {
             .map(|(bin, _)| bin);
         let got = farthest_future_victim(&holds, &pinned, &future);
         prop_assert_eq!(got, oracle, "holds {:?} pinned {:?}", held, pinned);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch vs scalar core — the bit-parity contract of `gosh_core::simd`
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn dot8_dispatch_matches_scalar_core_bitwise(
+        a in ragged_row(),
+        b in ragged_row(),
+    ) {
+        // The runtime-dispatched path (AVX2 where detected) must produce
+        // the *bits* of the scalar lane-group reference for every row
+        // length — sub-lane, full groups, ragged remainders.
+        let n = a.len().min(b.len());
+        let x = dot8(&a[..n], &b[..n]);
+        let y = dot8_scalar(&a[..n], &b[..n]);
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} at n={n}");
+    }
+
+    #[test]
+    fn pair_kernels_dispatch_matches_scalar_core_bitwise(
+        vals in prop::collection::vec(-100.0f32..100.0, 1..=40),
+        sam in prop::collection::vec(-100.0f32..100.0, 1..=40),
+        score in -0.2f32..0.2,
+    ) {
+        // Staged-source-vs-atomic-pair-row kernels, the fused_update hot
+        // loop: dot and the two-sided axpy, dispatch vs scalar, across
+        // unaligned dims (odd d gets a zero pad lane like train_cpu does).
+        let d = vals.len().min(sam.len());
+        let pairs = d.div_ceil(2);
+        let mut src = vals[..d].to_vec();
+        src.resize(2 * pairs, 0.0);
+        let mut padded_sam = sam[..d].to_vec();
+        padded_sam.resize(2 * pairs, 0.0);
+
+        let cells_a = to_pairs(&padded_sam);
+        let cells_b = to_pairs(&padded_sam);
+        let da = dot_pairs(&src, &cells_a);
+        let db = dot_pairs_scalar(&src, &cells_b);
+        prop_assert_eq!(da.to_bits(), db.to_bits(), "dot {da} vs {db} at d={d}");
+
+        let mut src_a = src.clone();
+        let mut src_b = src.clone();
+        update_pairs(&mut src_a, &cells_a, score);
+        update_pairs_scalar(&mut src_b, &cells_b, score);
+        for (k, (x, y)) in src_a.iter().zip(&src_b).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "src lane {k} at d={d}");
+        }
+        for (k, (wa, wb)) in cells_a.iter().zip(&cells_b).enumerate() {
+            prop_assert_eq!(
+                wa.load(Ordering::Relaxed),
+                wb.load(Ordering::Relaxed),
+                "sample cell {} at d={}", k, d
+            );
+        }
+    }
+
+    #[test]
+    fn zero_padding_to_lane_width_is_invisible(
+        vals in prop::collection::vec(-50.0f32..50.0, 1..=24),
+    ) {
+        // The staged-row trick train_cpu relies on: padding a row with
+        // zeros up to the paired-lane width must not change the dot bits
+        // (remainder elements land in lanes 0..r, zeros add nothing).
+        let mut padded = vals.clone();
+        padded.resize(vals.len().next_multiple_of(8), 0.0);
+        let x = dot8(&vals, &vals);
+        let y = dot8(&padded, &padded);
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized storage round trips — `gosh_core::quant`
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn i8_quantization_is_monotone_with_exact_zero_point(
+        vals in prop::collection::vec(-1000.0f32..1000.0, 1..=64),
+    ) {
+        let mut codes = vec![0u8; vals.len()];
+        let rs = quantize_row_i8(&vals, &mut codes);
+        prop_assert!(rs.scale.is_finite() && rs.scale >= 0.0);
+        prop_assert!(rs.zero.is_finite());
+
+        // Monotone: larger value never gets a smaller code.
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                if vals[i] <= vals[j] {
+                    prop_assert!(codes[i] <= codes[j],
+                        "x[{}]={} <= x[{}]={} but codes {} > {}",
+                        i, vals[i], j, vals[j], codes[i], codes[j]);
+                }
+            }
+        }
+
+        let mut out = vec![0f32; vals.len()];
+        dequantize_row_i8(&codes, rs, &mut out);
+        let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+        for (k, (&y, &x)) in out.iter().zip(&vals).enumerate() {
+            prop_assert!(y.is_finite(), "lane {k} decoded non-finite");
+            // Zero-point: the row minimum decodes exactly.
+            if x == lo {
+                prop_assert_eq!(y, x, "min lane {} decoded {} != {}", k, y, x);
+            }
+            // Nearest-code decode error is half a step plus f32 rounding.
+            let tol = rs.scale * 0.5 + lo.abs().max(x.abs()) * 1e-5 + 1e-6;
+            prop_assert!((y - x).abs() <= tol, "lane {k}: {y} vs {x} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn i8_quantization_never_leaks_non_finite(
+        raw in prop::collection::vec((0u8..7, -1e30f32..1e30), 1..=32),
+    ) {
+        // Selectors 4..6 inject NaN/±Inf among ordinary magnitudes.
+        let vals: Vec<f32> = raw
+            .iter()
+            .map(|&(sel, x)| match sel {
+                4 => f32::NAN,
+                5 => f32::INFINITY,
+                6 => f32::NEG_INFINITY,
+                _ => x,
+            })
+            .collect();
+        // Rows contaminated with NaN/Inf must still produce finite decode
+        // parameters and finite decoded lanes — a poisoned vertex cannot
+        // poison the whole shared matrix through its scale pair.
+        let mut codes = vec![0u8; vals.len()];
+        let rs = quantize_row_i8(&vals, &mut codes);
+        prop_assert!(rs.scale.is_finite() && rs.zero.is_finite());
+        let mut out = vec![0f32; vals.len()];
+        dequantize_row_i8(&codes, rs, &mut out);
+        prop_assert!(out.iter().all(|y| y.is_finite()), "{out:?}");
+    }
+
+    #[test]
+    fn f16_roundtrip_is_accurate_and_idempotent(
+        x in -60000.0f32..60000.0,
+    ) {
+        let y = f16_bits_to_f32(f32_to_f16_bits(x));
+        // RNE to 11 significand bits: relative error ≤ 2^-11 in the
+        // normal range, absolute ≤ half the subnormal step below it.
+        let tol = (x.abs() * (1.0 / 2048.0)).max(2.0f32.powi(-25));
+        prop_assert!((y - x).abs() <= tol, "{x} -> {y}");
+        // A second trip is the identity: stores of already-f16 values
+        // must not drift.
+        let z = f16_bits_to_f32(f32_to_f16_bits(y));
+        prop_assert_eq!(z.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn quantize_roundtrip_is_stable(
+        rows in 1usize..6,
+        d in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        // Repeated quantize∘dequantize must not drift: f16 is exactly
+        // idempotent (every decoded value is an f16 value), and i8 — whose
+        // second pass re-derives the scale from decoded endpoints, shifting
+        // it by an ulp — moves values by at most a few ulps of the row
+        // range, orders of magnitude below one quantization step.
+        let m = Embedding::random(rows, d, seed);
+        for precision in [Precision::F16, Precision::I8] {
+            let mut once = m.as_slice().to_vec();
+            quantize_roundtrip(&mut once, d, precision);
+            prop_assert!(once.iter().all(|x| x.is_finite()));
+            let mut twice = once.clone();
+            quantize_roundtrip(&mut twice, d, precision);
+            if precision == Precision::F16 {
+                let same = once.iter().zip(&twice).all(|(a, b)| a.to_bits() == b.to_bits());
+                prop_assert!(same, "f16 roundtrip not idempotent");
+            } else {
+                for (row_a, row_b) in once.chunks(d).zip(twice.chunks(d)) {
+                    let lo = row_a.iter().copied().fold(f32::INFINITY, f32::min);
+                    let hi = row_a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let tol = (hi - lo) * 1e-6 + 1e-12;
+                    for (a, b) in row_a.iter().zip(row_b) {
+                        prop_assert!((a - b).abs() <= tol, "i8 drift {a} -> {b} (tol {tol})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_pair_roundtrips_bits(a in 0u32..=u32::MAX, b in 0u32..=u32::MAX) {
+        // Every bit pattern, NaN payloads and infinities included.
+        let (x, y) = unpack_pair(pack_pair(f32::from_bits(a), f32::from_bits(b)));
+        prop_assert_eq!(x.to_bits(), a);
+        prop_assert_eq!(y.to_bits(), b);
     }
 }

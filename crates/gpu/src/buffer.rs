@@ -34,6 +34,11 @@ struct FloatStorage {
     data: Box<[AtomicU32]>,
     device: Arc<DeviceShared>,
     bytes: usize,
+    /// Modeled bytes per element on the device (4 for f32, 2 for f16,
+    /// 1 for i8 codes). Cells stay f32 — kernels compute in full
+    /// precision, mixed-precision style — but allocation and PCIe
+    /// accounting are charged at this width.
+    elem_bytes: usize,
 }
 
 impl Drop for FloatStorage {
@@ -58,7 +63,21 @@ impl Clone for FloatBuffer {
 
 impl FloatBuffer {
     pub(crate) fn new_zeroed(device: Arc<DeviceShared>, len: usize) -> Result<Self, DeviceError> {
-        let bytes = len * 4;
+        Self::new_zeroed_prec(device, len, 4)
+    }
+
+    /// Like [`Self::new_zeroed`] but modeled at `elem_bytes` per element
+    /// (quantized embedding storage: 2 for f16, 1 for i8 codes).
+    pub(crate) fn new_zeroed_prec(
+        device: Arc<DeviceShared>,
+        len: usize,
+        elem_bytes: usize,
+    ) -> Result<Self, DeviceError> {
+        assert!(
+            (1..=4).contains(&elem_bytes),
+            "elem_bytes must be 1..=4, got {elem_bytes}"
+        );
+        let bytes = len * elem_bytes;
         device.try_alloc(bytes)?;
         let data = (0..len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
         Ok(Self {
@@ -66,6 +85,7 @@ impl FloatBuffer {
                 data,
                 device,
                 bytes,
+                elem_bytes,
             }),
         })
     }
@@ -77,6 +97,22 @@ impl FloatBuffer {
         let buf = Self::new_zeroed(device, host.len())?;
         buf.copy_from_host(host);
         Ok(buf)
+    }
+
+    pub(crate) fn new_from_slice_prec(
+        device: Arc<DeviceShared>,
+        host: &[f32],
+        elem_bytes: usize,
+    ) -> Result<Self, DeviceError> {
+        let buf = Self::new_zeroed_prec(device, host.len(), elem_bytes)?;
+        buf.copy_from_host(host);
+        Ok(buf)
+    }
+
+    /// Modeled bytes per element (see [`Self::new_zeroed_prec`]).
+    #[inline]
+    pub fn elem_bytes(&self) -> usize {
+        self.storage.elem_bytes
     }
 
     #[inline]
@@ -139,12 +175,13 @@ impl FloatBuffer {
     /// [`crate::config::DeviceConfig::pcie_gbps`]).
     pub fn copy_from_host_at(&self, offset: usize, src: &[f32]) {
         self.write_row(offset, src);
+        let bytes = src.len() * self.storage.elem_bytes;
         self.storage
             .device
             .counters
             .h2d_bytes
-            .fetch_add(src.len() as u64 * 4, Ordering::Relaxed);
-        self.storage.device.dma_delay(src.len() * 4);
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.storage.device.dma_delay(bytes);
     }
 
     /// Host→device copy of the whole buffer.
@@ -157,12 +194,13 @@ impl FloatBuffer {
     /// [`Self::copy_from_host_at`].
     pub fn copy_to_host_at(&self, offset: usize, out: &mut [f32]) {
         self.read_row(offset, out);
+        let bytes = out.len() * self.storage.elem_bytes;
         self.storage
             .device
             .counters
             .d2h_bytes
-            .fetch_add(out.len() as u64 * 4, Ordering::Relaxed);
-        self.storage.device.dma_delay(out.len() * 4);
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.storage.device.dma_delay(bytes);
     }
 
     /// Device→host copy of the whole buffer.
@@ -390,6 +428,24 @@ mod tests {
         let mut out = [0f32; 4];
         buf.read_row(4, &mut out);
         assert_eq!(out, [9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn quantized_buffers_charge_true_byte_width() {
+        // 128 elements at 1 byte/elem: an i8 buffer fits where an f32 one
+        // would not, and its copies move a quarter of the bytes.
+        let dev = Device::new(DeviceConfig::tiny(256));
+        assert!(dev.alloc_floats(128).is_err(), "f32 should not fit");
+        let buf = dev.alloc_floats_prec(128, 1).unwrap();
+        assert_eq!(dev.allocated_bytes(), 128);
+        assert_eq!(buf.elem_bytes(), 1);
+        buf.copy_from_host(&vec![1.5; 128]);
+        let _ = buf.to_host_vec();
+        let s = dev.snapshot();
+        assert_eq!(s.h2d_bytes, 128);
+        assert_eq!(s.d2h_bytes, 128);
+        // Cells are still full f32: values round-trip exactly on-device.
+        assert_eq!(buf.load(7), 1.5);
     }
 
     #[test]

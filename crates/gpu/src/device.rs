@@ -138,6 +138,27 @@ impl Device {
         FloatBuffer::new_from_slice(self.shared.clone(), host)
     }
 
+    /// Allocate a zeroed buffer modeled at `elem_bytes` per element
+    /// (quantized embedding rows: 2 for f16, 1 for i8). Cells stay f32 —
+    /// only memory and transfer accounting shrink.
+    pub fn alloc_floats_prec(
+        &self,
+        len: usize,
+        elem_bytes: usize,
+    ) -> Result<FloatBuffer, DeviceError> {
+        FloatBuffer::new_zeroed_prec(self.shared.clone(), len, elem_bytes)
+    }
+
+    /// Allocate and fill a buffer modeled at `elem_bytes` per element
+    /// (counted as H2D at that width).
+    pub fn upload_floats_prec(
+        &self,
+        host: &[f32],
+        elem_bytes: usize,
+    ) -> Result<FloatBuffer, DeviceError> {
+        FloatBuffer::new_from_slice_prec(self.shared.clone(), host, elem_bytes)
+    }
+
     /// Allocate and fill a read-only typed buffer (counted as H2D).
     pub fn upload_plain<T: Copy + Send + Sync>(
         &self,

@@ -1,0 +1,88 @@
+//! Quantized-precision acceptance: the f32 engine is the reference, and
+//! the f16 / i8 storage modes must land within a documented epsilon of
+//! its link-prediction quality while the full pipeline (coarsening,
+//! backend routing, expansion) runs end to end.
+//!
+//! The parity epsilon is **0.08 AUC** — the same tolerance the
+//! cross-backend tests use for Hogwild race noise, which quantization
+//! error must stay inside. README "Precision modes" documents the bound;
+//! loosening it is an API change, not a test tweak.
+
+use gosh::core::config::{GoshConfig, Preset};
+use gosh::core::pipeline::embed;
+use gosh::core::Precision;
+use gosh::eval::{evaluate_link_prediction, EvalConfig};
+use gosh::gpu::{Device, DeviceConfig};
+use gosh::graph::csr::Csr;
+use gosh::graph::gen::{community_graph, CommunityConfig};
+use gosh::graph::split::{train_test_split, SplitConfig};
+
+/// The documented AUC-parity bound for quantized storage modes.
+const PARITY_EPSILON: f64 = 0.08;
+
+fn auc_for(g: &Csr, precision: Precision, backend: gosh::core::backend::BackendChoice) -> f64 {
+    let s = train_test_split(
+        g,
+        &SplitConfig {
+            train_fraction: 0.8,
+            seed: 17,
+        },
+    );
+    let device = Device::new(DeviceConfig::titan_x());
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(16)
+        .with_epochs(150)
+        .with_threads(4)
+        .with_backend(backend)
+        .with_precision(precision);
+    let (m, _) = embed(&s.train, &cfg, &device);
+    assert!(
+        m.as_slice().iter().all(|x| x.is_finite()),
+        "{precision}: non-finite embedding values"
+    );
+    evaluate_link_prediction(&m, &s.train, &s.test_edges, &EvalConfig::default())
+}
+
+#[test]
+fn quantized_cpu_auc_within_documented_epsilon_of_f32() {
+    // The CPU engine dequantizes on load and requantizes on store for
+    // every sample update — the strictest quantization model in the
+    // codebase, so this is the binding parity check.
+    use gosh::core::backend::BackendChoice;
+    let g = community_graph(&CommunityConfig::new(512, 8), 42);
+    let reference = auc_for(&g, Precision::F32, BackendChoice::Cpu);
+    assert!(
+        reference > 0.75,
+        "f32 reference failed to learn: {reference}"
+    );
+    for precision in [Precision::F16, Precision::I8] {
+        let auc = auc_for(&g, precision, BackendChoice::Cpu);
+        assert!(auc > 0.75, "{precision} failed to learn: {auc}");
+        assert!(
+            (reference - auc).abs() < PARITY_EPSILON,
+            "{precision} AUC {auc} vs f32 {reference} (epsilon {PARITY_EPSILON})"
+        );
+    }
+}
+
+#[test]
+fn quantized_gpu_auc_within_documented_epsilon_of_f32() {
+    // The device path quantizes at the upload/write-back boundaries
+    // (mixed-precision model); its error is no larger than the CPU
+    // engine's, and the same epsilon must hold through backend routing.
+    use gosh::core::backend::BackendChoice;
+    let g = community_graph(&CommunityConfig::new(512, 8), 42);
+    let reference = auc_for(&g, Precision::F32, BackendChoice::Gpu);
+    assert!(
+        reference > 0.75,
+        "f32 reference failed to learn: {reference}"
+    );
+    for precision in [Precision::F16, Precision::I8] {
+        let auc = auc_for(&g, precision, BackendChoice::Gpu);
+        assert!(auc > 0.75, "{precision} failed to learn: {auc}");
+        assert!(
+            (reference - auc).abs() < PARITY_EPSILON,
+            "{precision} AUC {auc} vs f32 {reference} (epsilon {PARITY_EPSILON})"
+        );
+    }
+}
