@@ -1,0 +1,318 @@
+//! Distributed-training throughput harness (`gosh bench-distrib`).
+//!
+//! Measures the multi-node replica trainer (`gosh_core::distrib`) —
+//! coarse levels replicated, fine levels sharded with periodic
+//! delta exchange over a [`gosh_runtime::transport::Transport`] mesh —
+//! on a frozen-seed synthetic community graph, and — for the trajectory
+//! ratio — the same workload through the single-node path
+//! (`embed_distributed` with one node, which is bit-identical to the
+//! plain CPU pipeline), so every report carries its own
+//! `speedup_vs_single` baseline, exactly like the trainer, large-path,
+//! coarsening, and ingestion harnesses carry theirs. The exchange-stall
+//! seconds and on-wire byte counts come from the run itself: the
+//! interconnect copies are charged through the same cost model the
+//! simulated PCIe link uses.
+//!
+//! Heads-up for readers of absolute numbers: the node "cluster" is
+//! simulated as threads of one process, so on a machine with fewer
+//! cores than nodes the distributed run time-slices and
+//! `speedup_vs_single` can sit below 1. The gate does not require it to
+//! clear 1 — it requires the committed ratio not to regress, the same
+//! contract every other `speedup_vs_*` key has.
+//!
+//! ## `BENCH_distrib.json` schema
+//!
+//! One flat JSON object per run:
+//!
+//! ```json
+//! {
+//!   "bench": "distrib",
+//!   "vertices": 12000, "arcs": 190000, "dim": 16, "threads": 1,
+//!   "nodes": 2, "transport": "channel",
+//!   "depth": 6, "replicated_levels": 4, "sharded_levels": 2,
+//!   "exchanges": 12, "bytes_exchanged": 3145728,
+//!   "exchange_stall_seconds": 0.004210,
+//!   "updates": 7600000,
+//!   "seconds": 1.84, "updates_per_sec": 4130434.0,
+//!   "single_seconds": 1.62, "single_updates_per_sec": 4691358.0,
+//!   "speedup_vs_single": 0.88
+//! }
+//! ```
+//!
+//! `seconds` is training wall-clock of the distributed run (best of N;
+//! coarsening is excluded because both sides coarsen identically);
+//! `updates` counts positive-sample updates across all nodes and
+//! levels. The three `single_*`/ratio fields are omitted when the
+//! baseline run is skipped.
+
+use gosh_core::config::{GoshConfig, Preset};
+use gosh_core::distrib::{embed_distributed, DistribConfig, DistribReport, TransportKind};
+use gosh_graph::gen::{community_graph, CommunityConfig};
+
+/// Workload shape for one distributed-training measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct DistribBenchConfig {
+    /// Vertices of the synthetic community graph.
+    pub vertices: usize,
+    /// Average degree of the community graph.
+    pub degree: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Hogwild threads per node.
+    pub threads: usize,
+    /// Simulated nodes of the distributed run.
+    pub nodes: usize,
+    /// Wire the exchanges ride (in-process channels or TCP loopback).
+    pub transport: TransportKind,
+    /// Modeled interconnect bandwidth in Gbit/s.
+    pub net_gbps: f64,
+    /// Epochs between delta exchanges on sharded levels.
+    pub exchange_every: u32,
+    /// Levels below this vertex count are replicated, not sharded.
+    pub shard_min: usize,
+    /// Total epoch budget (distributed over levels by the schedule).
+    pub epochs: u32,
+    /// Seed for the generated graph and the training run.
+    pub seed: u64,
+    /// Also time the single-node path for the speedup ratio.
+    pub baseline: bool,
+    /// Timed repetitions per engine; the best run is reported.
+    pub repetitions: u32,
+}
+
+impl Default for DistribBenchConfig {
+    fn default() -> Self {
+        // The regime the distributed path exists for: fine levels big
+        // enough that sharding them is worth network traffic, a few
+        // coarse levels cheap enough to replicate, at a size that still
+        // finishes in CI seconds.
+        Self {
+            vertices: 12_000,
+            degree: 8,
+            dim: 16,
+            threads: 1,
+            nodes: 2,
+            transport: TransportKind::Channel,
+            net_gbps: 12.0,
+            exchange_every: 4,
+            shard_min: 1024,
+            epochs: 40,
+            seed: 0xD157,
+            baseline: true,
+            repetitions: 2,
+        }
+    }
+}
+
+/// What one distributed-training run measured.
+#[derive(Clone, Debug)]
+pub struct DistribBenchReport {
+    /// Vertices of the generated graph.
+    pub vertices: usize,
+    /// Directed arcs of the generated graph.
+    pub arcs: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Hogwild threads per node.
+    pub threads: usize,
+    /// Transport the exchanges rode.
+    pub transport: TransportKind,
+    /// The distributed run's own report (best-timed repetition).
+    pub distrib: DistribReport,
+    /// Training seconds of the single-node path (if measured).
+    pub single_seconds: Option<f64>,
+}
+
+impl DistribBenchReport {
+    /// Updates per second of the single-node path, if measured.
+    pub fn single_updates_per_sec(&self) -> Option<f64> {
+        self.single_seconds.map(|s| self.distrib.updates as f64 / s)
+    }
+
+    /// Speedup of the distributed run over the single-node path.
+    pub fn speedup_vs_single(&self) -> Option<f64> {
+        self.single_seconds
+            .map(|s| s / self.distrib.training_seconds)
+    }
+
+    /// Serialize to the `BENCH_distrib.json` schema (see module docs).
+    pub fn to_json(&self) -> String {
+        let d = &self.distrib;
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"distrib\",\n");
+        s.push_str(&format!("  \"vertices\": {},\n", self.vertices));
+        s.push_str(&format!("  \"arcs\": {},\n", self.arcs));
+        s.push_str(&format!("  \"dim\": {},\n", self.dim));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"nodes\": {},\n", d.nodes));
+        s.push_str(&format!("  \"transport\": \"{}\",\n", self.transport));
+        s.push_str(&format!("  \"depth\": {},\n", d.depth));
+        s.push_str(&format!(
+            "  \"replicated_levels\": {},\n",
+            d.replicated_levels
+        ));
+        s.push_str(&format!("  \"sharded_levels\": {},\n", d.sharded_levels));
+        s.push_str(&format!("  \"exchanges\": {},\n", d.exchanges));
+        s.push_str(&format!("  \"bytes_exchanged\": {},\n", d.bytes_exchanged));
+        s.push_str(&format!(
+            "  \"exchange_stall_seconds\": {:.6},\n",
+            d.exchange_stall_seconds
+        ));
+        s.push_str(&format!("  \"updates\": {},\n", d.updates));
+        s.push_str(&format!("  \"seconds\": {:.6},\n", d.training_seconds));
+        s.push_str(&format!(
+            "  \"updates_per_sec\": {:.1}",
+            d.updates_per_sec()
+        ));
+        if let (Some(bs), Some(bups), Some(x)) = (
+            self.single_seconds,
+            self.single_updates_per_sec(),
+            self.speedup_vs_single(),
+        ) {
+            s.push_str(&format!(",\n  \"single_seconds\": {bs:.6},\n"));
+            s.push_str(&format!("  \"single_updates_per_sec\": {bups:.1},\n"));
+            s.push_str(&format!("  \"speedup_vs_single\": {x:.2}"));
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Run the distributed-training measurement described by `cfg`.
+pub fn run_distrib_bench(cfg: &DistribBenchConfig) -> DistribBenchReport {
+    assert!(cfg.nodes >= 1, "bench-distrib needs at least one node");
+    assert!(cfg.threads >= 1, "bench-distrib needs at least one thread");
+    let g = community_graph(&CommunityConfig::new(cfg.vertices, cfg.degree), cfg.seed);
+
+    let mut gcfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(cfg.dim)
+        .with_epochs(cfg.epochs)
+        .with_threads(cfg.threads);
+    gcfg.seed = cfg.seed;
+    let dcfg = DistribConfig {
+        nodes: cfg.nodes,
+        transport: cfg.transport,
+        net_gbps: cfg.net_gbps,
+        exchange_every: cfg.exchange_every,
+        shard_min: cfg.shard_min,
+    };
+    let single = DistribConfig { nodes: 1, ..dcfg };
+
+    // Interleaved best-of-N timing, as in the other harnesses: the two
+    // engines alternate within every repetition so frequency scaling and
+    // noisy-neighbour epochs hit both samples alike.
+    let reps = cfg.repetitions.max(1);
+    let mut best: Option<DistribReport> = None;
+    let mut single_best = f64::INFINITY;
+    for _ in 0..reps {
+        let (m, report) = embed_distributed(&g, &gcfg, &dcfg);
+        assert!(
+            m.as_slice().iter().all(|x| x.is_finite()),
+            "distributed run produced a non-finite embedding"
+        );
+        if best
+            .as_ref()
+            .is_none_or(|b| report.training_seconds < b.training_seconds)
+        {
+            best = Some(report);
+        }
+        if cfg.baseline {
+            let (_, sr) = embed_distributed(&g, &gcfg, &single);
+            single_best = single_best.min(sr.training_seconds.max(1e-9));
+        }
+    }
+
+    DistribBenchReport {
+        vertices: g.num_vertices(),
+        arcs: g.num_edges(),
+        dim: cfg.dim,
+        threads: cfg.threads,
+        transport: cfg.transport,
+        distrib: best.expect("at least one repetition ran"),
+        single_seconds: cfg.baseline.then_some(single_best),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DistribBenchConfig {
+        DistribBenchConfig {
+            vertices: 600,
+            degree: 6,
+            dim: 8,
+            epochs: 8,
+            shard_min: 64,
+            exchange_every: 2,
+            repetitions: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_measures_and_serializes() {
+        let r = run_distrib_bench(&tiny());
+        assert_eq!(r.distrib.nodes, 2);
+        assert!(r.distrib.training_seconds > 0.0);
+        assert!(r.distrib.sharded_levels > 0, "workload never sharded");
+        assert!(r.distrib.bytes_exchanged > 0);
+        assert!(r.single_seconds.is_some());
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"distrib\"",
+            "\"nodes\": 2",
+            "\"transport\": \"channel\"",
+            "\"exchange_stall_seconds\"",
+            "\"updates_per_sec\"",
+            "\"speedup_vs_single\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    /// The ISSUE acceptance criterion: a two-node run over real loopback
+    /// sockets must land within 0.02 AUCROC of the single-node run on a
+    /// default `gen::suite` graph. The runs use different per-node RNG
+    /// streams, so this is a statistical bound, not a bitwise one.
+    #[test]
+    fn two_node_loopback_auc_matches_single_node() {
+        use crate::{auc_percent, split};
+        let g = gosh_graph::gen::dataset("dblp-like")
+            .expect("suite graph")
+            .generate(7);
+        let s = split(&g);
+        let mut gcfg = GoshConfig::preset(Preset::Normal, false)
+            .with_dim(16)
+            .with_epochs(40)
+            .with_threads(2);
+        gcfg.seed = 7;
+        let two = DistribConfig {
+            nodes: 2,
+            transport: TransportKind::Tcp,
+            exchange_every: 4,
+            shard_min: 1024,
+            ..Default::default()
+        };
+        let (m1, _) = embed_distributed(&s.train, &gcfg, &DistribConfig::default());
+        let (m2, r2) = embed_distributed(&s.train, &gcfg, &two);
+        assert!(r2.sharded_levels > 0, "two-node run never sharded");
+        assert!(r2.bytes_exchanged > 0);
+        let a1 = auc_percent(&m1, &s);
+        let a2 = auc_percent(&m2, &s);
+        assert!(
+            (a1 - a2).abs() <= 2.0,
+            "single-node AUC {a1:.2}% vs two-node AUC {a2:.2}%"
+        );
+    }
+
+    #[test]
+    fn baseline_can_be_skipped() {
+        let r = run_distrib_bench(&DistribBenchConfig {
+            baseline: false,
+            ..tiny()
+        });
+        assert!(r.single_seconds.is_none());
+        assert!(!r.to_json().contains("speedup_vs_single"));
+    }
+}

@@ -17,7 +17,10 @@
 //! ingestion harness lives in [`ingest`]: it backs `gosh bench-ingest`,
 //! measures the parallel streaming parser against the sequential
 //! reference parser, and documents the `BENCH_ingest.json` schema. The
-//! [`check`] module is the CI regression gate over all four reports
+//! distributed-training harness lives in [`distrib`]: it backs `gosh
+//! bench-distrib`, measures the multi-node replica trainer against the
+//! single-node path, and documents the `BENCH_distrib.json` schema. The
+//! [`check`] module is the CI regression gate over all five reports
 //! (the `bench_check` binary).
 //!
 //! ## Scaling
@@ -32,6 +35,7 @@
 
 pub mod check;
 pub mod coarsen;
+pub mod distrib;
 pub mod hotpath;
 pub mod ingest;
 pub mod large;

@@ -4,13 +4,15 @@ use std::io::Write;
 use std::time::Instant;
 
 use gosh_bench::coarsen::{run_coarsen_bench, CoarsenBenchConfig};
+use gosh_bench::distrib::{run_distrib_bench, DistribBenchConfig};
 use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
 use gosh_bench::ingest::{run_ingest_bench, IngestBenchConfig};
 use gosh_bench::large::{run_large_bench, LargeBenchConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_core::backend::BackendChoice;
-use gosh_core::config::{GoshConfig, Preset};
+use gosh_core::config::{GoshConfig, PrecisionSchedule, Preset};
+use gosh_core::distrib::{embed_distributed, DistribConfig, TransportKind};
 use gosh_core::model::Embedding;
 use gosh_core::pipeline::embed as gosh_embed;
 use gosh_eval::{evaluate_link_prediction, EvalConfig};
@@ -25,7 +27,7 @@ use gosh_graph::stats::GraphStats;
 
 use crate::args::{parse, Parsed};
 
-/// Flags shared by `embed` and `eval` (the GOSH pipeline knobs).
+/// Flags shared by `embed`, `eval` and `train` (the GOSH pipeline knobs).
 const PIPELINE_FLAGS: &[&str] = &[
     "dim",
     "preset",
@@ -34,7 +36,22 @@ const PIPELINE_FLAGS: &[&str] = &[
     "threads",
     "backend",
     "precision",
+    "precision-schedule",
 ];
+
+/// Flags of the multi-node path (`train`, and `eval --nodes N`).
+const DISTRIB_FLAGS: &[&str] = &[
+    "nodes",
+    "transport",
+    "net-gbps",
+    "exchange-every",
+    "shard-min",
+];
+
+/// `PIPELINE_FLAGS ∪ DISTRIB_FLAGS` for commands that accept both.
+fn pipeline_and_distrib_flags() -> Vec<&'static str> {
+    [PIPELINE_FLAGS, DISTRIB_FLAGS].concat()
+}
 
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -123,9 +140,72 @@ fn build_config(p: &Parsed) -> Result<(GoshConfig, Device), String> {
     if let Some(precision) = p.flag::<gosh_core::Precision>("precision")? {
         cfg = cfg.with_precision(precision);
     }
+    if let Some(spec) = p.flag_str("precision-schedule") {
+        cfg = cfg.with_precision_schedule(parse_precision_schedule(spec)?);
+    }
     let device_mb = p.flag::<usize>("device-mb")?.unwrap_or(12 * 1024);
     let device = Device::new(DeviceConfig::tiny(device_mb << 20));
     Ok((cfg, device))
+}
+
+/// Parse `--precision-schedule coarse:fine[:cutoff]` (e.g. `f32:i8` or
+/// `f32:f16:8192`).
+fn parse_precision_schedule(spec: &str) -> Result<PrecisionSchedule, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let err = || {
+        format!(
+            "bad precision schedule `{spec}` \
+             (expected coarse:fine[:cutoff], e.g. f32:i8 or f32:f16:8192)"
+        )
+    };
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(err());
+    }
+    let coarse = parts[0]
+        .parse::<gosh_core::Precision>()
+        .map_err(|_| err())?;
+    let fine = parts[1]
+        .parse::<gosh_core::Precision>()
+        .map_err(|_| err())?;
+    let cutoff = match parts.get(2) {
+        Some(c) => c.parse::<usize>().map_err(|_| err())?,
+        None => PrecisionSchedule::DEFAULT_CUTOFF,
+    };
+    Ok(PrecisionSchedule {
+        coarse,
+        fine,
+        cutoff,
+    })
+}
+
+/// Parse the `--nodes`/`--transport`/... flags into a [`DistribConfig`].
+fn parse_distrib(p: &Parsed) -> Result<DistribConfig, String> {
+    let mut dcfg = DistribConfig::default();
+    if let Some(n) = p.flag::<usize>("nodes")? {
+        if n == 0 {
+            return Err("--nodes must be at least 1".into());
+        }
+        dcfg.nodes = n;
+    }
+    if let Some(t) = p.flag::<TransportKind>("transport")? {
+        dcfg.transport = t;
+    }
+    if let Some(g) = p.flag::<f64>("net-gbps")? {
+        if g <= 0.0 {
+            return Err("--net-gbps must be positive".into());
+        }
+        dcfg.net_gbps = g;
+    }
+    if let Some(e) = p.flag::<u32>("exchange-every")? {
+        if e == 0 {
+            return Err("--exchange-every must be at least 1".into());
+        }
+        dcfg.exchange_every = e;
+    }
+    if let Some(v) = p.flag::<usize>("shard-min")? {
+        dcfg.shard_min = v;
+    }
+    Ok(dcfg)
 }
 
 /// `gosh generate <dataset|N:K> <out>`.
@@ -272,13 +352,8 @@ fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
     Ok((m, secs))
 }
 
-/// `gosh embed <graph> <out.emb> [...]`.
-pub fn embed(args: &[String]) -> Result<(), String> {
-    let p = parse(args, PIPELINE_FLAGS)?;
-    let g = load_graph(p.positional(0, "graph")?, &p)?;
-    let out = p.positional(1, "output file")?;
-    let (m, _) = run_gosh(&g, &p)?;
-
+/// Write an embedding in the text format `embed`/`train` emit.
+fn write_embedding(out: &str, m: &Embedding) -> Result<(), String> {
     let file = std::fs::File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);
     writeln!(w, "{} {}", m.num_vertices(), m.dim()).map_err(|e| e.to_string())?;
@@ -291,9 +366,46 @@ pub fn embed(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
-pub fn eval(args: &[String]) -> Result<(), String> {
+/// `gosh embed <graph> <out.emb> [...]`.
+pub fn embed(args: &[String]) -> Result<(), String> {
     let p = parse(args, PIPELINE_FLAGS)?;
+    let g = load_graph(p.positional(0, "graph")?, &p)?;
+    let out = p.positional(1, "output file")?;
+    let (m, _) = run_gosh(&g, &p)?;
+    write_embedding(out, &m)
+}
+
+/// `gosh train <graph> <out.emb> --nodes N [...]`: embed across a mesh
+/// of simulated nodes (replicated coarse levels, delta-exchanged sharded
+/// fine levels) and write node 0's matrix.
+pub fn train(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &pipeline_and_distrib_flags())?;
+    let g = load_graph(p.positional(0, "graph")?, &p)?;
+    let out = p.positional(1, "output file")?;
+    let (cfg, _device) = build_config(&p)?;
+    let dcfg = parse_distrib(&p)?;
+    let (m, report) = embed_distributed(&g, &cfg, &dcfg);
+    println!(
+        "trained on {} node(s): D = {} levels ({} sharded, {} replicated), \
+         {} exchanges, {:.1} MB on the wire, {:.3}s exchange stall, \
+         {:.0} updates/sec ({:.2}s total)",
+        report.nodes,
+        report.depth,
+        report.sharded_levels,
+        report.replicated_levels,
+        report.exchanges,
+        report.bytes_exchanged as f64 / (1024.0 * 1024.0),
+        report.exchange_stall_seconds,
+        report.updates_per_sec(),
+        report.total_seconds,
+    );
+    write_embedding(out, &m)
+}
+
+/// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
+/// With `--nodes N` the embedding trains on the multi-node path.
+pub fn eval(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &pipeline_and_distrib_flags())?;
     let g = load_graph(p.positional(0, "graph")?, &p)?;
     let split = train_test_split(&g, &SplitConfig::default());
     println!(
@@ -302,8 +414,30 @@ pub fn eval(args: &[String]) -> Result<(), String> {
         split.train.num_undirected_edges(),
         split.test_edges.len()
     );
-    let (m, secs) = run_gosh(&split.train, &p)?;
-    let auc = evaluate_link_prediction(&m, &split.train, &split.test_edges, &EvalConfig::default());
+    let dcfg = parse_distrib(&p)?;
+    let (m, secs, threads) = if dcfg.nodes > 1 {
+        let (cfg, _device) = build_config(&p)?;
+        let t0 = Instant::now();
+        let (m, report) = embed_distributed(&split.train, &cfg, &dcfg);
+        println!(
+            "embedded on {} nodes: D = {} levels, {} exchanges, {:.3}s exchange stall",
+            report.nodes, report.depth, report.exchanges, report.exchange_stall_seconds,
+        );
+        (m, t0.elapsed().as_secs_f64(), cfg.threads)
+    } else {
+        let (m, secs) = run_gosh(&split.train, &p)?;
+        let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
+        (m, secs, threads)
+    };
+    let auc = evaluate_link_prediction(
+        &m,
+        &split.train,
+        &split.test_edges,
+        &EvalConfig {
+            threads,
+            ..Default::default()
+        },
+    );
     println!(
         "link-prediction AUCROC: {:.2}% ({:.2}s embedding)",
         100.0 * auc,
@@ -471,6 +605,78 @@ pub fn bench_ingest(args: &[String]) -> Result<(), String> {
     );
     if let (Some(b), Some(x)) = (report.seq_edges_per_sec(), report.speedup_vs_seq()) {
         println!("frozen seed parser: {b:.0} edges/sec — speedup {x:.2}x");
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh bench-distrib [...]`: time the multi-node replica trainer
+/// against the single-node path and write the `BENCH_distrib.json`
+/// perf-trajectory report (schema documented in `gosh_bench::distrib`).
+pub fn bench_distrib(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices",
+            "degree",
+            "dim",
+            "threads",
+            "nodes",
+            "transport",
+            "net-gbps",
+            "exchange-every",
+            "shard-min",
+            "epochs",
+            "seed",
+            "baseline",
+            "reps",
+            "out",
+        ],
+    )?;
+    let defaults = DistribBenchConfig::default();
+    let cfg = DistribBenchConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        dim: p.flag::<usize>("dim")?.unwrap_or(defaults.dim),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        nodes: p.flag::<usize>("nodes")?.unwrap_or(defaults.nodes),
+        transport: p
+            .flag::<TransportKind>("transport")?
+            .unwrap_or(defaults.transport),
+        net_gbps: p.flag::<f64>("net-gbps")?.unwrap_or(defaults.net_gbps),
+        exchange_every: p
+            .flag::<u32>("exchange-every")?
+            .unwrap_or(defaults.exchange_every),
+        shard_min: p.flag::<usize>("shard-min")?.unwrap_or(defaults.shard_min),
+        epochs: p.flag::<u32>("epochs")?.unwrap_or(defaults.epochs),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        baseline: p.flag::<bool>("baseline")?.unwrap_or(defaults.baseline),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.vertices < 4 || cfg.nodes == 0 || cfg.threads == 0 || cfg.net_gbps <= 0.0 {
+        return Err(
+            "bench-distrib needs --vertices >= 4, --nodes >= 1, --threads >= 1, --net-gbps > 0"
+                .into(),
+        );
+    }
+    let report = run_distrib_bench(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_distrib.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    let d = &report.distrib;
+    println!(
+        "distrib: {:.0} updates/sec over {} nodes ({} levels sharded, {} replicated, \
+         {} exchanges, {:.1} MB on wire, {:.3}s exchange stall, {:.3}s training)",
+        d.updates_per_sec(),
+        d.nodes,
+        d.sharded_levels,
+        d.replicated_levels,
+        d.exchanges,
+        d.bytes_exchanged as f64 / (1024.0 * 1024.0),
+        d.exchange_stall_seconds,
+        d.training_seconds,
+    );
+    if let (Some(s), Some(x)) = (report.single_seconds, report.speedup_vs_single()) {
+        println!("single-node path: {s:.3}s training — speedup {x:.2}x");
     }
     println!("wrote {out}");
     Ok(())

@@ -9,8 +9,13 @@
 //!                              [--device-mb M] [--threads N]
 //!                              [--backend cpu|gpu|auto]
 //!                              [--precision f32|f16|i8]
+//!                              [--precision-schedule C:F[:V]]
+//! gosh train <graph> <out.emb> [--nodes N] [--transport channel|tcp]
+//!                              [--net-gbps G] [--exchange-every E]
+//!                              [--shard-min V] [+ embed's pipeline flags]
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
 //!                   [--backend cpu|gpu|auto] [--precision f32|f16|i8]
+//!                   [--precision-schedule C:F[:V]] [+ train's node flags]
 //! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
 //!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
 //!                  [--baseline true|false] [--precisions true|false]
@@ -21,6 +26,11 @@
 //! gosh bench-ingest [--vertices N] [--degree K] [--threads T]
 //!                   [--seed S] [--reps R] [--baseline true|false]
 //!                   [--out FILE]
+//! gosh bench-distrib [--vertices N] [--degree K] [--dim D] [--threads T]
+//!                    [--nodes N] [--transport channel|tcp] [--net-gbps G]
+//!                    [--exchange-every E] [--shard-min V] [--epochs E]
+//!                    [--seed S] [--reps R] [--baseline true|false]
+//!                    [--out FILE]
 //! gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
 //!                  [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
 //!                  [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
@@ -47,10 +57,12 @@ fn main() -> ExitCode {
         Some("convert") => commands::convert(&argv[1..]),
         Some("coarsen") => commands::coarsen(&argv[1..]),
         Some("embed") => commands::embed(&argv[1..]),
+        Some("train") => commands::train(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
         Some("bench-coarsen") => commands::bench_coarsen(&argv[1..]),
         Some("bench-ingest") => commands::bench_ingest(&argv[1..]),
+        Some("bench-distrib") => commands::bench_distrib(&argv[1..]),
         Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -79,8 +91,13 @@ USAGE:
                                [--device-mb M] [--threads N]
                                [--backend cpu|gpu|auto]
                                [--precision f32|f16|i8]
+                               [--precision-schedule C:F[:V]]
+  gosh train <graph> <out.emb> [--nodes N] [--transport channel|tcp]
+                               [--net-gbps G] [--exchange-every E]
+                               [--shard-min V] [+ embed's pipeline flags]
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
                     [--backend cpu|gpu|auto] [--precision f32|f16|i8]
+                    [--precision-schedule C:F[:V]] [+ train's node flags]
   gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
                    [--epochs E] [--negatives NS] [--seed S] [--reps R]
                    [--baseline true|false] [--precisions true|false]
@@ -91,6 +108,11 @@ USAGE:
   gosh bench-ingest [--vertices N] [--degree K] [--threads T]
                     [--seed S] [--reps R] [--baseline true|false]
                     [--out FILE]
+  gosh bench-distrib [--vertices N] [--degree K] [--dim D] [--threads T]
+                     [--nodes N] [--transport channel|tcp] [--net-gbps G]
+                     [--exchange-every E] [--shard-min V] [--epochs E]
+                     [--seed S] [--reps R] [--baseline true|false]
+                     [--out FILE]
   gosh bench-large [--vertices N] [--degree K] [--dim D] [--device-kb M]
                    [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
                    [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
@@ -115,6 +137,22 @@ USAGE:
   reference), f16, or i8 with a per-row scale; quantized rows are
   priced at their true byte width, so 2-4x larger graphs fit on the
   same device at a small, documented AUC cost.
+  --precision-schedule C:F[:V] picks the precision per level instead:
+  levels with fewer than V vertices (default 4096) train at precision
+  C, levels at or above V at precision F — e.g. f32:i8 spends full
+  precision only where epochs concentrate.
+  train runs the multi-node replica pipeline on --nodes N simulated
+  nodes: coarse levels (< --shard-min vertices) are replicated on
+  identical seeds at zero network cost, fine levels are sharded with a
+  delta exchange every --exchange-every epochs over --transport
+  (in-process channels or TCP loopback), each copy charged through the
+  modeled --net-gbps interconnect. --nodes 1 is bit-identical to the
+  CPU-backend embed. eval accepts the same node flags to score a
+  distributed run end-to-end.
+  bench-distrib times the multi-node replica trainer against the
+  single-node path on a synthetic community graph and writes
+  BENCH_distrib.json (updates/sec, exchange-stall seconds, bytes on
+  the wire, plus speedup_vs_single unless --baseline false).
   bench-train times the sharded CPU trainer hot path on a synthetic
   community graph and writes BENCH_hotpath.json (updates/sec, threads,
   dim, plus the frozen scalar- and seed-engine baselines unless

@@ -187,46 +187,42 @@ pub fn map_fused(g: &Csr, threads: usize, ws: &mut CoarsenWorkspace) -> Mapping 
     let small = &ws.small[..n.div_ceil(64)];
     let is_small = |v: VertexId| small[v as usize / 64] >> (v % 64) & 1 == 1;
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                loop {
-                    let start = cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + VERTEX_BATCH).min(n);
-                    for &v in &order[start..end] {
-                        // Claim v as the hub of a new cluster. The cheap
-                        // load filters already-claimed vertices without
-                        // paying for a locked instruction.
-                        if labels[v as usize].load(Ordering::Relaxed) != UNMAPPED
-                            || labels[v as usize]
-                                .compare_exchange(UNMAPPED, v, Ordering::Relaxed, Ordering::Relaxed)
-                                .is_err()
-                        {
-                            continue;
-                        }
-                        let v_small = is_small(v);
-                        for &u in g.neighbors(v) {
-                            // Algorithm 4 line 12: at least one endpoint
-                            // must be below the density threshold δ.
-                            if (v_small || is_small(u))
-                                && labels[u as usize].load(Ordering::Relaxed) == UNMAPPED
-                            {
-                                // Best-effort: losing the race means u
-                                // joined another cluster, which is fine.
-                                let _ = labels[u as usize].compare_exchange(
-                                    UNMAPPED,
-                                    v,
-                                    Ordering::Relaxed,
-                                    Ordering::Relaxed,
-                                );
-                            }
-                        }
+    gosh_runtime::global().run(threads, |_ctx| {
+        loop {
+            let start = cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + VERTEX_BATCH).min(n);
+            for &v in &order[start..end] {
+                // Claim v as the hub of a new cluster. The cheap
+                // load filters already-claimed vertices without
+                // paying for a locked instruction.
+                if labels[v as usize].load(Ordering::Relaxed) != UNMAPPED
+                    || labels[v as usize]
+                        .compare_exchange(UNMAPPED, v, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_err()
+                {
+                    continue;
+                }
+                let v_small = is_small(v);
+                for &u in g.neighbors(v) {
+                    // Algorithm 4 line 12: at least one endpoint
+                    // must be below the density threshold δ.
+                    if (v_small || is_small(u))
+                        && labels[u as usize].load(Ordering::Relaxed) == UNMAPPED
+                    {
+                        // Best-effort: losing the race means u
+                        // joined another cluster, which is fine.
+                        let _ = labels[u as usize].compare_exchange(
+                            UNMAPPED,
+                            v,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
                     }
                 }
-            });
+            }
         }
     });
 
@@ -301,21 +297,16 @@ pub fn build_fused(g: &Csr, mapping: &Mapping, threads: usize, ws: &mut CoarsenW
     }
     let members = &ws.arena[..n];
     let fill_cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let fill_cursor = &fill_cursor;
-            scope.spawn(move || loop {
-                let start = fill_cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + VERTEX_BATCH).min(n);
-                for (v, &c) in map.iter().enumerate().take(end).skip(start) {
-                    let c = c as usize;
-                    let slot = offsets[c] + cursors[c].fetch_add(1, Ordering::Relaxed);
-                    members[slot].store(v as VertexId, Ordering::Relaxed);
-                }
-            });
+    gosh_runtime::global().run(threads, |_ctx| loop {
+        let start = fill_cursor.fetch_add(VERTEX_BATCH, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + VERTEX_BATCH).min(n);
+        for (v, &c) in map.iter().enumerate().take(end).skip(start) {
+            let c = c as usize;
+            let slot = offsets[c] + cursors[c].fetch_add(1, Ordering::Relaxed);
+            members[slot].store(v as VertexId, Ordering::Relaxed);
         }
     });
 
@@ -339,61 +330,67 @@ pub fn build_fused(g: &Csr, mapping: &Mapping, threads: usize, ws: &mut CoarsenW
         }
     }
     let bounds = range_bounds(offsets, k, threads);
-    std::thread::scope(|scope| {
-        for (t, scratch) in ws.threads[..threads].iter_mut().enumerate() {
-            let (c_start, c_end) = (bounds[t], bounds[t + 1]);
-            scope.spawn(move || {
-                scratch.out.clear();
-                let bits = &mut scratch.bits[..words];
-                let summary = &mut scratch.summary[..summary_words];
-                for c in c_start..c_end {
-                    let run_start = scratch.out.len();
-                    // Pre-set the cluster's own bit: intra-cluster arcs
-                    // then cost nothing extra, and emission skips it.
-                    bits[c / 64] |= 1u64 << (c % 64);
-                    summary[c / 4096] |= 1u64 << (c / 64 % 64);
-                    let (mut lo, mut hi) = (c / 4096, c / 4096);
-                    for slot in &members[offsets[c]..offsets[c + 1]] {
-                        let v = slot.load(Ordering::Relaxed);
-                        for &u in g.neighbors(v) {
-                            // SAFETY: `u < n = map.len()` is a CSR
-                            // invariant (`Csr::from_raw` validates every
-                            // neighbour id) and `map[u] < k ≤ words·64`
-                            // is the `Mapping` compactness invariant;
-                            // both keep data-dependent bounds checks out
-                            // of the per-arc hot loop.
-                            let cu = unsafe { *map.get_unchecked(u as usize) } as usize;
-                            let w = cu / 64;
-                            unsafe {
-                                *bits.get_unchecked_mut(w) |= 1u64 << (cu % 64);
-                                *summary.get_unchecked_mut(w / 64) |= 1u64 << (w % 64);
-                            }
-                            lo = lo.min(w / 64);
-                            hi = hi.max(w / 64);
-                        }
+    // Each worker index owns one `&mut ThreadScratch`; the slot mutexes
+    // hand the disjoint borrows through the shared runtime closure
+    // (uncontended — exactly one worker claims each slot).
+    let scratch_slots: Vec<std::sync::Mutex<Option<&mut ThreadScratch>>> = ws.threads[..threads]
+        .iter_mut()
+        .map(|s| std::sync::Mutex::new(Some(s)))
+        .collect();
+    gosh_runtime::global().run(threads, |ctx| {
+        let t = ctx.index();
+        let mut slot = scratch_slots[t].lock().unwrap_or_else(|e| e.into_inner());
+        let scratch = slot.take().expect("scratch slot claimed once");
+        let (c_start, c_end) = (bounds[t], bounds[t + 1]);
+        scratch.out.clear();
+        let bits = &mut scratch.bits[..words];
+        let summary = &mut scratch.summary[..summary_words];
+        for c in c_start..c_end {
+            let run_start = scratch.out.len();
+            // Pre-set the cluster's own bit: intra-cluster arcs
+            // then cost nothing extra, and emission skips it.
+            bits[c / 64] |= 1u64 << (c % 64);
+            summary[c / 4096] |= 1u64 << (c / 64 % 64);
+            let (mut lo, mut hi) = (c / 4096, c / 4096);
+            for slot in &members[offsets[c]..offsets[c + 1]] {
+                let v = slot.load(Ordering::Relaxed);
+                for &u in g.neighbors(v) {
+                    // SAFETY: `u < n = map.len()` is a CSR
+                    // invariant (`Csr::from_raw` validates every
+                    // neighbour id) and `map[u] < k ≤ words·64`
+                    // is the `Mapping` compactness invariant;
+                    // both keep data-dependent bounds checks out
+                    // of the per-arc hot loop.
+                    let cu = unsafe { *map.get_unchecked(u as usize) } as usize;
+                    let w = cu / 64;
+                    unsafe {
+                        *bits.get_unchecked_mut(w) |= 1u64 << (cu % 64);
+                        *summary.get_unchecked_mut(w / 64) |= 1u64 << (w % 64);
                     }
-                    // Sweep the summary's touched range lowest-first,
-                    // visiting exactly the non-zero bitmap words and
-                    // zeroing both levels on the way out: ascending
-                    // unique targets, no sort, no clear pass.
-                    for (s, sslot) in summary.iter_mut().enumerate().take(hi + 1).skip(lo) {
-                        let mut sword = std::mem::take(sslot);
-                        while sword != 0 {
-                            let w = s * 64 + sword.trailing_zeros() as usize;
-                            sword &= sword - 1;
-                            let mut word = std::mem::take(&mut bits[w]);
-                            while word != 0 {
-                                let cu = w * 64 + word.trailing_zeros() as usize;
-                                word &= word - 1;
-                                if cu != c {
-                                    scratch.out.push(cu as VertexId);
-                                }
-                            }
-                        }
-                    }
-                    cursors[c].store(scratch.out.len() - run_start, Ordering::Relaxed);
+                    lo = lo.min(w / 64);
+                    hi = hi.max(w / 64);
                 }
-            });
+            }
+            // Sweep the summary's touched range lowest-first,
+            // visiting exactly the non-zero bitmap words and
+            // zeroing both levels on the way out: ascending
+            // unique targets, no sort, no clear pass.
+            for (s, sslot) in summary.iter_mut().enumerate().take(hi + 1).skip(lo) {
+                let mut sword = std::mem::take(sslot);
+                while sword != 0 {
+                    let w = s * 64 + sword.trailing_zeros() as usize;
+                    sword &= sword - 1;
+                    let mut word = std::mem::take(&mut bits[w]);
+                    while word != 0 {
+                        let cu = w * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        if cu != c {
+                            scratch.out.push(cu as VertexId);
+                        }
+                    }
+                }
+            }
+            cursors[c].store(scratch.out.len() - run_start, Ordering::Relaxed);
         }
     });
 

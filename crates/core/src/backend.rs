@@ -167,6 +167,11 @@ pub struct LevelSchedule {
     pub epochs: u32,
     /// Per-level RNG seed (already mixed with the level index).
     pub seed: u64,
+    /// Per-level row-storage override (`--precision-schedule`): `None`
+    /// trains at the backend's configured precision; `Some` forces this
+    /// level's width — coarse levels can stay f32 while huge fine levels
+    /// drop to f16/i8 where the memory actually matters.
+    pub precision: Option<Precision>,
 }
 
 impl LevelSchedule {
@@ -177,6 +182,7 @@ impl LevelSchedule {
             level: 0,
             epochs,
             seed,
+            precision: None,
         }
     }
 }
@@ -274,6 +280,7 @@ impl TrainBackend for CpuHogwild {
         let params = TrainParams {
             epochs: lvl.epochs,
             seed: lvl.seed,
+            precision: lvl.precision.unwrap_or(self.params.precision),
             ..self.params
         };
         train_cpu(g, emb, &params);
@@ -326,6 +333,7 @@ impl TrainBackend for GpuInMemory {
         let params = TrainParams {
             epochs: lvl.epochs,
             seed: lvl.seed,
+            precision: lvl.precision.unwrap_or(self.params.precision),
             ..self.params
         };
         train_level_on_device(&self.device, g, emb, &params, self.variant)
@@ -376,6 +384,7 @@ impl TrainBackend for GpuPartitioned {
         let params = TrainParams {
             epochs: lvl.epochs,
             seed: lvl.seed,
+            precision: lvl.precision.unwrap_or(self.params.precision),
             ..self.params
         };
         let report = train_large(&self.device, g, emb, &params, &self.opts)

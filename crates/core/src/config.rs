@@ -18,6 +18,38 @@ pub enum Preset {
     NoCoarsening,
 }
 
+/// Per-level precision plan (`--precision-schedule coarse:fine[:cutoff]`).
+///
+/// The multilevel structure makes mixed precision natural: coarse levels
+/// are tiny but steer the whole embedding (quantization noise there is
+/// amplified by every projection), while fine levels dominate memory and
+/// bandwidth but only refine locally. So the schedule keeps levels under
+/// `cutoff` vertices at `coarse` precision (typically f32) and trains
+/// levels at or above it in `fine` (f16/i8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrecisionSchedule {
+    /// Row storage for levels with fewer than `cutoff` vertices.
+    pub coarse: Precision,
+    /// Row storage for levels with at least `cutoff` vertices.
+    pub fine: Precision,
+    /// Vertex-count boundary between the two regimes.
+    pub cutoff: usize,
+}
+
+impl PrecisionSchedule {
+    /// Default boundary: levels of 4096+ vertices count as fine.
+    pub const DEFAULT_CUTOFF: usize = 4096;
+
+    /// The precision a level of `num_vertices` trains at.
+    pub fn level_precision(&self, num_vertices: usize) -> Precision {
+        if num_vertices >= self.cutoff {
+            self.fine
+        } else {
+            self.coarse
+        }
+    }
+}
+
 /// Full configuration for [`crate::pipeline::embed`].
 #[derive(Clone, Copy, Debug)]
 pub struct GoshConfig {
@@ -49,6 +81,9 @@ pub struct GoshConfig {
     pub backend: BackendChoice,
     /// Embedding row storage width (`--precision f32|f16|i8`).
     pub precision: Precision,
+    /// Per-level precision overrides (`--precision-schedule`); `None`
+    /// trains every level at [`GoshConfig::precision`].
+    pub precision_schedule: Option<PrecisionSchedule>,
 }
 
 impl Default for GoshConfig {
@@ -81,6 +116,7 @@ impl GoshConfig {
             seed: 0x905E,
             backend: BackendChoice::Auto,
             precision: Precision::F32,
+            precision_schedule: None,
         }
     }
 
@@ -112,6 +148,12 @@ impl GoshConfig {
     /// Override the row storage precision.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Override the per-level precision schedule.
+    pub fn with_precision_schedule(mut self, schedule: PrecisionSchedule) -> Self {
+        self.precision_schedule = Some(schedule);
         self
     }
 

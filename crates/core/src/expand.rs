@@ -88,20 +88,23 @@ pub fn expand_embedding_parallel(
     }
     // Contiguous row ranges, one per thread: each worker owns a disjoint
     // `&mut` slab of the output, so the copy needs no synchronization at
-    // all beyond the scope join.
+    // all beyond the team join.
     let rows_per_shard = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slab) in fine
-            .as_mut_slice()
-            .chunks_mut(rows_per_shard * d)
-            .enumerate()
-        {
-            scope.spawn(move || {
-                let v0 = (t * rows_per_shard) as u32;
-                project_rows(slab, d, v0, coarse, mapping);
-            });
-        }
+    let slabs: Vec<std::sync::Mutex<Option<&mut [f32]>>> = fine
+        .as_mut_slice()
+        .chunks_mut(rows_per_shard * d)
+        .map(|s| std::sync::Mutex::new(Some(s)))
+        .collect();
+    gosh_runtime::map_jobs(threads, slabs.len(), |t| {
+        let slab = slabs[t]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("slab claimed once");
+        let v0 = (t * rows_per_shard) as u32;
+        project_rows(slab, d, v0, coarse, mapping);
     });
+    drop(slabs);
     fine
 }
 

@@ -59,39 +59,31 @@ fn fill_side(
         .collect();
 
     let workers = threads.max(1).min(num_chunks.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let out_slots = &out_slots;
-            let src_start = src_range.start;
-            let tgt = tgt_range.clone();
-            scope.spawn(move || {
-                loop {
-                    let c = cursor.fetch_add(1, Ordering::Relaxed);
-                    if c >= num_chunks {
-                        break;
-                    }
-                    // Seed per chunk, not per thread: the pool is identical
-                    // no matter which worker claims which chunk.
-                    let mut rng = Xorshift128Plus::new(mix64(seed ^ (c as u64) << 24));
-                    let mut slot = out_slots[c].lock();
-                    let base = c * CHUNK;
-                    for (i, row) in slot.chunks_mut(b).enumerate() {
-                        let v = src_start + (base + i) as u32;
-                        let nbrs = g.neighbors(v);
-                        // Γ(v) ∩ V_target via binary search on sorted list.
-                        let lo = nbrs.partition_point(|&u| u < tgt.start);
-                        let hi = nbrs.partition_point(|&u| u < tgt.end);
-                        if lo == hi {
-                            continue; // row stays NO_SAMPLE
-                        }
-                        let span = (hi - lo) as u32;
-                        for s in row.iter_mut() {
-                            *s = nbrs[lo + rng.below(span) as usize];
-                        }
-                    }
-                }
-            });
+    let src_start = src_range.start;
+    let tgt = tgt_range.clone();
+    gosh_runtime::global().run(workers, |_ctx| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= num_chunks {
+            break;
+        }
+        // Seed per chunk, not per thread: the pool is identical
+        // no matter which worker claims which chunk.
+        let mut rng = Xorshift128Plus::new(mix64(seed ^ (c as u64) << 24));
+        let mut slot = out_slots[c].lock();
+        let base = c * CHUNK;
+        for (i, row) in slot.chunks_mut(b).enumerate() {
+            let v = src_start + (base + i) as u32;
+            let nbrs = g.neighbors(v);
+            // Γ(v) ∩ V_target via binary search on sorted list.
+            let lo = nbrs.partition_point(|&u| u < tgt.start);
+            let hi = nbrs.partition_point(|&u| u < tgt.end);
+            if lo == hi {
+                continue; // row stays NO_SAMPLE
+            }
+            let span = (hi - lo) as u32;
+            for s in row.iter_mut() {
+                *s = nbrs[lo + rng.below(span) as usize];
+            }
         }
     });
 }

@@ -25,12 +25,16 @@
 //!   partitioning, inside-out rotations, host-side sample pools with
 //!   `SampleManager`/`PoolManager` threads, and copy/compute overlap.
 //! * [`multi_gpu`] — synchronous data-parallel replica training.
+//! * [`distrib`] — the replica scheme stretched across a [`gosh_runtime::transport::Transport`]
+//!   mesh: `gosh train --nodes N` with replicated coarse levels and
+//!   delta-exchanged sharded fine levels.
 //! * [`pipeline`] — Algorithm 2 tying everything together, dispatching
 //!   every level through the backend chain.
 //! * [`config`] — the fast/normal/slow/no-coarsening presets of Table 3.
 
 pub mod backend;
 pub mod config;
+pub mod distrib;
 pub mod expand;
 pub mod large;
 pub mod model;
@@ -47,7 +51,8 @@ pub use backend::{
     backends_for, BackendChoice, BackendKind, CpuHogwild, GpuInMemory, GpuPartitioned,
     LevelSchedule, LevelStats, PartitionedOpts, Similarity, TrainBackend, TrainParams,
 };
-pub use config::{GoshConfig, Preset};
+pub use config::{GoshConfig, PrecisionSchedule, Preset};
+pub use distrib::{embed_distributed, DistribConfig, DistribReport, TransportKind};
 pub use model::Embedding;
 pub use pipeline::{embed, GoshReport};
 pub use quant::Precision;

@@ -129,6 +129,9 @@ pub fn embed(g0: &Csr, cfg: &GoshConfig, device: &Device) -> (Embedding, GoshRep
                 level: i,
                 epochs: e_i,
                 seed: cfg.seed ^ i as u64,
+                precision: cfg
+                    .precision_schedule
+                    .map(|ps| ps.level_precision(g.num_vertices())),
             },
         );
         levels.push(LevelReport {
@@ -271,6 +274,38 @@ mod tests {
             report.levels.iter().map(|l| l.backend).collect()
         };
         assert_eq!(kinds(BackendChoice::Gpu), kinds(BackendChoice::Auto));
+    }
+
+    #[test]
+    fn precision_schedule_splits_levels_and_degenerate_schedule_is_f32() {
+        use crate::config::PrecisionSchedule;
+        use crate::quant::Precision;
+        let g = test_graph();
+        // One thread: Hogwild races make multi-threaded runs
+        // non-repeatable, and this test compares runs bitwise.
+        let cfg = small_cfg().with_backend(BackendChoice::Cpu).with_threads(1);
+
+        // A schedule whose cutoff excludes every level is plain f32.
+        let all_coarse = cfg.with_precision_schedule(PrecisionSchedule {
+            coarse: Precision::F32,
+            fine: Precision::I8,
+            cutoff: usize::MAX,
+        });
+        let device = Device::new(DeviceConfig::titan_x());
+        let (m_ref, _) = embed(&g, &cfg, &device);
+        let (m_coarse, _) = embed(&g, &all_coarse, &device);
+        assert_eq!(m_ref.as_slice(), m_coarse.as_slice());
+
+        // A cutoff inside the hierarchy quantizes the fine levels: the
+        // result must differ from pure f32 but still embed the graph.
+        let mixed = cfg.with_precision_schedule(PrecisionSchedule {
+            coarse: Precision::F32,
+            fine: Precision::I8,
+            cutoff: 64,
+        });
+        let (m_mixed, _) = embed(&g, &mixed, &device);
+        assert!(m_mixed.as_slice().iter().all(|x| x.is_finite()));
+        assert_ne!(m_ref.as_slice(), m_mixed.as_slice());
     }
 
     #[test]

@@ -21,18 +21,28 @@
 //!   once, updated locally across its `1 + ns` samples — where it
 //!   vectorizes, since it is plain `f32` — and written back once.
 //! * **Sharded work distribution.** Each epoch's source space is split
-//!   into one contiguous shard per thread ([`shard_ranges`]); a worker
-//!   team is spawned once and holds at an epoch barrier, so threads never
-//!   touch a shared cursor and never pay a per-epoch spawn. The former
-//!   engine handed out batches from a global `AtomicUsize`, serializing
-//!   every thread through one contended cache line. Sample rows are
-//!   prefetched as soon as their ids are drawn.
+//!   into one contiguous shard per thread ([`shard_ranges`]); the
+//!   persistent [`gosh_runtime`] worker team holds at a poisonable epoch
+//!   barrier ([`gosh_runtime::WorkerCtx::barrier`]), so threads never
+//!   touch a shared cursor, never pay a per-epoch spawn — and a worker
+//!   panic unwinds the team instead of deadlocking it. The former engine
+//!   handed out batches from a global `AtomicUsize`, serializing every
+//!   thread through one contended cache line. Sample rows are prefetched
+//!   as soon as their ids are drawn.
+//!
+//! The engine is range-parametrized through [`HogwildPlan`]: the
+//! single-node [`train_cpu`] trains every epoch of every source, while
+//! the distributed trainer (`crate::distrib`) gives each node a source
+//! span and an epoch window, with globally-indexed learning-rate decay
+//! and RNG streams — full ranges on node 0 reproduce the single-node
+//! engine bit-for-bit at one thread.
 
+use std::ops::Range;
 use std::sync::atomic::AtomicU64;
-use std::sync::Barrier;
 
 use gosh_graph::csr::Csr;
 use gosh_graph::rng::{mix64, Xorshift128Plus};
+use gosh_runtime::Runtime;
 
 use crate::backend::{Similarity, TrainParams};
 use crate::model::{Embedding, SharedMatrix};
@@ -41,16 +51,9 @@ use crate::schedule::decayed_lr;
 use crate::simd;
 use crate::update::fast_sigmoid;
 
-/// Split `sources` source processings into one contiguous shard per
-/// thread. Shards are disjoint, cover `0..sources` exactly, and differ in
-/// size by at most one — the static distribution that replaces the global
-/// batch cursor.
-pub fn shard_ranges(sources: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    assert!(threads >= 1, "need at least one thread");
-    (0..threads)
-        .map(|t| (t * sources / threads)..((t + 1) * sources / threads))
-        .collect()
-}
+/// Deterministic contiguous shard assignment (one shard per thread) —
+/// the runtime's, re-exported at its historical home.
+pub use gosh_runtime::shard_ranges;
 
 /// Train `m` on `g` in place with Hogwild threads.
 ///
@@ -64,68 +67,123 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     if params.precision != Precision::F32 {
         return train_cpu_quantized(g, m, params);
     }
-    let n = g.num_vertices() as u32;
     let shared = SharedMatrix::from_embedding(m);
-    let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
-    for v in 0..n {
-        arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
-    }
-    let num_arcs = arc_src.len();
-    let sources = (num_arcs / 2).max(1);
-
-    // No thread should sit on an empty shard *and* a barrier slot.
-    let threads = params.threads.min(sources);
-    let shards = shard_ranges(sources, threads);
-    let barrier = Barrier::new(threads);
-
-    std::thread::scope(|scope| {
-        for (t, shard) in shards.into_iter().enumerate() {
-            let arc_src = &arc_src;
-            let shared = &shared;
-            let barrier = &barrier;
-            scope.spawn(move || {
-                // One allocation per worker lifetime: the staged source
-                // row (the CPU analogue of the kernel's shared memory),
-                // padded to the paired-lane width.
-                let mut src_row = vec![0f32; 2 * shared.pairs_per_row()];
-                for epoch in 0..params.epochs {
-                    let lr_now = decayed_lr(params.lr, epoch, params.epochs);
-                    let mut rng = Xorshift128Plus::new(mix64(
-                        params.seed ^ ((epoch as u64) << 20) ^ t as u64,
-                    ));
-                    // `(2s + epoch) % num_arcs` with the division hoisted:
-                    // 2s < num_arcs and offset < num_arcs, so one
-                    // conditional subtract replaces a per-source div.
-                    let offset = epoch as usize % num_arcs;
-                    let arc_at = |s: usize| {
-                        let mut idx = 2 * s + offset;
-                        if idx >= num_arcs {
-                            idx -= num_arcs;
-                        }
-                        arc_src[idx]
-                    };
-                    let mut src_next = if shard.is_empty() {
-                        0
-                    } else {
-                        arc_at(shard.start)
-                    };
-                    for s in shard.clone() {
-                        let src = src_next;
-                        // Warm the next source's row while this one trains.
-                        if s + 1 < shard.end {
-                            src_next = arc_at(s + 1);
-                            prefetch_row(shared.row_atomics(src_next));
-                        }
-                        process_source(g, shared, src, n, params, lr_now, &mut rng, &mut src_row);
-                    }
-                    // Epoch synchronization (§3.1): the next epoch's
-                    // learning rate applies only once every shard is done.
-                    barrier.wait();
-                }
-            });
-        }
-    });
+    let plan = HogwildPlan::new(g);
+    plan.run_range(
+        gosh_runtime::global(),
+        g,
+        &shared,
+        params,
+        0..params.epochs,
+        params.epochs,
+        0..plan.sources(),
+        0,
+    );
     *m = shared.to_embedding();
+}
+
+/// Precomputed training plan for one level: the arc list positive
+/// sampling walks (`Q` of Algorithm 1) and the per-epoch source count.
+/// Built once per level, reusable across epoch windows — the distributed
+/// trainer calls [`HogwildPlan::run_range`] once per exchange round
+/// without re-deriving the arc list.
+pub struct HogwildPlan {
+    arc_src: Vec<u32>,
+    num_arcs: usize,
+    sources: usize,
+}
+
+impl HogwildPlan {
+    pub fn new(g: &Csr) -> Self {
+        let n = g.num_vertices() as u32;
+        let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
+        for v in 0..n {
+            arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+        }
+        let num_arcs = arc_src.len();
+        Self {
+            arc_src,
+            num_arcs,
+            sources: (num_arcs / 2).max(1),
+        }
+    }
+
+    /// Source processings per epoch (half the arc count, minimum one).
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Train epochs `epochs` (global indices: learning-rate decay and
+    /// RNG seeds use them against `total_epochs`) over source span
+    /// `span`, sharded across `params.threads` workers of `rt`.
+    ///
+    /// `rng_salt` keys this caller's per-thread RNG streams; distributed
+    /// nodes pass `node << 32` so no two nodes share a stream. With the
+    /// full ranges and salt 0 this **is** [`train_cpu`]'s engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_range(
+        &self,
+        rt: &Runtime,
+        g: &Csr,
+        shared: &SharedMatrix,
+        params: &TrainParams,
+        epochs: Range<u32>,
+        total_epochs: u32,
+        span: Range<usize>,
+        rng_salt: u64,
+    ) {
+        if span.is_empty() || epochs.is_empty() || self.num_arcs == 0 {
+            return;
+        }
+        let n = g.num_vertices() as u32;
+        let arc_src = &self.arc_src;
+        let num_arcs = self.num_arcs;
+        // No thread should sit on an empty shard *and* a barrier slot.
+        let threads = params.threads.min(span.len());
+        let shards = shard_ranges(span.len(), threads);
+        rt.run(threads, |ctx| {
+            let t = ctx.index();
+            let shard = (shards[t].start + span.start)..(shards[t].end + span.start);
+            // One allocation per worker lifetime: the staged source
+            // row (the CPU analogue of the kernel's shared memory),
+            // padded to the paired-lane width.
+            let mut src_row = vec![0f32; 2 * shared.pairs_per_row()];
+            for epoch in epochs.clone() {
+                let lr_now = decayed_lr(params.lr, epoch, total_epochs);
+                let mut rng = Xorshift128Plus::new(mix64(
+                    params.seed ^ ((epoch as u64) << 20) ^ (rng_salt + t as u64),
+                ));
+                // `(2s + epoch) % num_arcs` with the division hoisted:
+                // 2s < num_arcs and offset < num_arcs, so one
+                // conditional subtract replaces a per-source div.
+                let offset = epoch as usize % num_arcs;
+                let arc_at = |s: usize| {
+                    let mut idx = 2 * s + offset;
+                    if idx >= num_arcs {
+                        idx -= num_arcs;
+                    }
+                    arc_src[idx]
+                };
+                let mut src_next = if shard.is_empty() {
+                    0
+                } else {
+                    arc_at(shard.start)
+                };
+                for s in shard.clone() {
+                    let src = src_next;
+                    // Warm the next source's row while this one trains.
+                    if s + 1 < shard.end {
+                        src_next = arc_at(s + 1);
+                        prefetch_row(shared.row_atomics(src_next));
+                    }
+                    process_source(g, shared, src, n, params, lr_now, &mut rng, &mut src_row);
+                }
+                // Epoch synchronization (§3.1): the next epoch's
+                // learning rate applies only once every shard is done.
+                ctx.barrier();
+            }
+        });
+    }
 }
 
 /// Negative draws batched ahead per source (bounds the id scratchpad;
@@ -270,65 +328,56 @@ fn train_cpu_quantized(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     let n = g.num_vertices() as u32;
     let dim = m.dim();
     let shared = QuantizedMatrix::from_embedding(m, params.precision);
-    let mut arc_src: Vec<u32> = Vec::with_capacity(g.num_edges());
-    for v in 0..n {
-        arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
-    }
-    let num_arcs = arc_src.len();
-    let sources = (num_arcs / 2).max(1);
-    let threads = params.threads.min(sources);
-    let shards = shard_ranges(sources, threads);
-    let barrier = Barrier::new(threads);
+    let plan = HogwildPlan::new(g);
+    let arc_src = &plan.arc_src;
+    let num_arcs = plan.num_arcs;
+    let threads = params.threads.min(plan.sources);
+    let shards = shard_ranges(plan.sources, threads);
+    let shared_ref = &shared;
 
-    std::thread::scope(|scope| {
-        for (t, shard) in shards.into_iter().enumerate() {
-            let arc_src = &arc_src;
-            let shared = &shared;
-            let barrier = &barrier;
-            scope.spawn(move || {
-                let mut src_row = vec![0f32; dim];
-                let mut smp_row = vec![0f32; dim];
-                let mut codes = vec![0u8; dim];
-                for epoch in 0..params.epochs {
-                    let lr_now = decayed_lr(params.lr, epoch, params.epochs);
-                    let mut rng = Xorshift128Plus::new(mix64(
-                        params.seed ^ ((epoch as u64) << 20) ^ t as u64,
-                    ));
-                    let offset = epoch as usize % num_arcs;
-                    let arc_at = |s: usize| {
-                        let mut idx = 2 * s + offset;
-                        if idx >= num_arcs {
-                            idx -= num_arcs;
-                        }
-                        arc_src[idx]
-                    };
-                    let mut src_next = if shard.is_empty() {
-                        0
-                    } else {
-                        arc_at(shard.start)
-                    };
-                    for s in shard.clone() {
-                        let src = src_next;
-                        if s + 1 < shard.end {
-                            src_next = arc_at(s + 1);
-                            prefetch_row(shared.row_cells(src_next));
-                        }
-                        process_source_quantized(
-                            g,
-                            shared,
-                            src,
-                            n,
-                            params,
-                            lr_now,
-                            &mut rng,
-                            &mut src_row,
-                            &mut smp_row,
-                            &mut codes,
-                        );
-                    }
-                    barrier.wait();
+    gosh_runtime::global().run(threads, |ctx| {
+        let shard = shards[ctx.index()].clone();
+        let t = ctx.index();
+        let mut src_row = vec![0f32; dim];
+        let mut smp_row = vec![0f32; dim];
+        let mut codes = vec![0u8; dim];
+        for epoch in 0..params.epochs {
+            let lr_now = decayed_lr(params.lr, epoch, params.epochs);
+            let mut rng =
+                Xorshift128Plus::new(mix64(params.seed ^ ((epoch as u64) << 20) ^ t as u64));
+            let offset = epoch as usize % num_arcs;
+            let arc_at = |s: usize| {
+                let mut idx = 2 * s + offset;
+                if idx >= num_arcs {
+                    idx -= num_arcs;
                 }
-            });
+                arc_src[idx]
+            };
+            let mut src_next = if shard.is_empty() {
+                0
+            } else {
+                arc_at(shard.start)
+            };
+            for s in shard.clone() {
+                let src = src_next;
+                if s + 1 < shard.end {
+                    src_next = arc_at(s + 1);
+                    prefetch_row(shared_ref.row_cells(src_next));
+                }
+                process_source_quantized(
+                    g,
+                    shared_ref,
+                    src,
+                    n,
+                    params,
+                    lr_now,
+                    &mut rng,
+                    &mut src_row,
+                    &mut smp_row,
+                    &mut codes,
+                );
+            }
+            ctx.barrier();
         }
     });
     *m = shared.to_embedding();

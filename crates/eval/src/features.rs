@@ -67,12 +67,18 @@ pub fn sample_negative_edges(g: &Csr, count: usize, seed: u64) -> Vec<(VertexId,
 
 /// Build a balanced feature set: all of `positives` (capped at
 /// `max_positives`) plus an equal number of sampled non-edges of `g`.
+///
+/// The Hadamard fill is sharded over the worker team: each worker owns a
+/// disjoint contiguous row slab, so the output is bit-identical to the
+/// sequential loop for any `threads >= 1` (pure per-row products — no
+/// accumulation across rows).
 pub fn build_feature_set(
     m: &Embedding,
     g: &Csr,
     positives: &[(VertexId, VertexId)],
     max_positives: usize,
     seed: u64,
+    threads: usize,
 ) -> FeatureSet {
     let d = m.dim();
     // Cap by uniform stride so the subsample stays deterministic.
@@ -84,11 +90,30 @@ pub fn build_feature_set(
     let negatives = sample_negative_edges(g, chosen.len(), seed);
 
     let rows = chosen.len() + negatives.len();
+    let pairs: Vec<(VertexId, VertexId)> = chosen.iter().chain(negatives.iter()).copied().collect();
+    let labels: Vec<bool> = (0..rows).map(|i| i < chosen.len()).collect();
     let mut features = vec![0f32; rows * d];
-    let mut labels = Vec::with_capacity(rows);
-    for (i, &(u, v)) in chosen.iter().chain(negatives.iter()).enumerate() {
-        hadamard(m, u, v, &mut features[i * d..(i + 1) * d]);
-        labels.push(i < chosen.len());
+    if rows > 0 && d > 0 {
+        let team = threads.max(1).min(rows);
+        let shards = gosh_runtime::shard_ranges(rows, team);
+        let slabs: Vec<std::sync::Mutex<Option<&mut [f32]>>> = shards
+            .iter()
+            .scan(features.as_mut_slice(), |rest, r| {
+                let (mine, tail) = std::mem::take(rest).split_at_mut(r.len() * d);
+                *rest = tail;
+                Some(std::sync::Mutex::new(Some(mine)))
+            })
+            .collect();
+        gosh_runtime::map_jobs(team, team, |t| {
+            let slab = slabs[t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("feature slab claimed once");
+            for (j, &(u, v)) in pairs[shards[t].clone()].iter().enumerate() {
+                hadamard(m, u, v, &mut slab[j * d..(j + 1) * d]);
+            }
+        });
     }
     FeatureSet {
         features,
@@ -129,7 +154,7 @@ mod tests {
         let g = erdos_renyi(60, 200, 5);
         let m = Embedding::random(60, 8, 1);
         let pos: Vec<_> = g.undirected_edges().collect();
-        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 11);
+        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 11, 3);
         assert_eq!(fs.len(), 2 * pos.len());
         assert_eq!(fs.labels.iter().filter(|&&l| l).count(), pos.len());
         assert_eq!(fs.dim, 8);
@@ -140,7 +165,7 @@ mod tests {
         let g = erdos_renyi(80, 400, 9);
         let m = Embedding::random(80, 4, 2);
         let pos: Vec<_> = g.undirected_edges().collect();
-        let fs = build_feature_set(&m, &g, &pos, 50, 13);
+        let fs = build_feature_set(&m, &g, &pos, 50, 13, 2);
         assert_eq!(fs.labels.iter().filter(|&&l| l).count(), 50);
         assert_eq!(fs.len(), 100);
     }
@@ -150,7 +175,7 @@ mod tests {
         let g = csr_from_edges(4, &[(0, 1), (2, 3)]);
         let m = Embedding::random(4, 5, 3);
         let pos = vec![(0u32, 1u32)];
-        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 17);
+        let fs = build_feature_set(&m, &g, &pos, usize::MAX, 17, 4);
         let mut expect = [0f32; 5];
         hadamard(&m, 0, 1, &mut expect);
         assert_eq!(fs.row(0), &expect);

@@ -28,6 +28,9 @@ pub struct EvalConfig {
     pub l2: f32,
     /// Seed for negative sampling and SGD shuffling.
     pub seed: u64,
+    /// Worker team for the Hadamard feature fill (bit-identical output
+    /// for any value ≥ 1).
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -38,6 +41,7 @@ impl Default for EvalConfig {
             lr: 0.05,
             l2: 1e-5,
             seed: 0xE7A1,
+            threads: 1,
         }
     }
 }
@@ -56,12 +60,26 @@ pub fn evaluate_link_prediction(
         "embedding must cover the training graph"
     );
     let train_pos: Vec<(VertexId, VertexId)> = g_train.undirected_edges().collect();
-    let train_set = build_feature_set(m, g_train, &train_pos, cfg.max_train_positives, cfg.seed);
+    let train_set = build_feature_set(
+        m,
+        g_train,
+        &train_pos,
+        cfg.max_train_positives,
+        cfg.seed,
+        cfg.threads,
+    );
     let model = LogisticRegression::train(&train_set, cfg.method, cfg.lr, cfg.l2, cfg.seed);
 
     // Test set: held-out edges vs fresh non-edges (never capped — the
     // paper scores every test edge).
-    let test_set = build_feature_set(m, g_train, test_edges, usize::MAX, cfg.seed ^ 0x7E57);
+    let test_set = build_feature_set(
+        m,
+        g_train,
+        test_edges,
+        usize::MAX,
+        cfg.seed ^ 0x7E57,
+        cfg.threads,
+    );
     let scores = model.predict_all(&test_set);
     auc_roc(&scores, &test_set.labels)
 }

@@ -16,7 +16,11 @@ pub struct DeviceShared {
     pub(crate) allocated: AtomicUsize,
     pub(crate) counters: CostCounters,
     kernel_ids: AtomicU64,
-    pool: crate::pool::WorkerPool,
+    /// Private runtime: each device executes kernels concurrently with
+    /// other devices (and with the CPU-side teams on the global
+    /// runtime), so it owns its own worker set.
+    pool: gosh_runtime::Runtime,
+    host_threads: usize,
 }
 
 impl DeviceShared {
@@ -103,7 +107,8 @@ impl Device {
                 allocated: AtomicUsize::new(0),
                 counters: CostCounters::default(),
                 kernel_ids: AtomicU64::new(0),
-                pool: crate::pool::WorkerPool::new(cfg.resolved_host_threads()),
+                pool: gosh_runtime::Runtime::new(cfg.resolved_host_threads()),
+                host_threads: cfg.resolved_host_threads(),
             }),
         }
     }
@@ -209,7 +214,7 @@ impl Device {
         let batch = cfg.batch.max(1);
         let cursor = AtomicUsize::new(0);
 
-        self.shared.pool.run(|| {
+        self.shared.pool.run(self.shared.host_threads, |_ctx| {
             let warp = Warp::new();
             let mut scratch = vec![0f32; cfg.scratch_floats];
             loop {

@@ -32,7 +32,7 @@ pub mod config;
 pub mod cost;
 pub mod device;
 pub mod error;
-mod pool;
+
 pub mod stream;
 pub mod warp;
 

@@ -188,28 +188,17 @@ pub(crate) fn build_csr_parallel(
     // here is also the range check for every endpoint — by the time the
     // unchecked scatter below runs, `u < n` and `v < n` are proven for
     // the exact same arc set.
-    let mut counts: Vec<Vec<usize>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = spans
-            .iter()
-            .map(|sp| {
-                scope.spawn(move || {
-                    let mut c = vec![0usize; n];
-                    for &(ci, a, b) in sp {
-                        for &(u, v) in &chunks[ci][a..b] {
-                            if u != v {
-                                c[u as usize] += 1;
-                                c[v as usize] += 1;
-                            }
-                        }
-                    }
-                    c
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("csr count worker panicked"))
-            .collect()
+    let mut counts: Vec<Vec<usize>> = gosh_runtime::map_jobs(threads, spans.len(), |t| {
+        let mut c = vec![0usize; n];
+        for &(ci, a, b) in &spans[t] {
+            for &(u, v) in &chunks[ci][a..b] {
+                if u != v {
+                    c[u as usize] += 1;
+                    c[v as usize] += 1;
+                }
+            }
+        }
+        c
     });
 
     // Prefix sum in lexicographic (vertex, worker) order: `xadj0[v]` is
@@ -233,28 +222,32 @@ pub(crate) fn build_csr_parallel(
     let mut arena: Vec<VertexId> = vec![0; running];
     {
         let shared = SharedArena::new(&mut arena);
-        std::thread::scope(|scope| {
-            for (sp, mut cur) in spans.iter().zip(std::mem::take(&mut counts)) {
-                let shared = &shared;
-                scope.spawn(move || {
-                    for &(ci, a, b) in sp {
-                        for &(u, v) in &chunks[ci][a..b] {
-                            if u != v {
-                                // SAFETY: pass 1 proved `u, v < n` for
-                                // this very span set, and each cursor
-                                // walks a sub-range no other (worker,
-                                // vertex) pair overlaps, exactly
-                                // `counts` entries long.
-                                unsafe {
-                                    shared.write(cur[u as usize], v);
-                                    shared.write(cur[v as usize], u);
-                                }
-                                cur[u as usize] += 1;
-                                cur[v as usize] += 1;
-                            }
+        let cursor_slots: Vec<std::sync::Mutex<Option<Vec<usize>>>> = std::mem::take(&mut counts)
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
+        gosh_runtime::map_jobs(threads, spans.len(), |t| {
+            let mut cur = cursor_slots[t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("cursor set claimed once");
+            for &(ci, a, b) in &spans[t] {
+                for &(u, v) in &chunks[ci][a..b] {
+                    if u != v {
+                        // SAFETY: pass 1 proved `u, v < n` for
+                        // this very span set, and each cursor
+                        // walks a sub-range no other (worker,
+                        // vertex) pair overlaps, exactly
+                        // `counts` entries long.
+                        unsafe {
+                            shared.write(cur[u as usize], v);
+                            shared.write(cur[v as usize], u);
                         }
+                        cur[u as usize] += 1;
+                        cur[v as usize] += 1;
                     }
-                });
+                }
             }
         });
     }
@@ -265,24 +258,31 @@ pub(crate) fn build_csr_parallel(
     let bounds = arc_mass_bounds(&xadj0, n, threads);
     let mut uniq = vec![0usize; n];
     {
+        type SortWindow<'a> = (&'a mut [VertexId], &'a mut [usize]);
         let mut arena_rest = arena.as_mut_slice();
         let mut uniq_rest = uniq.as_mut_slice();
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let (vs, ve) = (bounds[t], bounds[t + 1]);
-                let (mine, rest) = arena_rest.split_at_mut(xadj0[ve] - xadj0[vs]);
-                arena_rest = rest;
-                let (uniq_mine, rest) = uniq_rest.split_at_mut(ve - vs);
-                uniq_rest = rest;
-                let xadj0 = &xadj0;
-                scope.spawn(move || {
-                    let off = xadj0[vs];
-                    for v in vs..ve {
-                        let list = &mut mine[xadj0[v] - off..xadj0[v + 1] - off];
-                        list.sort_unstable();
-                        uniq_mine[v - vs] = dedup_prefix(list);
-                    }
-                });
+        let mut windows: Vec<std::sync::Mutex<Option<SortWindow<'_>>>> =
+            Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (vs, ve) = (bounds[t], bounds[t + 1]);
+            let (mine, rest) = arena_rest.split_at_mut(xadj0[ve] - xadj0[vs]);
+            arena_rest = rest;
+            let (uniq_mine, rest) = uniq_rest.split_at_mut(ve - vs);
+            uniq_rest = rest;
+            windows.push(std::sync::Mutex::new(Some((mine, uniq_mine))));
+        }
+        gosh_runtime::map_jobs(threads, threads, |t| {
+            let (mine, uniq_mine) = windows[t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("sort window claimed once");
+            let (vs, ve) = (bounds[t], bounds[t + 1]);
+            let off = xadj0[vs];
+            for v in vs..ve {
+                let list = &mut mine[xadj0[v] - off..xadj0[v + 1] - off];
+                list.sort_unstable();
+                uniq_mine[v - vs] = dedup_prefix(list);
             }
         });
     }
@@ -297,19 +297,26 @@ pub(crate) fn build_csr_parallel(
     let mut adj: Vec<VertexId> = vec![0; xadj[n]];
     {
         let mut adj_rest = adj.as_mut_slice();
-        std::thread::scope(|scope| {
-            for t in 0..threads {
-                let (vs, ve) = (bounds[t], bounds[t + 1]);
-                let (mine, rest) = adj_rest.split_at_mut(xadj[ve] - xadj[vs]);
-                adj_rest = rest;
-                let (arena, xadj0, xadj, uniq) = (&arena, &xadj0, &xadj, &uniq);
-                scope.spawn(move || {
-                    let off = xadj[vs];
-                    for v in vs..ve {
-                        mine[xadj[v] - off..xadj[v + 1] - off]
-                            .copy_from_slice(&arena[xadj0[v]..xadj0[v] + uniq[v]]);
-                    }
-                });
+        let mut windows: Vec<std::sync::Mutex<Option<&mut [VertexId]>>> =
+            Vec::with_capacity(threads);
+        for t in 0..threads {
+            let (vs, ve) = (bounds[t], bounds[t + 1]);
+            let (mine, rest) = adj_rest.split_at_mut(xadj[ve] - xadj[vs]);
+            adj_rest = rest;
+            windows.push(std::sync::Mutex::new(Some(mine)));
+        }
+        let (arena, xadj0, xadj, uniq) = (&arena, &xadj0, &xadj, &uniq);
+        gosh_runtime::map_jobs(threads, threads, |t| {
+            let mine = windows[t]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("assembly window claimed once");
+            let (vs, ve) = (bounds[t], bounds[t + 1]);
+            let off = xadj[vs];
+            for v in vs..ve {
+                mine[xadj[v] - off..xadj[v + 1] - off]
+                    .copy_from_slice(&arena[xadj0[v]..xadj0[v] + uniq[v]]);
             }
         });
     }

@@ -41,7 +41,6 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::builder::build_csr_parallel;
 use crate::csr::VertexId;
@@ -183,15 +182,21 @@ pub fn read_edge_list_parallel(data: &[u8], cfg: &IngestConfig) -> io::Result<Lo
         .map(|ch| std::mem::take(&mut ch.arcs))
         .collect();
     let group = nc.div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (lists, trs) in arc_lists.chunks_mut(group).zip(parts.chunks(group)) {
-            scope.spawn(move || {
-                for (arcs, (_, trans)) in lists.iter_mut().zip(trs) {
-                    for a in arcs.iter_mut() {
-                        *a = (trans[a.0 as usize], trans[a.1 as usize]);
-                    }
-                }
-            });
+    let windows: Vec<std::sync::Mutex<Option<Window<'_>>>> = arc_lists
+        .chunks_mut(group)
+        .zip(parts.chunks(group))
+        .map(|w| std::sync::Mutex::new(Some(w)))
+        .collect();
+    map_jobs(threads, windows.len(), |i| {
+        let (lists, trs) = windows[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("window claimed once");
+        for (arcs, (_, trans)) in lists.iter_mut().zip(trs) {
+            for a in arcs.iter_mut() {
+                *a = (trans[a.0 as usize], trans[a.1 as usize]);
+            }
         }
     });
 
@@ -495,48 +500,16 @@ fn scan_u64(data: &[u8], pos: usize) -> Option<(u64, usize)> {
     (i > pos).then_some((x, i))
 }
 
-/// Run `f(0..jobs)` on a team of scoped workers claiming job indices
-/// through an atomic cursor; results are returned in job order.
-fn map_jobs<T, F>(threads: usize, jobs: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if jobs == 0 {
-        return Vec::new();
-    }
-    let workers = threads.min(jobs);
-    if workers <= 1 {
-        return (0..jobs).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let cursor = &cursor;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
-                        }
-                        mine.push((i, f(i)));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, t) in h.join().expect("ingest worker panicked") {
-                out[i] = Some(t);
-            }
-        }
-    });
-    out.into_iter().map(|t| t.expect("job completed")).collect()
-}
+/// Indexed typed tasks on the global runtime's team, results restored
+/// to job order — the runtime's `map_jobs`, used for every ingest phase.
+use gosh_runtime::map_jobs;
+
+/// One phase-4c work window: a worker's disjoint `&mut` group of arc
+/// chunk lists plus the matching translation tables.
+type Window<'a> = (
+    &'a mut [Vec<(VertexId, VertexId)>],
+    &'a [(Vec<u64>, Vec<VertexId>)],
+);
 
 /// Value slot marking an empty [`RawMap`] bucket. Safe as a sentinel:
 /// interner values are local ids `< 2^32`, and shard values are

@@ -1,0 +1,313 @@
+//! Node-to-node message transport: the runtime's task model stretched
+//! across a process boundary.
+//!
+//! A distributed node is just another device with a slow interconnect —
+//! the same framing works over an in-process channel (tests, perfect
+//! determinism) and a real TCP loopback socket (exercises serialization
+//! and the kernel network stack). Both carry the identical byte stream:
+//! a typed tag, a length, and an opaque payload, so everything built on
+//! [`Transport`] is bit-identical across implementations by
+//! construction — the cross-transport equality proptests enforce it.
+//!
+//! Frames are `[tag: u32 LE][len: u64 LE][payload bytes]`. Message
+//! *meaning* (which tag is a delta, which a base broadcast) lives with
+//! the caller — see `gosh-core::distrib` for the typed message layer.
+//!
+//! [`Interconnect`] prices the copies: the PCIe cost model from the
+//! simulated device (`bytes / (gbps · 1e9)` of idle wall-clock, charged
+//! only when it is long enough to schedule) generalized to the network
+//! link between nodes.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+
+/// A byte-frame transport between the nodes of one training run.
+///
+/// Endpoints are single-owner (`&mut self`): each node thread holds its
+/// own endpoint exclusively, mirroring one process's view of the mesh.
+/// `send` never blocks on the peer draining (buffered mesh); `recv`
+/// blocks until the peer's next frame arrives.
+pub trait Transport: Send {
+    /// This endpoint's node id in `0..nodes()`.
+    fn node(&self) -> usize;
+    /// Number of nodes in the mesh.
+    fn nodes(&self) -> usize;
+    /// Send one tagged frame to `peer`.
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]);
+    /// Receive the next frame *from `peer`* (per-peer FIFO order).
+    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>);
+}
+
+/// The interconnect cost model: the simulated device's PCIe pricing
+/// (`gosh-gpu`'s `dma_delay`) generalized to the link between nodes.
+/// Copies are charged `bytes / (gbps · 1e9)` seconds of idle wall-clock;
+/// delays under 20 µs are treated as free because the host cannot
+/// schedule a sleep that short anyway.
+#[derive(Clone, Copy, Debug)]
+pub struct Interconnect {
+    /// Modeled link bandwidth in GB/s.
+    pub gbps: f64,
+}
+
+impl Interconnect {
+    const MIN_SLEEP: f64 = 20e-6;
+
+    pub fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "interconnect bandwidth must be positive");
+        Self { gbps }
+    }
+
+    /// The modeled transfer time for `bytes` over this link.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / (self.gbps * 1e9))
+    }
+
+    /// Charge a transfer: sleep the modeled delay if it is long enough
+    /// to schedule. Returns the charged duration (zero when skipped).
+    pub fn charge(&self, bytes: usize) -> Duration {
+        let d = self.delay(bytes);
+        if d.as_secs_f64() >= Self::MIN_SLEEP {
+            std::thread::sleep(d);
+            d
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process channel mesh
+// ---------------------------------------------------------------------
+
+/// One in-flight frame on the channel mesh: `(tag, payload)`.
+type Frame = (u32, Vec<u8>);
+
+/// In-process transport: a full mesh of unbounded channels, one per
+/// ordered node pair. The reference implementation — zero serialization
+/// cost, deterministic per-peer FIFO delivery.
+pub struct ChannelTransport {
+    node: usize,
+    /// `senders[j]` carries frames `self.node -> j` (`None` at `j == node`).
+    senders: Vec<Option<Sender<Frame>>>,
+    /// `receivers[j]` carries frames `j -> self.node`.
+    receivers: Vec<Option<Receiver<Frame>>>,
+}
+
+/// Build the full in-process mesh for `nodes` endpoints.
+pub fn channel_mesh(nodes: usize) -> Vec<ChannelTransport> {
+    assert!(nodes >= 1, "a mesh needs at least one node");
+    let mut endpoints: Vec<ChannelTransport> = (0..nodes)
+        .map(|node| ChannelTransport {
+            node,
+            senders: (0..nodes).map(|_| None).collect(),
+            receivers: (0..nodes).map(|_| None).collect(),
+        })
+        .collect();
+    for i in 0..nodes {
+        for j in 0..nodes {
+            if i == j {
+                continue;
+            }
+            let (tx, rx) = channel();
+            endpoints[i].senders[j] = Some(tx);
+            endpoints[j].receivers[i] = Some(rx);
+        }
+    }
+    endpoints
+}
+
+impl Transport for ChannelTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) {
+        self.senders[peer]
+            .as_ref()
+            .expect("no channel to self")
+            .send((tag, payload.to_vec()))
+            .expect("peer endpoint dropped mid-run");
+    }
+
+    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>) {
+        self.receivers[peer]
+            .as_ref()
+            .expect("no channel from self")
+            .recv()
+            .expect("peer endpoint dropped mid-run")
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP loopback mesh
+// ---------------------------------------------------------------------
+
+/// TCP transport over 127.0.0.1: one socket per ordered node pair,
+/// wired centrally before the node threads start (the nodes of a
+/// simulated cluster live in one process, so no handshake protocol is
+/// needed — the mesh builder owns both ends of every accept).
+pub struct TcpTransport {
+    node: usize,
+    /// `writers[j]` is the write half of the `self.node -> j` socket.
+    writers: Vec<Option<TcpStream>>,
+    /// `readers[j]` is the buffered read half of the `j -> self.node` socket.
+    readers: Vec<Option<BufReader<TcpStream>>>,
+}
+
+/// Build the full TCP-loopback mesh for `nodes` endpoints.
+pub fn tcp_mesh(nodes: usize) -> io::Result<Vec<TcpTransport>> {
+    assert!(nodes >= 1, "a mesh needs at least one node");
+    let mut endpoints: Vec<TcpTransport> = (0..nodes)
+        .map(|node| TcpTransport {
+            node,
+            writers: (0..nodes).map(|_| None).collect(),
+            readers: (0..nodes).map(|_| None).collect(),
+        })
+        .collect();
+    for i in 0..nodes {
+        for j in 0..nodes {
+            if i == j {
+                continue;
+            }
+            // Ephemeral-port listener per pair: no fixed ports, no
+            // clashes with whatever else runs on the host.
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            let writer = TcpStream::connect(addr)?;
+            let (reader, _) = listener.accept()?;
+            writer.set_nodelay(true)?;
+            reader.set_nodelay(true)?;
+            endpoints[i].writers[j] = Some(writer);
+            endpoints[j].readers[i] = Some(BufReader::new(reader));
+        }
+    }
+    Ok(endpoints)
+}
+
+impl Transport for TcpTransport {
+    fn node(&self) -> usize {
+        self.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) {
+        let w = self.writers[peer].as_mut().expect("no socket to self");
+        let mut header = [0u8; 12];
+        header[..4].copy_from_slice(&tag.to_le_bytes());
+        header[4..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        w.write_all(&header).expect("tcp peer hung up mid-run");
+        w.write_all(payload).expect("tcp peer hung up mid-run");
+        w.flush().expect("tcp peer hung up mid-run");
+    }
+
+    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>) {
+        let r = self.readers[peer].as_mut().expect("no socket from self");
+        let mut header = [0u8; 12];
+        r.read_exact(&mut header).expect("tcp peer hung up mid-run");
+        let tag = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let len = u64::from_le_bytes(header[4..].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)
+            .expect("tcp peer hung up mid-run");
+        (tag, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(mut mesh: Vec<Box<dyn Transport>>) {
+        let n = mesh.len();
+        assert_eq!(n, 3);
+        // Every ordered pair carries two frames; per-peer FIFO holds.
+        std::thread::scope(|scope| {
+            for ep in mesh.iter_mut() {
+                scope.spawn(move || {
+                    let me = ep.node();
+                    for peer in 0..n {
+                        if peer == me {
+                            continue;
+                        }
+                        ep.send(peer, 7, &[me as u8, peer as u8]);
+                        ep.send(peer, 8, &[0xAB; 1000]);
+                    }
+                    for peer in 0..n {
+                        if peer == me {
+                            continue;
+                        }
+                        let (tag, body) = ep.recv(peer);
+                        assert_eq!((tag, body), (7, vec![peer as u8, me as u8]));
+                        let (tag, body) = ep.recv(peer);
+                        assert_eq!(tag, 8);
+                        assert_eq!(body, vec![0xAB; 1000]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn channel_mesh_roundtrips_frames() {
+        let mesh = channel_mesh(3)
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Transport>)
+            .collect();
+        roundtrip(mesh);
+    }
+
+    #[test]
+    fn tcp_mesh_roundtrips_frames() {
+        let mesh = tcp_mesh(3)
+            .expect("loopback mesh")
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Transport>)
+            .collect();
+        roundtrip(mesh);
+    }
+
+    #[test]
+    fn tcp_frames_larger_than_socket_buffers_survive() {
+        let mut mesh = tcp_mesh(2).expect("loopback mesh");
+        let payload: Vec<u8> = (0..4_000_000u32).map(|i| (i * 31) as u8).collect();
+        let expect = payload.clone();
+        let (mut a, mut b) = {
+            let b = mesh.pop().unwrap();
+            let a = mesh.pop().unwrap();
+            (a, b)
+        };
+        // Writer must run concurrently: 4 MB exceeds loopback buffering.
+        std::thread::scope(|scope| {
+            scope.spawn(move || a.send(1, 42, &payload));
+            let (tag, body) = b.recv(0);
+            assert_eq!(tag, 42);
+            assert_eq!(body, expect);
+        });
+    }
+
+    #[test]
+    fn single_node_mesh_is_valid_and_silent() {
+        let mesh = channel_mesh(1);
+        assert_eq!(mesh.len(), 1);
+        assert_eq!(mesh[0].nodes(), 1);
+    }
+
+    #[test]
+    fn interconnect_prices_like_the_pcie_model() {
+        let link = Interconnect::new(1.0); // 1 GB/s
+                                           // 1 MB at 1 GB/s = 1 ms — chargeable.
+        assert!((link.delay(1_000_000).as_secs_f64() - 1e-3).abs() < 1e-9);
+        assert!(link.charge(1_000_000) > Duration::ZERO);
+        // 1 KB = 1 µs — below the scheduling floor, free.
+        assert_eq!(link.charge(1_000), Duration::ZERO);
+    }
+}
