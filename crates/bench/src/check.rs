@@ -6,7 +6,8 @@
 //! vs the frozen synchronous engine, the fused coarsener vs the frozen
 //! sequential path, the parallel streaming parser vs the sequential
 //! reference parser, the multi-node replica trainer vs the single-node
-//! path). Absolute seconds shift with the runner, but the
+//! path, the IVF query engine vs brute-force exact serving). Absolute
+//! seconds shift with the runner, but the
 //! ratios are engine-vs-engine on the same machine in the same process —
 //! that is the quantity the trajectory promises, and the quantity this
 //! gate protects: for every `speedup_vs_*` key in a committed baseline
@@ -21,12 +22,13 @@
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// The trajectory reports the CI gate compares by default.
-pub const REPORT_FILES: [&str; 5] = [
+pub const REPORT_FILES: [&str; 6] = [
     "BENCH_hotpath.json",
     "BENCH_large.json",
     "BENCH_coarsen.json",
     "BENCH_ingest.json",
     "BENCH_distrib.json",
+    "BENCH_serve.json",
 ];
 
 /// One confirmed regression: `current < baseline * (1 - tolerance)`.

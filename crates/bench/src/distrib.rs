@@ -205,7 +205,7 @@ pub fn run_distrib_bench(cfg: &DistribBenchConfig) -> DistribBenchReport {
     let mut best: Option<DistribReport> = None;
     let mut single_best = f64::INFINITY;
     for _ in 0..reps {
-        let (m, report) = embed_distributed(&g, &gcfg, &dcfg);
+        let (m, report) = embed_distributed(&g, &gcfg, &dcfg).expect("distributed bench run");
         assert!(
             m.as_slice().iter().all(|x| x.is_finite()),
             "distributed run produced a non-finite embedding"
@@ -217,7 +217,7 @@ pub fn run_distrib_bench(cfg: &DistribBenchConfig) -> DistribBenchReport {
             best = Some(report);
         }
         if cfg.baseline {
-            let (_, sr) = embed_distributed(&g, &gcfg, &single);
+            let (_, sr) = embed_distributed(&g, &gcfg, &single).expect("single-node baseline run");
             single_best = single_best.min(sr.training_seconds.max(1e-9));
         }
     }
@@ -294,8 +294,8 @@ mod tests {
             shard_min: 1024,
             ..Default::default()
         };
-        let (m1, _) = embed_distributed(&s.train, &gcfg, &DistribConfig::default());
-        let (m2, r2) = embed_distributed(&s.train, &gcfg, &two);
+        let (m1, _) = embed_distributed(&s.train, &gcfg, &DistribConfig::default()).unwrap();
+        let (m2, r2) = embed_distributed(&s.train, &gcfg, &two).unwrap();
         assert!(r2.sharded_levels > 0, "two-node run never sharded");
         assert!(r2.bytes_exchanged > 0);
         let a1 = auc_percent(&m1, &s);

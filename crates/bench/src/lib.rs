@@ -20,8 +20,11 @@
 //! distributed-training harness lives in [`distrib`]: it backs `gosh
 //! bench-distrib`, measures the multi-node replica trainer against the
 //! single-node path, and documents the `BENCH_distrib.json` schema. The
-//! [`check`] module is the CI regression gate over all five reports
-//! (the `bench_check` binary).
+//! serving harness lives in [`serve`]: it backs `gosh bench-serve`,
+//! measures the IVF query path against brute-force exact search through
+//! a real TCP loopback server, and documents the `BENCH_serve.json`
+//! schema. The [`check`] module is the CI regression gate over all six
+//! reports (the `bench_check` binary).
 //!
 //! ## Scaling
 //!
@@ -39,6 +42,7 @@ pub mod distrib;
 pub mod hotpath;
 pub mod ingest;
 pub mod large;
+pub mod serve;
 
 use std::time::Instant;
 

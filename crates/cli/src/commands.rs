@@ -8,6 +8,7 @@ use gosh_bench::distrib::{run_distrib_bench, DistribBenchConfig};
 use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
 use gosh_bench::ingest::{run_ingest_bench, IngestBenchConfig};
 use gosh_bench::large::{run_large_bench, LargeBenchConfig};
+use gosh_bench::serve::{run_serve_bench, ServeBenchConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_core::backend::BackendChoice;
@@ -15,6 +16,9 @@ use gosh_core::config::{GoshConfig, PrecisionSchedule, Preset};
 use gosh_core::distrib::{embed_distributed, DistribConfig, TransportKind};
 use gosh_core::model::Embedding;
 use gosh_core::pipeline::embed as gosh_embed;
+use gosh_core::quant::Precision;
+use gosh_core::serve::{ServeClient, ServeConfig, Server};
+use gosh_core::store::{embin_path_for, write_store, EmbeddingStore};
 use gosh_eval::{evaluate_link_prediction, EvalConfig};
 use gosh_gpu::{Device, DeviceConfig};
 use gosh_graph::components::connected_components;
@@ -331,8 +335,10 @@ pub fn coarsen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Shared by `embed` and `eval`: run GOSH on `g`.
-fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
+/// Shared by `embed` and `eval`: run GOSH on `g`. Returns the embedding,
+/// the wall seconds, and the configured storage precision (so `embed`
+/// can write the `.embin` store at the precision the run trained with).
+fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64, Precision), String> {
     let (cfg, device) = build_config(p)?;
     let t0 = Instant::now();
     let (m, report) = gosh_embed(g, &cfg, &device);
@@ -349,7 +355,7 @@ fn run_gosh(g: &Csr, p: &Parsed) -> Result<(Embedding, f64), String> {
             .filter(|l| l.backend == gosh_core::BackendKind::CpuHogwild)
             .count()
     );
-    Ok((m, secs))
+    Ok((m, secs, cfg.precision))
 }
 
 /// Write an embedding in the text format `embed`/`train` emit.
@@ -366,13 +372,25 @@ fn write_embedding(out: &str, m: &Embedding) -> Result<(), String> {
     Ok(())
 }
 
+/// Write both artifacts of an embedding run: the text format (kept for
+/// interoperability; its `{x:.6}` rendering truncates mantissas) and the
+/// checksummed `.embin` binary store next to it, which round-trips
+/// bit-exactly and is what `gosh serve` maps.
+fn write_outputs(out: &str, m: &Embedding, precision: Precision) -> Result<(), String> {
+    write_embedding(out, m)?;
+    let bin = embin_path_for(out);
+    write_store(&bin, m, precision).map_err(|e| format!("writing {bin}: {e}"))?;
+    println!("wrote {bin} ({precision} store, lossless round-trip)");
+    Ok(())
+}
+
 /// `gosh embed <graph> <out.emb> [...]`.
 pub fn embed(args: &[String]) -> Result<(), String> {
     let p = parse(args, PIPELINE_FLAGS)?;
     let g = load_graph(p.positional(0, "graph")?, &p)?;
     let out = p.positional(1, "output file")?;
-    let (m, _) = run_gosh(&g, &p)?;
-    write_embedding(out, &m)
+    let (m, _, precision) = run_gosh(&g, &p)?;
+    write_outputs(out, &m, precision)
 }
 
 /// `gosh train <graph> <out.emb> --nodes N [...]`: embed across a mesh
@@ -384,7 +402,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
     let out = p.positional(1, "output file")?;
     let (cfg, _device) = build_config(&p)?;
     let dcfg = parse_distrib(&p)?;
-    let (m, report) = embed_distributed(&g, &cfg, &dcfg);
+    let (m, report) = embed_distributed(&g, &cfg, &dcfg).map_err(|e| e.to_string())?;
     println!(
         "trained on {} node(s): D = {} levels ({} sharded, {} replicated), \
          {} exchanges, {:.1} MB on the wire, {:.3}s exchange stall, \
@@ -399,7 +417,7 @@ pub fn train(args: &[String]) -> Result<(), String> {
         report.updates_per_sec(),
         report.total_seconds,
     );
-    write_embedding(out, &m)
+    write_outputs(out, &m, cfg.precision)
 }
 
 /// `gosh eval <graph> [...]`: split, embed the train side, report AUCROC.
@@ -418,14 +436,15 @@ pub fn eval(args: &[String]) -> Result<(), String> {
     let (m, secs, threads) = if dcfg.nodes > 1 {
         let (cfg, _device) = build_config(&p)?;
         let t0 = Instant::now();
-        let (m, report) = embed_distributed(&split.train, &cfg, &dcfg);
+        let (m, report) =
+            embed_distributed(&split.train, &cfg, &dcfg).map_err(|e| e.to_string())?;
         println!(
             "embedded on {} nodes: D = {} levels, {} exchanges, {:.3}s exchange stall",
             report.nodes, report.depth, report.exchanges, report.exchange_stall_seconds,
         );
         (m, t0.elapsed().as_secs_f64(), cfg.threads)
     } else {
-        let (m, secs) = run_gosh(&split.train, &p)?;
+        let (m, secs, _) = run_gosh(&split.train, &p)?;
         let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
         (m, secs, threads)
     };
@@ -756,6 +775,164 @@ pub fn bench_large(args: &[String]) -> Result<(), String> {
     if let (Some(b), Some(x)) = (report.sync_kernels_per_sec(), report.speedup_vs_sync()) {
         println!("sync engine: {b:.1} kernels/sec — speedup {x:.2}x");
     }
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh serve <store.embin> [--addr H:P] [--threads N] [--ivf BOOL]`:
+/// map an `.embin` store and answer top-k queries over TCP until a
+/// client sends shutdown. `--ivf false` skips the coarse-quantizer build
+/// and serves exact-only (clients must then use `--nprobe 0`).
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["addr", "threads", "ivf"])?;
+    let path = p.positional(0, ".embin store")?;
+    let store = EmbeddingStore::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let (n, dim, precision) = (store.num_vertices(), store.dim(), store.precision());
+    let cfg = ServeConfig {
+        threads: p.flag::<usize>("threads")?.unwrap_or_else(default_threads),
+        build_ivf: p.flag::<bool>("ivf")?.unwrap_or(true),
+        verbose: true,
+    };
+    let addr = p.flag_str("addr").unwrap_or("127.0.0.1:7070");
+    let server = Server::bind(store, addr, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    match server.index() {
+        Some(ivf) => println!(
+            "serving {path} ({n} x {dim}, {precision}) on {local}, {} IVF lists",
+            ivf.nlist()
+        ),
+        None => println!("serving {path} ({n} x {dim}, {precision}) on {local}, exact only"),
+    }
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve loop: {e}"))
+}
+
+/// `gosh query <store.embin> --addr H:P [--ids 0,1,2] [--k K]
+/// [--nprobe P] [--shutdown BOOL]`: look up the given vertices' rows in
+/// the local store, send them as a batch to a running `gosh serve`, and
+/// print each vertex's top-k neighbours as `id:score` pairs.
+/// `--nprobe 0` (the default) asks for exact search.
+pub fn query(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["addr", "ids", "k", "nprobe", "shutdown"])?;
+    let path = p.positional(0, ".embin store")?;
+    let addr = p
+        .flag_str("addr")
+        .ok_or("missing --addr (host:port printed by `gosh serve`)")?;
+    let store = EmbeddingStore::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let k = p.flag::<usize>("k")?.unwrap_or(10);
+    let nprobe = p.flag::<usize>("nprobe")?.unwrap_or(0);
+    let ids: Vec<u32> = match p.flag_str("ids") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad vertex id `{s}` in --ids"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0],
+    };
+    let dim = store.dim();
+    let mut queries = vec![0.0f32; ids.len() * dim];
+    for (i, &id) in ids.iter().enumerate() {
+        if (id as usize) >= store.num_vertices() {
+            return Err(format!(
+                "vertex {id} out of range (store has {} rows)",
+                store.num_vertices()
+            ));
+        }
+        store.decode_row(id, &mut queries[i * dim..(i + 1) * dim]);
+    }
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let t0 = Instant::now();
+    let results = client
+        .query(&queries, dim, k, nprobe)
+        .map_err(|e| e.to_string())?;
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (id, hits) in ids.iter().zip(&results) {
+        let row: Vec<String> = hits
+            .iter()
+            .map(|h| format!("{}:{:.4}", h.id, h.score))
+            .collect();
+        println!("{id} -> {}", row.join(" "));
+    }
+    let engine = if nprobe == 0 {
+        "exact".to_string()
+    } else {
+        format!("ivf nprobe {nprobe}")
+    };
+    println!("{} quer(ies) in {ms:.2} ms ({engine})", ids.len());
+    if p.flag::<bool>("shutdown")?.unwrap_or(false) {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("server shut down");
+    }
+    Ok(())
+}
+
+/// `gosh bench-serve [...]`: time the IVF query engine against
+/// brute-force exact search through a real TCP loopback server and write
+/// the `BENCH_serve.json` perf-trajectory report (schema documented in
+/// `gosh_bench::serve`).
+pub fn bench_serve(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "vertices",
+            "degree",
+            "dim",
+            "threads",
+            "precision",
+            "k",
+            "nprobe",
+            "batch",
+            "latency",
+            "epochs",
+            "seed",
+            "reps",
+            "out",
+        ],
+    )?;
+    let defaults = ServeBenchConfig::default();
+    let cfg = ServeBenchConfig {
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        dim: p.flag::<usize>("dim")?.unwrap_or(defaults.dim),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        precision: p
+            .flag::<Precision>("precision")?
+            .unwrap_or(defaults.precision),
+        k: p.flag::<usize>("k")?.unwrap_or(defaults.k),
+        nprobe: p.flag::<usize>("nprobe")?.unwrap_or(defaults.nprobe),
+        batch_queries: p.flag::<usize>("batch")?.unwrap_or(defaults.batch_queries),
+        latency_queries: p
+            .flag::<usize>("latency")?
+            .unwrap_or(defaults.latency_queries),
+        epochs: p.flag::<u32>("epochs")?.unwrap_or(defaults.epochs),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+        repetitions: p.flag::<u32>("reps")?.unwrap_or(defaults.repetitions),
+    };
+    if cfg.vertices < 4 || cfg.k == 0 || cfg.nprobe == 0 || cfg.batch_queries == 0 {
+        return Err(
+            "bench-serve needs --vertices >= 4, --k >= 1, --nprobe >= 1, --batch >= 1".into(),
+        );
+    }
+    let report = run_serve_bench(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "serve: exact {:.0} q/s, ivf {:.0} q/s (nprobe {}/{} lists, recall@{} {:.3}, \
+         p50 {:.3} ms, p99 {:.3} ms, {} threads)",
+        report.exact_qps,
+        report.ivf_qps,
+        report.nprobe,
+        report.nlist,
+        report.k,
+        report.recall_at_k,
+        report.p50_ms,
+        report.p99_ms,
+        report.threads,
+    );
+    println!("ivf vs exact: speedup {:.2}x", report.speedup_vs_exact());
     println!("wrote {out}");
     Ok(())
 }

@@ -16,6 +16,9 @@
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
 //!                   [--backend cpu|gpu|auto] [--precision f32|f16|i8]
 //!                   [--precision-schedule C:F[:V]] [+ train's node flags]
+//! gosh serve <store.embin> [--addr H:P] [--threads N] [--ivf true|false]
+//! gosh query <store.embin> --addr H:P [--ids 0,1,2] [--k K]
+//!                          [--nprobe P] [--shutdown true|false]
 //! gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
 //!                  [--epochs E] [--negatives NS] [--seed S] [--reps R]
 //!                  [--baseline true|false] [--precisions true|false]
@@ -35,6 +38,10 @@
 //!                  [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
 //!                  [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
 //!                  [--seed S] [--reps R] [--baseline true|false] [--out FILE]
+//! gosh bench-serve [--vertices N] [--degree K] [--dim D] [--threads T]
+//!                  [--precision f32|f16|i8] [--k K] [--nprobe P]
+//!                  [--batch B] [--latency L] [--epochs E] [--seed S]
+//!                  [--reps R] [--out FILE]
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension; a
@@ -59,11 +66,14 @@ fn main() -> ExitCode {
         Some("embed") => commands::embed(&argv[1..]),
         Some("train") => commands::train(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
+        Some("query") => commands::query(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
         Some("bench-coarsen") => commands::bench_coarsen(&argv[1..]),
         Some("bench-ingest") => commands::bench_ingest(&argv[1..]),
         Some("bench-distrib") => commands::bench_distrib(&argv[1..]),
         Some("bench-large") => commands::bench_large(&argv[1..]),
+        Some("bench-serve") => commands::bench_serve(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -98,6 +108,9 @@ USAGE:
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
                     [--backend cpu|gpu|auto] [--precision f32|f16|i8]
                     [--precision-schedule C:F[:V]] [+ train's node flags]
+  gosh serve <store.embin> [--addr H:P] [--threads N] [--ivf true|false]
+  gosh query <store.embin> --addr H:P [--ids 0,1,2] [--k K]
+                           [--nprobe P] [--shutdown true|false]
   gosh bench-train [--vertices N] [--degree K] [--dim D] [--threads T]
                    [--epochs E] [--negatives NS] [--seed S] [--reps R]
                    [--baseline true|false] [--precisions true|false]
@@ -117,6 +130,10 @@ USAGE:
                    [--pcie-gbps G] [--epochs E] [--batch B] [--negatives NS]
                    [--pgpu P] [--sgpu S] [--threads T] [--host-threads H]
                    [--seed S] [--reps R] [--baseline true|false] [--out FILE]
+  gosh bench-serve [--vertices N] [--degree K] [--dim D] [--threads T]
+                   [--precision f32|f16|i8] [--k K] [--nprobe P]
+                   [--batch B] [--latency L] [--epochs E] [--seed S]
+                   [--reps R] [--out FILE]
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
@@ -149,6 +166,19 @@ USAGE:
   modeled --net-gbps interconnect. --nodes 1 is bit-identical to the
   CPU-backend embed. eval accepts the same node flags to score a
   distributed run end-to-end.
+  embed and train write two artifacts: the text .emb (six decimal
+  places — lossy) and a checksummed binary .embin store next to it
+  that round-trips bit-exactly and serves via mmap without decoding.
+  serve maps an .embin store and answers top-k neighbour queries over
+  TCP (framed protocol); by default it builds an IVF coarse-quantizer
+  index so clients can trade recall for speed with --nprobe (0 =
+  brute-force exact). query reads vertex rows from a local copy of the
+  store, sends them as one batch, and prints id:score pairs per vertex;
+  --shutdown true stops the server after the batch.
+  bench-serve times the IVF query engine against exact search through
+  a real TCP loopback server and writes BENCH_serve.json (queries/sec
+  per engine, p50/p99 single-query latency, recall@k, and
+  speedup_vs_exact).
   bench-distrib times the multi-node replica trainer against the
   single-node path on a synthetic community graph and writes
   BENCH_distrib.json (updates/sec, exchange-stall seconds, bytes on

@@ -397,6 +397,157 @@ fn backend_flag_selects_engines() {
 }
 
 #[test]
+fn embed_serve_query_flow_over_tcp_loopback() {
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("gosh_cli_sv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.csr");
+    let graph_s = graph.to_str().unwrap();
+    let (ok, text) = run(&["generate", "800:6", graph_s]);
+    assert!(ok, "{text}");
+
+    // embed writes the text artifact AND the lossless binary store.
+    let emb = dir.join("g.emb");
+    let (ok, text) = run(&[
+        "embed",
+        graph_s,
+        emb.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--epochs",
+        "10",
+        "--precision",
+        "i8",
+    ]);
+    assert!(ok, "{text}");
+    let embin = dir.join("g.embin");
+    assert!(text.contains("lossless"), "{text}");
+    let header = std::fs::read(&embin).unwrap();
+    assert_eq!(&header[..8], b"GOSHEMB1", "bad .embin magic");
+
+    // Serve it on an OS-assigned loopback port; the bound address is the
+    // first line of stdout.
+    let mut server = Command::new(gosh_bin())
+        .args([
+            "serve",
+            embin.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawning gosh serve");
+    let stdout = server.stdout.take().unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .split(" on ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .unwrap_or_else(|| panic!("no address in serve banner: {first_line}"))
+        .trim()
+        .to_string();
+
+    // Exact and IVF top-k over the socket, then shut the server down.
+    let (ok, text) = run(&[
+        "query",
+        embin.to_str().unwrap(),
+        "--addr",
+        &addr,
+        "--ids",
+        "0,5,17",
+        "--k",
+        "4",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("0 ->") && text.contains("17 ->"), "{text}");
+    assert!(text.contains("(exact)"), "{text}");
+    let (ok, text) = run(&[
+        "query",
+        embin.to_str().unwrap(),
+        "--addr",
+        &addr,
+        "--ids",
+        "3",
+        "--nprobe",
+        "4",
+        "--shutdown",
+        "true",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("ivf nprobe 4"), "{text}");
+    assert!(text.contains("server shut down"), "{text}");
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "serve exited with {status}");
+
+    // A corrupted store is refused at startup, not served.
+    let mut bytes = std::fs::read(&embin).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    let bad = dir.join("bad.embin");
+    std::fs::write(&bad, &bytes).unwrap();
+    let (ok, text) = run(&["serve", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(text.contains("checksum"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_serve_emits_serve_json() {
+    let dir = std::env::temp_dir().join(format!("gosh_cli_bs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_serve.json");
+    let (ok, text) = run(&[
+        "bench-serve",
+        "--vertices",
+        "600",
+        "--degree",
+        "6",
+        "--dim",
+        "16",
+        "--threads",
+        "2",
+        "--epochs",
+        "6",
+        "--batch",
+        "32",
+        "--latency",
+        "8",
+        "--reps",
+        "1",
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("q/s"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"bench\": \"serve\"",
+        "\"exact_qps\"",
+        "\"ivf_qps\"",
+        "\"p50_ms\"",
+        "\"p99_ms\"",
+        "\"recall_at_k\"",
+        "\"speedup_vs_exact\"",
+        "\"threads\": 2",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    let (ok, text) = run(&["bench-serve", "--nprobe", "0"]);
+    assert!(!ok);
+    assert!(text.contains("--nprobe >= 1"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let (ok, text) = run(&["--help"]);
     assert!(ok);

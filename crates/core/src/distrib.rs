@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy};
 use gosh_graph::csr::Csr;
-use gosh_runtime::transport::{channel_mesh, tcp_mesh, Interconnect, Transport};
+use gosh_runtime::transport::{channel_mesh, tcp_mesh, Interconnect, Transport, TransportError};
 use gosh_runtime::{shard_ranges, Runtime};
 
 use crate::backend::{Similarity, TrainParams};
@@ -159,12 +159,13 @@ struct NodeOutcome {
 
 /// Embed `g0` across `dcfg.nodes` simulated nodes. Returns node 0's
 /// matrix (all replicas are identical after the final exchange) and the
-/// run report.
+/// run report. A node dying mid-run surfaces as [`TransportError`]
+/// naming the dead peer — the caller's process survives to report it.
 pub fn embed_distributed(
     g0: &Csr,
     cfg: &GoshConfig,
     dcfg: &DistribConfig,
-) -> (Embedding, DistribReport) {
+) -> Result<(Embedding, DistribReport), TransportError> {
     assert!(dcfg.nodes >= 1, "a run needs at least one node");
     let t0 = Instant::now();
 
@@ -199,14 +200,19 @@ pub fn embed_distributed(
             .map(|e| Box::new(e) as Box<dyn Transport>)
             .collect(),
         TransportKind::Tcp => tcp_mesh(dcfg.nodes)
-            .expect("loopback mesh")
+            .map_err(|e| TransportError {
+                op: "send",
+                peer: "mesh".into(),
+                tag: None,
+                detail: format!("loopback mesh setup failed: {e}"),
+            })?
             .into_iter()
             .map(|e| Box::new(e) as Box<dyn Transport>)
             .collect(),
     };
 
     let t_train = Instant::now();
-    let mut outcomes: Vec<NodeOutcome> = std::thread::scope(|scope| {
+    let results: Vec<Result<NodeOutcome, TransportError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = mesh
             .into_iter()
             .map(|tp| {
@@ -220,6 +226,7 @@ pub fn embed_distributed(
             .map(|h| h.join().expect("node thread panicked"))
             .collect()
     });
+    let mut outcomes: Vec<NodeOutcome> = results.into_iter().collect::<Result<_, _>>()?;
     let training_seconds = t_train.elapsed().as_secs_f64();
 
     let mut replicated_levels = 0usize;
@@ -252,7 +259,7 @@ pub fn embed_distributed(
         training_seconds,
         total_seconds: t0.elapsed().as_secs_f64(),
     };
-    (node0.matrix, report)
+    Ok((node0.matrix, report))
 }
 
 /// A level is sharded when the mesh has peers and the level is big
@@ -270,7 +277,7 @@ fn run_node(
     cfg: &GoshConfig,
     dcfg: &DistribConfig,
     link: Interconnect,
-) -> NodeOutcome {
+) -> Result<NodeOutcome, TransportError> {
     let node = tp.node();
     let nodes = tp.nodes();
     // A private runtime per node: nodes of a cluster do not share worker
@@ -323,7 +330,7 @@ fn run_node(
                         &current,
                         &mut bytes_sent,
                         &mut stall_seconds,
-                    );
+                    )?;
                     exchanges += 1;
                     e0 = e1;
                 }
@@ -334,12 +341,12 @@ fn run_node(
         }
     }
 
-    NodeOutcome {
+    Ok(NodeOutcome {
         matrix,
         bytes_sent,
         stall_seconds,
         exchanges,
-    }
+    })
 }
 
 /// One delta-exchange round. `base` is the replica state at the start of
@@ -353,7 +360,7 @@ fn exchange_deltas(
     current: &Embedding,
     bytes_sent: &mut usize,
     stall_seconds: &mut f64,
-) -> Embedding {
+) -> Result<Embedding, TransportError> {
     let nodes = tp.nodes();
     let n = base.num_vertices();
     let d = base.dim();
@@ -368,7 +375,7 @@ fn exchange_deltas(
         // Gather in fixed id order: float addition order is part of the
         // result, so the order must not depend on arrival timing.
         for peer in 1..nodes {
-            let (tag, payload) = tp.recv(peer);
+            let (tag, payload) = tp.recv(peer)?;
             debug_assert_eq!(tag, TAG_DELTA);
             *stall_seconds += link.charge(payload.len()).as_secs_f64();
             for (acc, chunk) in delta.iter_mut().zip(payload.chunks_exact(4)) {
@@ -383,22 +390,22 @@ fn exchange_deltas(
             .collect();
         let payload = f32s_to_bytes(&synced);
         for peer in 1..nodes {
-            tp.send(peer, TAG_BASE, &payload);
+            tp.send(peer, TAG_BASE, &payload)?;
             *bytes_sent += payload.len();
         }
-        Embedding::from_vec(synced, n, d)
+        Ok(Embedding::from_vec(synced, n, d))
     } else {
         let payload = f32s_to_bytes(&delta);
         *bytes_sent += payload.len();
-        tp.send(0, TAG_DELTA, &payload);
-        let (tag, body) = tp.recv(0);
+        tp.send(0, TAG_DELTA, &payload)?;
+        let (tag, body) = tp.recv(0)?;
         debug_assert_eq!(tag, TAG_BASE);
         *stall_seconds += link.charge(body.len()).as_secs_f64();
         let synced: Vec<f32> = body
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Embedding::from_vec(synced, n, d)
+        Ok(Embedding::from_vec(synced, n, d))
     }
 }
 
@@ -427,7 +434,7 @@ mod tests {
         let g = community_graph(&CommunityConfig::new(600, 6), 41);
         let cfg = cfg();
         let dcfg = DistribConfig::default();
-        let (dm, report) = embed_distributed(&g, &cfg, &dcfg);
+        let (dm, report) = embed_distributed(&g, &cfg, &dcfg).unwrap();
 
         // The reference: the plain CPU pipeline on the same config.
         let device = gosh_gpu::Device::new(gosh_gpu::DeviceConfig::titan_x());
@@ -452,7 +459,7 @@ mod tests {
             exchange_every: 4,
             ..Default::default()
         };
-        let (m, report) = embed_distributed(&g, &cfg, &dcfg);
+        let (m, report) = embed_distributed(&g, &cfg, &dcfg).unwrap();
         assert_eq!(m.num_vertices(), g.num_vertices());
         assert!(m.as_slice().iter().all(|x| x.is_finite()));
         assert!(report.sharded_levels >= 1, "no level sharded: {report:?}");
@@ -471,8 +478,8 @@ mod tests {
             exchange_every: 4,
             ..Default::default()
         };
-        let (a, _) = embed_distributed(&g, &cfg, &mk(TransportKind::Channel));
-        let (b, _) = embed_distributed(&g, &cfg, &mk(TransportKind::Tcp));
+        let (a, _) = embed_distributed(&g, &cfg, &mk(TransportKind::Channel)).unwrap();
+        let (b, _) = embed_distributed(&g, &cfg, &mk(TransportKind::Tcp)).unwrap();
         assert_eq!(a.as_slice(), b.as_slice());
     }
 
@@ -484,7 +491,7 @@ mod tests {
             shard_min: usize::MAX, // everything replicated
             ..Default::default()
         };
-        let (m, report) = embed_distributed(&g, &cfg(), &dcfg);
+        let (m, report) = embed_distributed(&g, &cfg(), &dcfg).unwrap();
         assert_eq!(report.bytes_exchanged, 0);
         assert_eq!(report.sharded_levels, 0);
         assert!(m.as_slice().iter().all(|x| x.is_finite()));

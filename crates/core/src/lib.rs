@@ -13,6 +13,11 @@
 //! * [`quant`] — reduced-precision row storage (f16, per-row-scaled i8)
 //!   behind the `--precision` knob, with the quantized Hogwild engine's
 //!   row codecs.
+//! * [`store`] — the `.embin` exact binary embedding store: versioned,
+//!   checksummed, mmap-backed with zero-copy row access.
+//! * [`serve`] — top-k query serving over a store: brute-force exact,
+//!   IVF coarse-quantizer ANN, and the TCP request/response protocol
+//!   behind `gosh serve`.
 //! * [`update`] — the single positive/negative update (Algorithm 1).
 //! * [`schedule`] — the smoothing-ratio epoch distribution across levels
 //!   and the per-epoch learning-rate decay.
@@ -42,7 +47,9 @@ pub mod multi_gpu;
 pub mod pipeline;
 pub mod quant;
 pub mod schedule;
+pub mod serve;
 pub mod simd;
+pub mod store;
 pub mod train_cpu;
 pub mod train_gpu;
 pub mod update;
@@ -56,4 +63,5 @@ pub use distrib::{embed_distributed, DistribConfig, DistribReport, TransportKind
 pub use model::Embedding;
 pub use pipeline::{embed, GoshReport};
 pub use quant::Precision;
+pub use store::{write_store, EmbeddingStore};
 pub use train_gpu::KernelVariant;

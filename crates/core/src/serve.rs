@@ -1,0 +1,887 @@
+//! Top-k query serving over an [`EmbeddingStore`] — ROADMAP item 1's
+//! query layer, built from the pieces the trainer already has.
+//!
+//! Three layers:
+//!
+//! * **Execution** — [`search_exact`] (brute force over every row) and
+//!   [`IvfIndex`] (an inverted-file coarse quantizer: ~√n Lloyd-iterated
+//!   centroids, rows bucketed by nearest centroid, queries probing only
+//!   the `nprobe` most promising lists). Both score rows straight off
+//!   the mapped store bytes via [`EmbeddingStore::dot`] — an i8 store is
+//!   never decoded to f32.
+//! * **Batching** — [`search_batch`] runs a batch across the worker team
+//!   with the trainer's discipline: each job *stages* its query row into
+//!   a private buffer (the way `train_cpu` stages source rows), executes
+//!   a pure function of `(store, index, row)`, and `map_jobs` restores
+//!   job order — so batched results are bit-identical to one-at-a-time
+//!   at any thread count.
+//! * **Wire** — a tagged request/response protocol over the transport
+//!   mesh's frame format, carried on one
+//!   [`gosh_runtime::transport::FramedConn`] per client. [`Server`]
+//!   answers queries until a shutdown frame; a client dying mid-request
+//!   is a logged [`gosh_runtime::transport::TransportError`], never a
+//!   server crash.
+//!
+//! Determinism is the same contract as everywhere else in the
+//! workspace: all selection runs under a *total* order — score by
+//! `total_cmp`, ties to the smaller vertex id — so the top-k of a set
+//! of hits does not depend on scan order, thread count, or which probe
+//! list produced a hit first.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+
+use gosh_runtime::transport::{FramedConn, TransportError};
+
+use crate::store::EmbeddingStore;
+
+/// Frame tag: a top-k query batch, client → server.
+pub const TAG_QUERY: u32 = 0x51;
+/// Frame tag: the per-query hit lists, server → client.
+pub const TAG_HITS: u32 = 0x48;
+/// Frame tag: a rejected request (payload = UTF-8 reason).
+pub const TAG_ERROR: u32 = 0x45;
+/// Frame tag: shutdown request, client → server.
+pub const TAG_SHUTDOWN: u32 = 0x5D;
+/// Frame tag: shutdown acknowledged, server → client.
+pub const TAG_OK: u32 = 0x4F;
+
+/// One scored result row.
+#[derive(Clone, Copy, Debug)]
+pub struct Hit {
+    /// Vertex id of the stored row.
+    pub id: u32,
+    /// Inner product with the query.
+    pub score: f32,
+}
+
+impl PartialEq for Hit {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.score.to_bits() == other.score.to_bits()
+    }
+}
+impl Eq for Hit {}
+
+/// The total order all selection runs under: higher score first,
+/// score ties to the smaller id (`Less` = better). Total because
+/// `total_cmp` is — NaN scores cannot poison a heap.
+pub fn cmp_best(a: &Hit, b: &Hit) -> Ordering {
+    b.score.total_cmp(&a.score).then(a.id.cmp(&b.id))
+}
+
+/// Wrapper whose max-heap maximum is the *worst* retained hit.
+struct WorstFirst(Hit);
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_best(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_best(&self.0, &other.0)
+    }
+}
+
+/// A bounded best-k accumulator under [`cmp_best`]. Insertion order
+/// never changes the result: the retained set is the k smallest
+/// elements of a total order.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn push(&mut self, h: Hit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(WorstFirst(h));
+        } else if cmp_best(&h, &self.heap.peek().expect("nonempty").0) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(WorstFirst(h));
+        }
+    }
+
+    /// Best-first.
+    fn finish(self) -> Vec<Hit> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|w| w.0)
+            .collect()
+    }
+}
+
+/// Exact top-k: brute-force score of every stored row.
+pub fn search_exact(store: &EmbeddingStore, q: &[f32], k: usize) -> Vec<Hit> {
+    assert_eq!(q.len(), store.dim(), "query dimension mismatch");
+    let q_sum: f32 = q.iter().sum();
+    let mut top = TopK::new(k.min(store.num_vertices()));
+    for v in 0..store.num_vertices() as u32 {
+        top.push(Hit {
+            id: v,
+            score: store.dot(v, q, q_sum),
+        });
+    }
+    top.finish()
+}
+
+/// An inverted-file (IVF) coarse quantizer over a store: ~√n centroids
+/// refined by a few Lloyd iterations, each row filed under its nearest
+/// centroid. A query scores all centroids, probes the `nprobe` best
+/// lists, and runs exact scoring only inside them.
+///
+/// The build is deterministic at every thread count: assignment is a
+/// pure per-row function (fanned out in contiguous shards), centroid
+/// accumulation walks rows in id order on one thread (float addition
+/// order is part of the result), and member lists are a counting-sort
+/// CSR in ascending id — the same discipline as the graph builders.
+pub struct IvfIndex {
+    dim: usize,
+    /// `nlist × dim` centroid rows.
+    centroids: Vec<f32>,
+    /// CSR offsets into `members`, length `nlist + 1`.
+    offsets: Vec<usize>,
+    /// Row ids, grouped by list, ascending inside each list.
+    members: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Number of inverted lists for `n` rows.
+    pub fn default_nlist(n: usize) -> usize {
+        (n as f64).sqrt().ceil() as usize
+    }
+
+    /// Build over every row of `store` using `threads` workers.
+    pub fn build(store: &EmbeddingStore, threads: usize) -> Self {
+        let n = store.num_vertices();
+        let dim = store.dim();
+        let nlist = Self::default_nlist(n).min(n);
+        if n == 0 || nlist == 0 {
+            return Self {
+                dim,
+                centroids: Vec::new(),
+                offsets: vec![0],
+                members: Vec::new(),
+            };
+        }
+
+        // Evenly spaced rows seed the centroids: deterministic, spread
+        // across the id range, and already on the data manifold.
+        let mut centroids = vec![0.0f32; nlist * dim];
+        for c in 0..nlist {
+            let v = (c * n / nlist) as u32;
+            store.decode_row(v, &mut centroids[c * dim..(c + 1) * dim]);
+        }
+
+        let mut assign = vec![0u32; n];
+        const LLOYD_ITERS: usize = 4;
+        for _ in 0..LLOYD_ITERS {
+            assign_rows(store, &centroids, nlist, threads, &mut assign);
+            // Accumulate sequentially in row id order: cheap next to the
+            // parallel assignment, and it keeps float addition order —
+            // hence the centroids — independent of the thread count.
+            let mut sums = vec![0.0f64; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            let mut row = vec![0.0f32; dim];
+            for v in 0..n as u32 {
+                let c = assign[v as usize] as usize;
+                store.decode_row(v, &mut row);
+                let s = &mut sums[c * dim..(c + 1) * dim];
+                for (acc, &x) in s.iter_mut().zip(&row) {
+                    *acc += x as f64;
+                }
+                counts[c] += 1;
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    continue; // empty list keeps its previous centroid
+                }
+                let inv = 1.0f64 / counts[c] as f64;
+                for (out, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..])
+                {
+                    *out = (s * inv) as f32;
+                }
+            }
+        }
+        assign_rows(store, &centroids, nlist, threads, &mut assign);
+
+        // Counting-sort CSR: ascending row id inside each list because
+        // the scatter walks ids in order.
+        let mut offsets = vec![0usize; nlist + 1];
+        for &c in &assign {
+            offsets[c as usize + 1] += 1;
+        }
+        for c in 0..nlist {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut members = vec![0u32; n];
+        for (v, &c) in assign.iter().enumerate() {
+            members[cursor[c as usize]] = v as u32;
+            cursor[c as usize] += 1;
+        }
+
+        Self {
+            dim,
+            centroids,
+            offsets,
+            members,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Top-k via the `nprobe` most promising lists. `nprobe >= nlist`
+    /// degenerates to exact search (every row is in some list).
+    pub fn search(&self, store: &EmbeddingStore, q: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let nlist = self.nlist();
+        if nlist == 0 {
+            return Vec::new();
+        }
+        // Rank lists by centroid inner product under the same total
+        // order as row selection (centroid id standing in for row id).
+        let mut ranked = TopK::new(nprobe.clamp(1, nlist));
+        for c in 0..nlist {
+            let score = crate::simd::dot8(&self.centroids[c * self.dim..(c + 1) * self.dim], q);
+            ranked.push(Hit {
+                id: c as u32,
+                score,
+            });
+        }
+        let q_sum: f32 = q.iter().sum();
+        let mut top = TopK::new(k);
+        for probe in ranked.finish() {
+            let c = probe.id as usize;
+            for &v in &self.members[self.offsets[c]..self.offsets[c + 1]] {
+                top.push(Hit {
+                    id: v,
+                    score: store.dot(v, q, q_sum),
+                });
+            }
+        }
+        top.finish()
+    }
+}
+
+/// Parallel nearest-centroid assignment (squared L2, ties to the
+/// smaller centroid id). Pure per row, sharded contiguously — the
+/// result is independent of `threads`.
+fn assign_rows(
+    store: &EmbeddingStore,
+    centroids: &[f32],
+    nlist: usize,
+    threads: usize,
+    assign: &mut [u32],
+) {
+    let n = store.num_vertices();
+    let dim = store.dim();
+    let shards = gosh_runtime::shard_ranges(n, threads.max(1));
+    let parts = gosh_runtime::map_jobs(threads.max(1), shards.len(), |t| {
+        let span = shards[t].clone();
+        let mut out = Vec::with_capacity(span.len());
+        let mut row = vec![0.0f32; dim];
+        for v in span {
+            store.decode_row(v as u32, &mut row);
+            let mut best = 0u32;
+            let mut best_d2 = f32::INFINITY;
+            for c in 0..nlist {
+                let cen = &centroids[c * dim..(c + 1) * dim];
+                let mut d2 = 0.0f32;
+                for (&x, &y) in row.iter().zip(cen) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = c as u32;
+                }
+            }
+            out.push(best);
+        }
+        out
+    });
+    let mut w = 0usize;
+    for part in parts {
+        assign[w..w + part.len()].copy_from_slice(&part);
+        w += part.len();
+    }
+}
+
+/// Run a query batch across the worker team. `queries` is `nq` rows of
+/// `store.dim()` packed densely; `nprobe == 0` means exact search,
+/// otherwise `index` must be `Some`. Each job stages its query row into
+/// a private buffer and computes a pure function of it, and `map_jobs`
+/// restores job order — results are bit-identical to calling
+/// [`search_exact`]/[`IvfIndex::search`] per query, at any `threads`.
+pub fn search_batch(
+    store: &EmbeddingStore,
+    index: Option<&IvfIndex>,
+    queries: &[f32],
+    k: usize,
+    nprobe: usize,
+    threads: usize,
+) -> Vec<Vec<Hit>> {
+    // Store validation pins dim >= 1, so the division is well-defined.
+    let dim = store.dim();
+    assert_eq!(queries.len() % dim, 0, "ragged query batch");
+    let nq = queries.len() / dim;
+    gosh_runtime::map_jobs(threads.max(1), nq, |i| {
+        // Stage: private copy of the query row, the way the trainer
+        // stages source rows before the update loop.
+        let q: Vec<f32> = queries[i * dim..(i + 1) * dim].to_vec();
+        match (nprobe, index) {
+            (0, _) => search_exact(store, &q, k),
+            (np, Some(ivf)) => ivf.search(store, &q, k, np),
+            (_, None) => search_exact(store, &q, k),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+/// A decoded [`TAG_QUERY`] payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Results per query.
+    pub k: u32,
+    /// Probed IVF lists; 0 = exact brute force.
+    pub nprobe: u32,
+    /// Query row width (must equal the served store's dim).
+    pub dim: u32,
+    /// `nq × dim` packed query rows.
+    pub queries: Vec<f32>,
+}
+
+impl QueryRequest {
+    pub fn num_queries(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.queries.len() / self.dim as usize
+        }
+    }
+
+    /// Encode as a [`TAG_QUERY`] payload:
+    /// `[k u32][nprobe u32][nq u32][dim u32][nq·dim × f32]`, all LE.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * self.queries.len());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.nprobe.to_le_bytes());
+        out.extend_from_slice(&(self.num_queries() as u32).to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        for &x in &self.queries {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode an untrusted payload: every length cross-checked before
+    /// use, errors instead of panics.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        if payload.len() < 16 {
+            return Err(format!("query header is {} bytes, need 16", payload.len()));
+        }
+        let k = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        let nprobe = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+        let nq = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        let dim = u32::from_le_bytes(payload[12..16].try_into().unwrap());
+        let want = (nq as u64)
+            .checked_mul(dim as u64)
+            .and_then(|x| x.checked_mul(4))
+            .ok_or("query size overflows")?;
+        let have = payload.len() as u64 - 16;
+        if want != have {
+            return Err(format!(
+                "query claims {nq} x {dim} rows ({want} bytes) but carries {have}"
+            ));
+        }
+        let queries: Vec<f32> = payload[16..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Self {
+            k,
+            nprobe,
+            dim,
+            queries,
+        })
+    }
+}
+
+/// Encode hit lists as a [`TAG_HITS`] payload:
+/// `[nq u32]` then per query `[cnt u32]` + `cnt × ([id u32][score f32])`.
+pub fn encode_hits(results: &[Vec<Hit>]) -> Vec<u8> {
+    let total: usize = results.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(4 + 4 * results.len() + 8 * total);
+    out.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for hits in results {
+        out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+        for h in hits {
+            out.extend_from_slice(&h.id.to_le_bytes());
+            out.extend_from_slice(&h.score.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a [`TAG_HITS`] payload (untrusted: the server is a peer too).
+pub fn decode_hits(payload: &[u8]) -> Result<Vec<Vec<Hit>>, String> {
+    let take4 = |off: usize| -> Result<u32, String> {
+        payload
+            .get(off..off + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(|| format!("hits payload truncated at byte {off}"))
+    };
+    let nq = take4(0)? as usize;
+    let mut off = 4usize;
+    let mut out = Vec::new();
+    for _ in 0..nq {
+        let cnt = take4(off)? as usize;
+        off += 4;
+        let mut hits = Vec::with_capacity(cnt.min(1 << 16));
+        for _ in 0..cnt {
+            let id = take4(off)?;
+            let score = f32::from_le_bytes(
+                payload
+                    .get(off + 4..off + 8)
+                    .ok_or_else(|| format!("hits payload truncated at byte {off}"))?
+                    .try_into()
+                    .unwrap(),
+            );
+            off += 8;
+            hits.push(Hit { id, score });
+        }
+        out.push(hits);
+    }
+    if off != payload.len() {
+        return Err(format!(
+            "hits payload has {} trailing bytes",
+            payload.len() - off
+        ));
+    }
+    Ok(out)
+}
+
+/// Server-side knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker team for batched query execution and the IVF build.
+    pub threads: usize,
+    /// Build the IVF index at startup (exact search always works).
+    pub build_ivf: bool,
+    /// Print per-connection lifecycle to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            build_ivf: true,
+            verbose: false,
+        }
+    }
+}
+
+/// A serving endpoint: one listener, one store, an optional IVF index.
+/// Connections are handled in accept order; parallelism lives inside
+/// each batch (the worker team), not across sockets — matching the
+/// paper's serving scenario of few hot publishers, many small readers.
+pub struct Server {
+    listener: TcpListener,
+    store: EmbeddingStore,
+    index: Option<IvfIndex>,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and build indexes.
+    pub fn bind<A: ToSocketAddrs>(
+        store: EmbeddingStore,
+        addr: A,
+        cfg: ServeConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let index = cfg.build_ivf.then(|| IvfIndex::build(&store, cfg.threads));
+        Ok(Self {
+            listener,
+            store,
+            index,
+            cfg,
+        })
+    }
+
+    /// The bound address (where clients should connect).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// Serve until a client sends [`TAG_SHUTDOWN`]. A client dying
+    /// mid-conversation drops that connection (reported on stderr when
+    /// verbose) and the server keeps accepting — a dead peer is an
+    /// error, not a crash.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let mut conn = match FramedConn::from_stream(stream) {
+                Ok(c) => c,
+                Err(e) => {
+                    if self.cfg.verbose {
+                        eprintln!("serve: rejected connection: {e}");
+                    }
+                    continue;
+                }
+            };
+            match self.handle_conn(&mut conn) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => {
+                    if self.cfg.verbose {
+                        eprintln!("serve: client {} dropped: {e}", conn.peer());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle one connection to completion. Returns `Ok(true)` when the
+    /// client requested shutdown.
+    fn handle_conn(&self, conn: &mut FramedConn) -> Result<bool, TransportError> {
+        while let Some((tag, payload)) = conn.recv_opt()? {
+            match tag {
+                TAG_QUERY => match self.answer(&payload) {
+                    Ok(body) => conn.send(TAG_HITS, &body)?,
+                    Err(reason) => conn.send(TAG_ERROR, reason.as_bytes())?,
+                },
+                TAG_SHUTDOWN => {
+                    conn.send(TAG_OK, &[])?;
+                    return Ok(true);
+                }
+                other => {
+                    conn.send(
+                        TAG_ERROR,
+                        format!("unknown frame tag {other:#x}").as_bytes(),
+                    )?;
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Validate and execute one query payload.
+    fn answer(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let req = QueryRequest::decode(payload)?;
+        if req.dim as usize != self.store.dim() {
+            return Err(format!(
+                "query dim {} does not match the served store's dim {}",
+                req.dim,
+                self.store.dim()
+            ));
+        }
+        if req.nprobe > 0 && self.index.is_none() {
+            return Err("server has no IVF index; use nprobe 0 (exact)".into());
+        }
+        let results = search_batch(
+            &self.store,
+            self.index.as_ref(),
+            &req.queries,
+            req.k as usize,
+            req.nprobe as usize,
+            self.cfg.threads,
+        );
+        Ok(encode_hits(&results))
+    }
+}
+
+/// Client side of the protocol: one framed connection, synchronous
+/// request/response.
+pub struct ServeClient {
+    conn: FramedConn,
+}
+
+impl ServeClient {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self {
+            conn: FramedConn::connect(addr)?,
+        })
+    }
+
+    /// Run one query batch. `queries` is `nq` packed rows of `dim`.
+    pub fn query(
+        &mut self,
+        queries: &[f32],
+        dim: usize,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Vec<Hit>>, TransportError> {
+        let req = QueryRequest {
+            k: k as u32,
+            nprobe: nprobe as u32,
+            dim: dim as u32,
+            queries: queries.to_vec(),
+        };
+        self.conn.send(TAG_QUERY, &req.encode())?;
+        let (tag, body) = self.conn.recv()?;
+        match tag {
+            TAG_HITS => decode_hits(&body).map_err(|detail| TransportError {
+                op: "recv",
+                peer: self.conn.peer().to_string(),
+                tag: Some(TAG_HITS),
+                detail,
+            }),
+            TAG_ERROR => Err(TransportError {
+                op: "recv",
+                peer: self.conn.peer().to_string(),
+                tag: Some(TAG_ERROR),
+                detail: String::from_utf8_lossy(&body).into_owned(),
+            }),
+            other => Err(TransportError {
+                op: "recv",
+                peer: self.conn.peer().to_string(),
+                tag: Some(other),
+                detail: "unexpected response tag".into(),
+            }),
+        }
+    }
+
+    /// Ask the server to exit; resolves once it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), TransportError> {
+        self.conn.send(TAG_SHUTDOWN, &[])?;
+        let (tag, _) = self.conn.recv()?;
+        if tag == TAG_OK {
+            Ok(())
+        } else {
+            Err(TransportError {
+                op: "recv",
+                peer: self.conn.peer().to_string(),
+                tag: Some(tag),
+                detail: "unexpected shutdown response".into(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Embedding;
+    use crate::quant::Precision;
+    use crate::store::write_store;
+
+    fn store_from(m: &Embedding, precision: Precision, name: &str) -> EmbeddingStore {
+        let dir = std::env::temp_dir().join("gosh-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}.embin", std::process::id()));
+        write_store(&path, m, precision).unwrap();
+        EmbeddingStore::open(&path).unwrap()
+    }
+
+    fn naive_topk(m: &Embedding, q: &[f32], k: usize) -> Vec<u32> {
+        let mut scored: Vec<Hit> = (0..m.num_vertices() as u32)
+            .map(|v| Hit {
+                id: v,
+                score: m.row(v).iter().zip(q).map(|(a, b)| a * b).sum(),
+            })
+            .collect();
+        scored.sort_by(cmp_best);
+        scored.truncate(k);
+        scored.into_iter().map(|h| h.id).collect()
+    }
+
+    #[test]
+    fn exact_search_matches_a_naive_scan() {
+        let m = Embedding::random(200, 16, 7);
+        let store = store_from(&m, Precision::F32, "exact");
+        let q: Vec<f32> = m.row(13).to_vec();
+        let hits = search_exact(&store, &q, 10);
+        assert_eq!(hits.len(), 10);
+        // Row 13 scores itself highest on this data.
+        assert_eq!(hits[0].id, naive_topk(&m, &q, 1)[0]);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, naive_topk(&m, &q, 10));
+        // Best-first order under the total order.
+        for w in hits.windows(2) {
+            assert_eq!(cmp_best(&w[0], &w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn topk_ties_break_toward_the_smaller_id() {
+        // Identical rows → identical scores; the order must be by id.
+        let m = Embedding::from_vec(vec![1.0; 5 * 4], 5, 4);
+        let store = store_from(&m, Precision::F32, "ties");
+        let hits = search_exact(&store, &[1.0, 1.0, 1.0, 1.0], 3);
+        let ids: Vec<u32> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ivf_with_full_probe_is_exact() {
+        let m = Embedding::random(300, 12, 9);
+        let store = store_from(&m, Precision::F32, "fullprobe");
+        let ivf = IvfIndex::build(&store, 2);
+        let q: Vec<f32> = m.row(42).to_vec();
+        let exact = search_exact(&store, &q, 10);
+        let probed = ivf.search(&store, &q, 10, ivf.nlist());
+        assert_eq!(exact, probed);
+    }
+
+    #[test]
+    fn ivf_lists_partition_the_rows() {
+        let m = Embedding::random(257, 8, 3);
+        let store = store_from(&m, Precision::F32, "partition");
+        let ivf = IvfIndex::build(&store, 3);
+        let mut seen: Vec<u32> = ivf.members.clone();
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..257).collect();
+        assert_eq!(seen, want);
+        assert_eq!(*ivf.offsets.last().unwrap(), 257);
+    }
+
+    #[test]
+    fn ivf_build_is_thread_count_invariant() {
+        let m = Embedding::random(400, 8, 21);
+        let store = store_from(&m, Precision::F32, "ivf-threads");
+        let a = IvfIndex::build(&store, 1);
+        let b = IvfIndex::build(&store, 4);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn request_and_hits_survive_the_wire_encoding() {
+        let req = QueryRequest {
+            k: 5,
+            nprobe: 3,
+            dim: 4,
+            queries: vec![0.5, -1.0, 3.25, f32::MIN_POSITIVE, 0.0, 1.0, 2.0, 3.0],
+        };
+        assert_eq!(QueryRequest::decode(&req.encode()).unwrap(), req);
+
+        let hits = vec![
+            vec![Hit { id: 3, score: 0.75 }, Hit { id: 9, score: -0.5 }],
+            vec![],
+        ];
+        assert_eq!(decode_hits(&encode_hits(&hits)).unwrap(), hits);
+    }
+
+    #[test]
+    fn malformed_requests_error_instead_of_panicking() {
+        assert!(QueryRequest::decode(&[]).is_err());
+        assert!(QueryRequest::decode(&[0u8; 15]).is_err());
+        // Header claims more rows than the payload carries.
+        let mut bad = QueryRequest {
+            k: 1,
+            nprobe: 0,
+            dim: 4,
+            queries: vec![0.0; 8],
+        }
+        .encode();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(QueryRequest::decode(&bad).is_err());
+        // Truncated hits payload.
+        let body = encode_hits(&[vec![Hit { id: 1, score: 2.0 }]]);
+        assert!(decode_hits(&body[..body.len() - 2]).is_err());
+        assert!(decode_hits(&[9, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn server_answers_queries_and_shuts_down_over_loopback() {
+        let m = Embedding::random(120, 8, 5);
+        let store = store_from(&m, Precision::F32, "server");
+        let server = Server::bind(
+            store,
+            "127.0.0.1:0",
+            ServeConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = ServeClient::connect(addr).unwrap();
+        let q: Vec<f32> = m.row(7).to_vec();
+        let exact = client.query(&q, 8, 5, 0).unwrap();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0][0].id, 7);
+        let ivf = client.query(&q, 8, 5, 4).unwrap();
+        assert_eq!(ivf.len(), 1);
+        assert!(!ivf[0].is_empty());
+
+        // A wrong-dim query is a protocol error, not a dropped server.
+        let err = client.query(&[1.0, 2.0], 2, 3, 0).unwrap_err();
+        assert!(err.detail.contains("dim"), "{err}");
+        // The connection survives the error.
+        assert_eq!(client.query(&q, 8, 1, 0).unwrap()[0][0].id, 7);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn server_survives_a_client_that_vanishes_mid_conversation() {
+        let m = Embedding::random(60, 8, 1);
+        let store = store_from(&m, Precision::F32, "vanish");
+        let server = Server::bind(store, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        // First client connects and dies without a word.
+        drop(ServeClient::connect(addr).unwrap());
+        // Second client must still get service.
+        let mut client = ServeClient::connect(addr).unwrap();
+        let q = vec![0.25f32; 8];
+        assert_eq!(client.query(&q, 8, 3, 0).unwrap()[0].len(), 3);
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn i8_store_serves_without_decoding() {
+        let m = Embedding::random(150, 16, 77);
+        let store = store_from(&m, Precision::I8, "i8serve");
+        assert_eq!(store.precision(), Precision::I8);
+        let q: Vec<f32> = m.row(31).to_vec();
+        let hits = search_exact(&store, &q, 5);
+        assert_eq!(hits.len(), 5);
+        // Quantization moves scores a little; the query's own row must
+        // still land in the top 5.
+        assert!(hits.iter().any(|h| h.id == 31), "{hits:?}");
+    }
+}

@@ -45,12 +45,12 @@ proptest! {
             shard_min: 32,
             ..Default::default()
         };
-        let (m_chan, r_chan) = embed_distributed(&g, &cfg, &dcfg);
+        let (m_chan, r_chan) = embed_distributed(&g, &cfg, &dcfg).unwrap();
         let (m_tcp, r_tcp) = embed_distributed(
             &g,
             &cfg,
             &DistribConfig { transport: TransportKind::Tcp, ..dcfg },
-        );
+        ).unwrap();
         prop_assert_eq!(m_chan.as_slice(), m_tcp.as_slice());
         prop_assert_eq!(r_chan.exchanges, r_tcp.exchanges);
         prop_assert_eq!(r_chan.bytes_exchanged, r_tcp.bytes_exchanged);
@@ -70,7 +70,7 @@ proptest! {
             &g,
             &cfg,
             &DistribConfig { nodes: 1, ..Default::default() },
-        );
+        ).unwrap();
         prop_assert_eq!(m_plain.as_slice(), m_one.as_slice());
         prop_assert_eq!(report.bytes_exchanged, 0);
     }
@@ -89,7 +89,7 @@ proptest! {
             shard_min: usize::MAX, // every level replicated
             ..Default::default()
         };
-        let (m, report) = embed_distributed(&g, &cfg, &dcfg);
+        let (m, report) = embed_distributed(&g, &cfg, &dcfg).unwrap();
         prop_assert_eq!(report.bytes_exchanged, 0);
         prop_assert_eq!(report.sharded_levels, 0);
         prop_assert!(m.as_slice().iter().all(|x| x.is_finite()));

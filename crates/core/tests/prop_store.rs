@@ -1,0 +1,129 @@
+//! Fuzz-style property tests for the `.embin` reader: the file is
+//! untrusted input, so *no* byte-level damage — truncation, bit flips,
+//! arbitrary garbage — may ever panic, allocate toward a forged size, or
+//! open successfully while inconsistent. Every header byte is covered by
+//! a validation rule and the payload by the checksum, so any single-bit
+//! flip of a valid store must be rejected, not just "usually caught".
+
+use gosh_core::model::Embedding;
+use gosh_core::quant::{quantize_roundtrip, Precision};
+use gosh_core::store::{write_store, EmbeddingStore, EMBIN_HEADER_BYTES, EMBIN_MAGIC};
+use proptest::prelude::*;
+
+fn precision_from(idx: usize) -> Precision {
+    [Precision::F32, Precision::F16, Precision::I8][idx % 3]
+}
+
+/// Write a fresh valid store for one proptest case and return its bytes.
+fn valid_store_bytes(n: usize, dim: usize, precision: Precision, seed: u64) -> Vec<u8> {
+    let dir = std::env::temp_dir().join("gosh-prop-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-gen.embin", std::process::id()));
+    let m = Embedding::random(n, dim, seed);
+    write_store(&path, &m, precision).unwrap();
+    std::fs::read(&path).unwrap()
+}
+
+/// Round-trip `bytes` through a file and the full open-time validation.
+fn open_bytes(bytes: &[u8], tag: &str) -> std::io::Result<EmbeddingStore> {
+    let dir = std::env::temp_dir().join("gosh-prop-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{tag}.embin", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    EmbeddingStore::open(&path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_is_bit_identical_to_the_canonical_decode(
+        n in 1usize..40,
+        dim in 1usize..24,
+        seed in 0u64..u64::MAX,
+        pidx in 0usize..3,
+    ) {
+        let precision = precision_from(pidx);
+        let m = Embedding::random(n, dim, seed);
+        let dir = std::env::temp_dir().join("gosh-prop-store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-rt.embin", std::process::id()));
+        write_store(&path, &m, precision).unwrap();
+        let store = EmbeddingStore::open(&path).unwrap();
+        prop_assert_eq!(store.num_vertices(), n);
+        prop_assert_eq!(store.dim(), dim);
+        prop_assert_eq!(store.precision(), precision);
+
+        let mut canonical = m.as_slice().to_vec();
+        quantize_roundtrip(&mut canonical, dim, precision);
+        let decoded = store.to_embedding();
+        let want: Vec<u32> = canonical.iter().map(|x| x.to_bits()).collect();
+        let got: Vec<u32> = decoded.as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn any_truncation_of_a_valid_store_is_rejected(
+        n in 1usize..20,
+        dim in 1usize..16,
+        seed in 0u64..u64::MAX,
+        pidx in 0usize..3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = valid_store_bytes(n, dim, precision_from(pidx), seed);
+        // Any strict prefix: header implies a length the file cannot have.
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(
+            open_bytes(&bytes[..cut], "cut").is_err(),
+            "truncation to {cut}/{} bytes opened",
+            bytes.len()
+        );
+        // Appended garbage is the dual failure: too long, same check.
+        let mut long = bytes.clone();
+        long.push(0u8);
+        prop_assert!(open_bytes(&long, "long").is_err(), "oversize file opened");
+    }
+
+    #[test]
+    fn any_single_bit_flip_of_a_valid_store_is_rejected(
+        n in 1usize..20,
+        dim in 1usize..16,
+        seed in 0u64..u64::MAX,
+        pidx in 0usize..3,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = valid_store_bytes(n, dim, precision_from(pidx), seed);
+        let pos = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Header bytes are each pinned by a rule (magic, version,
+        // precision code, reserved zeros, counts vs file length, stored
+        // checksum); payload bytes are pinned by the checksum. So every
+        // flip must surface as InvalidData.
+        let err = open_bytes(&bytes, "flip");
+        prop_assert!(
+            err.is_err(),
+            "bit {bit} of byte {pos} flipped silently (header is {EMBIN_HEADER_BYTES} bytes)"
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        match open_bytes(&bytes, "garbage") {
+            // Random bytes opening at all requires forging the magic,
+            // version, counts matching the length, *and* the checksum.
+            Ok(_) => prop_assert!(
+                bytes.len() >= EMBIN_HEADER_BYTES && &bytes[..8] == EMBIN_MAGIC,
+                "garbage opened without even the magic present"
+            ),
+            Err(e) => prop_assert!(
+                e.kind() == std::io::ErrorKind::InvalidData
+                    || e.kind() == std::io::ErrorKind::UnexpectedEof,
+                "unexpected error kind {:?}",
+                e.kind()
+            ),
+        }
+    }
+}

@@ -13,31 +13,86 @@
 //! *meaning* (which tag is a delta, which a base broadcast) lives with
 //! the caller — see `gosh-core::distrib` for the typed message layer.
 //!
+//! A dead peer is an *error*, not a crash: `send`/`recv` return
+//! [`TransportError`] carrying which peer died and what frame was in
+//! flight, so long-running callers (`gosh serve`, `gosh train --nodes N`)
+//! can report the failure and keep their process. [`FramedConn`] carries
+//! the same framing over one duplex socket for client/server protocols
+//! that are not a mesh (the `gosh serve` query layer).
+//!
 //! [`Interconnect`] prices the copies: the PCIe cost model from the
 //! simulated device (`bytes / (gbps · 1e9)` of idle wall-clock, charged
 //! only when it is long enough to schedule) generalized to the network
 //! link between nodes.
 
-use std::io::{self, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{self, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
+
+/// Why a transport operation failed: which peer, which direction, and —
+/// for sends — which frame tag was in flight. The message is the
+/// product: a mesh node or a server loop prints it and survives, where
+/// the old `expect("tcp peer hung up mid-run")` killed the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportError {
+    /// Operation that failed: `"send"` or `"recv"`.
+    pub op: &'static str,
+    /// The peer of the failed frame (mesh node id or address label).
+    pub peer: String,
+    /// Tag of the frame being sent (`None` on recv — the tag never
+    /// arrived).
+    pub tag: Option<u32>,
+    /// Underlying cause (I/O error text, or "peer endpoint dropped").
+    pub detail: String,
+}
+
+impl TransportError {
+    fn new(op: &'static str, peer: impl Into<String>, tag: Option<u32>, detail: String) -> Self {
+        Self {
+            op,
+            peer: peer.into(),
+            tag,
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.tag {
+            Some(tag) => write!(
+                f,
+                "{} of frame 0x{tag:X} to peer {} failed: {}",
+                self.op, self.peer, self.detail
+            ),
+            None => write!(
+                f,
+                "{} from peer {} failed: {}",
+                self.op, self.peer, self.detail
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// A byte-frame transport between the nodes of one training run.
 ///
 /// Endpoints are single-owner (`&mut self`): each node thread holds its
 /// own endpoint exclusively, mirroring one process's view of the mesh.
 /// `send` never blocks on the peer draining (buffered mesh); `recv`
-/// blocks until the peer's next frame arrives.
+/// blocks until the peer's next frame arrives. Both surface a dead peer
+/// as [`TransportError`] instead of panicking.
 pub trait Transport: Send {
     /// This endpoint's node id in `0..nodes()`.
     fn node(&self) -> usize;
     /// Number of nodes in the mesh.
     fn nodes(&self) -> usize;
     /// Send one tagged frame to `peer`.
-    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]);
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) -> Result<(), TransportError>;
     /// Receive the next frame *from `peer`* (per-peer FIFO order).
-    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>);
+    fn recv(&mut self, peer: usize) -> Result<(u32, Vec<u8>), TransportError>;
 }
 
 /// The interconnect cost model: the simulated device's PCIe pricing
@@ -127,22 +182,74 @@ impl Transport for ChannelTransport {
         self.senders.len()
     }
 
-    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) {
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) -> Result<(), TransportError> {
         self.senders[peer]
             .as_ref()
             .expect("no channel to self")
             .send((tag, payload.to_vec()))
-            .expect("peer endpoint dropped mid-run");
+            .map_err(|_| {
+                TransportError::new(
+                    "send",
+                    peer.to_string(),
+                    Some(tag),
+                    "peer endpoint dropped".into(),
+                )
+            })
     }
 
-    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>) {
+    fn recv(&mut self, peer: usize) -> Result<(u32, Vec<u8>), TransportError> {
         self.receivers[peer]
             .as_ref()
             .expect("no channel from self")
             .recv()
-            .expect("peer endpoint dropped mid-run")
+            .map_err(|_| {
+                TransportError::new(
+                    "recv",
+                    peer.to_string(),
+                    None,
+                    "peer endpoint dropped".into(),
+                )
+            })
     }
 }
+
+// ---------------------------------------------------------------------
+// Frame codec shared by the TCP mesh and FramedConn
+// ---------------------------------------------------------------------
+
+/// Write one `[tag][len][payload]` frame to a stream.
+fn write_frame<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 12];
+    header[..4].copy_from_slice(&tag.to_le_bytes());
+    header[4..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame from a stream. `max_len` bounds the allocation an
+/// untrusted length prefix can demand (a garbage header must not OOM the
+/// server before the payload even arrives).
+fn read_frame<R: Read>(r: &mut R, max_len: u64) -> io::Result<(u32, Vec<u8>)> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let tag = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let len = u64::from_le_bytes(header[4..].try_into().unwrap());
+    if len > max_len {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {max_len}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Frame-length ceiling for connections that face untrusted peers
+/// ([`FramedConn`]). Mesh endpoints are wired between our own nodes and
+/// accept any length.
+pub const MAX_FRAME_BYTES: u64 = 1 << 30;
 
 // ---------------------------------------------------------------------
 // TCP loopback mesh
@@ -199,26 +306,101 @@ impl Transport for TcpTransport {
         self.writers.len()
     }
 
-    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) {
+    fn send(&mut self, peer: usize, tag: u32, payload: &[u8]) -> Result<(), TransportError> {
         let w = self.writers[peer].as_mut().expect("no socket to self");
-        let mut header = [0u8; 12];
-        header[..4].copy_from_slice(&tag.to_le_bytes());
-        header[4..].copy_from_slice(&(payload.len() as u64).to_le_bytes());
-        w.write_all(&header).expect("tcp peer hung up mid-run");
-        w.write_all(payload).expect("tcp peer hung up mid-run");
-        w.flush().expect("tcp peer hung up mid-run");
+        write_frame(w, tag, payload).map_err(|e| {
+            TransportError::new(
+                "send",
+                peer.to_string(),
+                Some(tag),
+                format!("tcp peer hung up ({e})"),
+            )
+        })
     }
 
-    fn recv(&mut self, peer: usize) -> (u32, Vec<u8>) {
+    fn recv(&mut self, peer: usize) -> Result<(u32, Vec<u8>), TransportError> {
         let r = self.readers[peer].as_mut().expect("no socket from self");
-        let mut header = [0u8; 12];
-        r.read_exact(&mut header).expect("tcp peer hung up mid-run");
-        let tag = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let len = u64::from_le_bytes(header[4..].try_into().unwrap()) as usize;
-        let mut payload = vec![0u8; len];
-        r.read_exact(&mut payload)
-            .expect("tcp peer hung up mid-run");
-        (tag, payload)
+        read_frame(r, u64::MAX).map_err(|e| {
+            TransportError::new(
+                "recv",
+                peer.to_string(),
+                None,
+                format!("tcp peer hung up ({e})"),
+            )
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-socket framed connection (client/server protocols)
+// ---------------------------------------------------------------------
+
+/// One duplex TCP connection speaking the mesh's frame format — the
+/// transport of request/response protocols that are not a mesh (the
+/// `gosh serve` query layer). The peer is identified by its socket
+/// address in every error, and incoming frame lengths are capped at
+/// [`MAX_FRAME_BYTES`] because the far end is untrusted.
+pub struct FramedConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    peer: String,
+}
+
+impl FramedConn {
+    /// Connect to a listening server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an accepted (or connected) stream.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            peer,
+        })
+    }
+
+    /// The peer's socket address (as it appears in errors).
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Send one tagged frame.
+    pub fn send(&mut self, tag: u32, payload: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.writer, tag, payload)
+            .map_err(|e| TransportError::new("send", self.peer.clone(), Some(tag), e.to_string()))
+    }
+
+    /// Receive the next frame. A cleanly closed connection surfaces as
+    /// an error whose detail mentions EOF — callers treating disconnect
+    /// as routine can match on [`FramedConn::recv_opt`] instead.
+    pub fn recv(&mut self) -> Result<(u32, Vec<u8>), TransportError> {
+        read_frame(&mut self.reader, MAX_FRAME_BYTES)
+            .map_err(|e| TransportError::new("recv", self.peer.clone(), None, e.to_string()))
+    }
+
+    /// Receive the next frame, mapping a clean EOF (the peer closed the
+    /// socket between frames) to `Ok(None)`. Mid-frame disconnects and
+    /// I/O errors still surface as `Err`.
+    pub fn recv_opt(&mut self) -> Result<Option<(u32, Vec<u8>)>, TransportError> {
+        match read_frame(&mut self.reader, MAX_FRAME_BYTES) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(TransportError::new(
+                "recv",
+                self.peer.clone(),
+                None,
+                e.to_string(),
+            )),
+        }
     }
 }
 
@@ -238,16 +420,16 @@ mod tests {
                         if peer == me {
                             continue;
                         }
-                        ep.send(peer, 7, &[me as u8, peer as u8]);
-                        ep.send(peer, 8, &[0xAB; 1000]);
+                        ep.send(peer, 7, &[me as u8, peer as u8]).unwrap();
+                        ep.send(peer, 8, &[0xAB; 1000]).unwrap();
                     }
                     for peer in 0..n {
                         if peer == me {
                             continue;
                         }
-                        let (tag, body) = ep.recv(peer);
+                        let (tag, body) = ep.recv(peer).unwrap();
                         assert_eq!((tag, body), (7, vec![peer as u8, me as u8]));
-                        let (tag, body) = ep.recv(peer);
+                        let (tag, body) = ep.recv(peer).unwrap();
                         assert_eq!(tag, 8);
                         assert_eq!(body, vec![0xAB; 1000]);
                     }
@@ -287,11 +469,97 @@ mod tests {
         };
         // Writer must run concurrently: 4 MB exceeds loopback buffering.
         std::thread::scope(|scope| {
-            scope.spawn(move || a.send(1, 42, &payload));
-            let (tag, body) = b.recv(0);
+            scope.spawn(move || a.send(1, 42, &payload).unwrap());
+            let (tag, body) = b.recv(0).unwrap();
             assert_eq!(tag, 42);
             assert_eq!(body, expect);
         });
+    }
+
+    /// The kill-one-peer regression: a dead TCP peer must surface as a
+    /// `TransportError` naming the peer, not abort the process.
+    #[test]
+    fn tcp_dead_peer_is_an_error_naming_the_peer() {
+        let mut mesh = tcp_mesh(2).expect("loopback mesh");
+        let b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        drop(b); // peer 1 dies
+
+        let err = a.recv(1).unwrap_err();
+        assert_eq!(err.op, "recv");
+        assert_eq!(err.peer, "1");
+        assert!(err.to_string().contains("peer 1"), "{err}");
+
+        // A send may need several frames before the kernel reports the
+        // broken pipe (loopback buffers absorb the first writes), but it
+        // must eventually fail — and with peer context, not a panic.
+        let payload = vec![0u8; 1 << 20];
+        let mut send_err = None;
+        for _ in 0..64 {
+            if let Err(e) = a.send(1, 9, &payload) {
+                send_err = Some(e);
+                break;
+            }
+        }
+        let err = send_err.expect("send to a dead peer never failed");
+        assert_eq!(err.op, "send");
+        assert_eq!(err.tag, Some(9));
+        assert!(err.to_string().contains("peer 1"), "{err}");
+    }
+
+    #[test]
+    fn channel_dead_peer_is_an_error_naming_the_peer() {
+        let mut mesh = channel_mesh(2);
+        let b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        drop(b);
+        let err = a.send(1, 3, &[1, 2]).unwrap_err();
+        assert_eq!((err.op, err.tag), ("send", Some(3)));
+        assert!(err.to_string().contains("peer 1"), "{err}");
+        let err = a.recv(1).unwrap_err();
+        assert_eq!((err.op, err.tag), ("recv", None));
+        assert!(err.to_string().contains("peer 1"), "{err}");
+    }
+
+    #[test]
+    fn framed_conn_roundtrips_and_reports_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(stream).unwrap();
+            let (tag, body) = conn.recv().unwrap();
+            conn.send(tag + 1, &body).unwrap();
+            // Client hangs up after one exchange: clean EOF, not an error.
+            assert!(conn.recv_opt().unwrap().is_none());
+        });
+        let mut client = FramedConn::connect(addr).unwrap();
+        client.send(5, b"ping").unwrap();
+        let (tag, body) = client.recv().unwrap();
+        assert_eq!((tag, body.as_slice()), (6, b"ping".as_slice()));
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn framed_conn_rejects_oversized_length_prefix() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(stream).unwrap();
+            conn.recv()
+        });
+        // A raw client claiming a 2^62-byte frame: the server must error
+        // out instead of trying to allocate it.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut header = [0u8; 12];
+        header[..4].copy_from_slice(&7u32.to_le_bytes());
+        header[4..].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        raw.write_all(&header).unwrap();
+        raw.flush().unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert!(err.detail.contains("exceeds"), "{err}");
     }
 
     #[test]
