@@ -6,7 +6,8 @@
 //! vs the frozen synchronous engine, the fused coarsener vs the frozen
 //! sequential path, the parallel streaming parser vs the sequential
 //! reference parser, the multi-node replica trainer vs the single-node
-//! path, the IVF query engine vs brute-force exact serving). Absolute
+//! path, the IVF query engine vs brute-force exact serving, the
+//! streaming delta path vs a full window rebuild). Absolute
 //! seconds shift with the runner, but the
 //! ratios are engine-vs-engine on the same machine in the same process —
 //! that is the quantity the trajectory promises, and the quantity this
@@ -22,13 +23,14 @@
 pub const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// The trajectory reports the CI gate compares by default.
-pub const REPORT_FILES: [&str; 6] = [
+pub const REPORT_FILES: [&str; 7] = [
     "BENCH_hotpath.json",
     "BENCH_large.json",
     "BENCH_coarsen.json",
     "BENCH_ingest.json",
     "BENCH_distrib.json",
     "BENCH_serve.json",
+    "BENCH_stream.json",
 ];
 
 /// One confirmed regression: `current < baseline * (1 - tolerance)`.

@@ -23,8 +23,12 @@
 //! serving harness lives in [`serve`]: it backs `gosh bench-serve`,
 //! measures the IVF query path against brute-force exact search through
 //! a real TCP loopback server, and documents the `BENCH_serve.json`
-//! schema. The [`check`] module is the CI regression gate over all six
-//! reports (the `bench_check` binary).
+//! schema. The streaming harness lives in [`stream`]: it backs `gosh
+//! bench-stream`, measures the delta path (edge-delta apply + hierarchy
+//! repair + warm-start retraining) against a full rebuild on a rolling
+//! temporal window, and documents the `BENCH_stream.json` schema. The
+//! [`check`] module is the CI regression gate over all seven reports
+//! (the `bench_check` binary).
 //!
 //! ## Scaling
 //!
@@ -43,6 +47,7 @@ pub mod hotpath;
 pub mod ingest;
 pub mod large;
 pub mod serve;
+pub mod stream;
 
 use std::time::Instant;
 

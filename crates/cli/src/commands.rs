@@ -9,6 +9,7 @@ use gosh_bench::hotpath::{run_hotpath, HotpathConfig};
 use gosh_bench::ingest::{run_ingest_bench, IngestBenchConfig};
 use gosh_bench::large::{run_large_bench, LargeBenchConfig};
 use gosh_bench::serve::{run_serve_bench, ServeBenchConfig};
+use gosh_bench::stream::{run_stream_bench, StreamBenchConfig};
 
 use gosh_coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
 use gosh_core::backend::BackendChoice;
@@ -28,6 +29,7 @@ use gosh_graph::ingest::{load_edge_list_parallel, IngestConfig};
 use gosh_graph::io::{self, LoadedGraph};
 use gosh_graph::split::{train_test_split, SplitConfig};
 use gosh_graph::stats::GraphStats;
+use gosh_graph::stream::{apply_delta, load_delta, resolve_delta};
 
 use crate::args::{parse, Parsed};
 
@@ -463,6 +465,135 @@ pub fn eval(args: &[String]) -> Result<(), String> {
         secs
     );
     Ok(())
+}
+
+/// `gosh update <graph> <delta> <store.embin> <out.emb> [...]`: apply an
+/// edge-delta file to a trained model — merge the delta into the graph,
+/// repair the coarsening hierarchy around the touched region, and
+/// warm-start retrain only the dirty vertices, with the old rows as
+/// initialization. Orders of magnitude cheaper than re-embedding when
+/// the delta is small relative to the graph.
+pub fn update(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "threads",
+            "preset",
+            "epochs",
+            "seed",
+            "fallback-fraction",
+            "epoch-scale",
+            "precision",
+            "save-graph",
+        ],
+    )?;
+    let graph_path = p.positional(0, "graph")?;
+    let delta_path = p.positional(1, "delta file")?;
+    let store_path = p.positional(2, "model store (.embin)")?;
+    let out = p.positional(3, "output file")?;
+    let threads = p.flag::<usize>("threads")?.unwrap_or_else(default_threads);
+
+    let input = load_input(graph_path, threads)?;
+    let mut original_ids: Vec<u64> = match &input {
+        LoadedInput::Binary(g) => (0..g.num_vertices() as u64).collect(),
+        LoadedInput::Text(l) => l.original_ids.clone(),
+    };
+    let g_old = input.into_graph();
+
+    let store = EmbeddingStore::open(store_path).map_err(|e| format!("{store_path}: {e}"))?;
+    if store.num_vertices() != g_old.num_vertices() {
+        return Err(format!(
+            "store has {} rows but the graph has {} vertices — \
+             is {store_path} the model trained on {graph_path}?",
+            store.num_vertices(),
+            g_old.num_vertices()
+        ));
+    }
+    let m_old = store.to_embedding();
+    let out_precision = p
+        .flag::<Precision>("precision")?
+        .unwrap_or_else(|| store.precision());
+
+    let (raw_epochs, dstats) = load_delta(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
+
+    let preset = parse_preset(&p)?;
+    let mut cfg = GoshConfig::preset(preset, false)
+        .with_dim(store.dim())
+        .with_threads(threads);
+    if let Some(e) = p.flag::<u32>("epochs")? {
+        cfg = cfg.with_epochs(e);
+    }
+    cfg.seed = p.flag::<u64>("seed")?.unwrap_or(cfg.seed);
+    let wcfg = gosh_core::warm::WarmConfig {
+        fallback_fraction: p.flag::<f64>("fallback-fraction")?.unwrap_or(0.25),
+        epoch_scale: p.flag::<f64>("epoch-scale")?.unwrap_or(0.5),
+        cfg,
+    };
+
+    // The old hierarchy the repair works from: recover it once from the
+    // pre-delta graph (coarsening is cheap next to training).
+    let t0 = Instant::now();
+    let h_old = coarsen_hierarchy(
+        g_old.clone(),
+        &CoarsenConfig {
+            threshold: wcfg.cfg.coarsen_threshold,
+            threads,
+            ..Default::default()
+        },
+    );
+
+    // Apply the delta epochs in order — within one epoch deletion wins,
+    // across epochs later lines see the earlier result — accumulating
+    // the dirty set for one warm retrain at the end.
+    let mut g_cur = g_old;
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut dropped = 0usize;
+    for raw in &raw_epochs {
+        let r = resolve_delta(raw, &original_ids);
+        original_ids.extend(&r.new_original_ids);
+        dropped += r.dropped_deletions;
+        dirty.extend(r.delta.dirty_vertices(g_cur.num_vertices()));
+        g_cur = apply_delta(&g_cur, &r.delta);
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+
+    let (m_new, _h_new, rep) = gosh_core::warm::warm_embed(&g_cur, &h_old, &m_old, &dirty, &wcfg);
+    println!(
+        "applied {} epoch(s): +{} -{} edge lines ({} unknown deletions dropped), \
+         {} new vertices, {} dirty vertices",
+        raw_epochs.len(),
+        dstats.insert_lines,
+        dstats.delete_lines,
+        dropped,
+        g_cur.num_vertices() - m_old.num_vertices(),
+        dirty.len(),
+    );
+    println!(
+        "warm retrain: D = {} levels ({} repaired{}), {} epochs over the dirty region, \
+         {:.2}s repair + {:.2}s training ({:.2}s total)",
+        rep.depth,
+        rep.repaired_levels,
+        if rep.fell_back {
+            ", fell back to recoarsening"
+        } else {
+            ""
+        },
+        rep.epochs_per_level.iter().sum::<u32>(),
+        rep.repair_seconds,
+        rep.training_seconds,
+        t0.elapsed().as_secs_f64(),
+    );
+    if let Some(path) = p.flag_str("save-graph") {
+        save_graph(path, &g_cur)?;
+        println!(
+            "wrote {} ({} vertices, {} edges, dense ids)",
+            path,
+            g_cur.num_vertices(),
+            g_cur.num_undirected_edges()
+        );
+    }
+    write_outputs(out, &m_new, out_precision)
 }
 
 /// `gosh bench-train [...]`: time the CPU trainer hot path and write the
@@ -933,6 +1064,91 @@ pub fn bench_serve(args: &[String]) -> Result<(), String> {
         report.threads,
     );
     println!("ivf vs exact: speedup {:.2}x", report.speedup_vs_exact());
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `gosh bench-stream [...]`: time the streaming delta path (edge-delta
+/// apply + hierarchy repair + warm-start retrain) against a full rebuild
+/// on a rolling temporal window, and write the `BENCH_stream.json`
+/// perf-trajectory report (schema documented in `gosh_bench::stream`).
+pub fn bench_stream(args: &[String]) -> Result<(), String> {
+    let p = parse(
+        args,
+        &[
+            "dataset",
+            "vertices",
+            "degree",
+            "dim",
+            "threads",
+            "window",
+            "steps",
+            "epochs",
+            "warm-scale",
+            "fallback-fraction",
+            "max-gap",
+            "seed",
+            "out",
+        ],
+    )?;
+    let defaults = StreamBenchConfig::default();
+    let dataset = match (p.flag_str("dataset"), p.flag::<usize>("vertices")?) {
+        (Some(name), _) => Some(
+            gosh_graph::gen::dataset(name)
+                .ok_or_else(|| format!("unknown dataset `{name}`"))?
+                .name,
+        ),
+        (None, Some(_)) => None, // explicit --vertices: community graph
+        (None, None) => defaults.dataset,
+    };
+    let cfg = StreamBenchConfig {
+        dataset,
+        vertices: p.flag::<usize>("vertices")?.unwrap_or(defaults.vertices),
+        degree: p.flag::<usize>("degree")?.unwrap_or(defaults.degree),
+        dim: p.flag::<usize>("dim")?.unwrap_or(defaults.dim),
+        threads: p.flag::<usize>("threads")?.unwrap_or(defaults.threads),
+        window_fraction: p.flag::<f64>("window")?.unwrap_or(defaults.window_fraction),
+        steps: p.flag::<usize>("steps")?.unwrap_or(defaults.steps),
+        epochs: p.flag::<u32>("epochs")?.unwrap_or(defaults.epochs),
+        warm_epoch_scale: p
+            .flag::<f64>("warm-scale")?
+            .unwrap_or(defaults.warm_epoch_scale),
+        fallback_fraction: p
+            .flag::<f64>("fallback-fraction")?
+            .unwrap_or(defaults.fallback_fraction),
+        max_auc_gap: p.flag::<f64>("max-gap")?.unwrap_or(defaults.max_auc_gap),
+        seed: p.flag::<u64>("seed")?.unwrap_or(defaults.seed),
+    };
+    if cfg.steps == 0 || !(0.1..1.0).contains(&cfg.window_fraction) {
+        return Err("bench-stream needs --steps >= 1 and --window in [0.1, 1.0)".into());
+    }
+    let report = run_stream_bench(&cfg);
+    let out = p.flag_str("out").unwrap_or("BENCH_stream.json");
+    std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "stream: {} steps of {} edges over a {}-edge window ({} vertices, {} threads)",
+        report.steps, report.batch_edges, report.window_edges, report.vertices, report.threads,
+    );
+    println!(
+        "delta path {:.2}s vs rebuild {:.2}s; AUC warm {:.4} vs full {:.4} (gap {:+.4})",
+        report.delta_seconds,
+        report.rebuild_seconds,
+        report.auc_warm,
+        report.auc_full,
+        report.auc_gap(),
+    );
+    println!(
+        "delta vs rebuild: speedup {:.2}x{}",
+        report.speedup_vs_rebuild(),
+        if report.fell_back_steps > 0 {
+            format!(
+                " ({} step(s) fell back to recoarsening)",
+                report.fell_back_steps
+            )
+        } else {
+            String::new()
+        },
+    );
     println!("wrote {out}");
     Ok(())
 }

@@ -16,6 +16,10 @@
 //! gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
 //!                   [--backend cpu|gpu|auto] [--precision f32|f16|i8]
 //!                   [--precision-schedule C:F[:V]] [+ train's node flags]
+//! gosh update <graph> <delta> <store.embin> <out.emb>
+//!                   [--threads N] [--preset P] [--epochs E] [--seed S]
+//!                   [--fallback-fraction F] [--epoch-scale X]
+//!                   [--precision f32|f16|i8] [--save-graph FILE]
 //! gosh serve <store.embin> [--addr H:P] [--threads N] [--ivf true|false]
 //! gosh query <store.embin> --addr H:P [--ids 0,1,2] [--k K]
 //!                          [--nprobe P] [--shutdown true|false]
@@ -42,6 +46,10 @@
 //!                  [--precision f32|f16|i8] [--k K] [--nprobe P]
 //!                  [--batch B] [--latency L] [--epochs E] [--seed S]
 //!                  [--reps R] [--out FILE]
+//! gosh bench-stream [--dataset NAME | --vertices N [--degree K]]
+//!                   [--dim D] [--threads T] [--window F] [--steps S]
+//!                   [--epochs E] [--warm-scale X] [--fallback-fraction F]
+//!                   [--max-gap G] [--seed S] [--out FILE]
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension; a
@@ -66,6 +74,7 @@ fn main() -> ExitCode {
         Some("embed") => commands::embed(&argv[1..]),
         Some("train") => commands::train(&argv[1..]),
         Some("eval") => commands::eval(&argv[1..]),
+        Some("update") => commands::update(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
         Some("query") => commands::query(&argv[1..]),
         Some("bench-train") => commands::bench_train(&argv[1..]),
@@ -74,6 +83,7 @@ fn main() -> ExitCode {
         Some("bench-distrib") => commands::bench_distrib(&argv[1..]),
         Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("bench-serve") => commands::bench_serve(&argv[1..]),
+        Some("bench-stream") => commands::bench_stream(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -108,6 +118,10 @@ USAGE:
   gosh eval <graph> [--dim D] [--preset P] [--epochs E] [--device-mb M]
                     [--backend cpu|gpu|auto] [--precision f32|f16|i8]
                     [--precision-schedule C:F[:V]] [+ train's node flags]
+  gosh update <graph> <delta> <store.embin> <out.emb>
+                    [--threads N] [--preset P] [--epochs E] [--seed S]
+                    [--fallback-fraction F] [--epoch-scale X]
+                    [--precision f32|f16|i8] [--save-graph FILE]
   gosh serve <store.embin> [--addr H:P] [--threads N] [--ivf true|false]
   gosh query <store.embin> --addr H:P [--ids 0,1,2] [--k K]
                            [--nprobe P] [--shutdown true|false]
@@ -134,6 +148,10 @@ USAGE:
                    [--precision f32|f16|i8] [--k K] [--nprobe P]
                    [--batch B] [--latency L] [--epochs E] [--seed S]
                    [--reps R] [--out FILE]
+  gosh bench-stream [--dataset NAME | --vertices N [--degree K]]
+                    [--dim D] [--threads T] [--window F] [--steps S]
+                    [--epochs E] [--warm-scale X] [--fallback-fraction F]
+                    [--max-gap G] [--seed S] [--out FILE]
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.
@@ -169,6 +187,15 @@ USAGE:
   embed and train write two artifacts: the text .emb (six decimal
   places — lossy) and a checksummed binary .embin store next to it
   that round-trips bit-exactly and serves via mmap without decoding.
+  update applies an edge-delta file to a trained model: `+ u v` /
+  `- u v` lines batched into epochs by `commit` lines (within one epoch
+  deletion wins; across epochs later lines see the earlier result;
+  unknown insertion endpoints become new vertices, unknown deletions
+  are dropped and counted). The graph is merged in place, the
+  coarsening hierarchy is repaired around the touched clusters (or
+  recoarsened past --fallback-fraction), and only the dirty region is
+  retrained for --epoch-scale of the epoch budget, starting from the
+  stored rows. Writes the same .emb/.embin pair as embed.
   serve maps an .embin store and answers top-k neighbour queries over
   TCP (framed protocol); by default it builds an IVF coarse-quantizer
   index so clients can trade recall for speed with --nprobe (0 =
@@ -201,4 +228,10 @@ USAGE:
   BENCH_large.json (kernels/sec, transfer-stall seconds, plus the
   frozen synchronous-engine baseline unless --baseline false);
   --pcie-gbps scales the modeled interconnect, --device-kb the device.
+  bench-stream rolls a temporal window over a suite graph's edge
+  stream: each step retires the oldest batch and ingests the next one,
+  processed by both the delta path (apply + repair + warm retrain) and
+  a full rebuild, scored on the unseen future batch. Writes
+  BENCH_stream.json (delta vs rebuild seconds, AUC of both paths and
+  their gap, and speedup_vs_rebuild).
 ";

@@ -23,8 +23,10 @@ pub mod mapping;
 pub mod mile;
 pub mod order;
 pub mod parallel;
+pub mod repair;
 pub mod sequential;
 
 pub use fused::{coarsen_step_fused, CoarsenWorkspace};
 pub use hierarchy::{coarsen_hierarchy, CoarsenConfig, Hierarchy, LevelStats};
 pub use mapping::{Mapping, UNMAPPED};
+pub use repair::{repair_hierarchy, RepairConfig, RepairStats};

@@ -53,6 +53,7 @@ pub mod store;
 pub mod train_cpu;
 pub mod train_gpu;
 pub mod update;
+pub mod warm;
 
 pub use backend::{
     backends_for, BackendChoice, BackendKind, CpuHogwild, GpuInMemory, GpuPartitioned,
@@ -65,3 +66,4 @@ pub use pipeline::{embed, GoshReport};
 pub use quant::Precision;
 pub use store::{write_store, EmbeddingStore};
 pub use train_gpu::KernelVariant;
+pub use warm::{warm_embed, WarmConfig, WarmReport};

@@ -82,6 +82,40 @@ pub fn train_cpu(g: &Csr, m: &mut Embedding, params: &TrainParams) {
     *m = shared.to_embedding();
 }
 
+/// Train `m` on `g` with Hogwild threads, drawing sources only from
+/// `sources` — the warm-start engine behind [`crate::warm`]: dirty-region
+/// vertices are re-trained in place while the rest of the matrix serves
+/// as (slowly adapting) sample targets. f32 only; epoch accounting is
+/// relative to the restricted arc list.
+pub fn train_cpu_sources(g: &Csr, m: &mut Embedding, params: &TrainParams, sources: &[u32]) {
+    assert_eq!(g.num_vertices(), m.num_vertices(), "graph/matrix mismatch");
+    assert!(params.threads >= 1);
+    assert_eq!(
+        params.precision,
+        Precision::F32,
+        "warm-start training is f32-only"
+    );
+    if g.num_edges() == 0 || params.epochs == 0 || sources.is_empty() {
+        return;
+    }
+    let plan = HogwildPlan::new_for_sources(g, sources);
+    if plan.num_arcs == 0 {
+        return; // every listed source is isolated
+    }
+    let shared = SharedMatrix::from_embedding(m);
+    plan.run_range(
+        gosh_runtime::global(),
+        g,
+        &shared,
+        params,
+        0..params.epochs,
+        params.epochs,
+        0..plan.sources(),
+        0,
+    );
+    *m = shared.to_embedding();
+}
+
 /// Precomputed training plan for one level: the arc list positive
 /// sampling walks (`Q` of Algorithm 1) and the per-epoch source count.
 /// Built once per level, reusable across epoch windows — the distributed
@@ -105,6 +139,26 @@ impl HogwildPlan {
             arc_src,
             num_arcs,
             sources: (num_arcs / 2).max(1),
+        }
+    }
+
+    /// A plan whose arc list covers only `sources` (each repeated by its
+    /// degree, in the given order) — the warm-start trainer's hook: one
+    /// epoch costs `Σ deg(v) for v ∈ sources` processings instead of
+    /// `|E|`, and only the listed vertices are ever drawn as sources
+    /// (sample targets still range over the whole matrix). An empty or
+    /// all-isolated source set yields a plan whose `run_range` is a
+    /// no-op.
+    pub fn new_for_sources(g: &Csr, sources: &[u32]) -> Self {
+        let mut arc_src: Vec<u32> = Vec::new();
+        for &v in sources {
+            arc_src.extend(std::iter::repeat_n(v, g.degree(v)));
+        }
+        let num_arcs = arc_src.len();
+        Self {
+            arc_src,
+            num_arcs,
+            sources: (num_arcs / 2).max(usize::from(num_arcs > 0)),
         }
     }
 
@@ -575,6 +629,63 @@ mod tests {
             }
         }
         assert!(saw_two);
+    }
+
+    // ---- restricted-source plans ----------------------------------------
+
+    #[test]
+    fn full_source_list_matches_unrestricted_engine_bit_exactly() {
+        // `new_for_sources` over every vertex in id order builds the same
+        // arc list as `new`, so the warm engine with a full source list
+        // must reproduce `train_cpu` bit-for-bit.
+        let (g, _, _) = two_cliques();
+        let p = TrainParams {
+            threads: 2,
+            epochs: 5,
+            lr: 0.05,
+            seed: 0x77,
+            ..Default::default()
+        };
+        let mut a = Embedding::random(16, 8, 13);
+        let mut b = a.clone();
+        train_cpu(&g, &mut a, &p);
+        let all: Vec<u32> = (0..16).collect();
+        train_cpu_sources(&g, &mut b, &p, &all);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn empty_and_isolated_source_lists_are_noops() {
+        let g = csr_from_edges(5, &[(0, 1), (1, 2)]); // 3, 4 isolated
+        let mut m = Embedding::random(5, 8, 17);
+        let before = m.clone();
+        let p = TrainParams {
+            threads: 2,
+            epochs: 10,
+            ..Default::default()
+        };
+        train_cpu_sources(&g, &mut m, &p, &[]);
+        assert_eq!(m, before);
+        train_cpu_sources(&g, &mut m, &p, &[3, 4]);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn restricted_sources_still_learn_their_region() {
+        let (g, intra, _) = two_cliques();
+        let mut m = Embedding::random(16, 16, 19);
+        let p = TrainParams {
+            threads: 2,
+            epochs: 200,
+            lr: 0.05,
+            ..Default::default()
+        };
+        // Train only the first clique's vertices as sources.
+        let sources: Vec<u32> = (0..8).collect();
+        train_cpu_sources(&g, &mut m, &p, &sources);
+        let first: Vec<(u32, u32)> = intra.iter().copied().filter(|&(a, _)| a < 8).collect();
+        let cross = vec![(0u32, 9u32), (1, 10), (2, 12)];
+        assert!(mean_cos(&m, &first) > mean_cos(&m, &cross) + 0.2);
     }
 
     // ---- shard coverage -------------------------------------------------

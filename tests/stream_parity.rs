@@ -1,0 +1,91 @@
+//! Streaming-update parity: after a batch of edge insertions, the
+//! warm-start retrain ([`gosh::core::warm::warm_embed`] over the repaired
+//! hierarchy, seeded from the old rows) must score within 0.05 AUCROC of
+//! a full from-scratch retrain on the edited graph — the acceptance bound
+//! the `bench-stream` harness also enforces at benchmark scale.
+
+use gosh::coarsen::hierarchy::{coarsen_hierarchy, CoarsenConfig};
+use gosh::core::backend::BackendChoice;
+use gosh::core::config::{GoshConfig, Preset};
+use gosh::core::pipeline::embed;
+use gosh::core::warm::{warm_embed, WarmConfig};
+use gosh::eval::{evaluate_link_prediction, EvalConfig};
+use gosh::gpu::{Device, DeviceConfig};
+use gosh::graph::builder::csr_from_edges;
+use gosh::graph::gen::{community_graph, CommunityConfig};
+use gosh::graph::split::{train_test_split, SplitConfig};
+use gosh::graph::stream::{apply_delta, EdgeDelta};
+
+/// Warm-start after an insertion batch stays within the 0.05 AUCROC
+/// parity bound of a full retrain, and both comfortably beat chance.
+#[test]
+fn warm_start_matches_full_retrain_within_the_parity_bound() {
+    let g_full = community_graph(&CommunityConfig::new(2048, 8), 21);
+    let split = train_test_split(&g_full, &SplitConfig::default());
+    let g_new = &split.train;
+    let n = g_new.num_vertices();
+
+    // The "old" graph is the train graph minus its last ~0.5% of edges;
+    // the delta re-inserts them, so the edited graph is exactly `g_new`.
+    let edges: Vec<(u32, u32)> = g_new.undirected_edges().collect();
+    let batch = edges.len() / 200;
+    let cut = edges.len() - batch;
+    let g_old = csr_from_edges(n, &edges[..cut]);
+    let mut delta = EdgeDelta::new();
+    for &(u, v) in &edges[cut..] {
+        delta.insert(u, v);
+    }
+
+    let cfg = GoshConfig::preset(Preset::Normal, false)
+        .with_dim(32)
+        .with_epochs(120)
+        .with_threads(4)
+        .with_backend(BackendChoice::Cpu);
+    let device = Device::new(DeviceConfig::titan_x());
+
+    // Old state: a trained model plus the hierarchy it was trained on.
+    let (m_old, _) = embed(&g_old, &cfg, &device);
+    let h_old = coarsen_hierarchy(
+        g_old.clone(),
+        &CoarsenConfig {
+            threshold: cfg.coarsen_threshold,
+            threads: cfg.threads,
+            ..Default::default()
+        },
+    );
+
+    // Delta path: apply + repair + warm retrain over the dirty region.
+    let dirty = delta.dirty_vertices(g_old.num_vertices());
+    let g_applied = apply_delta(&g_old, &delta);
+    assert_eq!(&g_applied, g_new, "delta application must rebuild g_new");
+    let wcfg = WarmConfig {
+        cfg,
+        ..Default::default()
+    };
+    let (m_warm, _, report) = warm_embed(&g_applied, &h_old, &m_old, &dirty, &wcfg);
+
+    // Full path: retrain the edited graph from scratch.
+    let (m_full, _) = embed(g_new, &cfg, &device);
+
+    let ecfg = EvalConfig {
+        threads: 4,
+        ..Default::default()
+    };
+    let auc_warm = evaluate_link_prediction(&m_warm, g_new, &split.test_edges, &ecfg);
+    let auc_full = evaluate_link_prediction(&m_full, g_new, &split.test_edges, &ecfg);
+
+    assert!(auc_full > 0.75, "full retrain under-trained: {auc_full}");
+    assert!(auc_warm > 0.75, "warm retrain under-trained: {auc_warm}");
+    assert!(
+        auc_full - auc_warm <= 0.05,
+        "warm-start parity bound violated: full {auc_full} vs warm {auc_warm}"
+    );
+    assert!(
+        !report.fell_back,
+        "a 0.5% batch should repair, not fall back"
+    );
+    assert!(
+        report.trained_sources.iter().sum::<usize>() > 0,
+        "warm retrain trained nothing"
+    );
+}
