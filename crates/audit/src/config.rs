@@ -1,0 +1,444 @@
+//! Parser for `audit.toml`, the audited allowlist at the workspace
+//! root. We support exactly the TOML subset the file uses — bare
+//! `key = value` pairs, `[[array-of-tables]]` headers, strings,
+//! integers, and arrays of strings — with no external dependency
+//! (the container is offline; see ROADMAP.md).
+//!
+//! Schema:
+//!
+//! ```toml
+//! forbid_unsafe = ["crates/eval", "crates/cli", ...]
+//! unsafe_crates = ["crates/core", ...]
+//! unwrap_forbidden = ["crates/runtime/src/transport.rs", ...]
+//!
+//! [[atomics]]
+//! file = "crates/core/src/simd.rs"
+//! relaxed = 19
+//! seqcst = 0
+//! why = "Hogwild reads/writes; see docs/SAFETY.md#atomics"
+//!
+//! [[coverage]]
+//! file = "crates/core/src/simd.rs"
+//! tests = ["prop_core::simd_matches_scalar", ...]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[atomics]]` entry: a file blessed to use non-default memory
+/// orderings, with its *exact* expected counts so drift inside a
+/// blessed file still fails the audit.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicsEntry {
+    pub file: String,
+    pub relaxed: u32,
+    pub seqcst: u32,
+    pub why: String,
+}
+
+/// One `[[coverage]]` entry: the named tests that exercise the unsafe
+/// sites of a file. A file with unsafe sites but no entry fails the
+/// audit; an entry for a file with no sites is flagged as stale.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageEntry {
+    pub file: String,
+    pub tests: Vec<String>,
+}
+
+/// Parsed `audit.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crate dirs (relative to the workspace root) that must carry
+    /// `#![forbid(unsafe_code)]` and contain no unsafe sites.
+    pub forbid_unsafe: Vec<String>,
+    /// Crate dirs that contain audited unsafe and must carry
+    /// `#![deny(unsafe_op_in_unsafe_fn)]` plus
+    /// `#![warn(clippy::undocumented_unsafe_blocks)]`.
+    pub unsafe_crates: Vec<String>,
+    /// Files where `.unwrap()` is forbidden outside tests (the
+    /// hardened transport/store paths from PR 8).
+    pub unwrap_forbidden: Vec<String>,
+    pub atomics: Vec<AtomicsEntry>,
+    pub coverage: Vec<CoverageEntry>,
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(u32),
+    StrArray(Vec<String>),
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_string(s: &str, lineno: usize) -> Result<(String, &str), ParseError> {
+    let b = s.as_bytes();
+    debug_assert_eq!(b[0], b'"');
+    let mut out = String::new();
+    let mut i = 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                let esc = *b
+                    .get(i + 1)
+                    .ok_or_else(|| err(lineno, "dangling escape in string"))?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unsupported escape \\{}", other as char),
+                        ))
+                    }
+                });
+                i += 2;
+            }
+            b'"' => return Ok((out, &s[i + 1..])),
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+fn parse_value(raw: &str, lineno: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if let Some(stripped) = raw.strip_prefix('[') {
+        let inner = stripped
+            .trim_end()
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if !rest.starts_with('"') {
+                return Err(err(lineno, "arrays may only contain strings"));
+            }
+            let (s, tail) = parse_string(rest, lineno)?;
+            items.push(s);
+            rest = tail.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim_start();
+            } else if !rest.is_empty() {
+                return Err(err(lineno, "expected `,` between array items"));
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if raw.starts_with('"') {
+        let (s, tail) = parse_string(raw, lineno)?;
+        if !tail.trim().is_empty() {
+            return Err(err(lineno, "trailing garbage after string"));
+        }
+        return Ok(Value::Str(s));
+    }
+    if raw.chars().all(|c| c.is_ascii_digit()) && !raw.is_empty() {
+        return Ok(Value::Int(
+            raw.parse()
+                .map_err(|_| err(lineno, "integer out of range"))?,
+        ));
+    }
+    Err(err(lineno, format!("cannot parse value `{raw}`")))
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Top,
+    Atomics,
+    Coverage,
+}
+
+fn assign(
+    cfg: &mut Config,
+    section: &Section,
+    key: &str,
+    value: Value,
+    lineno: usize,
+) -> Result<(), ParseError> {
+    let want_array = |v: Value| match v {
+        Value::StrArray(a) => Ok(a),
+        _ => Err(err(lineno, format!("`{key}` must be an array of strings"))),
+    };
+    let want_str = |v: Value| match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(err(lineno, format!("`{key}` must be a string"))),
+    };
+    let want_int = |v: Value| match v {
+        Value::Int(i) => Ok(i),
+        _ => Err(err(lineno, format!("`{key}` must be an integer"))),
+    };
+    match section {
+        Section::Top => match key {
+            "forbid_unsafe" => cfg.forbid_unsafe = want_array(value)?,
+            "unsafe_crates" => cfg.unsafe_crates = want_array(value)?,
+            "unwrap_forbidden" => cfg.unwrap_forbidden = want_array(value)?,
+            other => return Err(err(lineno, format!("unknown top-level key `{other}`"))),
+        },
+        Section::Atomics => {
+            let entry = cfg
+                .atomics
+                .last_mut()
+                .expect("section implies at least one entry");
+            match key {
+                "file" => entry.file = want_str(value)?,
+                "relaxed" => entry.relaxed = want_int(value)?,
+                "seqcst" => entry.seqcst = want_int(value)?,
+                "why" => entry.why = want_str(value)?,
+                other => return Err(err(lineno, format!("unknown [[atomics]] key `{other}`"))),
+            }
+        }
+        Section::Coverage => {
+            let entry = cfg
+                .coverage
+                .last_mut()
+                .expect("section implies at least one entry");
+            match key {
+                "file" => entry.file = want_str(value)?,
+                "tests" => entry.tests = want_array(value)?,
+                other => return Err(err(lineno, format!("unknown [[coverage]] key `{other}`"))),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse the full file. Unknown keys are errors so a typo in
+/// `audit.toml` cannot silently disable a rule.
+pub fn parse(src: &str) -> Result<Config, ParseError> {
+    let mut cfg = Config::default();
+    let mut section = Section::Top;
+    // Pending multi-line array: `key = [` … `]` accumulated until the
+    // brackets balance (outside strings).
+    let mut pending: Option<(String, String, usize)> = None;
+
+    let balanced = |s: &str| {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev_escape = false;
+        for c in s.chars() {
+            match c {
+                '\\' if in_str && !prev_escape => {
+                    prev_escape = true;
+                    continue;
+                }
+                '"' if !prev_escape => in_str = !in_str,
+                '[' if !in_str => depth += 1,
+                ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            prev_escape = false;
+        }
+        depth <= 0
+    };
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+
+        if let Some((key, mut acc, start)) = pending.take() {
+            acc.push(' ');
+            acc.push_str(line);
+            if balanced(&acc) {
+                let value = parse_value(&acc, start)?;
+                assign(&mut cfg, &section, &key, value, start)?;
+            } else {
+                pending = Some((key, acc, start));
+            }
+            continue;
+        }
+
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "malformed table header"))?
+                .trim();
+            section = match name {
+                "atomics" => {
+                    cfg.atomics.push(AtomicsEntry::default());
+                    Section::Atomics
+                }
+                "coverage" => {
+                    cfg.coverage.push(CoverageEntry::default());
+                    Section::Coverage
+                }
+                other => return Err(err(lineno, format!("unknown table [[{other}]]"))),
+            };
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(
+                lineno,
+                "plain [tables] are not used; expected [[atomics]] or [[coverage]]",
+            ));
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = line[..eq].trim().to_string();
+        let raw_value = line[eq + 1..].trim().to_string();
+        if raw_value.starts_with('[') && !balanced(&raw_value) {
+            pending = Some((key, raw_value, lineno));
+            continue;
+        }
+        let value = parse_value(&raw_value, lineno)?;
+        assign(&mut cfg, &section, &key, value, lineno)?;
+    }
+
+    if let Some((key, _, start)) = pending {
+        return Err(err(start, format!("unterminated array for key `{key}`")));
+    }
+
+    // Basic cross-checks that don't need the source tree.
+    let mut seen = BTreeMap::new();
+    for (list, name) in [
+        (&cfg.forbid_unsafe, "forbid_unsafe"),
+        (&cfg.unsafe_crates, "unsafe_crates"),
+    ] {
+        for dir in list {
+            if let Some(prev) = seen.insert(dir.clone(), name) {
+                return Err(err(
+                    0,
+                    format!("crate dir `{dir}` listed in both {prev} and {name}"),
+                ));
+            }
+        }
+    }
+    for e in &cfg.atomics {
+        if e.file.is_empty() {
+            return Err(err(0, "[[atomics]] entry missing `file`"));
+        }
+        if e.why.is_empty() {
+            return Err(err(
+                0,
+                format!("[[atomics]] entry for `{}` missing `why`", e.file),
+            ));
+        }
+    }
+    for e in &cfg.coverage {
+        if e.file.is_empty() {
+            return Err(err(0, "[[coverage]] entry missing `file`"));
+        }
+        if e.tests.is_empty() {
+            return Err(err(
+                0,
+                format!("[[coverage]] entry for `{}` names no tests", e.file),
+            ));
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment line
+forbid_unsafe = ["crates/eval", "crates/cli"]
+unsafe_crates = ["crates/core"]
+unwrap_forbidden = [
+    "crates/runtime/src/transport.rs", # hardened in PR 8
+    "crates/core/src/store.rs",
+]
+
+[[atomics]]
+file = "crates/core/src/simd.rs"
+relaxed = 19
+seqcst = 0
+why = "Hogwild # not a comment"
+
+[[coverage]]
+file = "crates/core/src/simd.rs"
+tests = ["prop_core::simd_matches_scalar"]
+"#;
+
+    #[test]
+    fn parses_full_schema() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(cfg.forbid_unsafe, ["crates/eval", "crates/cli"]);
+        assert_eq!(cfg.unsafe_crates, ["crates/core"]);
+        assert_eq!(
+            cfg.unwrap_forbidden,
+            [
+                "crates/runtime/src/transport.rs",
+                "crates/core/src/store.rs"
+            ]
+        );
+        assert_eq!(cfg.atomics.len(), 1);
+        assert_eq!(cfg.atomics[0].relaxed, 19);
+        assert_eq!(cfg.atomics[0].why, "Hogwild # not a comment");
+        assert_eq!(cfg.coverage[0].tests.len(), 1);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let e = parse("forbid_unsafee = []").unwrap_err();
+        assert!(e.msg.contains("unknown top-level key"));
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        assert!(parse("[[atomic]]\nfile = \"x\"").is_err());
+    }
+
+    #[test]
+    fn crate_in_both_lists_is_an_error() {
+        let e =
+            parse("forbid_unsafe = [\"crates/a\"]\nunsafe_crates = [\"crates/a\"]").unwrap_err();
+        assert!(e.msg.contains("both"));
+    }
+
+    #[test]
+    fn atomics_without_why_is_an_error() {
+        let e = parse("[[atomics]]\nfile = \"x.rs\"\nrelaxed = 1").unwrap_err();
+        assert!(e.msg.contains("why"));
+    }
+
+    #[test]
+    fn coverage_without_tests_is_an_error() {
+        let e = parse("[[coverage]]\nfile = \"x.rs\"").unwrap_err();
+        assert!(e.msg.contains("tests"));
+    }
+}

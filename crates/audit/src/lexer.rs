@@ -1,0 +1,500 @@
+//! A small Rust *token scanner* — just enough lexical fidelity that the
+//! audit rules never mistake `unsafe` inside a string literal, comment,
+//! or raw string for the keyword, and never mistake a lifetime for a
+//! char literal.
+//!
+//! This is not a full lexer: multi-character operators come out as
+//! consecutive single-character [`TokKind::Punct`] tokens, and numeric
+//! literal grammar is approximate. The rules in [`crate::rules`] only
+//! need identifier/punct/comment streams with accurate line spans, so
+//! that is what we guarantee:
+//!
+//! * nested block comments (`/* /* */ */`)
+//! * raw strings with arbitrary hash fences (`r##"…"##`), byte strings,
+//!   raw byte strings, and C strings
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\u{1F600}'`, `b'x'`)
+//! * raw identifiers (`r#match`)
+//! * doc comments (`///`, `//!`, `/** */`, `/*! */`) kept distinct from
+//!   plain comments, with their marker stripped so rules can search the
+//!   documentation text directly.
+
+/// Token class produced by [`lex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#raw` identifiers, with the
+    /// `r#` prefix stripped).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (approximate grammar; never splits mid-token in
+    /// a way that fabricates identifiers).
+    Num,
+    /// String literal of any flavor; `text` holds the raw source slice.
+    Str,
+    /// Character or byte literal.
+    CharLit,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// `// …` comment; `text` holds the body without the `//`.
+    LineComment,
+    /// `/* … */` comment; `text` holds the body without the delimiters.
+    BlockComment,
+    /// `///`, `//!`, `/** */` or `/*! */`; `text` holds the body with
+    /// the doc marker stripped.
+    DocComment,
+}
+
+/// One token with its 1-based source line span.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scan `src` into tokens. Never fails: unterminated literals simply
+/// run to end-of-file, which is good enough for a lint that runs on
+/// code the compiler already accepted.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Count newlines inside b[from..to] and advance `line`.
+    let bump = |line: &mut u32, from: usize, to: usize| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                let start = i;
+                let mut j = i + 2;
+                while j < n && b[j] != b'\n' {
+                    j += 1;
+                }
+                let body = &src[start + 2..j];
+                let (kind, text) = if let Some(rest) = body.strip_prefix('/') {
+                    // `////…` is a plain comment line per the reference,
+                    // but treating it as doc text is harmless here.
+                    (TokKind::DocComment, rest)
+                } else if let Some(rest) = body.strip_prefix('!') {
+                    (TokKind::DocComment, rest)
+                } else {
+                    (TokKind::LineComment, body)
+                };
+                toks.push(Tok {
+                    kind,
+                    text: text.to_string(),
+                    line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let start = i;
+                let start_line = line;
+                let mut j = i + 2;
+                let mut depth = 1u32;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                bump(&mut line, start, j);
+                let inner_end = j.saturating_sub(2).max(start + 2);
+                let body = &src[start + 2..inner_end];
+                let (kind, text) = if let Some(rest) = body.strip_prefix('*') {
+                    // `/**/` is empty, not doc; strip_prefix on "" fails
+                    // so we only land here for real `/** …` bodies.
+                    (TokKind::DocComment, rest)
+                } else if let Some(rest) = body.strip_prefix('!') {
+                    (TokKind::DocComment, rest)
+                } else {
+                    (TokKind::BlockComment, body)
+                };
+                toks.push(Tok {
+                    kind,
+                    text: text.to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Raw strings / raw identifiers / byte & C strings. Handles the
+        // prefixes r, br, b, c, cr with any number of `#` fences.
+        if matches!(c, b'r' | b'b' | b'c') {
+            // Longest literal prefix starting at i that is followed by
+            // `"` or `#…"` (raw) — otherwise fall through to ident.
+            let mut p = i;
+            let mut saw_r = false;
+            if (c == b'b' || c == b'c') && p + 1 < n && b[p + 1] == b'r' {
+                p += 1;
+                saw_r = true;
+            } else if c == b'r' {
+                saw_r = true;
+            }
+            // p now indexes the last prefix byte.
+            let mut q = p + 1;
+            if saw_r {
+                let mut hashes = 0usize;
+                while q < n && b[q] == b'#' {
+                    hashes += 1;
+                    q += 1;
+                }
+                if q < n && b[q] == b'"' {
+                    // Raw string: scan for `"` followed by `hashes` #s.
+                    let start = i;
+                    let start_line = line;
+                    let mut j = q + 1;
+                    'raw: while j < n {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    bump(&mut line, start, j);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: src[start..j].to_string(),
+                        line: start_line,
+                        end_line: line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if c == b'r' && hashes == 1 && q < n && is_ident_start(b[q]) {
+                    // Raw identifier `r#match`.
+                    let mut j = q;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[q..j].to_string(),
+                        line,
+                        end_line: line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            if q <= n && b.get(p + 1) == Some(&b'"') && !saw_r {
+                // b"…" or c"…": cooked string with escapes.
+                let start = i;
+                let start_line = line;
+                let mut j = p + 2;
+                while j < n {
+                    if b[j] == b'\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == b'"' {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                bump(&mut line, start, j.min(n));
+                let j = j.min(n);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[start..j].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+            if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                // Byte literal b'x'.
+                let start = i;
+                let mut j = i + 2;
+                if j < n && b[j] == b'\\' {
+                    j += 2;
+                }
+                while j < n && b[j] != b'\'' {
+                    j += 1;
+                }
+                j = (j + 1).min(n);
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: src[start..j].to_string(),
+                    line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..j].to_string(),
+                line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c == b'"' {
+            let start = i;
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                if b[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let j = j.min(n);
+            bump(&mut line, start, j);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: src[start..j].to_string(),
+                line: start_line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c == b'\'' {
+            // Lifetime or char literal. `'a'` / `'\n'` / `'\u{…}'` are
+            // chars; `'a`, `'static`, `'_` are lifetimes/labels.
+            let is_char = (i + 1 < n && b[i + 1] == b'\\')
+                || (i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'');
+            if is_char {
+                let start = i;
+                let mut j = i + 1;
+                if j < n && b[j] == b'\\' {
+                    j += 2;
+                }
+                while j < n && b[j] != b'\'' {
+                    j += 1;
+                }
+                let j = (j + 1).min(n);
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: src[start..j].to_string(),
+                    line,
+                    end_line: line,
+                });
+                i = j;
+                continue;
+            }
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: src[start..j].to_string(),
+                line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n
+                && (b[j].is_ascii_alphanumeric()
+                    || b[j] == b'_'
+                    || (b[j] == b'.' && j + 1 < n && b[j + 1].is_ascii_digit()))
+            {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: src[start..j].to_string(),
+                line,
+                end_line: line,
+            });
+            i = j;
+            continue;
+        }
+
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+            end_line: line,
+        });
+        i += 1;
+    }
+
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_an_ident() {
+        let toks = kinds(r#"let s = "unsafe { }";"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unsafe")));
+    }
+
+    #[test]
+    fn unsafe_in_comments_is_not_an_ident() {
+        let toks = kinds("// unsafe here\n/* and unsafe /* nested unsafe */ there */ fn f() {}");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds("let s = r##\"unsafe \"# quote\"##; unsafe {}");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "unsafe"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"let x = b"unsafe"; let y = br#"static mut"#;"##);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "unsafe" || t == "static")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let u = '\\u{1F600}'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn static_lifetime_is_not_static_keyword() {
+        let toks = kinds("fn f(x: &'static mut u32) {}");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "static"));
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let toks = kinds("let r#unsafe = 1;");
+        // `r#unsafe` is an escaped *identifier*, not the keyword — but
+        // the lexer only strips the prefix; keyword-ness is contextual
+        // and the rules never see `unsafe` followed by `=` as a site.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let toks = lex("/// # Safety\n//! inner\n/** block */\nfn f() {}");
+        let docs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::DocComment)
+            .map(|t| t.text.trim().to_string())
+            .collect();
+        assert_eq!(docs, ["# Safety", "inner", "block"]);
+    }
+
+    #[test]
+    fn line_numbers_span_multiline_tokens() {
+        let toks = lex("/* a\nb\nc */\nunsafe {}");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line, 3);
+        let u = toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 4);
+    }
+
+    #[test]
+    fn empty_block_comment_is_not_doc() {
+        let toks = lex("/**/ fn f() {}");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+    }
+}

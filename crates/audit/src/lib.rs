@@ -1,0 +1,411 @@
+//! # gosh-audit — workspace safety/concurrency static-analysis gate
+//!
+//! The training hot path, the mmap-backed `.embin` store, and the
+//! Hogwild/lock-free runtime all lean on `unsafe` and relaxed atomics
+//! for the paper's speedups (see PAPER.md). This crate is the
+//! counterweight: a lightweight lexer-backed scanner that walks every
+//! `.rs` file in the workspace and enforces the rules written down in
+//! `docs/SAFETY.md`:
+//!
+//! 1. every `unsafe` block/impl/trait/extern carries a `// SAFETY:`
+//!    comment directly above it, and every `unsafe fn` a `# Safety`
+//!    doc section (`undocumented-unsafe`, `missing-safety-doc`);
+//! 2. `Ordering::Relaxed` / `Ordering::SeqCst` appear only in files
+//!    blessed by `[[atomics]]` in `audit.toml`, with exact per-file
+//!    counts (`atomic-ordering`);
+//! 3. `transmute` and `static mut` are forbidden everywhere, and bare
+//!    `.unwrap()` in the hardened transport/store files, unless waived
+//!    site-by-site with `// audit:allow(rule): reason`
+//!    (`forbidden-api`);
+//! 4. every file with non-test unsafe names its covering tests in
+//!    `[[coverage]]`, and those test functions must exist
+//!    (`coverage`);
+//! 5. crates are classified: `forbid_unsafe` crates carry
+//!    `#![forbid(unsafe_code)]` and contain no unsafe; the rest carry
+//!    `#![deny(unsafe_op_in_unsafe_fn)]` and
+//!    `#![warn(clippy::undocumented_unsafe_blocks)]` (`lint-header`);
+//! 6. `docs/UNSAFE.md` / `docs/UNSAFE.json` — the machine-readable
+//!    inventory of every site, its stated invariant, and its covering
+//!    tests — must match the tree exactly (`inventory`).
+//!
+//! `gosh audit` runs the gate; `gosh audit --write` regenerates the
+//! inventory. CI runs the gate next to clippy, and the dynamic side of
+//! the story (ThreadSanitizer, AddressSanitizer, Miri) lives in the
+//! `sanitizers` workflow — `docs/SAFETY.md` maps each rule to the job
+//! that checks its runtime counterpart.
+
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it
+// that way.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod inventory;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{FileOptions, Violation};
+
+/// Result of a full workspace audit.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub sites: usize,
+    pub test_sites: usize,
+    pub waivers: usize,
+    /// Paths written by `--write` mode (relative to the root).
+    pub wrote: Vec<String>,
+}
+
+impl Outcome {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn cfg_violation(violations: &mut Vec<Violation>, file: &str, msg: String) {
+    violations.push(Violation {
+        file: file.to_string(),
+        line: 0,
+        rule: "config",
+        msg,
+    });
+}
+
+/// Is `rel` test/bench/example code (unsafe allowed undocumented,
+/// unwrap rule off)? Integration tests, examples, and benches — the
+/// `#[cfg(test)]` spans *inside* source files are handled separately
+/// by the scanner.
+fn is_test_path(rel: &str) -> bool {
+    let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
+    in_dir("tests") || in_dir("examples") || in_dir("benches") || rel.ends_with("build.rs")
+}
+
+/// The crate dir (config key) a file belongs to: `crates/<name>` or
+/// `.` for the root facade package.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(name) = rest.split('/').next() {
+            return format!("crates/{name}");
+        }
+    }
+    String::from(".")
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | "vendor" | ".git" | "docs" | "node_modules"
+            ) {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full audit over the workspace at `root`. `write` regenerates
+/// `docs/UNSAFE.md` / `docs/UNSAFE.json` instead of drift-checking
+/// them. IO/config errors come back as `Err`; rule findings land in
+/// `Outcome::violations`.
+pub fn run(root: &Path, write: bool) -> Result<Outcome, String> {
+    let cfg_path = root.join("audit.toml");
+    let cfg_src = fs::read_to_string(&cfg_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg_path.display()))?;
+    let cfg = config::parse(&cfg_src).map_err(|e| e.to_string())?;
+
+    let mut out = Outcome::default();
+
+    // ---- Crate classification completeness -------------------------
+    let mut crate_dirs: BTreeSet<String> = BTreeSet::new();
+    if root.join("Cargo.toml").exists() && root.join("src").exists() {
+        crate_dirs.insert(String::from("."));
+    }
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() && p.join("Cargo.toml").exists() {
+                crate_dirs.insert(format!("crates/{}", entry.file_name().to_string_lossy()));
+            }
+        }
+    }
+    let forbid: BTreeSet<&str> = cfg.forbid_unsafe.iter().map(|s| s.as_str()).collect();
+    let deny: BTreeSet<&str> = cfg.unsafe_crates.iter().map(|s| s.as_str()).collect();
+    for dir in &crate_dirs {
+        if !forbid.contains(dir.as_str()) && !deny.contains(dir.as_str()) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!(
+                    "crate `{dir}` is not classified; add it to `forbid_unsafe` \
+                     or `unsafe_crates`"
+                ),
+            );
+        }
+    }
+    for dir in forbid.iter().chain(deny.iter()) {
+        if !crate_dirs.contains(*dir) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!("listed crate `{dir}` does not exist in the workspace"),
+            );
+        }
+    }
+
+    // ---- Lint headers ----------------------------------------------
+    for dir in &crate_dirs {
+        let want_forbid = forbid.contains(dir.as_str());
+        if !want_forbid && !deny.contains(dir.as_str()) {
+            continue; // already flagged as unclassified
+        }
+        let base = if dir == "." {
+            root.join("src")
+        } else {
+            root.join(dir).join("src")
+        };
+        let mut entry_found = false;
+        for entry_name in ["lib.rs", "main.rs"] {
+            let p = base.join(entry_name);
+            let Ok(src) = fs::read_to_string(&p) else {
+                continue;
+            };
+            entry_found = true;
+            let rel = format!("{}/src/{entry_name}", if dir == "." { "" } else { dir })
+                .trim_start_matches('/')
+                .to_string();
+            for missing in rules::check_lint_header(&src, want_forbid) {
+                out.violations.push(Violation {
+                    file: rel.clone(),
+                    line: 1,
+                    rule: "lint-header",
+                    msg: format!("crate entry file is missing `{missing}`"),
+                });
+            }
+        }
+        if !entry_found {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!("crate `{dir}` has no src/lib.rs or src/main.rs to check"),
+            );
+        }
+    }
+
+    // ---- Scan every file -------------------------------------------
+    let mut files = Vec::new();
+    walk_rs(root, &mut files)?;
+    files.sort();
+
+    let unwrap_set: BTreeSet<&str> = cfg.unwrap_forbidden.iter().map(|s| s.as_str()).collect();
+    let mut seen_files: BTreeSet<String> = BTreeSet::new();
+    let mut orderings: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    let mut entries: Vec<inventory::FileEntry> = Vec::new();
+    let mut all_fns: BTreeSet<String> = BTreeSet::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        seen_files.insert(rel.clone());
+        let opts = FileOptions {
+            unwrap_forbidden: unwrap_set.contains(rel.as_str()),
+            test_file: is_test_path(&rel),
+        };
+        let report = rules::scan_file(&rel, &src, opts);
+        out.files_scanned += 1;
+        out.sites += report.sites.len();
+        out.test_sites += report.sites.iter().filter(|s| s.in_test).count();
+        out.waivers += report.waivers.len();
+        out.violations.extend(report.violations);
+        all_fns.extend(report.fn_names);
+        if report.relaxed > 0 || report.seqcst > 0 {
+            orderings.insert(rel.clone(), (report.relaxed, report.seqcst));
+        }
+
+        // Unsafe inside a forbid_unsafe crate is a finding even before
+        // rustc sees it (the header could have been dropped).
+        let krate = crate_of(&rel);
+        if forbid.contains(krate.as_str()) {
+            for s in &report.sites {
+                out.violations.push(Violation {
+                    file: rel.clone(),
+                    line: s.line,
+                    rule: "lint-header",
+                    msg: format!(
+                        "`unsafe` in `{krate}` which is declared unsafe-free in audit.toml"
+                    ),
+                });
+            }
+        }
+
+        if !report.sites.is_empty() || !report.waivers.is_empty() {
+            let tests = cfg
+                .coverage
+                .iter()
+                .find(|c| c.file == rel)
+                .map(|c| c.tests.clone())
+                .unwrap_or_default();
+            entries.push(inventory::FileEntry {
+                file: rel.clone(),
+                sites: report.sites,
+                waivers: report.waivers,
+                tests,
+            });
+        }
+    }
+
+    // ---- Atomic-ordering allowlist ---------------------------------
+    let atomics_by_file: BTreeMap<&str, &config::AtomicsEntry> =
+        cfg.atomics.iter().map(|a| (a.file.as_str(), a)).collect();
+    for (file, &(relaxed, seqcst)) in &orderings {
+        match atomics_by_file.get(file.as_str()) {
+            None => out.violations.push(Violation {
+                file: file.clone(),
+                line: 0,
+                rule: "atomic-ordering",
+                msg: format!(
+                    "uses Ordering::Relaxed/SeqCst ({relaxed}/{seqcst}) but has no \
+                     [[atomics]] entry in audit.toml"
+                ),
+            }),
+            Some(a) if a.relaxed != relaxed || a.seqcst != seqcst => {
+                out.violations.push(Violation {
+                    file: file.clone(),
+                    line: 0,
+                    rule: "atomic-ordering",
+                    msg: format!(
+                        "ordering counts drifted: audit.toml says {}/{} \
+                         (Relaxed/SeqCst) but the file has {relaxed}/{seqcst}; \
+                         re-audit the file and update the entry",
+                        a.relaxed, a.seqcst
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for a in &cfg.atomics {
+        if !seen_files.contains(&a.file) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!("[[atomics]] entry for `{}` — file does not exist", a.file),
+            );
+        } else if !orderings.contains_key(&a.file) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!(
+                    "stale [[atomics]] entry: `{}` no longer uses Relaxed/SeqCst",
+                    a.file
+                ),
+            );
+        }
+    }
+
+    // ---- Coverage --------------------------------------------------
+    let covered: BTreeSet<&str> = cfg.coverage.iter().map(|c| c.file.as_str()).collect();
+    for e in &entries {
+        let needs = e.sites.iter().any(|s| !s.in_test);
+        if needs && !covered.contains(e.file.as_str()) {
+            out.violations.push(Violation {
+                file: e.file.clone(),
+                line: e
+                    .sites
+                    .iter()
+                    .find(|s| !s.in_test)
+                    .map(|s| s.line)
+                    .unwrap_or(0),
+                rule: "coverage",
+                msg: "file has unsafe sites but no [[coverage]] entry naming its \
+                      covering tests"
+                    .to_string(),
+            });
+        }
+    }
+    let files_with_sites: BTreeSet<&str> = entries
+        .iter()
+        .filter(|e| !e.sites.is_empty())
+        .map(|e| e.file.as_str())
+        .collect();
+    for c in &cfg.coverage {
+        if !seen_files.contains(&c.file) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!("[[coverage]] entry for `{}` — file does not exist", c.file),
+            );
+            continue;
+        }
+        if !files_with_sites.contains(c.file.as_str()) {
+            cfg_violation(
+                &mut out.violations,
+                "audit.toml",
+                format!("stale [[coverage]] entry: `{}` has no unsafe sites", c.file),
+            );
+        }
+        for t in &c.tests {
+            let leaf = t.rsplit("::").next().unwrap_or(t);
+            if !all_fns.contains(leaf) {
+                out.violations.push(Violation {
+                    file: c.file.clone(),
+                    line: 0,
+                    rule: "coverage",
+                    msg: format!(
+                        "covering test `{t}` does not exist (no `fn {leaf}` \
+                         anywhere in the workspace)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- Inventory -------------------------------------------------
+    let md = inventory::render_markdown(&entries, &cfg.atomics);
+    let json = inventory::render_json(&entries, &cfg.atomics);
+    for (rel, content) in [("docs/UNSAFE.md", &md), ("docs/UNSAFE.json", &json)] {
+        let path = root.join(rel);
+        if write {
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+            fs::write(&path, content)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            out.wrote.push(rel.to_string());
+        } else {
+            let existing = fs::read_to_string(&path).unwrap_or_default();
+            if existing != **content {
+                out.violations.push(Violation {
+                    file: rel.to_string(),
+                    line: 0,
+                    rule: "inventory",
+                    msg: "inventory is stale; run `gosh audit --write` and commit \
+                          the result"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    Ok(out)
+}

@@ -1,0 +1,926 @@
+//! The audit rules, applied per file over the token stream from
+//! [`crate::lexer`]. Each rule is documented in `docs/SAFETY.md`; the
+//! short names here appear in violation output and in
+//! `audit:allow(<rule>)` waiver comments.
+//!
+//! * `undocumented-unsafe` — every `unsafe` block / `unsafe impl` /
+//!   `unsafe trait` / `unsafe extern` must have a `// SAFETY:` comment
+//!   immediately above it (a contiguous comment run ending at most 3
+//!   lines before the site, with no other code in between).
+//! * `missing-safety-doc` — every `unsafe fn` must carry a `# Safety`
+//!   section in its doc comment.
+//! * `atomic-ordering` — `Ordering::Relaxed` / `Ordering::SeqCst` may
+//!   only appear in files blessed by `[[atomics]]` in `audit.toml`,
+//!   and the per-file counts must match exactly. Importing ordering
+//!   variants unqualified (`use …::Ordering::Relaxed`) is forbidden
+//!   outright because it would blind this rule.
+//! * `forbidden-api` — `transmute` and `static mut` anywhere; bare
+//!   `.unwrap()` outside `#[cfg(test)]` in the hardened files listed
+//!   under `unwrap_forbidden`. Waivable per-site with
+//!   `// audit:allow(<rule>): reason`.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::fmt;
+
+/// Kind of unsafe site, for the inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    ExternBlock,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SiteKind::Block => "block",
+            SiteKind::Fn => "fn",
+            SiteKind::Impl => "impl",
+            SiteKind::Trait => "trait",
+            SiteKind::ExternBlock => "extern",
+        })
+    }
+}
+
+/// One `unsafe` occurrence with its stated invariant (the SAFETY
+/// comment or `# Safety` doc text, whitespace-collapsed).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub kind: SiteKind,
+    /// Function name for `Fn` sites, `impl`/`trait` target for those,
+    /// empty for plain blocks.
+    pub name: String,
+    /// The documented invariant; empty when missing (which is itself a
+    /// violation, so a passing audit has no empty invariants).
+    pub invariant: String,
+    /// True when the site sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A waived forbidden-API use, carried into the inventory so waivers
+/// stay visible instead of silently suppressing findings.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Everything the scanner learned about one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub sites: Vec<UnsafeSite>,
+    pub violations: Vec<Violation>,
+    pub waivers: Vec<Waiver>,
+    pub relaxed: u32,
+    pub seqcst: u32,
+    /// Every `fn` name defined in the file — used to check that the
+    /// tests named in `[[coverage]]` actually exist somewhere.
+    pub fn_names: Vec<String>,
+}
+
+/// Per-file knobs derived from `audit.toml` and the path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileOptions {
+    /// `.unwrap()` outside tests is a violation in this file.
+    pub unwrap_forbidden: bool,
+    /// The whole file is test/bench/example code: the unwrap rule is
+    /// off and every site counts as `in_test`.
+    pub test_file: bool,
+}
+
+/// How close (in lines) a SAFETY comment run must end to the site it
+/// blesses. 3 lines tolerates a short wrapped statement between them.
+const SAFETY_COMMENT_WINDOW: u32 = 3;
+
+struct Scanner<'a> {
+    file: &'a str,
+    toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// Half-open spans over *code positions* that are test-gated items.
+    test_spans: Vec<(usize, usize)>,
+    /// (start_line, end_line) of every attribute, for doc-walking.
+    attr_lines: Vec<(u32, u32)>,
+    opts: FileOptions,
+    report: FileReport,
+}
+
+/// Run every per-file rule over `src`.
+pub fn scan_file(file: &str, src: &str, opts: FileOptions) -> FileReport {
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut s = Scanner {
+        file,
+        toks: &toks,
+        code,
+        test_spans: Vec::new(),
+        attr_lines: Vec::new(),
+        opts,
+        report: FileReport::default(),
+    };
+    s.find_attrs_and_test_spans();
+    s.walk();
+    s.report
+}
+
+impl<'a> Scanner<'a> {
+    fn ctext(&self, pos: usize) -> &str {
+        self.code
+            .get(pos)
+            .map(|&i| self.toks[i].text.as_str())
+            .unwrap_or("")
+    }
+
+    fn violation(&mut self, line: u32, rule: &'static str, msg: String) {
+        self.report.violations.push(Violation {
+            file: self.file.to_string(),
+            line,
+            rule,
+            msg,
+        });
+    }
+
+    /// Locate attributes; mark items behind `#[test]`-ish attributes as
+    /// test spans. An attribute is test-ish when its tokens contain the
+    /// identifier `test` (covers `#[test]`, `#[cfg(test)]`,
+    /// `#[cfg(any(test, …))]`; string values like `feature = "test"`
+    /// are Str tokens and don't match).
+    fn find_attrs_and_test_spans(&mut self) {
+        let mut p = 0usize;
+        while p < self.code.len() {
+            if self.ctext(p) != "#" {
+                p += 1;
+                continue;
+            }
+            let mut q = p + 1;
+            if self.ctext(q) == "!" {
+                q += 1;
+            }
+            if self.ctext(q) != "[" {
+                p += 1;
+                continue;
+            }
+            // Find the matching `]`.
+            let mut depth = 0i32;
+            let mut r = q;
+            let mut test_ish = false;
+            while r < self.code.len() {
+                match self.ctext(r) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" if self.toks[self.code[r]].kind == TokKind::Ident => {
+                        test_ish = true;
+                    }
+                    _ => {}
+                }
+                r += 1;
+            }
+            if r >= self.code.len() {
+                break;
+            }
+            let start_line = self.toks[self.code[p]].line;
+            let end_line = self.toks[self.code[r]].end_line;
+            self.attr_lines.push((start_line, end_line));
+            if test_ish && self.ctext(p + 1) != "!" {
+                // Skip any further attributes, then swallow the item:
+                // either `…;` at depth 0 or a balanced `{…}` body.
+                let mut item = r + 1;
+                while self.ctext(item) == "#" {
+                    let mut d2 = 0i32;
+                    let mut r2 = item + 1;
+                    while r2 < self.code.len() {
+                        match self.ctext(r2) {
+                            "[" => d2 += 1,
+                            "]" => {
+                                d2 -= 1;
+                                if d2 == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        r2 += 1;
+                    }
+                    let a_start = self.toks[self.code[item]].line;
+                    let a_end = self
+                        .code
+                        .get(r2)
+                        .map(|&i| self.toks[i].end_line)
+                        .unwrap_or(a_start);
+                    self.attr_lines.push((a_start, a_end));
+                    item = r2 + 1;
+                }
+                let mut brace = 0i32;
+                let mut e = item;
+                let mut entered = false;
+                while e < self.code.len() {
+                    match self.ctext(e) {
+                        "{" => {
+                            brace += 1;
+                            entered = true;
+                        }
+                        "}" => {
+                            brace -= 1;
+                            if entered && brace == 0 {
+                                e += 1;
+                                break;
+                            }
+                        }
+                        ";" if !entered && brace == 0 => {
+                            e += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                self.test_spans.push((p, e));
+                p = e;
+                continue;
+            }
+            p = r + 1;
+        }
+    }
+
+    fn in_test(&self, pos: usize) -> bool {
+        self.opts.test_file || self.test_spans.iter().any(|&(a, b)| pos >= a && pos < b)
+    }
+
+    /// Is there an `audit:allow(<rule>): reason` comment on or just
+    /// above `line`? Records the waiver when found.
+    fn take_waiver(&mut self, line: u32, rule: &str) -> bool {
+        let needle = format!("audit:allow({rule})");
+        for t in self.toks.iter().filter(|t| t.is_comment()) {
+            if t.end_line + 2 >= line && t.end_line <= line && t.text.contains(&needle) {
+                let reason = t
+                    .text
+                    .split_once(&needle)
+                    .map(|(_, rest)| rest.trim_start_matches(':').trim().to_string())
+                    .unwrap_or_default();
+                self.report.waivers.push(Waiver {
+                    line,
+                    rule: rule.to_string(),
+                    reason,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The contiguous comment run immediately preceding token index
+    /// `ti` (a `toks` index), joined. Returns `(text, end_line)`.
+    ///
+    /// Walking backwards stops at a statement boundary (`;`, `{`, `}`)
+    /// so a comment can only bless the statement it sits directly
+    /// above — `// SAFETY:` above one `unsafe impl` does not carry
+    /// over to the next, matching clippy's comment-above-statement
+    /// behavior. Statement-head tokens (`let x = unsafe {`) are walked
+    /// through, bounded by [`SAFETY_COMMENT_WINDOW`].
+    fn preceding_comment_run(&self, ti: usize) -> Option<(String, u32)> {
+        let mut j = ti;
+        while j > 0 {
+            j -= 1;
+            if self.toks[j].is_comment() {
+                // Extend backwards over adjacent comment lines.
+                let mut k = j;
+                while k > 0
+                    && self.toks[k - 1].is_comment()
+                    && self.toks[k - 1].end_line + 1 >= self.toks[k].line
+                {
+                    k -= 1;
+                }
+                let text = self.toks[k..=j]
+                    .iter()
+                    .map(|t| t.text.trim())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                return Some((text, self.toks[j].end_line));
+            }
+            let t = &self.toks[j];
+            // A boundary on the site's own line is part of the same
+            // statement (match-arm patterns, `f(); let x = unsafe {`);
+            // one on an earlier line ends the association.
+            let boundary =
+                matches!(t.text.as_str(), ";" | "{" | "}") && t.end_line < self.toks[ti].line;
+            if boundary || t.end_line + SAFETY_COMMENT_WINDOW < self.toks[ti].line {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Doc text attached to the item whose first modifier token is at
+    /// `toks` index `ti`, walking up over attribute and comment lines.
+    fn doc_text_above(&self, ti: usize) -> String {
+        let site_line = self.toks[ti].line;
+        // Lines covered by attributes above the site.
+        let mut cursor = site_line;
+        let mut docs: Vec<&str> = Vec::new();
+        // Walk tokens backwards, consuming doc comments and attribute
+        // spans that end on cursor-1 (or touch it).
+        let mut j = ti;
+        while j > 0 {
+            j -= 1;
+            let t = &self.toks[j];
+            if t.end_line + 1 < cursor {
+                // A gap: check if an attribute span covers the gap.
+                let covered = self
+                    .attr_lines
+                    .iter()
+                    .any(|&(a, b)| b + 1 >= cursor && a <= t.end_line + 1);
+                if !covered {
+                    break;
+                }
+            }
+            match t.kind {
+                TokKind::DocComment => {
+                    docs.push(&t.text);
+                    cursor = t.line;
+                }
+                TokKind::LineComment | TokKind::BlockComment => {
+                    cursor = t.line;
+                }
+                _ => {
+                    // Code token: keep walking only if it's attribute
+                    // machinery (`#`, `[`, `]`, or inside an attr span).
+                    let in_attr = self
+                        .attr_lines
+                        .iter()
+                        .any(|&(a, b)| t.line >= a && t.end_line <= b);
+                    if in_attr {
+                        cursor = t.line;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        docs.reverse();
+        docs.join("\n")
+    }
+
+    fn walk(&mut self) {
+        let mut p = 0usize;
+        while p < self.code.len() {
+            let ti = self.code[p];
+            let t = &self.toks[ti];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "unsafe") => {
+                    // `r#unsafe` also lexes to Ident("unsafe"); it can
+                    // never be followed by fn/impl/trait/{/extern, so
+                    // the classifier below treats it as… nothing we
+                    // flag. Guard: skip if next token is not a site
+                    // opener.
+                    self.handle_unsafe(p);
+                }
+                (TokKind::Ident, "fn") => {
+                    if let Some(&ni) = self.code.get(p + 1) {
+                        if self.toks[ni].kind == TokKind::Ident {
+                            let name = self.toks[ni].text.clone();
+                            self.report.fn_names.push(name);
+                        }
+                    }
+                }
+                (TokKind::Ident, "Ordering")
+                    if self.ctext(p + 1) == ":"
+                        && self.ctext(p + 2) == ":"
+                        && matches!(self.ctext(p + 3), "Relaxed" | "SeqCst") =>
+                {
+                    if self.ctext(p + 3) == "Relaxed" {
+                        self.report.relaxed += 1;
+                    } else {
+                        self.report.seqcst += 1;
+                    }
+                }
+                (TokKind::Ident, "use") => {
+                    self.check_use_statement(p);
+                }
+                (TokKind::Ident, "transmute") => {
+                    let line = t.line;
+                    if !self.take_waiver(line, "transmute") {
+                        self.violation(
+                            line,
+                            "forbidden-api",
+                            "`transmute` is forbidden (see docs/SAFETY.md); \
+                             waive a justified use with `// audit:allow(transmute): why`"
+                                .to_string(),
+                        );
+                    }
+                }
+                (TokKind::Ident, "static") if self.ctext(p + 1) == "mut" => {
+                    let line = t.line;
+                    if !self.take_waiver(line, "static-mut") {
+                        self.violation(
+                            line,
+                            "forbidden-api",
+                            "`static mut` is forbidden; use an atomic or OnceLock".to_string(),
+                        );
+                    }
+                }
+                (TokKind::Ident, "unwrap")
+                    if self.opts.unwrap_forbidden
+                        && !self.in_test(p)
+                        && self.ctext(p + 1) == "("
+                        && self.ctext(p + 2) == ")"
+                        && p > 0
+                        && self.ctext(p - 1) == "." =>
+                {
+                    let line = t.line;
+                    if !self.take_waiver(line, "unwrap") {
+                        self.violation(
+                            line,
+                            "forbidden-api",
+                            "`.unwrap()` outside tests in a hardened file; return an \
+                             error or waive with `// audit:allow(unwrap): why`"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+    }
+
+    /// `use …::Ordering::{Relaxed,SeqCst,*}` would let orderings appear
+    /// without the `Ordering::` prefix and blind the counting rule.
+    fn check_use_statement(&mut self, p: usize) {
+        let line = self.toks[self.code[p]].line;
+        let mut q = p + 1;
+        let mut prev_ordering = false;
+        while q < self.code.len() && self.ctext(q) != ";" {
+            let txt = self.ctext(q);
+            if prev_ordering && txt == ":" && self.ctext(q + 1) == ":" {
+                let nxt = self.ctext(q + 2);
+                if matches!(nxt, "Relaxed" | "SeqCst" | "Acquire" | "Release" | "AcqRel")
+                    || nxt == "*"
+                    || nxt == "{"
+                {
+                    self.violation(
+                        line,
+                        "atomic-ordering",
+                        "importing `Ordering` variants unqualified defeats the \
+                         per-file ordering audit; import `Ordering` itself instead"
+                            .to_string(),
+                    );
+                    return;
+                }
+            }
+            prev_ordering = txt == "Ordering";
+            q += 1;
+        }
+    }
+
+    fn handle_unsafe(&mut self, p: usize) {
+        let ti = self.code[p];
+        let line = self.toks[ti].line;
+        let next = self.ctext(p + 1);
+        let name_is_ident = |s: &Self, at: usize| {
+            s.code
+                .get(at)
+                .map(|&i| s.toks[i].kind == TokKind::Ident)
+                .unwrap_or(false)
+        };
+        let (kind, name) = match next {
+            "fn" => {
+                if !name_is_ident(self, p + 2) {
+                    return; // `unsafe fn(…)` pointer type, not an item
+                }
+                (SiteKind::Fn, self.ctext(p + 2).to_string())
+            }
+            "impl" => (SiteKind::Impl, self.impl_target(p + 2)),
+            "trait" => (SiteKind::Trait, self.ctext(p + 2).to_string()),
+            "extern" => {
+                // `unsafe extern "C" fn` vs `unsafe extern "C" { … }`.
+                let mut q = p + 2;
+                if self
+                    .toks
+                    .get(self.code.get(q).copied().unwrap_or(usize::MAX))
+                    .map(|t| t.kind)
+                    == Some(TokKind::Str)
+                {
+                    q += 1;
+                }
+                if self.ctext(q) == "fn" {
+                    if !name_is_ident(self, q + 1) {
+                        return; // `unsafe extern "C" fn(…)` pointer type
+                    }
+                    (SiteKind::Fn, self.ctext(q + 1).to_string())
+                } else {
+                    (SiteKind::ExternBlock, String::new())
+                }
+            }
+            "{" => (SiteKind::Block, String::new()),
+            _ => return, // `r#unsafe` identifier or type position; not a site
+        };
+
+        let in_test = self.in_test(p);
+        let invariant = match kind {
+            SiteKind::Fn => {
+                // Anchor the doc walk at the first modifier of the item
+                // (`pub(crate) const unsafe fn …` docs sit above `pub`).
+                let mut head = p;
+                while head > 0 {
+                    let prev_ti = self.code[head - 1];
+                    let prev = &self.toks[prev_ti];
+                    let is_modifier = matches!(
+                        prev.text.as_str(),
+                        "pub" | "crate" | "super" | "in" | "const" | "async" | "extern" | "(" | ")"
+                    ) || prev.kind == TokKind::Str;
+                    if is_modifier {
+                        head -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                let doc = self.doc_text_above(self.code[head]);
+                match extract_safety_section(&doc) {
+                    Some(text) => text,
+                    None => {
+                        if !in_test {
+                            self.violation(
+                                line,
+                                "missing-safety-doc",
+                                format!(
+                                    "`unsafe fn {name}` has no `# Safety` section in its \
+                                     doc comment"
+                                ),
+                            );
+                        }
+                        String::new()
+                    }
+                }
+            }
+            _ => {
+                let found = self.preceding_comment_run(ti).and_then(|(text, end)| {
+                    if end + SAFETY_COMMENT_WINDOW >= line {
+                        extract_safety_comment(&text)
+                    } else {
+                        None
+                    }
+                });
+                match found {
+                    Some(text) => text,
+                    None => {
+                        if !in_test {
+                            self.violation(
+                                line,
+                                "undocumented-unsafe",
+                                format!(
+                                    "`unsafe {kind}` has no `// SAFETY:` comment \
+                                     immediately above it",
+                                    kind = kind
+                                ),
+                            );
+                        }
+                        String::new()
+                    }
+                }
+            }
+        };
+
+        self.report.sites.push(UnsafeSite {
+            line,
+            kind,
+            name,
+            invariant,
+            in_test,
+        });
+    }
+
+    /// Render `unsafe impl Sync for Foo` as `Sync for Foo`, skipping
+    /// generic parameter lists.
+    fn impl_target(&self, mut q: usize) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut angle = 0i32;
+        while q < self.code.len() && parts.len() < 6 {
+            let txt = self.ctext(q);
+            match txt {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "{" | "where" => break,
+                _ if angle == 0 && self.toks[self.code[q]].kind == TokKind::Ident => {
+                    parts.push(txt.to_string());
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        parts.join(" ")
+    }
+}
+
+/// Pull the text after `SAFETY:` out of a joined comment run.
+fn extract_safety_comment(text: &str) -> Option<String> {
+    let idx = text.find("SAFETY:")?;
+    let tail = text[idx + "SAFETY:".len()..].trim();
+    Some(collapse_ws(tail))
+}
+
+/// Pull the body of a `# Safety` heading out of joined doc text,
+/// stopping at the next heading.
+fn extract_safety_section(doc: &str) -> Option<String> {
+    let mut out: Vec<&str> = Vec::new();
+    let mut in_section = false;
+    for line in doc.lines() {
+        let t = line.trim();
+        if t.starts_with('#') {
+            if in_section {
+                break;
+            }
+            in_section = t
+                .trim_start_matches('#')
+                .trim()
+                .eq_ignore_ascii_case("safety");
+            continue;
+        }
+        if in_section && !t.is_empty() {
+            out.push(t);
+        }
+    }
+    if in_section {
+        Some(collapse_ws(&out.join(" ")))
+    } else {
+        None
+    }
+}
+
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Check a crate entry file for the required lint header tokens.
+/// Returns the missing lint names.
+pub fn check_lint_header(src: &str, want_forbid: bool) -> Vec<&'static str> {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let has_seq = |names: &[&str]| -> bool {
+        // Look for `#![<lint>(… name …)]` by scanning idents in order
+        // within a single inner attribute.
+        let mut p = 0usize;
+        while p + 2 < code.len() {
+            if code[p].text == "#" && code[p + 1].text == "!" && code[p + 2].text == "[" {
+                let mut depth = 0i32;
+                let mut q = p + 2;
+                let mut found = 0usize;
+                while q < code.len() {
+                    match code[q].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        txt => {
+                            if found < names.len() && txt == names[found] {
+                                found += 1;
+                            }
+                        }
+                    }
+                    q += 1;
+                }
+                if found == names.len() {
+                    return true;
+                }
+                p = q + 1;
+            } else {
+                p += 1;
+            }
+        }
+        false
+    };
+    let mut missing = Vec::new();
+    if want_forbid {
+        if !has_seq(&["forbid", "unsafe_code"]) {
+            missing.push("#![forbid(unsafe_code)]");
+        }
+    } else {
+        if !has_seq(&["deny", "unsafe_op_in_unsafe_fn"]) {
+            missing.push("#![deny(unsafe_op_in_unsafe_fn)]");
+        }
+        if !has_seq(&["warn", "clippy", "undocumented_unsafe_blocks"]) {
+            missing.push("#![warn(clippy::undocumented_unsafe_blocks)]");
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileReport {
+        scan_file("test.rs", src, FileOptions::default())
+    }
+
+    #[test]
+    fn documented_block_passes() {
+        let r = scan("fn f(p: *const u8) {\n    // SAFETY: p is valid for reads.\n    let _ = unsafe { *p };\n}\n");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].invariant, "p is valid for reads.");
+    }
+
+    #[test]
+    fn undocumented_block_fails() {
+        let r = scan("fn f(p: *const u8) {\n    let _ = unsafe { *p };\n}\n");
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "undocumented-unsafe");
+    }
+
+    #[test]
+    fn multiline_safety_run_is_joined() {
+        let r = scan(
+            "fn f(p: *const u8) {\n    // SAFETY: long explanation that\n    // wraps onto another line.\n    let _ = unsafe { *p };\n}\n",
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.sites[0].invariant.contains("wraps onto another line"));
+    }
+
+    #[test]
+    fn stale_safety_comment_far_above_does_not_count() {
+        let r = scan(
+            "fn f(p: *const u8) {\n    // SAFETY: too far away.\n    let a = 1;\n    let b = a + 1;\n    let c = b + 1;\n    let _ = (c, unsafe { *p });\n}\n",
+        );
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_doc() {
+        let bad = "unsafe fn f() {}\n";
+        let r = scan(bad);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "missing-safety-doc");
+
+        let good = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller must hold the lock.\nunsafe fn f() {}\n";
+        let r = scan(good);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.sites[0].invariant, "Caller must hold the lock.");
+    }
+
+    #[test]
+    fn safety_doc_survives_attributes_between() {
+        let src = "/// # Safety\n/// CPU must support AVX2.\n#[target_feature(enable = \"avx2\")]\n#[inline]\nunsafe fn f() {}\n";
+        let r = scan(src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment_and_each_needs_its_own() {
+        let src = "struct A(*mut u8);\n// SAFETY: A is never aliased.\nunsafe impl Send for A {}\nunsafe impl Sync for A {}\n";
+        let r = scan(src);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.sites[0].name, "Send for A");
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_exempt_but_inventoried() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = unsafe { std::hint::unreachable_unchecked() };\n    }\n}\n";
+        let r = scan(src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(r.sites[0].in_test);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let src = "fn f() {\n    let _a = \"unsafe { }\";\n    // unsafe { } in a comment\n    let _b = r#\"unsafe fn g()\"#;\n}\n";
+        let r = scan(src);
+        assert!(r.sites.is_empty());
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn ordering_counts() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU32) {\n    a.load(Ordering::Relaxed);\n    a.store(1, Ordering::Relaxed);\n    a.load(Ordering::SeqCst);\n    a.load(Ordering::Acquire);\n}\n";
+        let r = scan(src);
+        assert_eq!(r.relaxed, 2);
+        assert_eq!(r.seqcst, 1);
+    }
+
+    #[test]
+    fn unqualified_ordering_import_is_flagged() {
+        for bad in [
+            "use std::sync::atomic::Ordering::Relaxed;\n",
+            "use std::sync::atomic::Ordering::*;\n",
+            "use std::sync::atomic::Ordering::{Relaxed, SeqCst};\n",
+        ] {
+            let r = scan(bad);
+            assert_eq!(r.violations.len(), 1, "{bad}");
+            assert_eq!(r.violations[0].rule, "atomic-ordering");
+        }
+        let ok = "use std::sync::atomic::Ordering;\n";
+        assert!(scan(ok).violations.is_empty());
+    }
+
+    #[test]
+    fn transmute_needs_waiver() {
+        let bad = "fn f() { let _: u32 = unsafe { std::mem::transmute(1.0f32) }; }\n";
+        let r = scan(bad);
+        assert!(r.violations.iter().any(|v| v.rule == "forbidden-api"));
+
+        let waived = "fn f(x: f32) -> u32 {\n    // SAFETY: same size. audit:allow(transmute): bit-level inspection\n    unsafe { std::mem::transmute(x) }\n}\n";
+        let r = scan(waived);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].reason, "bit-level inspection");
+    }
+
+    #[test]
+    fn static_mut_is_flagged_but_static_lifetime_is_not() {
+        let r = scan("static mut G: u32 = 0;\n");
+        assert!(r.violations.iter().any(|v| v.msg.contains("static mut")));
+        let r = scan("fn f(x: &'static mut u32) { *x += 1; }\n");
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unwrap_rule_only_in_hardened_non_test_code() {
+        let opts = FileOptions {
+            unwrap_forbidden: true,
+            test_file: false,
+        };
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let r = scan_file("t.rs", src, opts);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].line, 1);
+
+        let waived =
+            "fn f(x: u64) -> u32 {\n    // audit:allow(unwrap): x < 2^32 by construction\n    x.try_into().unwrap()\n}\n";
+        let r = scan_file("t.rs", waived, opts);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.waivers.len(), 1);
+    }
+
+    #[test]
+    fn nested_unsafe_blocks_each_need_comments() {
+        let src = "fn f(p: *const u8) {\n    // SAFETY: outer.\n    unsafe {\n        let _ = *p;\n        unsafe {\n            let _ = *p;\n        }\n    }\n}\n";
+        let r = scan(src);
+        // Outer documented; inner is not.
+        assert_eq!(r.sites.len(), 2);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unsafe_extern_block_classified() {
+        let src = "// SAFETY: libc signatures match.\nunsafe extern \"C\" {\n    fn abort();\n}\n";
+        let r = scan(src);
+        assert_eq!(r.sites[0].kind, SiteKind::ExternBlock);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn macro_bodies_are_scanned_too() {
+        let src = "macro_rules! m {\n    () => {\n        unsafe { core::hint::unreachable_unchecked() }\n    };\n}\n";
+        let r = scan(src);
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn lint_header_check() {
+        assert!(check_lint_header("#![forbid(unsafe_code)]\nfn f() {}", true).is_empty());
+        assert_eq!(check_lint_header("fn f() {}", true).len(), 1);
+        let hdr =
+            "#![deny(unsafe_op_in_unsafe_fn)]\n#![warn(clippy::undocumented_unsafe_blocks)]\n";
+        assert!(check_lint_header(hdr, false).is_empty());
+        assert_eq!(
+            check_lint_header("#![deny(unsafe_op_in_unsafe_fn)]", false).len(),
+            1
+        );
+        // An outer attribute on an item must not satisfy the check.
+        assert_eq!(
+            check_lint_header("#[forbid(unsafe_code)]\nfn f() {}", true).len(),
+            1
+        );
+    }
+}

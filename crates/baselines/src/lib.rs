@@ -13,6 +13,9 @@
 //!   multilevel coarsening; *fails* when the matrix does not fit on the
 //!   device, exactly the Table 7 behaviour the paper reports.
 
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod graphvite;
 pub mod mile;
 pub mod verse;

@@ -40,6 +40,12 @@
 //! what relative factor, where crossovers sit — are preserved; absolute
 //! wall-clock is not comparable to the paper's testbed.
 
+// This crate contains audited `unsafe` (see docs/SAFETY.md and the
+// `gosh audit` gate): every unsafe operation must sit in an explicit
+// block with its own `// SAFETY:` invariant, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 pub mod check;
 pub mod coarsen;
 pub mod distrib;

@@ -1152,3 +1152,30 @@ pub fn bench_stream(args: &[String]) -> Result<(), String> {
     println!("wrote {out}");
     Ok(())
 }
+
+pub fn audit(args: &[String]) -> Result<(), String> {
+    let p = parse(args, &["root", "write"])?;
+    let root = std::path::PathBuf::from(p.flag_str("root").unwrap_or("."));
+    let write = p.flag::<bool>("write")?.unwrap_or(false);
+
+    let outcome = gosh_audit::run(&root, write)?;
+    println!(
+        "audit: {} files scanned, {} unsafe sites ({} in tests), {} waiver(s)",
+        outcome.files_scanned, outcome.sites, outcome.test_sites, outcome.waivers,
+    );
+    for wrote in &outcome.wrote {
+        println!("wrote {wrote}");
+    }
+    if outcome.passed() {
+        println!("audit: PASS");
+        Ok(())
+    } else {
+        for v in &outcome.violations {
+            eprintln!("{v}");
+        }
+        Err(format!(
+            "audit: {} violation(s); rules are documented in docs/SAFETY.md",
+            outcome.violations.len()
+        ))
+    }
+}

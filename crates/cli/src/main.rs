@@ -50,6 +50,7 @@
 //!                   [--dim D] [--threads T] [--window F] [--steps S]
 //!                   [--epochs E] [--warm-scale X] [--fallback-fraction F]
 //!                   [--max-gap G] [--seed S] [--out FILE]
+//! gosh audit [--root DIR] [--write true]         safety static-analysis gate
 //! ```
 //!
 //! Graphs load from SNAP-style edge lists (`.txt`, any extension; a
@@ -58,6 +59,9 @@
 //! (`.csr`) through the chunked streaming-validated loader. `eval` runs
 //! the paper's full §4.1 link-prediction pipeline: 80/20 split, embed
 //! the train graph, report AUCROC on the held-out edges.
+
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it that way.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
@@ -84,6 +88,7 @@ fn main() -> ExitCode {
         Some("bench-large") => commands::bench_large(&argv[1..]),
         Some("bench-serve") => commands::bench_serve(&argv[1..]),
         Some("bench-stream") => commands::bench_stream(&argv[1..]),
+        Some("audit") => commands::audit(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -152,6 +157,7 @@ USAGE:
                     [--dim D] [--threads T] [--window F] [--steps S]
                     [--epochs E] [--warm-scale X] [--fallback-fraction F]
                     [--max-gap G] [--seed S] [--out FILE]
+  gosh audit [--root DIR] [--write true]         safety static-analysis gate
 
   <dataset> is a suite name (dblp-like, orkut-like, ...; see
   `gosh_graph::gen::suite`), or N:K for N vertices with average degree K.

@@ -363,6 +363,9 @@ pub fn build_fused(g: &Csr, mapping: &Mapping, threads: usize, ws: &mut CoarsenW
                     // of the per-arc hot loop.
                     let cu = unsafe { *map.get_unchecked(u as usize) } as usize;
                     let w = cu / 64;
+                    // SAFETY: `cu < k` (Mapping compactness) keeps both
+                    // bitmap words in bounds: `w < words = bits.len()`
+                    // and `w / 64 < summary.len()` by construction.
                     unsafe {
                         *bits.get_unchecked_mut(w) |= 1u64 << (cu % 64);
                         *summary.get_unchecked_mut(w / 64) |= 1u64 << (w % 64);

@@ -9,6 +9,12 @@
 //! scheduling) are implemented, plus a MILE-style matching coarsener used
 //! as the baseline in Table 5.
 
+// This crate contains audited `unsafe` (see docs/SAFETY.md and the
+// `gosh audit` gate): every unsafe operation must sit in an explicit
+// block with its own `// SAFETY:` invariant, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 //! The parallel path is the fused lock-free pipeline of [`fused`]: one
 //! pass produces the mapping *and* the coarse CSR on reusable level-sized
 //! scratch ([`fused::CoarsenWorkspace`]), replacing the old

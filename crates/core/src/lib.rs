@@ -37,6 +37,12 @@
 //!   every level through the backend chain.
 //! * [`config`] — the fast/normal/slow/no-coarsening presets of Table 3.
 
+// This crate contains audited `unsafe` (see docs/SAFETY.md and the
+// `gosh audit` gate): every unsafe operation must sit in an explicit
+// block with its own `// SAFETY:` invariant, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 pub mod backend;
 pub mod config;
 pub mod distrib;

@@ -193,13 +193,21 @@ mod vecq {
     use crate::model::pack_pair;
 
     /// In-place f32→f16→f32 round trip, eight lanes per conversion.
+    ///
+    /// # Safety
+    /// The CPU must support F16C (callers check
+    /// [`crate::simd::f16c_available`] first).
     #[target_feature(enable = "f16c")]
     pub unsafe fn f16_roundtrip_f16c(data: &mut [f32]) {
         let chunks = data.len() / 8;
         for g in 0..chunks {
-            let p = data.as_mut_ptr().add(8 * g);
-            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm256_loadu_ps(p));
-            _mm256_storeu_ps(p, _mm256_cvtph_ps(h));
+            // SAFETY: `8 * g + 8 <= data.len()`, so the in-place 8-lane
+            // load/convert/store stays inside the slice.
+            unsafe {
+                let p = data.as_mut_ptr().add(8 * g);
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm256_loadu_ps(p));
+                _mm256_storeu_ps(p, _mm256_cvtph_ps(h));
+            }
         }
         for x in &mut data[8 * chunks..] {
             *x = super::f16_bits_to_f32(super::f32_to_f16_bits(*x));
@@ -209,6 +217,12 @@ mod vecq {
     /// Dequantize an f16 cell row (4 codes per cell) into f32 lanes, two
     /// cells per conversion. The `[u64; 2]` staging keeps every atomic
     /// access a plain `load`, like the pair kernels in `crate::simd`.
+    ///
+    /// # Safety
+    /// The CPU must support F16C (callers check
+    /// [`crate::simd::f16c_available`] first), and `cells` must hold at
+    /// least `ceil(out.len() / 4)` cells (the [`super::QuantizedMatrix`]
+    /// row layout).
     #[target_feature(enable = "f16c")]
     pub unsafe fn load_f16_cells(cells: &[AtomicU64], out: &mut [f32]) {
         let groups = out.len() / 8;
@@ -217,8 +231,12 @@ mod vecq {
                 cells[2 * g].load(Ordering::Relaxed),
                 cells[2 * g + 1].load(Ordering::Relaxed),
             ];
-            let h = _mm_loadu_si128(bits.as_ptr().cast());
-            _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), _mm256_cvtph_ps(h));
+            // SAFETY: `bits` is a local `[u64; 2]` = one 128-bit load,
+            // and `8 * g + 8 <= out.len()` bounds the 8-lane store.
+            unsafe {
+                let h = _mm_loadu_si128(bits.as_ptr().cast());
+                _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), _mm256_cvtph_ps(h));
+            }
         }
         for (k, y) in out[8 * groups..].iter_mut().enumerate() {
             let idx = 8 * groups + k;
@@ -228,14 +246,24 @@ mod vecq {
     }
 
     /// Requantize f32 lanes into f16 cells.
+    ///
+    /// # Safety
+    /// The CPU must support F16C (callers check
+    /// [`crate::simd::f16c_available`] first), and `cells` must hold at
+    /// least `ceil(row.len() / 4)` cells (the [`super::QuantizedMatrix`]
+    /// row layout).
     #[target_feature(enable = "f16c")]
     pub unsafe fn store_f16_cells(cells: &[AtomicU64], row: &[f32]) {
         let groups = row.len() / 8;
         for g in 0..groups {
-            let v = _mm256_loadu_ps(row.as_ptr().add(8 * g));
-            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
             let mut bits = [0u64; 2];
-            _mm_storeu_si128(bits.as_mut_ptr().cast(), h);
+            // SAFETY: `8 * g + 8 <= row.len()` bounds the 8-lane load,
+            // and `bits` is a local `[u64; 2]` = one 128-bit store.
+            unsafe {
+                let v = _mm256_loadu_ps(row.as_ptr().add(8 * g));
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+                _mm_storeu_si128(bits.as_mut_ptr().cast(), h);
+            }
             cells[2 * g].store(bits[0], Ordering::Relaxed);
             cells[2 * g + 1].store(bits[1], Ordering::Relaxed);
         }
@@ -251,15 +279,19 @@ mod vecq {
     /// Lanewise min/max with a finiteness check fused into the same pass.
     /// Returns `None` if any element is non-finite; otherwise the exact
     /// `(lo, hi)` (selection is order-independent for finite values).
+    ///
+    /// Safe `#[target_feature]` fn: callable without `unsafe` only from
+    /// the AVX2-enabled fns below, which is exactly its call set.
     #[target_feature(enable = "avx2")]
-    unsafe fn minmax_finite(row: &[f32]) -> Option<(f32, f32)> {
+    fn minmax_finite(row: &[f32]) -> Option<(f32, f32)> {
         let chunks = row.len() / 8;
         let mut vlo = _mm256_set1_ps(f32::INFINITY);
         let mut vhi = _mm256_set1_ps(f32::NEG_INFINITY);
         let mut vok = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
         let zero = _mm256_setzero_ps();
         for g in 0..chunks {
-            let x = _mm256_loadu_ps(row.as_ptr().add(8 * g));
+            // SAFETY: `8 * g + 8 <= row.len()` bounds the 8-lane load.
+            let x = unsafe { _mm256_loadu_ps(row.as_ptr().add(8 * g)) };
             vlo = _mm256_min_ps(vlo, x);
             vhi = _mm256_max_ps(vhi, x);
             // x − x == 0 exactly iff x is finite (∞−∞ and NaN are NaN).
@@ -270,8 +302,11 @@ mod vecq {
         }
         let mut los = [0f32; 8];
         let mut his = [0f32; 8];
-        _mm256_storeu_ps(los.as_mut_ptr(), vlo);
-        _mm256_storeu_ps(his.as_mut_ptr(), vhi);
+        // SAFETY: `los`/`his` are exactly 8 f32s — one vector store each.
+        unsafe {
+            _mm256_storeu_ps(los.as_mut_ptr(), vlo);
+            _mm256_storeu_ps(his.as_mut_ptr(), vhi);
+        }
         let mut lo = los.iter().copied().fold(f32::INFINITY, f32::min);
         let mut hi = his.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         for &x in &row[8 * chunks..] {
@@ -286,8 +321,10 @@ mod vecq {
 
     /// Eight codes from eight lanes: `clamp(floor(t + 0.5), 0, 255)`
     /// packed into one little-endian code word.
+    ///
+    /// Safe `#[target_feature]` fn — register-only, no memory operands.
     #[target_feature(enable = "avx2")]
-    unsafe fn encode8(x: __m256, vlo: __m256, vinv: __m256) -> u64 {
+    fn encode8(x: __m256, vlo: __m256, vinv: __m256) -> u64 {
         let t = _mm256_mul_ps(_mm256_sub_ps(x, vlo), vinv);
         let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC }>(_mm256_add_ps(
             t,
@@ -301,8 +338,10 @@ mod vecq {
     }
 
     /// Eight affine decodes from one packed code word.
+    ///
+    /// Safe `#[target_feature]` fn — register-only, no memory operands.
     #[target_feature(enable = "avx2")]
-    unsafe fn decode8(w: u64, vs: __m256, vz: __m256) -> __m256 {
+    fn decode8(w: u64, vs: __m256, vz: __m256) -> __m256 {
         let q = _mm_cvtsi64_si128(w as i64);
         let f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(q));
         _mm256_add_ps(vz, _mm256_mul_ps(vs, f))
@@ -310,6 +349,11 @@ mod vecq {
 
     /// Vector [`super::quantize_row_i8`] writing into a byte scratch.
     /// `None` when the row is degenerate or contains non-finite values.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers check
+    /// [`crate::simd::avx2_available`] first); `codes.len()` must be at
+    /// least `row.len()` (asserted by [`super::quantize_row_i8`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn quantize_row_i8_avx2(row: &[f32], codes: &mut [u8]) -> Option<RowScale> {
         let (lo, hi) = minmax_finite(row)?;
@@ -322,7 +366,9 @@ mod vecq {
         let vinv = _mm256_set1_ps(inv);
         let chunks = row.len() / 8;
         for g in 0..chunks {
-            let w = encode8(_mm256_loadu_ps(row.as_ptr().add(8 * g)), vlo, vinv);
+            // SAFETY: `8 * g + 8 <= row.len()` bounds the 8-lane load.
+            let x = unsafe { _mm256_loadu_ps(row.as_ptr().add(8 * g)) };
+            let w = encode8(x, vlo, vinv);
             codes[8 * g..8 * g + 8].copy_from_slice(&w.to_le_bytes());
         }
         for (c, &x) in codes[8 * chunks..].iter_mut().zip(&row[8 * chunks..]) {
@@ -335,6 +381,11 @@ mod vecq {
     }
 
     /// Vector [`super::dequantize_row_i8`] from a byte slice.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers check
+    /// [`crate::simd::avx2_available`] first); `codes.len()` must be at
+    /// least `out.len()` (asserted by [`super::dequantize_row_i8`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn decode_i8_avx2(codes: &[u8], rs: RowScale, out: &mut [f32]) {
         let vs = _mm256_set1_ps(rs.scale);
@@ -342,7 +393,8 @@ mod vecq {
         let chunks = out.len() / 8;
         for g in 0..chunks {
             let w = u64::from_le_bytes(codes[8 * g..8 * g + 8].try_into().unwrap());
-            _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), decode8(w, vs, vz));
+            // SAFETY: `8 * g + 8 <= out.len()` bounds the 8-lane store.
+            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), decode8(w, vs, vz)) };
         }
         for (y, &c) in out[8 * chunks..].iter_mut().zip(&codes[8 * chunks..]) {
             *y = rs.zero + rs.scale * c as f32;
@@ -350,6 +402,12 @@ mod vecq {
     }
 
     /// Dequantize an i8 cell row (8 codes per cell), one decode per cell.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers check
+    /// [`crate::simd::avx2_available`] first), and `cells` must hold at
+    /// least `ceil(out.len() / 8)` cells (the [`super::QuantizedMatrix`]
+    /// row layout).
     #[target_feature(enable = "avx2")]
     pub unsafe fn decode_i8_cells(cells: &[AtomicU64], rs: RowScale, out: &mut [f32]) {
         let vs = _mm256_set1_ps(rs.scale);
@@ -357,7 +415,8 @@ mod vecq {
         let full = out.len() / 8;
         for (g, cell) in cells.iter().enumerate().take(full) {
             let w = cell.load(Ordering::Relaxed);
-            _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), decode8(w, vs, vz));
+            // SAFETY: `8 * g + 8 <= out.len()` bounds the 8-lane store.
+            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(8 * g), decode8(w, vs, vz)) };
         }
         let tail = &mut out[8 * full..];
         if !tail.is_empty() {
@@ -372,6 +431,12 @@ mod vecq {
     /// codes, so racing readers decode against the fresh range), then one
     /// cell store per eight codes. `false` when the row needs the scalar
     /// degenerate path.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (callers check
+    /// [`crate::simd::avx2_available`] first), and `cells` must hold at
+    /// least `ceil(row.len() / 8)` cells (the [`super::QuantizedMatrix`]
+    /// row layout).
     #[target_feature(enable = "avx2")]
     pub unsafe fn store_i8_cells(cells: &[AtomicU64], meta: &AtomicU64, row: &[f32]) -> bool {
         let Some((lo, hi)) = minmax_finite(row) else {
@@ -386,8 +451,9 @@ mod vecq {
         let vinv = _mm256_set1_ps(inv);
         let full = row.len() / 8;
         for (g, cell) in cells.iter().enumerate().take(full) {
-            let w = encode8(_mm256_loadu_ps(row.as_ptr().add(8 * g)), vlo, vinv);
-            cell.store(w, Ordering::Relaxed);
+            // SAFETY: `8 * g + 8 <= row.len()` bounds the 8-lane load.
+            let x = unsafe { _mm256_loadu_ps(row.as_ptr().add(8 * g)) };
+            cell.store(encode8(x, vlo, vinv), Ordering::Relaxed);
         }
         let tail = &row[8 * full..];
         if !tail.is_empty() {

@@ -138,6 +138,9 @@ pub fn dot8_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// AVX2 path of [`dot8`]: one vector accumulator whose lanes mirror the
 /// scalar accumulator, `mul` + `add` (no fma contraction), the shared
 /// [`hsum8`] tree at the end.
+///
+/// # Safety
+/// The CPU must support AVX2 (callers check [`avx2_available`] first).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn dot8_avx2(a: &[f32], b: &[f32]) -> f32 {
@@ -146,12 +149,19 @@ unsafe fn dot8_avx2(a: &[f32], b: &[f32]) -> f32 {
     let chunks = n / LANES;
     let mut acc = _mm256_setzero_ps();
     for c in 0..chunks {
-        let xs = _mm256_loadu_ps(a.as_ptr().add(LANES * c));
-        let ys = _mm256_loadu_ps(b.as_ptr().add(LANES * c));
+        // SAFETY: `LANES * c + LANES <= n <= a.len(), b.len()`, so both
+        // unaligned 8-lane loads read inside their slices.
+        let (xs, ys) = unsafe {
+            (
+                _mm256_loadu_ps(a.as_ptr().add(LANES * c)),
+                _mm256_loadu_ps(b.as_ptr().add(LANES * c)),
+            )
+        };
         acc = _mm256_add_ps(acc, _mm256_mul_ps(xs, ys));
     }
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly 8 f32s — the width of one vector store.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     let done = chunks * LANES;
     for (k, (x, y)) in a[done..n].iter().zip(&b[done..n]).enumerate() {
         lanes[k] += x * y;
@@ -274,6 +284,11 @@ pub fn dot_pairs_scalar(src: &[f32], sample: &[AtomicU64]) -> f32 {
 /// cast is exactly [`load_group`] without the shifts. Going through the
 /// staging array keeps every atomic access a plain `load` (no vector
 /// access aliases the atomics, so there is no tearing and no UB).
+///
+/// # Safety
+/// The CPU must support AVX2 (callers check [`avx2_available`] first),
+/// and `src.len()` must be `2 * sample.len()` (the staged-row contract
+/// of [`dot_pairs`], asserted there).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn dot_pairs_avx2(src: &[f32], sample: &[AtomicU64]) -> f32 {
@@ -285,12 +300,20 @@ unsafe fn dot_pairs_avx2(src: &[f32], sample: &[AtomicU64]) -> f32 {
         for k in 0..GROUP_PAIRS {
             bits[k] = sample[GROUP_PAIRS * g + k].load(Ordering::Relaxed);
         }
-        let ys = _mm256_loadu_ps(bits.as_ptr().cast::<f32>());
-        let xs = _mm256_loadu_ps(src.as_ptr().add(LANES * g));
+        // SAFETY: `bits` is a local `[u64; 4]` = 32 bytes = one 8-lane
+        // read, and `LANES * g + LANES <= 2 * sample.len() = src.len()`,
+        // so both loads stay in bounds.
+        let (ys, xs) = unsafe {
+            (
+                _mm256_loadu_ps(bits.as_ptr().cast::<f32>()),
+                _mm256_loadu_ps(src.as_ptr().add(LANES * g)),
+            )
+        };
         acc = _mm256_add_ps(acc, _mm256_mul_ps(xs, ys));
     }
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly 8 f32s — the width of one vector store.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     let done = GROUP_PAIRS * groups;
     for (i, w) in sample[done..].iter().enumerate() {
         let (y0, y1) = unpack_pair(w.load(Ordering::Relaxed));
@@ -351,6 +374,11 @@ pub fn update_pairs_scalar(src: &mut [f32], sample: &[AtomicU64], score: f32) {
 /// [`dot_pairs`]: relaxed loads into `[u64; 4]`, vector math on the
 /// reinterpreted lanes, vector store back into the staging array, relaxed
 /// stores out. `mul` + `add`, lanewise identical to the scalar core.
+///
+/// # Safety
+/// The CPU must support AVX2 (callers check [`avx2_available`] first),
+/// and `src.len()` must be `2 * sample.len()` (the staged-row contract
+/// of [`update_pairs`], asserted there).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn update_pairs_avx2(src: &mut [f32], sample: &[AtomicU64], score: f32) {
@@ -362,16 +390,27 @@ unsafe fn update_pairs_avx2(src: &mut [f32], sample: &[AtomicU64], score: f32) {
         for k in 0..GROUP_PAIRS {
             bits[k] = sample[GROUP_PAIRS * g + k].load(Ordering::Relaxed);
         }
-        let us = _mm256_loadu_ps(bits.as_ptr().cast::<f32>());
-        let xp = src.as_mut_ptr().add(LANES * g);
-        let xs = _mm256_loadu_ps(xp);
+        // SAFETY: `bits` is a local `[u64; 4]` = 32 bytes = one 8-lane
+        // group, and `LANES * g + LANES <= 2 * sample.len() = src.len()`,
+        // so the in-place pointer stays in bounds for the load and the
+        // store below. No vector access touches the atomics directly —
+        // only the staging array.
+        let (us, xp, xs) = unsafe {
+            let us = _mm256_loadu_ps(bits.as_ptr().cast::<f32>());
+            let xp = src.as_mut_ptr().add(LANES * g);
+            (us, xp, _mm256_loadu_ps(xp))
+        };
         let new_u = _mm256_add_ps(us, _mm256_mul_ps(sv, xs));
         let new_x = _mm256_add_ps(xs, _mm256_mul_ps(sv, us));
-        _mm256_storeu_ps(bits.as_mut_ptr().cast::<f32>(), new_u);
-        for k in 0..GROUP_PAIRS {
-            sample[GROUP_PAIRS * g + k].store(bits[k], Ordering::Relaxed);
+        // SAFETY: same bounds as the loads above; `xp` was derived from
+        // `src` inside this iteration, and `bits` is still 32 bytes.
+        unsafe {
+            _mm256_storeu_ps(bits.as_mut_ptr().cast::<f32>(), new_u);
+            for k in 0..GROUP_PAIRS {
+                sample[GROUP_PAIRS * g + k].store(bits[k], Ordering::Relaxed);
+            }
+            _mm256_storeu_ps(xp, new_x);
         }
-        _mm256_storeu_ps(xp, new_x);
     }
     let done = GROUP_PAIRS * groups;
     let xs = &mut src[LANES * groups..];

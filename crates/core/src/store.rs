@@ -146,8 +146,12 @@ pub fn write_store(path: impl AsRef<Path>, m: &Embedding, precision: Precision) 
 /// platform provides one, a heap copy otherwise. Both keep the file's
 /// byte 0 at an 8-aligned base so the 40-byte header leaves the payload
 /// aligned for zero-copy f32/f16 row views.
+///
+/// Under Miri the raw `mmap`/`munmap` FFI is uninterpretable, so the
+/// whole mapping arm is compiled out (`not(miri)`) and the store runs
+/// on the heap copy — same bytes, same alignment, checkable by Miri.
 enum Backing {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     Mmap {
         ptr: *mut u8,
         len: usize,
@@ -158,12 +162,14 @@ enum Backing {
 // SAFETY: the mapping is PROT_READ + MAP_PRIVATE over a file this
 // process opened — immutable shared bytes, safe to read from any thread.
 unsafe impl Send for Backing {}
+// SAFETY: as for `Send` — the backing bytes are immutable for the life
+// of the mapping, so shared cross-thread reads cannot race.
 unsafe impl Sync for Backing {}
 
 impl Backing {
     fn bytes(&self) -> &[u8] {
         match self {
-            #[cfg(unix)]
+            #[cfg(all(unix, not(miri)))]
             // SAFETY: ptr/len describe a live PROT_READ mapping owned by
             // self; unmapped only in Drop.
             Backing::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
@@ -181,7 +187,7 @@ impl Backing {
 
 impl Drop for Backing {
     fn drop(&mut self) {
-        #[cfg(unix)]
+        #[cfg(all(unix, not(miri)))]
         if let Backing::Mmap { ptr, len } = self {
             // SAFETY: exactly the region mmap returned; dropped once.
             unsafe { sys::munmap(*ptr as *mut core::ffi::c_void, *len) };
@@ -189,7 +195,7 @@ impl Drop for Backing {
     }
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 mod sys {
     use core::ffi::c_void;
 
@@ -211,7 +217,7 @@ mod sys {
 
 /// Map (or read) a whole file. Returns the backing and its length.
 fn map_file(file: &File, len: usize) -> io::Result<Backing> {
-    #[cfg(unix)]
+    #[cfg(all(unix, not(miri)))]
     {
         use std::os::unix::io::AsRawFd;
         if len > 0 {
@@ -298,6 +304,7 @@ impl EmbeddingStore {
         if &header[..8] != EMBIN_MAGIC {
             return Err(bad("not an embin file (bad magic)"));
         }
+        // audit:allow(unwrap): fixed 4-byte slice into a 4-byte array
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
         if version != EMBIN_VERSION {
             return Err(bad(format!(
@@ -309,9 +316,9 @@ impl EmbeddingStore {
         if header[13..16] != [0, 0, 0] {
             return Err(bad("reserved header bytes are not zero"));
         }
-        let num_vertices = u64::from_le_bytes(header[16..24].try_into().unwrap());
-        let dim = u64::from_le_bytes(header[24..32].try_into().unwrap());
-        let checksum = u64::from_le_bytes(header[32..40].try_into().unwrap());
+        let num_vertices = u64::from_le_bytes(header[16..24].try_into().unwrap()); // audit:allow(unwrap): fixed 8-byte slice
+        let dim = u64::from_le_bytes(header[24..32].try_into().unwrap()); // audit:allow(unwrap): fixed 8-byte slice
+        let checksum = u64::from_le_bytes(header[32..40].try_into().unwrap()); // audit:allow(unwrap): fixed 8-byte slice
 
         // Row ids are u32 everywhere else in the codebase; a header
         // claiming more vertices is corrupt, not ambitious.
@@ -417,8 +424,8 @@ impl EmbeddingStore {
         assert_eq!(self.precision, Precision::I8, "row_i8 on a non-i8 store");
         let raw = self.row_raw(v);
         let rs = RowScale {
-            scale: f32::from_le_bytes(raw[..4].try_into().unwrap()),
-            zero: f32::from_le_bytes(raw[4..8].try_into().unwrap()),
+            scale: f32::from_le_bytes(raw[..4].try_into().unwrap()), // audit:allow(unwrap): fixed 4-byte slice
+            zero: f32::from_le_bytes(raw[4..8].try_into().unwrap()), // audit:allow(unwrap): fixed 4-byte slice
         };
         (rs, &raw[8..])
     }

@@ -7,6 +7,9 @@
 //! scikit-learn's `LogisticRegression` / `SGDClassifier` roles), and
 //! AUCROC on the held-out edges.
 
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod auc;
 pub mod classify;
 pub mod features;

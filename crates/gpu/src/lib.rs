@@ -27,6 +27,9 @@
 //! rows) are reproduced with relaxed atomics — the Hogwild contract,
 //! without undefined behaviour.
 
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it that way.
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod config;
 pub mod cost;

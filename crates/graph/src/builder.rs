@@ -382,6 +382,9 @@ struct SharedArena<T> {
     len: usize,
 }
 
+// SAFETY: sharing the arena across threads only permits `write`, whose
+// contract (disjoint indices, `i < len`) makes every access exclusive;
+// `T: Send` lets the written values move to the writing thread.
 unsafe impl<T: Send> Sync for SharedArena<T> {}
 
 impl<T> SharedArena<T> {
@@ -396,6 +399,8 @@ impl<T> SharedArena<T> {
     /// `i < len`, and no other write to `i` may race with this one.
     unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
+        // SAFETY: `i < len` puts the pointer inside the arena, and the
+        // caller contract makes this the only access to slot `i`.
         unsafe { *self.ptr.add(i) = value }
     }
 }

@@ -11,6 +11,12 @@
 //! Every stochastic routine takes an explicit seed so that experiments are
 //! reproducible bit-for-bit.
 
+// This crate contains audited `unsafe` (see docs/SAFETY.md and the
+// `gosh audit` gate): every unsafe operation must sit in an explicit
+// block with its own `// SAFETY:` invariant, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 pub mod builder;
 pub mod compact;
 pub mod components;

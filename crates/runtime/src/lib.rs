@@ -36,6 +36,12 @@
 //!   indexed tasks, claimed by a work cursor, results restored to job
 //!   order (byte-identical for any team size).
 
+// This crate contains audited `unsafe` (see docs/SAFETY.md and the
+// `gosh audit` gate): every unsafe operation must sit in an explicit
+// block with its own `// SAFETY:` invariant, even inside `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 mod pool;
 pub mod transport;
 

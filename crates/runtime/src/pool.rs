@@ -144,6 +144,7 @@ struct ErasedFn {
 // SAFETY: the pointee is `Sync` (asserted at construction) and the pool
 // guarantees it outlives all uses (see `run`).
 unsafe impl Send for ErasedFn {}
+// SAFETY: as for `Send` — shared references only expose the `Sync` pointee.
 unsafe impl Sync for ErasedFn {}
 
 struct Job {
@@ -273,6 +274,7 @@ impl Runtime {
             // SAFETY: we erase the lifetime, but we block below until
             // `pending == 0`, i.e. until no worker will touch `f` again,
             // before `f` can be dropped.
+            // audit:allow(transmute): lifetime erasure only, same type
             let fref: *const (dyn Fn(&WorkerCtx) + Sync) = unsafe { std::mem::transmute(fref) };
             let mut slot = lock_ignore_poison(&self.shared.slot);
             slot.job = Some(Job {
@@ -386,9 +388,9 @@ fn worker_loop(shared: &Shared, index: usize, start_seq: u64) {
             team: job.team,
             barrier: job.barrier.clone(),
         };
-        // SAFETY: `run` keeps the closure alive until `pending` hits
-        // zero; we are strictly before our decrement.
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: `run` keeps the closure alive until `pending` hits
+            // zero; we are strictly before our decrement.
             let f = unsafe { &*job.f.ptr };
             f(&ctx);
         }));

@@ -233,8 +233,8 @@ fn write_frame<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> 
 fn read_frame<R: Read>(r: &mut R, max_len: u64) -> io::Result<(u32, Vec<u8>)> {
     let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
-    let tag = u32::from_le_bytes(header[..4].try_into().unwrap());
-    let len = u64::from_le_bytes(header[4..].try_into().unwrap());
+    let tag = u32::from_le_bytes(header[..4].try_into().unwrap()); // audit:allow(unwrap): fixed 4-byte slice
+    let len = u64::from_le_bytes(header[4..].try_into().unwrap()); // audit:allow(unwrap): fixed 8-byte slice
     if len > max_len {
         return Err(io::Error::new(
             ErrorKind::InvalidData,

@@ -36,6 +36,9 @@
 //! assert_eq!(report.levels.len(), report.depth);
 //! ```
 
+// No unsafe in this crate: the audit gate (docs/SAFETY.md) keeps it that way.
+#![forbid(unsafe_code)]
+
 pub use gosh_baselines as baselines;
 pub use gosh_coarsen as coarsen;
 pub use gosh_core as core;

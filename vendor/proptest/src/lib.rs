@@ -19,16 +19,32 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases. `PROPTEST_CASES` still wins
+        /// when set (stronger than upstream, where it only replaces the
+        /// default): the sanitized/Miri CI jobs set it to cut every
+        /// suite's case count at once, including suites that pin an
+        /// explicit count for normal runs.
         pub fn with_cases(cases: u32) -> Self {
-            Self { cases }
+            Self {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 256 }
+            Self {
+                cases: env_cases().unwrap_or(256),
+            }
         }
+    }
+
+    /// The `PROPTEST_CASES` environment override, if set and positive.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
     }
 
     /// xorshift64* generator, seeded per test for reproducibility.
